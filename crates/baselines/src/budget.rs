@@ -1,0 +1,67 @@
+//! Resource budgets for the baseline evaluators.
+//!
+//! The paper reports "> 1 d" (more than a day) and "N/S" (no solution) cells
+//! for the state-space and periodic baselines on the hardest benchmarks. This
+//! workspace reproduces those cells with explicit budgets: a baseline that
+//! exhausts its budget reports [`BudgetExhausted`](crate::EvaluationStatus::BudgetExhausted)
+//! instead of blocking the whole experiment for a day.
+
+use std::time::Duration;
+
+/// Resource limits applied to a baseline evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Budget {
+    /// Maximum wall-clock time the evaluation may spend.
+    pub max_wall_time: Duration,
+    /// Maximum number of simulation events (firing starts and completions)
+    /// or expansion nodes the evaluation may process.
+    pub max_events: u64,
+}
+
+impl Budget {
+    /// A budget suitable for unit tests and small graphs.
+    pub fn small() -> Self {
+        Budget {
+            max_wall_time: Duration::from_millis(500),
+            max_events: 200_000,
+        }
+    }
+
+    /// A budget suitable for benchmark runs (a few seconds per instance).
+    pub fn benchmark() -> Self {
+        Budget {
+            max_wall_time: Duration::from_secs(10),
+            max_events: 50_000_000,
+        }
+    }
+
+    /// An effectively unlimited budget (use with care).
+    pub fn unlimited() -> Self {
+        Budget {
+            max_wall_time: Duration::from_secs(u64::MAX / 4),
+            max_events: u64::MAX,
+        }
+    }
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget {
+            max_wall_time: Duration::from_secs(2),
+            max_events: 5_000_000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered_sensibly() {
+        assert!(Budget::small().max_events < Budget::default().max_events);
+        assert!(Budget::default().max_events < Budget::benchmark().max_events);
+        assert!(Budget::benchmark().max_events < Budget::unlimited().max_events);
+        assert!(Budget::small().max_wall_time < Budget::benchmark().max_wall_time);
+    }
+}

@@ -1,0 +1,182 @@
+//! Expansion-based throughput evaluation for SDF graphs.
+//!
+//! This baseline follows the classical route of references [10] and [6] of
+//! the paper: expand the SDF graph into an equivalent Homogeneous SDF graph
+//! (one node per firing inside a graph iteration), then compute the maximum
+//! cycle ratio `Σ durations / Σ tokens` of that expansion. The expansion size
+//! is `Σ_t q_t` nodes, so the method degrades quickly when repetition vectors
+//! grow — which is the effect Table 1 of the paper measures.
+
+use std::time::Instant;
+
+use csdf::transform::expand_to_hsdf;
+use csdf::{CsdfError, CsdfGraph, Rational, Throughput};
+use mcr::{maximum_cycle_ratio, CycleRatioOutcome, NodeId, RatioGraph};
+
+use crate::budget::Budget;
+use crate::{EvaluationStatus, MethodResult};
+
+/// Evaluates the maximum throughput of an SDF graph through HSDF expansion
+/// and maximum cycle ratio resolution.
+///
+/// # Errors
+///
+/// * [`CsdfError::RateLengthMismatch`] when the graph has multi-phase (CSDF)
+///   tasks — like the methods it models, this baseline is SDF-only;
+/// * the usual consistency / overflow errors.
+///
+/// # Examples
+///
+/// ```
+/// use csdf::{CsdfGraphBuilder, Rational, Throughput};
+/// use csdf_baselines::{expansion_throughput, Budget};
+///
+/// let mut builder = CsdfGraphBuilder::new();
+/// let a = builder.add_sdf_task("a", 1);
+/// let b = builder.add_sdf_task("b", 1);
+/// builder.add_sdf_buffer(a, b, 1, 1, 0);
+/// builder.add_sdf_buffer(b, a, 1, 1, 1);
+/// let graph = builder.build()?;
+///
+/// let result = expansion_throughput(&graph, &Budget::default())?;
+/// assert_eq!(result.throughput(), Some(Throughput::Finite(Rational::new(1, 2)?)));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn expansion_throughput(
+    graph: &CsdfGraph,
+    budget: &Budget,
+) -> Result<MethodResult, CsdfError> {
+    let start = Instant::now();
+    let repetition = graph.repetition_vector()?;
+    let expansion_nodes: u128 = repetition.sum();
+    if expansion_nodes > budget.max_events as u128 {
+        return Ok(MethodResult {
+            status: EvaluationStatus::BudgetExhausted,
+            throughput: None,
+            events: budget.max_events,
+            states: 0,
+            wall_time: start.elapsed(),
+        });
+    }
+
+    let expansion = expand_to_hsdf(graph)?;
+    if start.elapsed() > budget.max_wall_time {
+        return Ok(MethodResult {
+            status: EvaluationStatus::BudgetExhausted,
+            throughput: None,
+            events: expansion.graph.buffer_count() as u64,
+            states: expansion.copy_count(),
+            wall_time: start.elapsed(),
+        });
+    }
+
+    // Build the ratio graph of the expansion: cost = firing duration of the
+    // source copy, time = tokens on the HSDF edge.
+    let mut ratio_graph = RatioGraph::new(expansion.graph.task_count());
+    for (_, buffer) in expansion.graph.buffers() {
+        let duration = expansion.graph.task(buffer.source()).duration(0);
+        ratio_graph.add_arc(
+            NodeId::new(buffer.source().index()),
+            NodeId::new(buffer.target().index()),
+            Rational::from_integer(duration as i128),
+            Rational::from_integer(buffer.initial_tokens() as i128),
+        );
+    }
+
+    let throughput = match maximum_cycle_ratio(&ratio_graph).map_err(|_| CsdfError::Overflow)? {
+        CycleRatioOutcome::Acyclic | CycleRatioOutcome::NonPositive => Throughput::Unbounded,
+        CycleRatioOutcome::Infinite { .. } => Throughput::Deadlocked,
+        CycleRatioOutcome::Finite { ratio, .. } => {
+            // The ratio is the period of one *graph iteration* of the HSDF
+            // expansion, which corresponds to one iteration of the original
+            // graph, so no further normalisation is required.
+            Throughput::from_period(ratio)?
+        }
+    };
+
+    Ok(MethodResult {
+        status: EvaluationStatus::Exact,
+        throughput: Some(throughput),
+        events: expansion.graph.buffer_count() as u64,
+        states: expansion.copy_count(),
+        wall_time: start.elapsed(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csdf::CsdfGraphBuilder;
+
+    #[test]
+    fn multirate_ring_matches_symbolic_execution() {
+        let mut b = CsdfGraphBuilder::new();
+        let x = b.add_sdf_task("x", 2);
+        let y = b.add_sdf_task("y", 1);
+        b.add_sdf_buffer(x, y, 2, 1, 0);
+        b.add_sdf_buffer(y, x, 1, 2, 4);
+        b.add_serializing_self_loop(x);
+        b.add_serializing_self_loop(y);
+        let g = b.build().unwrap();
+        let expansion = expansion_throughput(&g, &Budget::default()).unwrap();
+        let symbolic =
+            crate::symbolic_execution_throughput(&g, &Budget::default()).unwrap();
+        assert_eq!(expansion.throughput(), symbolic.throughput());
+        assert_eq!(expansion.status, EvaluationStatus::Exact);
+    }
+
+    #[test]
+    fn deadlocked_graph_is_reported() {
+        let mut b = CsdfGraphBuilder::new();
+        let x = b.add_sdf_task("x", 1);
+        let y = b.add_sdf_task("y", 1);
+        b.add_sdf_buffer(x, y, 1, 1, 0);
+        b.add_sdf_buffer(y, x, 1, 1, 0);
+        let g = b.build().unwrap();
+        let result = expansion_throughput(&g, &Budget::default()).unwrap();
+        assert_eq!(result.throughput(), Some(Throughput::Deadlocked));
+    }
+
+    #[test]
+    fn csdf_graphs_are_rejected() {
+        let mut b = CsdfGraphBuilder::new();
+        let x = b.add_task("x", vec![1, 1]);
+        let y = b.add_sdf_task("y", 1);
+        b.add_buffer(x, y, vec![1, 1], vec![2], 0);
+        let g = b.build().unwrap();
+        assert!(expansion_throughput(&g, &Budget::default()).is_err());
+    }
+
+    #[test]
+    fn huge_repetition_vectors_exhaust_the_budget() {
+        let mut b = CsdfGraphBuilder::new();
+        let x = b.add_sdf_task("x", 1);
+        let y = b.add_sdf_task("y", 1);
+        b.add_sdf_buffer(x, y, 7919, 104729, 0);
+        b.add_sdf_buffer(y, x, 104729, 7919, 104729 * 7919);
+        let g = b.build().unwrap();
+        let tiny = Budget {
+            max_wall_time: std::time::Duration::from_millis(100),
+            max_events: 1_000,
+        };
+        let result = expansion_throughput(&g, &tiny).unwrap();
+        assert_eq!(result.status, EvaluationStatus::BudgetExhausted);
+    }
+
+    #[test]
+    fn acyclic_sdf_is_limited_by_its_serialized_bottleneck() {
+        // The expansion serialises tasks that have no self-loop (see
+        // `expand_to_hsdf`), so an acyclic 3:2 rate change with unit durations
+        // is bound by the consumer, which fires three times per iteration.
+        let mut b = CsdfGraphBuilder::new();
+        let x = b.add_sdf_task("x", 1);
+        let y = b.add_sdf_task("y", 1);
+        b.add_sdf_buffer(x, y, 3, 2, 0);
+        let g = b.build().unwrap();
+        let result = expansion_throughput(&g, &Budget::default()).unwrap();
+        assert_eq!(
+            result.throughput(),
+            Some(Throughput::Finite(Rational::new(1, 3).unwrap()))
+        );
+    }
+}

@@ -1,0 +1,371 @@
+//! Symbolic (state-space) throughput evaluation by as-soon-as-possible
+//! self-timed execution.
+//!
+//! This is the exact baseline the paper compares against (references [8] for
+//! SDF and [16] for CSDF, both implemented in the SDF3 tool): execute every
+//! task as soon as its input buffers hold enough tokens, and detect when a
+//! previously seen state recurs. The execution between two occurrences of the
+//! same state is a cyclic pattern, so the throughput is the number of graph
+//! iterations completed in the pattern divided by its duration.
+//!
+//! The state space of a consistent CSDF graph is finite (for bounded initial
+//! markings), but its size is not polynomial in the graph description — which
+//! is exactly why the paper's K-Iter outperforms this method by orders of
+//! magnitude on multirate graphs. A [`Budget`] caps the exploration.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BinaryHeap, HashMap};
+use std::hash::{Hash, Hasher};
+use std::time::Instant;
+
+use csdf::{CsdfError, CsdfGraph, Rational, Throughput};
+
+use crate::budget::Budget;
+use crate::{EvaluationStatus, MethodResult};
+
+/// Evaluates the maximum throughput of `graph` by self-timed execution with
+/// recurrence detection.
+///
+/// Tasks are executed "as soon as possible": a firing starts the moment every
+/// input buffer holds enough tokens for its current phase (tokens are
+/// consumed at the start of a firing and produced at its completion, as in
+/// the paper's model). Firings of one task follow the cyclo-static phase
+/// order; simultaneous firings of the same task are possible when tokens
+/// allow it, so graphs should carry self-loop buffers if tasks must be
+/// serialised (see [`csdf::transform::serialize_tasks`]).
+///
+/// # Errors
+///
+/// Returns [`CsdfError`] when the graph is inconsistent or overflows.
+///
+/// # Examples
+///
+/// ```
+/// use csdf::{CsdfGraphBuilder, Rational, Throughput};
+/// use csdf_baselines::{symbolic_execution_throughput, Budget};
+///
+/// let mut builder = CsdfGraphBuilder::new();
+/// let ping = builder.add_sdf_task("ping", 1);
+/// let pong = builder.add_sdf_task("pong", 1);
+/// builder.add_sdf_buffer(ping, pong, 1, 1, 0);
+/// builder.add_sdf_buffer(pong, ping, 1, 1, 1);
+/// let graph = builder.build()?;
+///
+/// let result = symbolic_execution_throughput(&graph, &Budget::default())?;
+/// assert_eq!(result.throughput(), Some(Throughput::Finite(Rational::new(1, 2)?)));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn symbolic_execution_throughput(
+    graph: &CsdfGraph,
+    budget: &Budget,
+) -> Result<MethodResult, CsdfError> {
+    let start_instant = Instant::now();
+    let repetition = graph.repetition_vector()?;
+    let task_count = graph.task_count();
+    let buffer_count = graph.buffer_count();
+    let phase_counts: Vec<usize> = graph.tasks().map(|(_, t)| t.phase_count()).collect();
+    // Per-task number of *phase firings* in one graph iteration: q_t · ϕ(t).
+    let firings_per_iteration: Vec<u64> = (0..task_count)
+        .map(|index| repetition.get(csdf::TaskId::new(index)) * phase_counts[index] as u64)
+        .collect();
+    let reference_task = 0usize;
+    let reference_quota = firings_per_iteration[reference_task];
+
+    // Mutable simulation state.
+    let mut tokens: Vec<i128> = graph
+        .buffers()
+        .map(|(_, b)| b.initial_tokens() as i128)
+        .collect();
+    let mut next_phase: Vec<usize> = vec![0; task_count];
+    let mut started: Vec<u64> = vec![0; task_count];
+    let mut completed: Vec<u64> = vec![0; task_count];
+    // Min-heap of pending completions: (time, task, phase).
+    let mut completions: BinaryHeap<std::cmp::Reverse<(u64, usize, usize)>> = BinaryHeap::new();
+
+    // Recurrence detection: snapshots taken whenever the reference task
+    // completes a whole multiple of its repetition count.
+    let mut snapshots: HashMap<u64, (u64, u64)> = HashMap::new(); // hash -> (iteration, time)
+
+    let mut now: u64 = 0;
+    let mut events: u64 = 0;
+    let mut states_stored = 0usize;
+
+    loop {
+        // Start every firing that can start at the current instant.
+        loop {
+            let mut started_any = false;
+            for task_index in 0..task_count {
+                loop {
+                    let phase = next_phase[task_index];
+                    if !can_fire(graph, &tokens, task_index, phase) {
+                        break;
+                    }
+                    consume(graph, &mut tokens, task_index, phase);
+                    let duration = graph
+                        .task(csdf::TaskId::new(task_index))
+                        .duration(phase);
+                    completions.push(std::cmp::Reverse((now + duration, task_index, phase)));
+                    next_phase[task_index] = (phase + 1) % phase_counts[task_index];
+                    started[task_index] += 1;
+                    started_any = true;
+                    events += 1;
+                    if events > budget.max_events {
+                        return Ok(timeout_result(events, states_stored, start_instant));
+                    }
+                    // Defensive cap: a task with no inputs would fire forever
+                    // at the same instant.
+                    if started[task_index] - completed[task_index] > 1_000_000 {
+                        return Ok(timeout_result(events, states_stored, start_instant));
+                    }
+                }
+            }
+            if !started_any {
+                break;
+            }
+        }
+
+        if completions.is_empty() {
+            // Nothing runs and nothing can start: deadlock.
+            return Ok(MethodResult {
+                status: EvaluationStatus::Exact,
+                throughput: Some(Throughput::Deadlocked),
+                events,
+                states: states_stored,
+                wall_time: start_instant.elapsed(),
+            });
+        }
+
+        if start_instant.elapsed() > budget.max_wall_time {
+            return Ok(timeout_result(events, states_stored, start_instant));
+        }
+
+        // Advance to the next completion time and apply every completion
+        // scheduled at that instant.
+        let std::cmp::Reverse((completion_time, _, _)) =
+            *completions.peek().expect("non-empty heap");
+        now = completion_time;
+        let mut reference_completed_boundary = false;
+        while let Some(&std::cmp::Reverse((time, task_index, phase))) = completions.peek() {
+            if time != now {
+                break;
+            }
+            completions.pop();
+            produce(graph, &mut tokens, task_index, phase);
+            completed[task_index] += 1;
+            events += 1;
+            if task_index == reference_task && completed[task_index] % reference_quota == 0 {
+                reference_completed_boundary = true;
+            }
+        }
+
+        if reference_completed_boundary {
+            let completed_iterations = completed[reference_task] / reference_quota;
+            let hash = snapshot_hash(
+                &tokens,
+                &next_phase,
+                &started,
+                &completed,
+                &firings_per_iteration,
+                completed_iterations,
+                &completions,
+                now,
+                buffer_count,
+            );
+            if let Some(&(previous_iteration, previous_time)) = snapshots.get(&hash) {
+                let iteration_delta = completed_iterations - previous_iteration;
+                let time_delta = now - previous_time;
+                let throughput = if time_delta == 0 {
+                    Throughput::Unbounded
+                } else {
+                    Throughput::Finite(
+                        Rational::new(iteration_delta as i128, time_delta as i128)
+                            .expect("time delta is non-zero"),
+                    )
+                };
+                return Ok(MethodResult {
+                    status: EvaluationStatus::Exact,
+                    throughput: Some(throughput),
+                    events,
+                    states: states_stored,
+                    wall_time: start_instant.elapsed(),
+                });
+            }
+            snapshots.insert(hash, (completed_iterations, now));
+            states_stored += 1;
+        }
+    }
+}
+
+fn can_fire(graph: &CsdfGraph, tokens: &[i128], task_index: usize, phase: usize) -> bool {
+    let task_id = csdf::TaskId::new(task_index);
+    graph.incoming(task_id).iter().all(|&buffer_id| {
+        let buffer = graph.buffer(buffer_id);
+        tokens[buffer_id.index()] >= buffer.consumption_at(phase) as i128
+    })
+}
+
+fn consume(graph: &CsdfGraph, tokens: &mut [i128], task_index: usize, phase: usize) {
+    let task_id = csdf::TaskId::new(task_index);
+    for &buffer_id in graph.incoming(task_id) {
+        let buffer = graph.buffer(buffer_id);
+        tokens[buffer_id.index()] -= buffer.consumption_at(phase) as i128;
+    }
+}
+
+fn produce(graph: &CsdfGraph, tokens: &mut [i128], task_index: usize, phase: usize) {
+    let task_id = csdf::TaskId::new(task_index);
+    for &buffer_id in graph.outgoing(task_id) {
+        let buffer = graph.buffer(buffer_id);
+        tokens[buffer_id.index()] += buffer.production_at(phase) as i128;
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn snapshot_hash(
+    tokens: &[i128],
+    next_phase: &[usize],
+    started: &[u64],
+    completed: &[u64],
+    firings_per_iteration: &[u64],
+    iterations: u64,
+    completions: &BinaryHeap<std::cmp::Reverse<(u64, usize, usize)>>,
+    now: u64,
+    _buffer_count: usize,
+) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    tokens.hash(&mut hasher);
+    next_phase.hash(&mut hasher);
+    // Progress counters are normalised by the iteration index so the state is
+    // position-independent.
+    for (index, (&s, &c)) in started.iter().zip(completed.iter()).enumerate() {
+        let quota = firings_per_iteration[index];
+        let base = iterations.saturating_mul(quota);
+        (s as i128 - base as i128).hash(&mut hasher);
+        (c as i128 - base as i128).hash(&mut hasher);
+    }
+    // Remaining execution times, sorted for a canonical representation.
+    let mut remaining: Vec<(u64, usize, usize)> = completions
+        .iter()
+        .map(|&std::cmp::Reverse((time, task, phase))| (time - now, task, phase))
+        .collect();
+    remaining.sort_unstable();
+    remaining.hash(&mut hasher);
+    hasher.finish()
+}
+
+fn timeout_result(events: u64, states: usize, start: Instant) -> MethodResult {
+    MethodResult {
+        status: EvaluationStatus::BudgetExhausted,
+        throughput: None,
+        events,
+        states,
+        wall_time: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csdf::CsdfGraphBuilder;
+
+    #[test]
+    fn simple_ring_throughput() {
+        let mut b = CsdfGraphBuilder::new();
+        let x = b.add_sdf_task("x", 2);
+        let y = b.add_sdf_task("y", 3);
+        b.add_sdf_buffer(x, y, 1, 1, 0);
+        b.add_sdf_buffer(y, x, 1, 1, 1);
+        let g = b.build().unwrap();
+        let result = symbolic_execution_throughput(&g, &Budget::default()).unwrap();
+        assert_eq!(
+            result.throughput(),
+            Some(Throughput::Finite(Rational::new(1, 5).unwrap()))
+        );
+        assert_eq!(result.status, EvaluationStatus::Exact);
+    }
+
+    #[test]
+    fn deadlock_is_detected() {
+        let mut b = CsdfGraphBuilder::new();
+        let x = b.add_sdf_task("x", 1);
+        let y = b.add_sdf_task("y", 1);
+        b.add_sdf_buffer(x, y, 1, 1, 0);
+        b.add_sdf_buffer(y, x, 1, 1, 0);
+        let g = b.build().unwrap();
+        let result = symbolic_execution_throughput(&g, &Budget::default()).unwrap();
+        assert_eq!(result.throughput(), Some(Throughput::Deadlocked));
+    }
+
+    #[test]
+    fn multirate_graph_matches_hand_computation() {
+        // x (duration 1) feeds y (duration 3) with 2 tokens per firing;
+        // y fires twice per iteration, serialised: period 6. A feedback buffer
+        // provides back-pressure so that the self-timed state space stays
+        // finite (without it x would run ahead of y without bound).
+        let mut b = CsdfGraphBuilder::new();
+        let x = b.add_sdf_task("x", 1);
+        let y = b.add_sdf_task("y", 3);
+        b.add_sdf_buffer(x, y, 2, 1, 0);
+        b.add_sdf_buffer(y, x, 1, 2, 4);
+        b.add_serializing_self_loop(x);
+        b.add_serializing_self_loop(y);
+        let g = b.build().unwrap();
+        let result = symbolic_execution_throughput(&g, &Budget::default()).unwrap();
+        assert_eq!(
+            result.throughput(),
+            Some(Throughput::Finite(Rational::new(1, 6).unwrap()))
+        );
+    }
+
+    #[test]
+    fn cyclo_static_phases_are_respected() {
+        // A 2-phase producer that emits [2, 0]; the consumer needs 1 token per
+        // firing. Serialised tasks, ample feedback.
+        let mut b = CsdfGraphBuilder::new();
+        let x = b.add_task("x", vec![1, 1]);
+        let y = b.add_sdf_task("y", 1);
+        b.add_buffer(x, y, vec![2, 0], vec![1], 0);
+        b.add_serializing_self_loop(x);
+        b.add_serializing_self_loop(y);
+        let g = b.build().unwrap();
+        let result = symbolic_execution_throughput(&g, &Budget::default()).unwrap();
+        // One graph iteration = 1 firing of each x phase (2 time units) and 2
+        // firings of y; x is the bottleneck: throughput 1/2.
+        assert_eq!(
+            result.throughput(),
+            Some(Throughput::Finite(Rational::new(1, 2).unwrap()))
+        );
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        let mut b = CsdfGraphBuilder::new();
+        let x = b.add_sdf_task("x", 1);
+        let y = b.add_sdf_task("y", 1);
+        b.add_sdf_buffer(x, y, 7919, 104729, 0);
+        b.add_sdf_buffer(y, x, 104729, 7919, 104729 * 3);
+        b.add_serializing_self_loop(x);
+        b.add_serializing_self_loop(y);
+        let g = b.build().unwrap();
+        let tiny = Budget {
+            max_wall_time: std::time::Duration::from_millis(50),
+            max_events: 10_000,
+        };
+        let result = symbolic_execution_throughput(&g, &tiny).unwrap();
+        assert_eq!(result.status, EvaluationStatus::BudgetExhausted);
+        assert_eq!(result.throughput(), None);
+    }
+
+    #[test]
+    fn source_only_graph_hits_the_defensive_cap() {
+        // A task with no inputs fires unboundedly at time zero; the simulator
+        // must bail out instead of diverging.
+        let mut b = CsdfGraphBuilder::new();
+        let x = b.add_sdf_task("x", 1);
+        let y = b.add_sdf_task("y", 1);
+        b.add_sdf_buffer(x, y, 1, 1, 0);
+        let g = b.build().unwrap();
+        let result = symbolic_execution_throughput(&g, &Budget::small()).unwrap();
+        assert_eq!(result.status, EvaluationStatus::BudgetExhausted);
+    }
+}

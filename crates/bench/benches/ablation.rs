@@ -1,0 +1,41 @@
+//! Ablation of the K-Iter design choices: the paper's critical-circuit lcm
+//! update against jumping straight to the full repetition vector (the
+//! "expansion-sized" extreme discussed in the paper's introduction).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csdf_generators::{random_graph, RandomGraphConfig};
+use kperiodic::{kiter_with_options, KIterOptions, KUpdatePolicy};
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_update_policy");
+    group.sample_size(10);
+    let config = RandomGraphConfig {
+        tasks: 12,
+        extra_edges: 6,
+        feedback_edges: 3,
+        repetition_choices: vec![2, 3, 4, 6, 8, 12],
+        max_phases: 3,
+        duration_range: (1, 10),
+        marking_factor: 1,
+        serialize: true,
+    };
+    for seed in [1u64, 2, 3] {
+        let graph = random_graph(&config, seed).expect("generation succeeds");
+        for (label, policy) in [
+            ("critical-circuit-lcm", KUpdatePolicy::CriticalCircuitLcm),
+            ("full-repetition", KUpdatePolicy::FullRepetition),
+        ] {
+            let options = KIterOptions {
+                update_policy: policy,
+                ..KIterOptions::default()
+            };
+            group.bench_with_input(BenchmarkId::new(label, seed), &graph, |b, graph| {
+                b.iter(|| kiter_with_options(graph, &options).expect("kiter"))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

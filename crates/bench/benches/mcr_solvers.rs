@@ -1,0 +1,43 @@
+//! Micro-benchmark of the maximum-cycle-ratio solvers on event graphs of
+//! growing size (the inner kernel of every K-Iter iteration).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csdf_generators::{random_graph, RandomGraphConfig};
+use kperiodic::{EventGraph, EventGraphLimits, PeriodicityVector};
+use mcr::{maximum_cycle_mean, maximum_cycle_ratio};
+
+fn bench_mcr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mcr_solvers");
+    group.sample_size(10);
+    for tasks in [10usize, 40, 160] {
+        let config = RandomGraphConfig {
+            tasks,
+            extra_edges: tasks,
+            feedback_edges: 3,
+            repetition_choices: vec![1, 2, 3, 4],
+            max_phases: 2,
+            duration_range: (1, 50),
+            marking_factor: 2,
+            serialize: true,
+        };
+        let graph = random_graph(&config, 7).expect("generation succeeds");
+        let q = graph.repetition_vector().expect("consistent");
+        let k = PeriodicityVector::unitary(&graph);
+        let event_graph = EventGraph::build(&graph, &q, &k, &EventGraphLimits::default())
+            .expect("event graph");
+        group.bench_with_input(
+            BenchmarkId::new("parametric_ratio", tasks),
+            event_graph.ratio_graph(),
+            |b, ratio_graph| b.iter(|| maximum_cycle_ratio(ratio_graph).expect("solve")),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("karp_cycle_mean", tasks),
+            event_graph.ratio_graph(),
+            |b, ratio_graph| b.iter(|| maximum_cycle_mean(ratio_graph).expect("solve")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mcr);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Scalability sweep: K-Iter and the 1-periodic method as the task count of
+//! random SDF graphs grows (supporting figure; the paper's LgTransient
+//! category probes the same axis).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csdf_baselines::Budget;
+use csdf_generators::{random_graph, RandomGraphConfig};
+use kiter_bench::{run_method, Method};
+
+fn bench_scalability(c: &mut Criterion) {
+    let budget = Budget::default();
+    let mut group = c.benchmark_group("scalability");
+    group.sample_size(10);
+    for tasks in [10usize, 20, 40, 80, 160] {
+        let config = RandomGraphConfig {
+            tasks,
+            extra_edges: tasks / 2,
+            feedback_edges: 2,
+            repetition_choices: vec![1, 2, 3, 4],
+            max_phases: 2,
+            duration_range: (1, 20),
+            marking_factor: 2,
+            serialize: true,
+        };
+        let graph = random_graph(&config, 0xCAFE).expect("generation succeeds");
+        for method in [Method::KIter, Method::Periodic] {
+            group.bench_with_input(
+                BenchmarkId::new(method.label(), tasks),
+                &graph,
+                |b, graph| b.iter(|| run_method(graph, method, &budget)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scalability);
+criterion_main!(benches);

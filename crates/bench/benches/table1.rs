@@ -1,0 +1,29 @@
+//! Criterion bench regenerating the shape of the paper's Table 1: each SDF3
+//! category is represented by one generated graph, evaluated by the three
+//! optimal methods.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csdf_baselines::Budget;
+use csdf_generators::sdf3::{generate_category, Sdf3Category};
+use kiter_bench::{run_method, Method};
+
+fn bench_table1(c: &mut Criterion) {
+    let budget = Budget::default();
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    for category in Sdf3Category::all() {
+        let graphs = generate_category(category, 1, 0xDAC1).expect("generation succeeds");
+        let graph = &graphs[0];
+        for method in [Method::KIter, Method::Expansion, Method::SymbolicExecution] {
+            group.bench_with_input(
+                BenchmarkId::new(method.label(), category.name()),
+                graph,
+                |b, graph| b.iter(|| run_method(graph, method, &budget)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench regenerating the shape of the paper's Table 2 on the
+//! small and medium industrial applications (the full sweep including the
+//! largest graphs lives in the `table2` binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csdf_baselines::Budget;
+use csdf_generators::apps::{black_scholes, industrial_app, jpeg2000};
+use csdf_generators::buffer_sized;
+use kiter_bench::{run_method, Method};
+
+fn bench_table2(c: &mut Criterion) {
+    let budget = Budget::default();
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    for spec in [black_scholes(), jpeg2000()] {
+        let graph = industrial_app(&spec).expect("generation succeeds");
+        for method in [Method::KIter, Method::Periodic] {
+            group.bench_with_input(
+                BenchmarkId::new(method.label(), spec.name),
+                &graph,
+                |b, graph| b.iter(|| run_method(graph, method, &budget)),
+            );
+        }
+    }
+    // Fixed-buffer-size variant (the bottom half of Table 2).
+    let bounded = buffer_sized(
+        &industrial_app(&black_scholes()).expect("generation succeeds"),
+        2,
+    )
+    .expect("bounding succeeds");
+    group.bench_with_input(
+        BenchmarkId::new("K-Iter/fixed-buffers", "BlackScholes"),
+        &bounded,
+        |b, graph| b.iter(|| run_method(graph, Method::KIter, &budget)),
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

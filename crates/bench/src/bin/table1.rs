@@ -1,0 +1,66 @@
+//! Regenerates the paper's **Table 1**: average computation time of three
+//! optimal SDFG throughput evaluation methods over the four SDF3 benchmark
+//! categories.
+//!
+//! Run with `cargo run -p kiter-bench --bin table1 --release`.
+//! The number of generated graphs per category defaults to 8 and can be
+//! raised with `KITER_BENCH_GRAPHS=100` to match the paper's setup.
+
+use csdf_baselines::Budget;
+use csdf_generators::sdf3::{generate_category, Sdf3Category};
+use kiter_bench::{category_row, graphs_per_category, Method};
+
+fn main() {
+    let budget = Budget::benchmark();
+    let per_category = graphs_per_category();
+    let methods = [Method::KIter, Method::Expansion, Method::SymbolicExecution];
+
+    println!("Table 1: average computation time of three optimal throughput evaluation methods");
+    println!("(synthetic reproduction of the SDF3 benchmark categories; see DESIGN.md §5)\n");
+    println!(
+        "{:<12} {:>7} {:>16} {:>16} {:>24} | {:>14} {:>14} {:>14}",
+        "Category",
+        "graphs",
+        "tasks min/avg/max",
+        "chans min/avg/max",
+        "sum(q) min/avg/max",
+        "K-Iter",
+        "[6] expansion",
+        "[8] symbolic"
+    );
+
+    for category in Sdf3Category::all() {
+        let count = match category {
+            Sdf3Category::ActualDsp => 5,
+            _ => per_category,
+        };
+        let graphs = generate_category(category, count, 0xDAC1).expect("generation succeeds");
+        let row = category_row(category.name(), &graphs, &methods, &budget);
+        let cells: Vec<String> = row
+            .averages
+            .iter()
+            .map(|(_, avg, failures)| {
+                if *failures > 0 {
+                    format!("{:.2} ms ({}x)", avg.as_secs_f64() * 1e3, failures)
+                } else {
+                    format!("{:.2} ms", avg.as_secs_f64() * 1e3)
+                }
+            })
+            .collect();
+        println!(
+            "{:<12} {:>7} {:>16} {:>16} {:>24} | {:>14} {:>14} {:>14}",
+            row.name,
+            row.graphs,
+            format!("{}/{}/{}", row.tasks.0, row.tasks.1, row.tasks.2),
+            format!("{}/{}/{}", row.buffers.0, row.buffers.1, row.buffers.2),
+            format!(
+                "{}/{}/{}",
+                row.repetition_sum.0, row.repetition_sum.1, row.repetition_sum.2
+            ),
+            cells[0],
+            cells[1],
+            cells[2],
+        );
+    }
+    println!("\n(NNx) marks the number of graphs a method failed to finish within its budget.");
+}

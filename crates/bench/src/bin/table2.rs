@@ -1,0 +1,107 @@
+//! Regenerates the paper's **Table 2**: optimality and computation time of
+//! the periodic method, K-Iter and symbolic execution on industrial CSDF
+//! applications (with and without buffer-size constraints) and on synthetic
+//! graphs.
+//!
+//! Run with `cargo run -p kiter-bench --bin table2 --release`.
+//! `KITER_TABLE2_FULL=1` additionally evaluates the largest instances
+//! (H264Encoder, graph4, graph5), which take several minutes.
+
+use csdf::CsdfGraph;
+use csdf_baselines::Budget;
+use csdf_generators::apps::{industrial_app, industrial_specs, synthetic_specs, AppSpec};
+use csdf_generators::buffer_sized;
+use kiter_bench::{run_method, Method};
+
+fn main() {
+    let budget = Budget::default();
+    let full = std::env::var("KITER_TABLE2_FULL").is_ok();
+
+    println!("Table 2: periodic [4] vs K-Iter vs symbolic execution [16]");
+    println!("(synthetic reproductions of the IB+AG5CSDF applications; see DESIGN.md §5)\n");
+    header();
+
+    println!("-- no buffer size --------------------------------------------------------------");
+    for spec in industrial_specs() {
+        if skip_large(&spec, full) {
+            continue;
+        }
+        match industrial_app(&spec) {
+            Ok(graph) => row(&spec.name, &graph, &budget),
+            Err(err) => println!("{:<14} generation failed: {err}", spec.name),
+        }
+    }
+
+    println!("-- fixed buffer size -----------------------------------------------------------");
+    for spec in industrial_specs() {
+        if skip_large(&spec, full) {
+            continue;
+        }
+        match industrial_app(&spec).and_then(|g| buffer_sized(&g, 2)) {
+            Ok(graph) => row(&spec.name, &graph, &budget),
+            Err(err) => println!("{:<14} generation failed: {err}", spec.name),
+        }
+    }
+
+    println!("-- synthetic graphs ------------------------------------------------------------");
+    for spec in synthetic_specs() {
+        if skip_large(&spec, full) {
+            continue;
+        }
+        match industrial_app(&spec) {
+            Ok(graph) => row(&spec.name, &graph, &budget),
+            Err(err) => println!("{:<14} generation failed: {err}", spec.name),
+        }
+    }
+
+    if !full {
+        println!("\n(the largest instances were skipped; set KITER_TABLE2_FULL=1 to include them)");
+    }
+    println!("'N/S' = the method has no solution, '> budget' = resource budget exhausted.");
+}
+
+fn skip_large(spec: &AppSpec, full: bool) -> bool {
+    !full && (spec.tasks > 700 || spec.name == "graph2" || spec.name == "graph3")
+}
+
+fn header() {
+    println!(
+        "{:<14} {:>6} {:>8} {:>14} | {:>6} {:>12} | {:>6} {:>12} | {:>6} {:>12}",
+        "Application",
+        "tasks",
+        "buffers",
+        "sum(q)",
+        "[4]%",
+        "[4] time",
+        "KIt%",
+        "K-Iter time",
+        "[16]%",
+        "[16] time"
+    );
+}
+
+fn row(name: &str, graph: &CsdfGraph, budget: &Budget) {
+    let sum = graph
+        .repetition_vector()
+        .map(|q| q.sum().to_string())
+        .unwrap_or_else(|_| "?".to_string());
+
+    let kiter = run_method(graph, Method::KIter, budget);
+    let periodic = run_method(graph, Method::Periodic, budget);
+    let symbolic = run_method(graph, Method::SymbolicExecution, budget);
+    let reference = kiter.throughput;
+
+    println!(
+        "{:<14} {:>6} {:>8} {:>14} | {:>6} {:>12} | {:>6} {:>12} | {:>6} {:>12}",
+        name,
+        graph.task_count(),
+        graph.buffer_count(),
+        sum,
+        periodic.optimality_cell(reference),
+        periodic.time_cell(),
+        kiter.optimality_cell(reference),
+        kiter.time_cell(),
+        symbolic.optimality_cell(reference),
+        symbolic.time_cell(),
+    );
+}

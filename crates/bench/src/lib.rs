@@ -1,0 +1,290 @@
+//! Shared harness code for regenerating the paper's tables and figures.
+//!
+//! The actual entry points are the binaries `table1` and `table2` (one row
+//! per line, mirroring the layout of the paper's tables) and the Criterion
+//! benches under `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+use csdf::{CsdfGraph, Throughput};
+use csdf_baselines::{
+    expansion_throughput, periodic_throughput, symbolic_execution_throughput, Budget,
+    EvaluationStatus,
+};
+use kperiodic::{kiter_with_options, AnalysisError, KIterOptions};
+
+/// The throughput-evaluation methods compared in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// The paper's K-Iter algorithm (exact).
+    KIter,
+    /// SDF → HSDF expansion + maximum cycle ratio (exact, SDF only) — the
+    /// `[6]` column of Table 1.
+    Expansion,
+    /// Self-timed state-space exploration (exact) — the `[8]`/`[16]` columns.
+    SymbolicExecution,
+    /// 1-periodic scheduling (approximate) — the `[4]` column of Table 2.
+    Periodic,
+}
+
+impl Method {
+    /// Short label used in table headers.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Method::KIter => "K-Iter",
+            Method::Expansion => "expansion[6]",
+            Method::SymbolicExecution => "symbolic[8/16]",
+            Method::Periodic => "periodic[4]",
+        }
+    }
+}
+
+/// Outcome of running one method on one graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MethodOutcome {
+    /// The method that ran.
+    pub method: Method,
+    /// Wall-clock time of the evaluation.
+    pub duration: Duration,
+    /// The throughput found, if any.
+    pub throughput: Option<Throughput>,
+    /// `true` when the method completed within its resource budget.
+    pub completed: bool,
+}
+
+impl MethodOutcome {
+    /// Formats the duration like the paper (milliseconds, or a budget
+    /// marker).
+    pub fn time_cell(&self) -> String {
+        if self.completed {
+            format!("{:.2} ms", self.duration.as_secs_f64() * 1e3)
+        } else {
+            "> budget".to_string()
+        }
+    }
+
+    /// Formats the optimality of this method relative to an exact reference,
+    /// like the percentage column of Table 2.
+    pub fn optimality_cell(&self, reference: Option<Throughput>) -> String {
+        match (self.throughput, reference) {
+            (Some(Throughput::Finite(mine)), Some(Throughput::Finite(exact))) => {
+                let ratio = 100.0 * mine.to_f64() / exact.to_f64().max(f64::MIN_POSITIVE);
+                format!("{ratio:.0}%")
+            }
+            (Some(Throughput::Deadlocked), Some(Throughput::Deadlocked)) => "100%".to_string(),
+            (Some(_), None) => "??%".to_string(),
+            (None, _) if !self.completed => "-".to_string(),
+            (None, _) => "N/S".to_string(),
+            _ => "??%".to_string(),
+        }
+    }
+}
+
+/// Runs one evaluation method on a graph under a budget.
+///
+/// Errors from the analysis (event-graph limits, overflow) are folded into a
+/// "did not complete" outcome so that a benchmark sweep never aborts.
+pub fn run_method(graph: &CsdfGraph, method: Method, budget: &Budget) -> MethodOutcome {
+    let start = Instant::now();
+    let (throughput, completed) = match method {
+        Method::KIter => match run_kiter(graph) {
+            Ok(result) => (Some(result.throughput), true),
+            Err(AnalysisError::EventGraphTooLarge { .. })
+            | Err(AnalysisError::IterationLimitReached { .. }) => (None, false),
+            Err(_) => (None, false),
+        },
+        Method::Expansion => match expansion_throughput(graph, budget) {
+            Ok(result) => {
+                let completed = result.status != EvaluationStatus::BudgetExhausted;
+                (result.throughput, completed)
+            }
+            Err(_) => (None, false),
+        },
+        Method::SymbolicExecution => match symbolic_execution_throughput(graph, budget) {
+            Ok(result) => {
+                let completed = result.status != EvaluationStatus::BudgetExhausted;
+                (result.throughput, completed)
+            }
+            Err(_) => (None, false),
+        },
+        Method::Periodic => match periodic_throughput(graph) {
+            Ok(result) => (result.throughput, true),
+            Err(_) => (None, false),
+        },
+    };
+    MethodOutcome {
+        method,
+        duration: start.elapsed(),
+        throughput,
+        completed,
+    }
+}
+
+fn run_kiter(graph: &CsdfGraph) -> Result<kperiodic::KIterResult, AnalysisError> {
+    // Tighter event-graph limits than the library default: benchmark sweeps
+    // must fail fast (reported as "> budget") on instances whose periodicity
+    // vectors explode, instead of building multi-million-node event graphs.
+    let options = KIterOptions {
+        analysis: kperiodic::AnalysisOptions {
+            limits: kperiodic::EventGraphLimits {
+                max_nodes: 200_000,
+                max_arcs: 2_000_000,
+            },
+            max_iterations: 64,
+        },
+        ..KIterOptions::default()
+    };
+    kiter_with_options(graph, &options)
+}
+
+/// Aggregate statistics over a category of graphs (one row of Table 1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CategoryRow {
+    /// Category name.
+    pub name: String,
+    /// Number of graphs evaluated.
+    pub graphs: usize,
+    /// min/avg/max task count.
+    pub tasks: (usize, usize, usize),
+    /// min/avg/max buffer count.
+    pub buffers: (usize, usize, usize),
+    /// min/avg/max repetition-vector sum.
+    pub repetition_sum: (u128, u128, u128),
+    /// Average wall-clock time per method (only over completed runs), plus
+    /// the number of graphs that method failed to finish.
+    pub averages: Vec<(Method, Duration, usize)>,
+}
+
+/// Computes the min/avg/max statistics and average method times for a set of
+/// graphs (one Table-1 category).
+pub fn category_row(
+    name: &str,
+    graphs: &[CsdfGraph],
+    methods: &[Method],
+    budget: &Budget,
+) -> CategoryRow {
+    let mut tasks = Vec::new();
+    let mut buffers = Vec::new();
+    let mut sums = Vec::new();
+    let mut per_method: Vec<(Method, Vec<Duration>, usize)> =
+        methods.iter().map(|&m| (m, Vec::new(), 0usize)).collect();
+    for graph in graphs {
+        tasks.push(graph.task_count());
+        buffers.push(graph.buffer_count());
+        sums.push(graph.repetition_vector().map(|q| q.sum()).unwrap_or(0));
+        for (method, times, failures) in per_method.iter_mut() {
+            let outcome = run_method(graph, *method, budget);
+            if outcome.completed {
+                times.push(outcome.duration);
+            } else {
+                *failures += 1;
+            }
+        }
+    }
+    CategoryRow {
+        name: name.to_string(),
+        graphs: graphs.len(),
+        tasks: min_avg_max(&tasks),
+        buffers: min_avg_max(&buffers),
+        repetition_sum: min_avg_max_u128(&sums),
+        averages: per_method
+            .into_iter()
+            .map(|(method, times, failures)| {
+                let avg = if times.is_empty() {
+                    Duration::ZERO
+                } else {
+                    times.iter().sum::<Duration>() / times.len() as u32
+                };
+                (method, avg, failures)
+            })
+            .collect(),
+    }
+}
+
+fn min_avg_max(values: &[usize]) -> (usize, usize, usize) {
+    if values.is_empty() {
+        return (0, 0, 0);
+    }
+    let min = *values.iter().min().expect("non-empty");
+    let max = *values.iter().max().expect("non-empty");
+    let avg = values.iter().sum::<usize>() / values.len();
+    (min, avg, max)
+}
+
+fn min_avg_max_u128(values: &[u128]) -> (u128, u128, u128) {
+    if values.is_empty() {
+        return (0, 0, 0);
+    }
+    let min = *values.iter().min().expect("non-empty");
+    let max = *values.iter().max().expect("non-empty");
+    let avg = values.iter().sum::<u128>() / values.len() as u128;
+    (min, avg, max)
+}
+
+/// Number of graphs per generated category, overridable with the
+/// `KITER_BENCH_GRAPHS` environment variable (the paper uses 100; the default
+/// here keeps a full table run under a minute).
+pub fn graphs_per_category() -> usize {
+    std::env::var("KITER_BENCH_GRAPHS")
+        .ok()
+        .and_then(|value| value.parse().ok())
+        .unwrap_or(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csdf::CsdfGraphBuilder;
+
+    fn ring() -> CsdfGraph {
+        let mut b = CsdfGraphBuilder::new();
+        let x = b.add_sdf_task("x", 1);
+        let y = b.add_sdf_task("y", 1);
+        b.add_sdf_buffer(x, y, 1, 1, 0);
+        b.add_sdf_buffer(y, x, 1, 1, 1);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn run_method_reports_all_methods() {
+        let g = ring();
+        let budget = Budget::small();
+        for method in [
+            Method::KIter,
+            Method::Expansion,
+            Method::SymbolicExecution,
+            Method::Periodic,
+        ] {
+            let outcome = run_method(&g, method, &budget);
+            assert!(outcome.completed, "{method:?} should complete");
+            assert!(outcome.throughput.is_some());
+            assert!(!outcome.time_cell().is_empty());
+        }
+    }
+
+    #[test]
+    fn optimality_cell_formats() {
+        let g = ring();
+        let exact = run_method(&g, Method::KIter, &Budget::small());
+        let periodic = run_method(&g, Method::Periodic, &Budget::small());
+        assert_eq!(periodic.optimality_cell(exact.throughput), "100%");
+    }
+
+    #[test]
+    fn category_row_aggregates() {
+        let graphs = vec![ring(), ring()];
+        let row = category_row("demo", &graphs, &[Method::KIter], &Budget::small());
+        assert_eq!(row.graphs, 2);
+        assert_eq!(row.tasks, (2, 2, 2));
+        assert_eq!(row.averages.len(), 1);
+        assert_eq!(row.averages[0].2, 0);
+    }
+
+    #[test]
+    fn graphs_per_category_has_a_default() {
+        assert!(graphs_per_category() >= 1);
+    }
+}

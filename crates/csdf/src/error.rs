@@ -1,0 +1,167 @@
+//! Error types shared by the CSDF model crate.
+
+use std::fmt;
+
+use crate::rational::RationalError;
+use crate::task::TaskId;
+
+/// Errors raised while constructing or analysing a CSDF graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsdfError {
+    /// A task name was used twice in a builder.
+    DuplicateTaskName(String),
+    /// A task was referenced that does not exist in the graph.
+    UnknownTask(String),
+    /// A task was declared with zero phases.
+    EmptyPhases(String),
+    /// A buffer rate vector length does not match the task phase count.
+    RateLengthMismatch {
+        /// Name of the offending task.
+        task: String,
+        /// Number of phases declared for the task.
+        phases: usize,
+        /// Length of the rate vector attached to the buffer.
+        rate_len: usize,
+    },
+    /// A buffer produces or consumes zero tokens over a full iteration.
+    ZeroRateBuffer {
+        /// Index of the offending buffer.
+        buffer: usize,
+    },
+    /// The graph is not consistent: no repetition vector exists.
+    Inconsistent {
+        /// Index of the buffer whose balance equation is violated.
+        buffer: usize,
+    },
+    /// The graph contains no tasks.
+    EmptyGraph,
+    /// An arithmetic overflow occurred (rates or repetition vector too large).
+    Overflow,
+    /// A task id was out of range for this graph.
+    TaskIndexOutOfRange(usize),
+    /// A buffer id was out of range for this graph.
+    BufferIndexOutOfRange(usize),
+    /// A buffer capacity is too small to hold its initial tokens.
+    CapacityBelowMarking {
+        /// Index of the offending buffer.
+        buffer: usize,
+        /// Requested capacity.
+        capacity: u64,
+        /// Initial tokens already stored.
+        marking: u64,
+    },
+    /// The requested periodicity vector has the wrong length or a zero entry.
+    InvalidPeriodicityVector {
+        /// Number of tasks in the graph.
+        expected: usize,
+        /// Length of the provided vector.
+        actual: usize,
+    },
+    /// A zero entry was found in a periodicity vector for the given task.
+    ZeroPeriodicity(TaskId),
+    /// Wrapper for rational arithmetic failures.
+    Rational(RationalError),
+    /// A textual graph description could not be parsed.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for CsdfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsdfError::DuplicateTaskName(name) => write!(f, "duplicate task name `{name}`"),
+            CsdfError::UnknownTask(name) => write!(f, "unknown task `{name}`"),
+            CsdfError::EmptyPhases(name) => write!(f, "task `{name}` has zero phases"),
+            CsdfError::RateLengthMismatch {
+                task,
+                phases,
+                rate_len,
+            } => write!(
+                f,
+                "rate vector of length {rate_len} attached to task `{task}` which has {phases} phases"
+            ),
+            CsdfError::ZeroRateBuffer { buffer } => {
+                write!(f, "buffer {buffer} produces or consumes zero tokens per iteration")
+            }
+            CsdfError::Inconsistent { buffer } => {
+                write!(f, "graph is inconsistent: balance equation violated on buffer {buffer}")
+            }
+            CsdfError::EmptyGraph => write!(f, "graph contains no tasks"),
+            CsdfError::Overflow => write!(f, "arithmetic overflow in graph analysis"),
+            CsdfError::TaskIndexOutOfRange(index) => write!(f, "task index {index} out of range"),
+            CsdfError::BufferIndexOutOfRange(index) => {
+                write!(f, "buffer index {index} out of range")
+            }
+            CsdfError::CapacityBelowMarking {
+                buffer,
+                capacity,
+                marking,
+            } => write!(
+                f,
+                "buffer {buffer} capacity {capacity} is smaller than its initial marking {marking}"
+            ),
+            CsdfError::InvalidPeriodicityVector { expected, actual } => write!(
+                f,
+                "periodicity vector has length {actual}, expected {expected}"
+            ),
+            CsdfError::ZeroPeriodicity(task) => {
+                write!(f, "periodicity vector entry for task {} is zero", task.index())
+            }
+            CsdfError::Rational(err) => write!(f, "{err}"),
+            CsdfError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for CsdfError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CsdfError::Rational(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<RationalError> for CsdfError {
+    fn from(err: RationalError) -> Self {
+        CsdfError::Rational(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = CsdfError::RateLengthMismatch {
+            task: "fft".to_string(),
+            phases: 3,
+            rate_len: 2,
+        };
+        let text = err.to_string();
+        assert!(text.contains("fft"));
+        assert!(text.contains('3'));
+        assert!(text.contains('2'));
+    }
+
+    #[test]
+    fn rational_errors_convert() {
+        let err: CsdfError = RationalError::Overflow.into();
+        assert!(matches!(err, CsdfError::Rational(RationalError::Overflow)));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn parse_error_reports_line() {
+        let err = CsdfError::Parse {
+            line: 7,
+            message: "expected `->`".to_string(),
+        };
+        assert!(err.to_string().contains("line 7"));
+    }
+}

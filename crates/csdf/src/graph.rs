@@ -1,0 +1,272 @@
+//! The Cyclo-Static Dataflow Graph container type.
+
+use std::fmt;
+
+use crate::buffer::{Buffer, BufferId};
+use crate::error::CsdfError;
+use crate::repetition::RepetitionVector;
+use crate::task::{Task, TaskId};
+
+/// A Cyclo-Static Dataflow Graph `G = (T, B)`.
+///
+/// Tasks and buffers are stored densely and addressed by [`TaskId`] /
+/// [`BufferId`]. Graphs are immutable once built; use
+/// [`CsdfGraphBuilder`](crate::CsdfGraphBuilder) to construct one and the
+/// transformation functions in [`crate::transform`] to derive new graphs.
+///
+/// # Examples
+///
+/// ```
+/// use csdf::CsdfGraphBuilder;
+///
+/// let mut builder = CsdfGraphBuilder::new();
+/// let producer = builder.add_task("producer", vec![1]);
+/// let consumer = builder.add_task("consumer", vec![1]);
+/// builder.add_buffer(producer, consumer, vec![2], vec![1], 0);
+/// let graph = builder.build()?;
+/// assert_eq!(graph.task_count(), 2);
+/// assert_eq!(graph.repetition_vector()?.get(producer), 1);
+/// assert_eq!(graph.repetition_vector()?.get(consumer), 2);
+/// # Ok::<(), csdf::CsdfError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsdfGraph {
+    name: String,
+    tasks: Vec<Task>,
+    buffers: Vec<Buffer>,
+    outgoing: Vec<Vec<BufferId>>,
+    incoming: Vec<Vec<BufferId>>,
+}
+
+impl CsdfGraph {
+    pub(crate) fn from_parts(name: String, tasks: Vec<Task>, buffers: Vec<Buffer>) -> Self {
+        let mut outgoing = vec![Vec::new(); tasks.len()];
+        let mut incoming = vec![Vec::new(); tasks.len()];
+        for (index, buffer) in buffers.iter().enumerate() {
+            outgoing[buffer.source().index()].push(BufferId(index));
+            incoming[buffer.target().index()].push(BufferId(index));
+        }
+        CsdfGraph {
+            name,
+            tasks,
+            buffers,
+            outgoing,
+            incoming,
+        }
+    }
+
+    /// Human-readable graph name (defaults to `"csdf"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of tasks `|T|`.
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Number of buffers `|B|`.
+    pub fn buffer_count(&self) -> usize {
+        self.buffers.len()
+    }
+
+    /// The task addressed by `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this graph.
+    pub fn task(&self, id: TaskId) -> &Task {
+        &self.tasks[id.index()]
+    }
+
+    /// The buffer addressed by `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this graph.
+    pub fn buffer(&self, id: BufferId) -> &Buffer {
+        &self.buffers[id.index()]
+    }
+
+    /// Fallible task lookup.
+    pub fn try_task(&self, id: TaskId) -> Result<&Task, CsdfError> {
+        self.tasks
+            .get(id.index())
+            .ok_or(CsdfError::TaskIndexOutOfRange(id.index()))
+    }
+
+    /// Fallible buffer lookup.
+    pub fn try_buffer(&self, id: BufferId) -> Result<&Buffer, CsdfError> {
+        self.buffers
+            .get(id.index())
+            .ok_or(CsdfError::BufferIndexOutOfRange(id.index()))
+    }
+
+    /// Iterator over all task ids in index order.
+    pub fn task_ids(&self) -> impl Iterator<Item = TaskId> + '_ {
+        (0..self.tasks.len()).map(TaskId)
+    }
+
+    /// Iterator over all buffer ids in index order.
+    pub fn buffer_ids(&self) -> impl Iterator<Item = BufferId> + '_ {
+        (0..self.buffers.len()).map(BufferId)
+    }
+
+    /// Iterator over `(TaskId, &Task)` pairs.
+    pub fn tasks(&self) -> impl Iterator<Item = (TaskId, &Task)> + '_ {
+        self.tasks.iter().enumerate().map(|(i, t)| (TaskId(i), t))
+    }
+
+    /// Iterator over `(BufferId, &Buffer)` pairs.
+    pub fn buffers(&self) -> impl Iterator<Item = (BufferId, &Buffer)> + '_ {
+        self.buffers
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (BufferId(i), b))
+    }
+
+    /// Buffers produced by `task`.
+    pub fn outgoing(&self, task: TaskId) -> &[BufferId] {
+        &self.outgoing[task.index()]
+    }
+
+    /// Buffers consumed by `task`.
+    pub fn incoming(&self, task: TaskId) -> &[BufferId] {
+        &self.incoming[task.index()]
+    }
+
+    /// Finds a task by name.
+    pub fn find_task(&self, name: &str) -> Option<TaskId> {
+        self.tasks
+            .iter()
+            .position(|t| t.name() == name)
+            .map(TaskId)
+    }
+
+    /// Returns `true` when every task has a single phase (the graph is an
+    /// ordinary Synchronous Dataflow Graph).
+    pub fn is_sdf(&self) -> bool {
+        self.tasks.iter().all(Task::is_sdf)
+    }
+
+    /// Returns `true` when the graph is a Homogeneous SDF graph: every task has
+    /// a single phase and every rate equals one.
+    pub fn is_hsdf(&self) -> bool {
+        self.is_sdf()
+            && self.buffers.iter().all(|b| {
+                b.total_production() == 1 && b.total_consumption() == 1
+            })
+    }
+
+    /// Computes the (smallest, component-wise) repetition vector of the graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CsdfError::Inconsistent`] when the balance equations have no
+    /// solution and [`CsdfError::Overflow`] when the entries do not fit in
+    /// `u64`.
+    pub fn repetition_vector(&self) -> Result<RepetitionVector, CsdfError> {
+        RepetitionVector::compute(self)
+    }
+
+    /// Returns `true` when the graph is consistent (a repetition vector
+    /// exists).
+    pub fn is_consistent(&self) -> bool {
+        self.repetition_vector().is_ok()
+    }
+
+    /// Sum of all phase counts, i.e. the number of nodes of the 1-periodic
+    /// event graph.
+    pub fn total_phase_count(&self) -> usize {
+        self.tasks.iter().map(Task::phase_count).sum()
+    }
+
+    /// Total number of initial tokens stored in the graph.
+    pub fn total_initial_tokens(&self) -> u64 {
+        self.buffers.iter().map(Buffer::initial_tokens).sum()
+    }
+}
+
+impl fmt::Display for CsdfGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} ({} tasks, {} buffers)",
+            self.name,
+            self.task_count(),
+            self.buffer_count()
+        )?;
+        for (id, task) in self.tasks() {
+            writeln!(f, "  {id}: {task}")?;
+        }
+        for (id, buffer) in self.buffers() {
+            writeln!(f, "  {id}: {buffer}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::CsdfGraphBuilder;
+
+    #[test]
+    fn adjacency_lists_are_built() {
+        let mut b = CsdfGraphBuilder::named("pipe");
+        let a = b.add_task("a", vec![1]);
+        let c = b.add_task("c", vec![1, 1]);
+        let d = b.add_task("d", vec![1]);
+        b.add_buffer(a, c, vec![2], vec![1, 1], 0);
+        b.add_buffer(c, d, vec![1, 1], vec![2], 0);
+        b.add_buffer(d, a, vec![1], vec![1], 2);
+        let g = b.build().unwrap();
+
+        assert_eq!(g.name(), "pipe");
+        assert_eq!(g.outgoing(a).len(), 1);
+        assert_eq!(g.incoming(a).len(), 1);
+        assert_eq!(g.outgoing(c).len(), 1);
+        assert_eq!(g.incoming(c).len(), 1);
+        assert_eq!(g.find_task("d"), Some(d));
+        assert_eq!(g.find_task("zzz"), None);
+        assert_eq!(g.total_phase_count(), 4);
+        assert_eq!(g.total_initial_tokens(), 2);
+        assert!(!g.is_sdf());
+        assert!(!g.is_hsdf());
+        assert!(g.is_consistent());
+    }
+
+    #[test]
+    fn hsdf_detection() {
+        let mut b = CsdfGraphBuilder::new();
+        let a = b.add_task("a", vec![1]);
+        let c = b.add_task("c", vec![1]);
+        b.add_buffer(a, c, vec![1], vec![1], 0);
+        b.add_buffer(c, a, vec![1], vec![1], 1);
+        let g = b.build().unwrap();
+        assert!(g.is_sdf());
+        assert!(g.is_hsdf());
+    }
+
+    #[test]
+    fn out_of_range_lookups_are_errors() {
+        let mut b = CsdfGraphBuilder::new();
+        b.add_task("a", vec![1]);
+        let g = b.build().unwrap();
+        assert!(g.try_task(crate::TaskId::new(5)).is_err());
+        assert!(g.try_buffer(crate::BufferId::new(0)).is_err());
+        assert!(g.try_task(crate::TaskId::new(0)).is_ok());
+    }
+
+    #[test]
+    fn display_contains_all_elements() {
+        let mut b = CsdfGraphBuilder::named("demo");
+        let a = b.add_task("alpha", vec![1]);
+        let c = b.add_task("beta", vec![1]);
+        b.add_buffer(a, c, vec![1], vec![1], 3);
+        let g = b.build().unwrap();
+        let text = g.to_string();
+        assert!(text.contains("demo"));
+        assert!(text.contains("alpha"));
+        assert!(text.contains("beta"));
+    }
+}

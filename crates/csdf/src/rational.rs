@@ -1,0 +1,445 @@
+//! Exact rational arithmetic used for throughputs, periods and cycle ratios.
+//!
+//! All analyses in this workspace compare periods and throughputs *exactly*;
+//! floating point would make the Theorem-4 optimality test of the K-Iter
+//! algorithm unreliable. [`Rational`] is a reduced fraction of two `i128`
+//! values with checked arithmetic: overflow is reported through
+//! [`RationalError`] instead of panicking or wrapping.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// Error raised by checked rational constructors and arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RationalError {
+    /// The denominator of a fraction was zero.
+    ZeroDenominator,
+    /// An intermediate product or sum exceeded the `i128` range.
+    Overflow,
+}
+
+impl fmt::Display for RationalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RationalError::ZeroDenominator => write!(f, "zero denominator in rational"),
+            RationalError::Overflow => write!(f, "rational arithmetic overflow"),
+        }
+    }
+}
+
+impl std::error::Error for RationalError {}
+
+/// Greatest common divisor of two non-negative `i128` values.
+///
+/// `gcd_i128(0, 0) == 0` by convention.
+pub fn gcd_i128(mut a: i128, mut b: i128) -> i128 {
+    a = a.abs();
+    b = b.abs();
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    a
+}
+
+/// Greatest common divisor of two `u64` values (`gcd_u64(0, 0) == 0`).
+pub fn gcd_u64(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    a
+}
+
+/// Least common multiple of two `u64` values with overflow checking.
+///
+/// # Errors
+///
+/// Returns [`RationalError::Overflow`] if the result does not fit in `u64`.
+pub fn lcm_u64(a: u64, b: u64) -> Result<u64, RationalError> {
+    if a == 0 || b == 0 {
+        return Ok(0);
+    }
+    let g = gcd_u64(a, b);
+    (a / g).checked_mul(b).ok_or(RationalError::Overflow)
+}
+
+/// An exact, always-reduced fraction `num / den` with `den > 0`.
+///
+/// # Examples
+///
+/// ```
+/// use csdf::Rational;
+///
+/// let a = Rational::new(3, 4)?;
+/// let b = Rational::new(1, 4)?;
+/// assert_eq!((a + b)?, Rational::from_integer(1));
+/// assert!(a > b);
+/// # Ok::<(), csdf::RationalError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: i128,
+    den: i128,
+}
+
+impl Rational {
+    /// The rational number zero.
+    pub const ZERO: Rational = Rational { num: 0, den: 1 };
+    /// The rational number one.
+    pub const ONE: Rational = Rational { num: 1, den: 1 };
+
+    /// Creates a reduced rational from a numerator and a denominator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RationalError::ZeroDenominator`] if `den == 0`.
+    pub fn new(num: i128, den: i128) -> Result<Self, RationalError> {
+        if den == 0 {
+            return Err(RationalError::ZeroDenominator);
+        }
+        Ok(Self::reduced(num, den))
+    }
+
+    /// Creates a rational from an integer value.
+    pub fn from_integer(value: i128) -> Self {
+        Rational { num: value, den: 1 }
+    }
+
+    fn reduced(num: i128, den: i128) -> Self {
+        debug_assert!(den != 0);
+        if num == 0 {
+            return Rational { num: 0, den: 1 };
+        }
+        let sign = if (num < 0) ^ (den < 0) { -1 } else { 1 };
+        let g = gcd_i128(num, den);
+        Rational {
+            num: sign * (num / g).abs(),
+            den: (den / g).abs(),
+        }
+    }
+
+    /// Numerator of the reduced fraction (carries the sign).
+    pub fn numer(&self) -> i128 {
+        self.num
+    }
+
+    /// Denominator of the reduced fraction (always positive).
+    pub fn denom(&self) -> i128 {
+        self.den
+    }
+
+    /// Returns `true` if the value is exactly zero.
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    /// Returns `true` if the value is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.num > 0
+    }
+
+    /// Returns `true` if the value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.num < 0
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RationalError::ZeroDenominator`] when inverting zero.
+    pub fn recip(&self) -> Result<Rational, RationalError> {
+        Rational::new(self.den, self.num)
+    }
+
+    /// Checked addition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RationalError::Overflow`] on `i128` overflow.
+    pub fn checked_add(&self, other: &Rational) -> Result<Rational, RationalError> {
+        let g = gcd_i128(self.den, other.den);
+        let lhs_scale = other.den / g;
+        let rhs_scale = self.den / g;
+        let num = self
+            .num
+            .checked_mul(lhs_scale)
+            .and_then(|a| other.num.checked_mul(rhs_scale).and_then(|b| a.checked_add(b)))
+            .ok_or(RationalError::Overflow)?;
+        let den = self
+            .den
+            .checked_mul(lhs_scale)
+            .ok_or(RationalError::Overflow)?;
+        Ok(Self::reduced(num, den))
+    }
+
+    /// Checked subtraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RationalError::Overflow`] on `i128` overflow.
+    pub fn checked_sub(&self, other: &Rational) -> Result<Rational, RationalError> {
+        self.checked_add(&other.checked_neg()?)
+    }
+
+    /// Checked negation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RationalError::Overflow`] when negating `i128::MIN`.
+    pub fn checked_neg(&self) -> Result<Rational, RationalError> {
+        let num = self.num.checked_neg().ok_or(RationalError::Overflow)?;
+        Ok(Rational { num, den: self.den })
+    }
+
+    /// Checked multiplication.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RationalError::Overflow`] on `i128` overflow.
+    pub fn checked_mul(&self, other: &Rational) -> Result<Rational, RationalError> {
+        // Cross-reduce before multiplying to keep intermediates small.
+        let g1 = gcd_i128(self.num, other.den);
+        let g2 = gcd_i128(other.num, self.den);
+        let (a, d) = (self.num / g1, other.den / g1);
+        let (c, b) = (other.num / g2, self.den / g2);
+        let num = a.checked_mul(c).ok_or(RationalError::Overflow)?;
+        let den = b.checked_mul(d).ok_or(RationalError::Overflow)?;
+        Ok(Self::reduced(num, den))
+    }
+
+    /// Checked division.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RationalError::ZeroDenominator`] when dividing by zero and
+    /// [`RationalError::Overflow`] on `i128` overflow.
+    pub fn checked_div(&self, other: &Rational) -> Result<Rational, RationalError> {
+        self.checked_mul(&other.recip()?)
+    }
+
+    /// Returns the smaller of two rationals.
+    pub fn min(self, other: Rational) -> Rational {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the larger of two rationals.
+    pub fn max(self, other: Rational) -> Rational {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Approximate `f64` value, for reporting only.
+    pub fn to_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+}
+
+impl Default for Rational {
+    fn default() -> Self {
+        Rational::ZERO
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(value: i64) -> Self {
+        Rational::from_integer(value as i128)
+    }
+}
+
+impl From<u64> for Rational {
+    fn from(value: u64) -> Self {
+        Rational::from_integer(value as i128)
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Compare a/b and c/d by comparing a*d and c*b; reduce first to limit
+        // the magnitude of the products, then fall back to f64 ordering only
+        // if i128 overflows (which cannot happen after reduction because both
+        // fractions fit in i128 and share no common factors > 1 with the
+        // opposite denominator in the common case; the checked path keeps us
+        // honest anyway).
+        let lhs = self.num.checked_mul(other.den);
+        let rhs = other.num.checked_mul(self.den);
+        match (lhs, rhs) {
+            (Some(l), Some(r)) => l.cmp(&r),
+            _ => self
+                .to_f64()
+                .partial_cmp(&other.to_f64())
+                .unwrap_or(Ordering::Equal),
+        }
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+// Operator impls return `Result` through the checked methods; panicking
+// operators are intentionally not provided for `Rational` itself. For
+// ergonomic in-crate use, `Add`/`Sub`/`Mul`/`Div` are implemented returning
+// `Result`.
+
+impl Add for Rational {
+    type Output = Result<Rational, RationalError>;
+    fn add(self, rhs: Rational) -> Self::Output {
+        self.checked_add(&rhs)
+    }
+}
+
+impl Sub for Rational {
+    type Output = Result<Rational, RationalError>;
+    fn sub(self, rhs: Rational) -> Self::Output {
+        self.checked_sub(&rhs)
+    }
+}
+
+impl Mul for Rational {
+    type Output = Result<Rational, RationalError>;
+    fn mul(self, rhs: Rational) -> Self::Output {
+        self.checked_mul(&rhs)
+    }
+}
+
+impl Div for Rational {
+    type Output = Result<Rational, RationalError>;
+    fn div(self, rhs: Rational) -> Self::Output {
+        self.checked_div(&rhs)
+    }
+}
+
+impl Neg for Rational {
+    type Output = Result<Rational, RationalError>;
+    fn neg(self) -> Self::Output {
+        self.checked_neg()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduces_on_construction() {
+        let r = Rational::new(6, 4).unwrap();
+        assert_eq!(r.numer(), 3);
+        assert_eq!(r.denom(), 2);
+    }
+
+    #[test]
+    fn sign_is_carried_by_numerator() {
+        let r = Rational::new(3, -6).unwrap();
+        assert_eq!(r.numer(), -1);
+        assert_eq!(r.denom(), 2);
+        let r = Rational::new(-3, -6).unwrap();
+        assert_eq!(r.numer(), 1);
+        assert_eq!(r.denom(), 2);
+    }
+
+    #[test]
+    fn zero_denominator_is_an_error() {
+        assert_eq!(Rational::new(1, 0), Err(RationalError::ZeroDenominator));
+    }
+
+    #[test]
+    fn zero_is_canonical() {
+        let r = Rational::new(0, 17).unwrap();
+        assert_eq!(r, Rational::ZERO);
+        assert_eq!(r.denom(), 1);
+        assert!(r.is_zero());
+    }
+
+    #[test]
+    fn addition_and_subtraction() {
+        let a = Rational::new(1, 3).unwrap();
+        let b = Rational::new(1, 6).unwrap();
+        assert_eq!((a + b).unwrap(), Rational::new(1, 2).unwrap());
+        assert_eq!((a - b).unwrap(), Rational::new(1, 6).unwrap());
+    }
+
+    #[test]
+    fn multiplication_and_division() {
+        let a = Rational::new(2, 3).unwrap();
+        let b = Rational::new(9, 4).unwrap();
+        assert_eq!((a * b).unwrap(), Rational::new(3, 2).unwrap());
+        assert_eq!((a / b).unwrap(), Rational::new(8, 27).unwrap());
+    }
+
+    #[test]
+    fn division_by_zero_is_an_error() {
+        let a = Rational::ONE;
+        assert_eq!((a / Rational::ZERO), Err(RationalError::ZeroDenominator));
+    }
+
+    #[test]
+    fn ordering_is_exact() {
+        let a = Rational::new(1, 3).unwrap();
+        let b = Rational::new(333_333_333, 1_000_000_000).unwrap();
+        assert!(b < a);
+        assert!(a > b);
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+    }
+
+    #[test]
+    fn recip_swaps_numerator_and_denominator() {
+        let a = Rational::new(-2, 5).unwrap();
+        assert_eq!(a.recip().unwrap(), Rational::new(-5, 2).unwrap());
+        assert_eq!(Rational::ZERO.recip(), Err(RationalError::ZeroDenominator));
+    }
+
+    #[test]
+    fn overflow_is_reported() {
+        let big = Rational::from_integer(i128::MAX);
+        assert_eq!(big.checked_mul(&big), Err(RationalError::Overflow));
+        assert_eq!(big.checked_add(&big), Err(RationalError::Overflow));
+    }
+
+    #[test]
+    fn gcd_and_lcm_helpers() {
+        assert_eq!(gcd_u64(12, 18), 6);
+        assert_eq!(gcd_u64(0, 7), 7);
+        assert_eq!(gcd_u64(0, 0), 0);
+        assert_eq!(lcm_u64(4, 6).unwrap(), 12);
+        assert_eq!(lcm_u64(0, 6).unwrap(), 0);
+        assert!(lcm_u64(u64::MAX, u64::MAX - 1).is_err());
+        assert_eq!(gcd_i128(-12, 18), 6);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Rational::new(3, 2).unwrap().to_string(), "3/2");
+        assert_eq!(Rational::from_integer(5).to_string(), "5");
+    }
+
+    #[test]
+    fn conversion_from_primitive_integers() {
+        assert_eq!(Rational::from(4u64), Rational::from_integer(4));
+        assert_eq!(Rational::from(-4i64), Rational::from_integer(-4));
+    }
+}

@@ -1,0 +1,306 @@
+//! Repetition vectors and consistency of CSDF graphs.
+//!
+//! A CSDF graph is *consistent* when there is a vector `q` of positive
+//! integers such that for every buffer `b = (t, t')`,
+//! `q_t · i_b = q_{t'} · o_b`. The smallest such vector (component-wise, per
+//! weakly-connected component) is the repetition vector; it gives the number
+//! of iterations of every task inside one graph iteration.
+
+use std::collections::VecDeque;
+
+use crate::error::CsdfError;
+use crate::graph::CsdfGraph;
+use crate::rational::{gcd_i128, Rational};
+use crate::task::TaskId;
+
+/// The repetition vector `q` of a consistent CSDF graph.
+///
+/// # Examples
+///
+/// ```
+/// use csdf::CsdfGraphBuilder;
+///
+/// let mut builder = CsdfGraphBuilder::new();
+/// let a = builder.add_sdf_task("a", 1);
+/// let b = builder.add_sdf_task("b", 1);
+/// builder.add_sdf_buffer(a, b, 3, 2, 0);
+/// let graph = builder.build()?;
+/// let q = graph.repetition_vector()?;
+/// assert_eq!(q.get(a), 2);
+/// assert_eq!(q.get(b), 3);
+/// assert_eq!(q.sum(), 5);
+/// # Ok::<(), csdf::CsdfError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RepetitionVector {
+    entries: Vec<u64>,
+}
+
+impl RepetitionVector {
+    /// Computes the repetition vector of `graph`.
+    ///
+    /// # Errors
+    ///
+    /// * [`CsdfError::Inconsistent`] when the balance equations admit no
+    ///   positive solution.
+    /// * [`CsdfError::Overflow`] when an entry exceeds `u64`.
+    pub fn compute(graph: &CsdfGraph) -> Result<Self, CsdfError> {
+        let n = graph.task_count();
+        let mut fractions: Vec<Option<Rational>> = vec![None; n];
+        // Undirected adjacency over buffers for component traversal.
+        let mut component = vec![usize::MAX; n];
+        let mut component_count = 0usize;
+
+        for start in 0..n {
+            if fractions[start].is_some() {
+                continue;
+            }
+            let component_id = component_count;
+            component_count += 1;
+            fractions[start] = Some(Rational::ONE);
+            component[start] = component_id;
+            let mut queue = VecDeque::new();
+            queue.push_back(TaskId::new(start));
+            while let Some(task) = queue.pop_front() {
+                let task_fraction = fractions[task.index()].expect("assigned before queueing");
+                let neighbours = graph
+                    .outgoing(task)
+                    .iter()
+                    .chain(graph.incoming(task).iter())
+                    .copied();
+                for buffer_id in neighbours {
+                    let buffer = graph.buffer(buffer_id);
+                    let (other, ratio) = if buffer.source() == task {
+                        // q_other = q_task * i_b / o_b
+                        (
+                            buffer.target(),
+                            Rational::new(
+                                buffer.total_production() as i128,
+                                buffer.total_consumption() as i128,
+                            )?,
+                        )
+                    } else {
+                        (
+                            buffer.source(),
+                            Rational::new(
+                                buffer.total_consumption() as i128,
+                                buffer.total_production() as i128,
+                            )?,
+                        )
+                    };
+                    let expected = task_fraction.checked_mul(&ratio)?;
+                    match fractions[other.index()] {
+                        None => {
+                            fractions[other.index()] = Some(expected);
+                            component[other.index()] = component_id;
+                            queue.push_back(other);
+                        }
+                        Some(existing) => {
+                            if existing != expected {
+                                return Err(CsdfError::Inconsistent {
+                                    buffer: buffer_id.index(),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Scale each component independently so that all entries are positive
+        // integers with overall gcd 1 within the component.
+        let mut entries = vec![0u64; n];
+        for component_id in 0..component_count {
+            let members: Vec<usize> = (0..n).filter(|&t| component[t] == component_id).collect();
+            let mut denominator_lcm: i128 = 1;
+            for &t in &members {
+                let f = fractions[t].expect("all tasks assigned");
+                let d = f.denom();
+                let g = gcd_i128(denominator_lcm, d);
+                denominator_lcm = denominator_lcm
+                    .checked_div(g)
+                    .and_then(|x| x.checked_mul(d))
+                    .ok_or(CsdfError::Overflow)?;
+            }
+            let mut scaled: Vec<i128> = Vec::with_capacity(members.len());
+            for &t in &members {
+                let f = fractions[t].expect("all tasks assigned");
+                let value = f
+                    .numer()
+                    .checked_mul(denominator_lcm / f.denom())
+                    .ok_or(CsdfError::Overflow)?;
+                scaled.push(value);
+            }
+            let mut overall_gcd: i128 = 0;
+            for &value in &scaled {
+                overall_gcd = gcd_i128(overall_gcd, value);
+            }
+            if overall_gcd == 0 {
+                overall_gcd = 1;
+            }
+            for (&t, &value) in members.iter().zip(&scaled) {
+                let reduced = value / overall_gcd;
+                if reduced <= 0 {
+                    return Err(CsdfError::Inconsistent { buffer: 0 });
+                }
+                entries[t] = u64::try_from(reduced).map_err(|_| CsdfError::Overflow)?;
+            }
+        }
+
+        Ok(RepetitionVector { entries })
+    }
+
+    /// Repetition count `q_t` of a task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` does not belong to the graph this vector was computed
+    /// from.
+    pub fn get(&self, task: TaskId) -> u64 {
+        self.entries[task.index()]
+    }
+
+    /// Number of entries (equals the task count of the graph).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` when the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All entries in task-id order.
+    pub fn as_slice(&self) -> &[u64] {
+        &self.entries
+    }
+
+    /// Sum of all entries `Σ_t q_t` — the figure the paper reports as a size
+    /// indicator of every benchmark.
+    pub fn sum(&self) -> u128 {
+        self.entries.iter().map(|&q| q as u128).sum()
+    }
+
+    /// Verifies the balance equation `q_t · i_b = q_{t'} · o_b` on every
+    /// buffer of `graph`.
+    pub fn validates(&self, graph: &CsdfGraph) -> bool {
+        graph.buffers().all(|(_, b)| {
+            let lhs = self.get(b.source()) as u128 * b.total_production() as u128;
+            let rhs = self.get(b.target()) as u128 * b.total_consumption() as u128;
+            lhs == rhs
+        })
+    }
+}
+
+impl FromIterator<u64> for RepetitionVector {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
+        RepetitionVector {
+            entries: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CsdfGraphBuilder;
+
+    #[test]
+    fn simple_sdf_chain() {
+        let mut b = CsdfGraphBuilder::new();
+        let x = b.add_sdf_task("x", 1);
+        let y = b.add_sdf_task("y", 1);
+        let z = b.add_sdf_task("z", 1);
+        b.add_sdf_buffer(x, y, 2, 3, 0);
+        b.add_sdf_buffer(y, z, 5, 2, 0);
+        let g = b.build().unwrap();
+        let q = g.repetition_vector().unwrap();
+        // x:y = 3:2 ; y:z = 2:5  =>  q = [3, 2, 5]
+        assert_eq!(q.as_slice(), &[3, 2, 5]);
+        assert!(q.validates(&g));
+        assert_eq!(q.sum(), 10);
+    }
+
+    #[test]
+    fn cyclo_static_rates_use_totals() {
+        let mut b = CsdfGraphBuilder::new();
+        let t = b.add_task("t", vec![1, 1, 1]);
+        let u = b.add_task("u", vec![1, 1]);
+        // i_b = 6, o_b = 7  =>  q = [7, 6]
+        b.add_buffer(t, u, vec![2, 3, 1], vec![2, 5], 0);
+        let g = b.build().unwrap();
+        let q = g.repetition_vector().unwrap();
+        assert_eq!(q.get(t), 7);
+        assert_eq!(q.get(u), 6);
+    }
+
+    #[test]
+    fn inconsistent_cycle_is_detected() {
+        let mut b = CsdfGraphBuilder::new();
+        let x = b.add_sdf_task("x", 1);
+        let y = b.add_sdf_task("y", 1);
+        b.add_sdf_buffer(x, y, 2, 1, 0);
+        b.add_sdf_buffer(y, x, 1, 1, 0); // would force q_x = 2 q_y and q_y = q_x
+        let g = b.build().unwrap();
+        assert!(matches!(
+            g.repetition_vector(),
+            Err(CsdfError::Inconsistent { .. })
+        ));
+        assert!(!g.is_consistent());
+    }
+
+    #[test]
+    fn disconnected_components_are_scaled_independently() {
+        let mut b = CsdfGraphBuilder::new();
+        let x = b.add_sdf_task("x", 1);
+        let y = b.add_sdf_task("y", 1);
+        let lone = b.add_sdf_task("lone", 1);
+        b.add_sdf_buffer(x, y, 4, 6, 0);
+        let g = b.build().unwrap();
+        let q = g.repetition_vector().unwrap();
+        assert_eq!(q.get(x), 3);
+        assert_eq!(q.get(y), 2);
+        assert_eq!(q.get(lone), 1);
+    }
+
+    #[test]
+    fn self_loops_do_not_disturb_the_vector() {
+        let mut b = CsdfGraphBuilder::new();
+        let x = b.add_sdf_task("x", 1);
+        let y = b.add_sdf_task("y", 1);
+        b.add_sdf_buffer(x, y, 1, 2, 0);
+        b.add_serializing_self_loop(x);
+        b.add_serializing_self_loop(y);
+        let g = b.build().unwrap();
+        let q = g.repetition_vector().unwrap();
+        assert_eq!(q.get(x), 2);
+        assert_eq!(q.get(y), 1);
+    }
+
+    #[test]
+    fn paperlike_multirate_cycle_is_consistent() {
+        // A small cycle with non-trivial repetition vector.
+        let mut b = CsdfGraphBuilder::new();
+        let a = b.add_task("a", vec![1, 1]);
+        let c = b.add_task("c", vec![1, 1, 1]);
+        let d = b.add_sdf_task("d", 1);
+        b.add_buffer(a, c, vec![1, 1], vec![1, 1, 2], 0);
+        b.add_buffer(c, d, vec![1, 1, 1], vec![6], 0);
+        b.add_buffer(d, a, vec![12], vec![1, 2], 6);
+        let g = b.build().unwrap();
+        let q = g.repetition_vector().unwrap();
+        assert!(q.validates(&g));
+        // Balance: 2·q_a = 4·q_c, 3·q_c = 6·q_d, 12·q_d = 3·q_a  =>  q = [4, 2, 1]
+        assert_eq!(q.get(a), 4);
+        assert_eq!(q.get(c), 2);
+        assert_eq!(q.get(d), 1);
+    }
+
+    #[test]
+    fn collecting_from_iterator() {
+        let q: RepetitionVector = vec![1u64, 2, 3].into_iter().collect();
+        assert_eq!(q.len(), 3);
+        assert!(!q.is_empty());
+        assert_eq!(q.get(TaskId::new(2)), 3);
+    }
+}

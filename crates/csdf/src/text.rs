@@ -1,0 +1,242 @@
+//! A small line-oriented text format for CSDF graphs.
+//!
+//! The format is meant for fixtures, examples and debugging; it is not the
+//! SDF3 XML format (which the paper's benchmark ships in) but carries exactly
+//! the same information:
+//!
+//! ```text
+//! # comment
+//! graph sample
+//! task A durations=1,1
+//! task B durations=1
+//! buffer A -> B prod=2,3 cons=5 tokens=4
+//! ```
+
+use crate::builder::CsdfGraphBuilder;
+use crate::error::CsdfError;
+use crate::graph::CsdfGraph;
+
+/// Serialises a graph into the textual format parsed by [`parse`].
+///
+/// # Examples
+///
+/// ```
+/// use csdf::{CsdfGraphBuilder, text};
+///
+/// let mut builder = CsdfGraphBuilder::named("demo");
+/// let a = builder.add_sdf_task("a", 1);
+/// let b = builder.add_sdf_task("b", 2);
+/// builder.add_sdf_buffer(a, b, 1, 1, 0);
+/// let graph = builder.build()?;
+/// let round_trip = text::parse(&text::to_text(&graph))?;
+/// assert_eq!(round_trip, graph);
+/// # Ok::<(), csdf::CsdfError>(())
+/// ```
+pub fn to_text(graph: &CsdfGraph) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("graph {}\n", graph.name()));
+    for (_, task) in graph.tasks() {
+        out.push_str(&format!(
+            "task {} durations={}\n",
+            task.name(),
+            join(task.durations())
+        ));
+    }
+    for (_, buffer) in graph.buffers() {
+        out.push_str(&format!(
+            "buffer {} -> {} prod={} cons={} tokens={}\n",
+            graph.task(buffer.source()).name(),
+            graph.task(buffer.target()).name(),
+            join(buffer.production()),
+            join(buffer.consumption()),
+            buffer.initial_tokens()
+        ));
+    }
+    out
+}
+
+fn join(values: &[u64]) -> String {
+    values
+        .iter()
+        .map(u64::to_string)
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Parses a graph from the textual format produced by [`to_text`].
+///
+/// # Errors
+///
+/// Returns [`CsdfError::Parse`] with a 1-based line number for syntax errors,
+/// and the usual builder errors for semantic problems (unknown task names,
+/// rate-length mismatches, ...).
+pub fn parse(input: &str) -> Result<CsdfGraph, CsdfError> {
+    let mut name = "csdf".to_string();
+    let mut builder: Option<CsdfGraphBuilder> = None;
+    let mut pending_buffers: Vec<(usize, String, String, Vec<u64>, Vec<u64>, u64)> = Vec::new();
+
+    for (line_index, raw_line) in input.lines().enumerate() {
+        let line_number = line_index + 1;
+        let line = raw_line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut words = line.split_whitespace();
+        match words.next() {
+            Some("graph") => {
+                name = words
+                    .next()
+                    .ok_or_else(|| parse_error(line_number, "missing graph name"))?
+                    .to_string();
+            }
+            Some("task") => {
+                let task_name = words
+                    .next()
+                    .ok_or_else(|| parse_error(line_number, "missing task name"))?;
+                let durations = parse_field(words.next(), "durations", line_number)?;
+                builder
+                    .get_or_insert_with(|| CsdfGraphBuilder::named(name.clone()))
+                    .add_task(task_name, durations);
+            }
+            Some("buffer") => {
+                let source = words
+                    .next()
+                    .ok_or_else(|| parse_error(line_number, "missing source task"))?
+                    .to_string();
+                let arrow = words.next();
+                if arrow != Some("->") {
+                    return Err(parse_error(line_number, "expected `->`"));
+                }
+                let target = words
+                    .next()
+                    .ok_or_else(|| parse_error(line_number, "missing target task"))?
+                    .to_string();
+                let production = parse_field(words.next(), "prod", line_number)?;
+                let consumption = parse_field(words.next(), "cons", line_number)?;
+                let tokens = parse_field(words.next(), "tokens", line_number)?;
+                let tokens = *tokens
+                    .first()
+                    .ok_or_else(|| parse_error(line_number, "missing token count"))?;
+                pending_buffers.push((line_number, source, target, production, consumption, tokens));
+            }
+            Some(other) => {
+                return Err(parse_error(
+                    line_number,
+                    &format!("unknown directive `{other}`"),
+                ));
+            }
+            None => unreachable!("empty lines are skipped"),
+        }
+    }
+
+    let mut builder = builder.ok_or(CsdfError::EmptyGraph)?;
+    // Buffers can only be resolved once all tasks are known: build a
+    // task-only skeleton graph to resolve names, then add the buffers.
+    let skeleton = builder.clone().build()?;
+    for (line_number, source, target, production, consumption, tokens) in pending_buffers {
+        let source_id = skeleton
+            .find_task(&source)
+            .ok_or_else(|| parse_error(line_number, &format!("unknown task `{source}`")))?;
+        let target_id = skeleton
+            .find_task(&target)
+            .ok_or_else(|| parse_error(line_number, &format!("unknown task `{target}`")))?;
+        builder.add_buffer(source_id, target_id, production, consumption, tokens);
+    }
+    builder.build()
+}
+
+fn parse_field(word: Option<&str>, key: &str, line: usize) -> Result<Vec<u64>, CsdfError> {
+    let word = word.ok_or_else(|| parse_error(line, &format!("missing `{key}=` field")))?;
+    let (actual_key, value) = word
+        .split_once('=')
+        .ok_or_else(|| parse_error(line, &format!("expected `{key}=<values>`")))?;
+    if actual_key != key {
+        return Err(parse_error(
+            line,
+            &format!("expected field `{key}`, found `{actual_key}`"),
+        ));
+    }
+    value
+        .split(',')
+        .map(|v| {
+            v.trim()
+                .parse::<u64>()
+                .map_err(|_| parse_error(line, &format!("invalid number `{v}` in `{key}`")))
+        })
+        .collect()
+}
+
+fn parse_error(line: usize, message: &str) -> CsdfError {
+    CsdfError::Parse {
+        line,
+        message: message.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CsdfGraphBuilder;
+
+    #[test]
+    fn round_trips_a_cyclo_static_graph() {
+        let mut b = CsdfGraphBuilder::named("fig1");
+        let t = b.add_task("t", vec![1, 1, 1]);
+        let u = b.add_task("u", vec![2, 2]);
+        b.add_buffer(t, u, vec![2, 3, 1], vec![2, 5], 4);
+        b.add_serializing_self_loop(t);
+        let g = b.build().unwrap();
+        let text = to_text(&g);
+        let parsed = parse(&text).unwrap();
+        assert_eq!(parsed, g);
+    }
+
+    #[test]
+    fn parses_comments_and_blank_lines() {
+        let text = "\n# a comment\ngraph demo\n\ntask a durations=1\ntask b durations=2\nbuffer a -> b prod=1 cons=1 tokens=0\n";
+        let g = parse(text).unwrap();
+        assert_eq!(g.name(), "demo");
+        assert_eq!(g.task_count(), 2);
+        assert_eq!(g.buffer_count(), 1);
+    }
+
+    #[test]
+    fn reports_line_numbers_on_errors() {
+        let text = "graph demo\ntask a durations=1\nbuffer a => a prod=1 cons=1 tokens=0\n";
+        match parse(text) {
+            Err(CsdfError::Parse { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_task_in_buffer_is_reported() {
+        let text = "graph g\ntask a durations=1\nbuffer a -> missing prod=1 cons=1 tokens=0\n";
+        assert!(matches!(parse(text), Err(CsdfError::Parse { line: 3, .. })));
+    }
+
+    #[test]
+    fn unknown_directive_is_reported() {
+        assert!(matches!(
+            parse("actor a durations=1\n"),
+            Err(CsdfError::Parse { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_numbers_are_reported() {
+        let text = "graph g\ntask a durations=1,x\n";
+        assert!(matches!(parse(text), Err(CsdfError::Parse { line: 2, .. })));
+    }
+
+    #[test]
+    fn empty_input_is_an_empty_graph_error() {
+        assert!(matches!(parse("# nothing\n"), Err(CsdfError::EmptyGraph)));
+    }
+
+    #[test]
+    fn wrong_field_name_is_reported() {
+        let text = "graph g\ntask a durations=1\ntask b durations=1\nbuffer a -> b production=1 cons=1 tokens=0\n";
+        assert!(matches!(parse(text), Err(CsdfError::Parse { line: 4, .. })));
+    }
+}

@@ -1,0 +1,158 @@
+//! Throughput and period result types shared by all evaluators.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::rational::{Rational, RationalError};
+
+/// The throughput of a CSDF graph under some schedule, normalised per graph
+/// iteration (the paper's `Th_G = Th_t / q_t`).
+///
+/// Three situations are distinguished:
+///
+/// * [`Throughput::Finite`] — the usual case; the graph completes one
+///   iteration every `1 / value` time units.
+/// * [`Throughput::Unbounded`] — the constraint graph has no cycle at all
+///   (e.g. an acyclic graph with auto-concurrency allowed): iterations can be
+///   pipelined without bound and the steady-state throughput grows without
+///   limit.
+/// * [`Throughput::Deadlocked`] — the graph cannot run forever (a dependency
+///   cycle has too few initial tokens); the long-run throughput is zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Throughput {
+    /// A finite, strictly positive throughput.
+    Finite(Rational),
+    /// No cyclic constraint bounds the schedule: infinite throughput.
+    Unbounded,
+    /// The graph deadlocks: zero throughput.
+    Deadlocked,
+}
+
+impl Throughput {
+    /// Builds a throughput from a period `Ω` (time per graph iteration).
+    ///
+    /// A zero period maps to [`Throughput::Unbounded`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RationalError::Overflow`] if inverting the period overflows.
+    pub fn from_period(period: Rational) -> Result<Self, RationalError> {
+        if period.is_zero() {
+            Ok(Throughput::Unbounded)
+        } else {
+            Ok(Throughput::Finite(period.recip()?))
+        }
+    }
+
+    /// The period `Ω = 1 / Th`, when finite.
+    ///
+    /// Returns `None` for [`Throughput::Unbounded`] (period zero would lose
+    /// information) and for [`Throughput::Deadlocked`] (infinite period).
+    pub fn period(&self) -> Option<Rational> {
+        match self {
+            Throughput::Finite(value) => value.recip().ok(),
+            _ => None,
+        }
+    }
+
+    /// The finite throughput value, if any.
+    pub fn value(&self) -> Option<Rational> {
+        match self {
+            Throughput::Finite(value) => Some(*value),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` for the [`Throughput::Finite`] variant.
+    pub fn is_finite(&self) -> bool {
+        matches!(self, Throughput::Finite(_))
+    }
+
+    /// Returns `true` for the [`Throughput::Deadlocked`] variant.
+    pub fn is_deadlocked(&self) -> bool {
+        matches!(self, Throughput::Deadlocked)
+    }
+
+    /// Approximate `f64` value for reporting; `f64::INFINITY` when unbounded
+    /// and `0.0` when deadlocked.
+    pub fn to_f64(&self) -> f64 {
+        match self {
+            Throughput::Finite(value) => value.to_f64(),
+            Throughput::Unbounded => f64::INFINITY,
+            Throughput::Deadlocked => 0.0,
+        }
+    }
+}
+
+impl PartialOrd for Throughput {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Throughput {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Throughput::*;
+        match (self, other) {
+            (Deadlocked, Deadlocked) | (Unbounded, Unbounded) => Ordering::Equal,
+            (Deadlocked, _) => Ordering::Less,
+            (_, Deadlocked) => Ordering::Greater,
+            (Unbounded, _) => Ordering::Greater,
+            (_, Unbounded) => Ordering::Less,
+            (Finite(a), Finite(b)) => a.cmp(b),
+        }
+    }
+}
+
+impl fmt::Display for Throughput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Throughput::Finite(value) => write!(f, "{value}"),
+            Throughput::Unbounded => write!(f, "unbounded"),
+            Throughput::Deadlocked => write!(f, "0 (deadlock)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn period_and_value_roundtrip() {
+        let th = Throughput::from_period(Rational::new(36, 1).unwrap()).unwrap();
+        assert_eq!(th.value(), Some(Rational::new(1, 36).unwrap()));
+        assert_eq!(th.period(), Some(Rational::from_integer(36)));
+        assert!(th.is_finite());
+        assert!(!th.is_deadlocked());
+    }
+
+    #[test]
+    fn zero_period_is_unbounded() {
+        let th = Throughput::from_period(Rational::ZERO).unwrap();
+        assert_eq!(th, Throughput::Unbounded);
+        assert_eq!(th.period(), None);
+        assert_eq!(th.value(), None);
+        assert!(th.to_f64().is_infinite());
+    }
+
+    #[test]
+    fn ordering_places_deadlock_below_everything() {
+        let finite = Throughput::Finite(Rational::new(1, 10).unwrap());
+        assert!(Throughput::Deadlocked < finite);
+        assert!(finite < Throughput::Unbounded);
+        assert!(Throughput::Deadlocked < Throughput::Unbounded);
+        let faster = Throughput::Finite(Rational::new(1, 5).unwrap());
+        assert!(finite < faster);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(Throughput::Deadlocked.to_string(), "0 (deadlock)");
+        assert_eq!(Throughput::Unbounded.to_string(), "unbounded");
+        assert_eq!(
+            Throughput::Finite(Rational::new(1, 36).unwrap()).to_string(),
+            "1/36"
+        );
+    }
+}

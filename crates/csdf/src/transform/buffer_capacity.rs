@@ -1,0 +1,208 @@
+//! Modelling of bounded buffer capacities.
+//!
+//! A buffer of capacity `C` is modelled, as usual in dataflow analysis, by a
+//! reverse buffer from the consumer back to the producer: the producer must
+//! acquire `in_b(p)` units of free space before writing and the consumer
+//! releases `out_b(p')` units after reading. The reverse buffer initially
+//! holds `C − M0(b)` tokens of free space. Throughput evaluation of the
+//! bounded graph is then throughput evaluation of the enlarged unbounded
+//! graph, which is exactly how the paper's Table 2 "fixed buffer size" rows
+//! double the buffer count of every application.
+
+use crate::buffer::BufferId;
+use crate::builder::CsdfGraphBuilder;
+use crate::error::CsdfError;
+use crate::graph::CsdfGraph;
+
+/// A capacity assignment for one buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BufferCapacity {
+    /// The buffer being bounded.
+    pub buffer: BufferId,
+    /// Maximum number of tokens the buffer may hold at any time.
+    pub capacity: u64,
+}
+
+/// Returns a graph in which the listed buffers are bounded to the given
+/// capacities; unlisted buffers stay unbounded.
+///
+/// Self-loop buffers are never bounded (a reverse self-loop would be
+/// meaningless) and requesting a capacity for one is ignored.
+///
+/// # Errors
+///
+/// * [`CsdfError::BufferIndexOutOfRange`] if a capacity references a missing
+///   buffer.
+/// * [`CsdfError::CapacityBelowMarking`] if a capacity is smaller than the
+///   buffer's initial marking.
+///
+/// # Examples
+///
+/// ```
+/// use csdf::{CsdfGraphBuilder, transform::{bound_buffers, BufferCapacity}};
+///
+/// let mut builder = CsdfGraphBuilder::new();
+/// let a = builder.add_sdf_task("a", 1);
+/// let b = builder.add_sdf_task("b", 1);
+/// let channel = builder.add_sdf_buffer(a, b, 1, 1, 0);
+/// let graph = builder.build()?;
+/// let bounded = bound_buffers(&graph, &[BufferCapacity { buffer: channel, capacity: 2 }])?;
+/// assert_eq!(bounded.buffer_count(), 2);
+/// # Ok::<(), csdf::CsdfError>(())
+/// ```
+pub fn bound_buffers(
+    graph: &CsdfGraph,
+    capacities: &[BufferCapacity],
+) -> Result<CsdfGraph, CsdfError> {
+    let mut builder = CsdfGraphBuilder::named(format!("{}_bounded", graph.name()));
+    for (_, task) in graph.tasks() {
+        builder.add_task(task.name().to_string(), task.durations().to_vec());
+    }
+    for (_, buffer) in graph.buffers() {
+        builder.add_buffer(
+            buffer.source(),
+            buffer.target(),
+            buffer.production().to_vec(),
+            buffer.consumption().to_vec(),
+            buffer.initial_tokens(),
+        );
+    }
+    for assignment in capacities {
+        let buffer = graph.try_buffer(assignment.buffer)?;
+        if buffer.is_self_loop() {
+            continue;
+        }
+        if assignment.capacity < buffer.initial_tokens() {
+            return Err(CsdfError::CapacityBelowMarking {
+                buffer: assignment.buffer.index(),
+                capacity: assignment.capacity,
+                marking: buffer.initial_tokens(),
+            });
+        }
+        builder.add_buffer(
+            buffer.target(),
+            buffer.source(),
+            buffer.consumption().to_vec(),
+            buffer.production().to_vec(),
+            assignment.capacity - buffer.initial_tokens(),
+        );
+    }
+    builder.build()
+}
+
+/// Bounds every non-self-loop buffer of the graph to the capacity returned by
+/// `capacity_of`, which receives the buffer id and the buffer itself.
+///
+/// A convenient default for experiments is a small multiple of
+/// `i_b + o_b + M0(b)`, which is always live for consistent graphs when the
+/// multiple is large enough.
+///
+/// # Errors
+///
+/// Same as [`bound_buffers`].
+pub fn bound_all_buffers<F>(graph: &CsdfGraph, mut capacity_of: F) -> Result<CsdfGraph, CsdfError>
+where
+    F: FnMut(BufferId, &crate::Buffer) -> u64,
+{
+    let capacities: Vec<BufferCapacity> = graph
+        .buffers()
+        .filter(|(_, b)| !b.is_self_loop())
+        .map(|(id, b)| BufferCapacity {
+            buffer: id,
+            capacity: capacity_of(id, b).max(b.initial_tokens()),
+        })
+        .collect();
+    bound_buffers(graph, &capacities)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CsdfGraphBuilder;
+
+    fn two_task_graph(marking: u64) -> (CsdfGraph, BufferId) {
+        let mut b = CsdfGraphBuilder::new();
+        let x = b.add_task("x", vec![1, 1]);
+        let y = b.add_sdf_task("y", 2);
+        let chan = b.add_buffer(x, y, vec![1, 2], vec![3], marking);
+        (b.build().unwrap(), chan)
+    }
+
+    #[test]
+    fn reverse_buffer_mirrors_rates() {
+        let (g, chan) = two_task_graph(1);
+        let bounded = bound_buffers(
+            &g,
+            &[BufferCapacity {
+                buffer: chan,
+                capacity: 5,
+            }],
+        )
+        .unwrap();
+        assert_eq!(bounded.buffer_count(), 2);
+        let reverse = bounded.buffer(BufferId::new(1));
+        assert_eq!(reverse.source(), g.buffer(chan).target());
+        assert_eq!(reverse.target(), g.buffer(chan).source());
+        assert_eq!(reverse.production(), &[3]);
+        assert_eq!(reverse.consumption(), &[1, 2]);
+        assert_eq!(reverse.initial_tokens(), 4);
+        assert!(bounded.is_consistent());
+    }
+
+    #[test]
+    fn capacity_below_marking_is_rejected() {
+        let (g, chan) = two_task_graph(6);
+        let err = bound_buffers(
+            &g,
+            &[BufferCapacity {
+                buffer: chan,
+                capacity: 5,
+            }],
+        )
+        .unwrap_err();
+        assert!(matches!(err, CsdfError::CapacityBelowMarking { .. }));
+    }
+
+    #[test]
+    fn unknown_buffer_is_rejected() {
+        let (g, _) = two_task_graph(0);
+        let err = bound_buffers(
+            &g,
+            &[BufferCapacity {
+                buffer: BufferId::new(7),
+                capacity: 5,
+            }],
+        )
+        .unwrap_err();
+        assert!(matches!(err, CsdfError::BufferIndexOutOfRange(7)));
+    }
+
+    #[test]
+    fn bound_all_buffers_skips_self_loops() {
+        let mut b = CsdfGraphBuilder::new();
+        let x = b.add_sdf_task("x", 1);
+        let y = b.add_sdf_task("y", 1);
+        b.add_sdf_buffer(x, y, 2, 3, 0);
+        b.add_serializing_self_loop(x);
+        let g = b.build().unwrap();
+        let bounded = bound_all_buffers(&g, |_, b| b.total_production() + b.total_consumption()).unwrap();
+        // one forward channel + self loop + one reverse channel
+        assert_eq!(bounded.buffer_count(), 3);
+    }
+
+    #[test]
+    fn doubles_buffer_count_like_table2() {
+        // The paper's Table 2 reports exactly 2x the buffer count when buffer
+        // sizes are fixed; bounding all non-self-loop buffers reproduces that.
+        let (g, chan) = two_task_graph(0);
+        let bounded = bound_buffers(
+            &g,
+            &[BufferCapacity {
+                buffer: chan,
+                capacity: 6,
+            }],
+        )
+        .unwrap();
+        assert_eq!(bounded.buffer_count(), 2 * g.buffer_count());
+    }
+}

@@ -1,0 +1,305 @@
+//! SDF → HSDF expansion (Lee & Messerschmitt style).
+//!
+//! The expansion replaces every task `t` of a consistent SDF graph by `q_t`
+//! copies — one per firing inside a graph iteration — and every buffer by
+//! unit-rate precedence edges between the copies. The resulting Homogeneous
+//! SDF graph has the same maximum throughput as the original and its minimum
+//! period is a Maximum Cycle Mean problem, which is how the expansion-based
+//! baseline methods (references [10] and [6] of the paper) evaluate
+//! throughput.
+//!
+//! The expansion adds, for every consumer firing, a single precedence edge
+//! from the *last* producer firing it depends on. This is sufficient because
+//! the expansion also guarantees that the firings of each task are serialised:
+//! tasks carrying a self-loop in the input expand it naturally into a chain,
+//! and tasks without one receive an explicit chain of unit edges with a single
+//! initial token closing the cycle.
+
+use crate::builder::CsdfGraphBuilder;
+use crate::error::CsdfError;
+use crate::graph::CsdfGraph;
+use crate::task::TaskId;
+
+/// Result of [`expand_to_hsdf`]: the homogeneous graph plus the mapping from
+/// original tasks to their firing copies.
+#[derive(Debug, Clone)]
+pub struct HsdfExpansion {
+    /// The expanded homogeneous graph (all rates are 1).
+    pub graph: CsdfGraph,
+    /// `copies[t]` lists, in firing order, the expanded task ids of original
+    /// task `t`.
+    pub copies: Vec<Vec<TaskId>>,
+}
+
+impl HsdfExpansion {
+    /// Total number of firing copies, i.e. `Σ_t q_t`.
+    pub fn copy_count(&self) -> usize {
+        self.copies.iter().map(Vec::len).sum()
+    }
+
+    /// Original task and firing index (0-based) of an expanded task id.
+    pub fn original_of(&self, copy: TaskId) -> Option<(TaskId, usize)> {
+        for (task_index, copies) in self.copies.iter().enumerate() {
+            if let Some(position) = copies.iter().position(|&c| c == copy) {
+                return Some((TaskId::new(task_index), position));
+            }
+        }
+        None
+    }
+}
+
+/// Expands a consistent SDF graph into an equivalent HSDF graph.
+///
+/// # Errors
+///
+/// * [`CsdfError::Inconsistent`] / [`CsdfError::Overflow`] if the repetition
+///   vector cannot be computed or a delay does not fit in `u64`.
+/// * [`CsdfError::RateLengthMismatch`] if the graph contains a multi-phase
+///   (true CSDF) task: the expansion baseline is only defined for SDF graphs,
+///   exactly as the expansion-based methods compared in the paper's Table 1.
+///
+/// # Examples
+///
+/// ```
+/// use csdf::{CsdfGraphBuilder, transform::expand_to_hsdf};
+///
+/// let mut builder = CsdfGraphBuilder::new();
+/// let a = builder.add_sdf_task("a", 1);
+/// let b = builder.add_sdf_task("b", 1);
+/// builder.add_sdf_buffer(a, b, 2, 3, 0);
+/// let graph = builder.build()?;
+/// let expansion = expand_to_hsdf(&graph)?;
+/// // q = [3, 2] so the expansion has 5 firing copies.
+/// assert_eq!(expansion.copy_count(), 5);
+/// assert!(expansion.graph.is_hsdf());
+/// # Ok::<(), csdf::CsdfError>(())
+/// ```
+pub fn expand_to_hsdf(graph: &CsdfGraph) -> Result<HsdfExpansion, CsdfError> {
+    for (_, task) in graph.tasks() {
+        if !task.is_sdf() {
+            return Err(CsdfError::RateLengthMismatch {
+                task: task.name().to_string(),
+                phases: task.phase_count(),
+                rate_len: 1,
+            });
+        }
+    }
+    let q = graph.repetition_vector()?;
+    let mut builder = CsdfGraphBuilder::named(format!("{}_hsdf", graph.name()));
+    let mut copies: Vec<Vec<TaskId>> = Vec::with_capacity(graph.task_count());
+    for (task_id, task) in graph.tasks() {
+        let mut task_copies = Vec::new();
+        for firing in 0..q.get(task_id) {
+            let copy = builder.add_sdf_task(
+                format!("{}#{}", task.name(), firing + 1),
+                task.duration(0),
+            );
+            task_copies.push(copy);
+        }
+        copies.push(task_copies);
+    }
+
+    // Precedence edges from the last needed producer firing of every consumer
+    // firing.
+    for (_, buffer) in graph.buffers() {
+        let producer = buffer.source();
+        let consumer = buffer.target();
+        let p = buffer.total_production() as i128;
+        let c = buffer.total_consumption() as i128;
+        let m = buffer.initial_tokens() as i128;
+        let qu = q.get(producer) as i128;
+        let qv = q.get(consumer) as i128;
+        for j in 1..=qv {
+            // Smallest iteration w >= 1 of the consumer such that its j-th
+            // firing needs at least one producer firing.
+            let needed_offset = m + 1 - j * c;
+            let w = 1 + if needed_offset > 0 {
+                div_ceil(needed_offset, qv * c)
+            } else {
+                0
+            };
+            let global_consumption = ((w - 1) * qv + j) * c;
+            let needed_firings = div_ceil(global_consumption - m, p);
+            if needed_firings < 1 {
+                // Enough initial tokens forever (cannot happen once w is
+                // advanced, kept for safety).
+                continue;
+            }
+            let producer_copy = ((needed_firings - 1) % qu) as usize;
+            let producer_iteration = (needed_firings - 1) / qu + 1;
+            let delay = w - producer_iteration;
+            debug_assert!(delay >= 0, "stationary dependency must not look ahead");
+            builder.add_sdf_buffer(
+                copies[producer.index()][producer_copy],
+                copies[consumer.index()][j as usize - 1],
+                1,
+                1,
+                u64::try_from(delay).map_err(|_| CsdfError::Overflow)?,
+            );
+        }
+    }
+
+    // Serialisation chains for tasks that did not bring their own self-loop.
+    for task_id in graph.task_ids() {
+        let has_self_loop = graph
+            .outgoing(task_id)
+            .iter()
+            .any(|&b| graph.buffer(b).is_self_loop());
+        if has_self_loop {
+            continue;
+        }
+        let task_copies = &copies[task_id.index()];
+        let count = task_copies.len();
+        if count == 1 {
+            builder.add_sdf_buffer(task_copies[0], task_copies[0], 1, 1, 1);
+        } else {
+            for i in 0..count {
+                let next = (i + 1) % count;
+                let delay = if next == 0 { 1 } else { 0 };
+                builder.add_sdf_buffer(task_copies[i], task_copies[next], 1, 1, delay);
+            }
+        }
+    }
+
+    Ok(HsdfExpansion {
+        graph: builder.build()?,
+        copies,
+    })
+}
+
+fn div_ceil(a: i128, b: i128) -> i128 {
+    debug_assert!(b > 0);
+    if a >= 0 {
+        (a + b - 1) / b
+    } else {
+        a / b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CsdfGraphBuilder;
+
+    #[test]
+    fn expansion_size_matches_repetition_vector() {
+        let mut b = CsdfGraphBuilder::new();
+        let x = b.add_sdf_task("x", 1);
+        let y = b.add_sdf_task("y", 2);
+        b.add_sdf_buffer(x, y, 2, 3, 0);
+        let g = b.build().unwrap();
+        let e = expand_to_hsdf(&g).unwrap();
+        assert_eq!(e.copies[x.index()].len(), 3);
+        assert_eq!(e.copies[y.index()].len(), 2);
+        assert_eq!(e.copy_count(), 5);
+        assert!(e.graph.is_hsdf());
+        assert!(e.graph.is_consistent());
+        let copy = e.copies[y.index()][1];
+        assert_eq!(e.original_of(copy), Some((y, 1)));
+    }
+
+    #[test]
+    fn dependencies_respect_initial_tokens() {
+        // x -> y with rate 1/1 and 1 initial token: firing j of y depends on
+        // firing j-1... expressed across iterations, y#1 depends on x#1 of the
+        // previous iteration (delay 1).
+        let mut b = CsdfGraphBuilder::new();
+        let x = b.add_sdf_task("x", 1);
+        let y = b.add_sdf_task("y", 1);
+        b.add_sdf_buffer(x, y, 1, 1, 1);
+        let g = b.build().unwrap();
+        let e = expand_to_hsdf(&g).unwrap();
+        let edge = e
+            .graph
+            .buffers()
+            .find(|(_, buffer)| {
+                buffer.source() == e.copies[x.index()][0]
+                    && buffer.target() == e.copies[y.index()][0]
+            })
+            .unwrap()
+            .1;
+        assert_eq!(edge.initial_tokens(), 1);
+    }
+
+    #[test]
+    fn zero_token_chain_dependency() {
+        let mut b = CsdfGraphBuilder::new();
+        let x = b.add_sdf_task("x", 1);
+        let y = b.add_sdf_task("y", 1);
+        b.add_sdf_buffer(x, y, 1, 1, 0);
+        let g = b.build().unwrap();
+        let e = expand_to_hsdf(&g).unwrap();
+        let edge = e
+            .graph
+            .buffers()
+            .find(|(_, buffer)| {
+                buffer.source() == e.copies[x.index()][0]
+                    && buffer.target() == e.copies[y.index()][0]
+            })
+            .unwrap()
+            .1;
+        assert_eq!(edge.initial_tokens(), 0);
+    }
+
+    #[test]
+    fn serialization_chain_is_added() {
+        let mut b = CsdfGraphBuilder::new();
+        let x = b.add_sdf_task("x", 1);
+        let y = b.add_sdf_task("y", 1);
+        b.add_sdf_buffer(x, y, 2, 1, 0);
+        let g = b.build().unwrap();
+        let e = expand_to_hsdf(&g).unwrap();
+        // q_y = 2, so y has a chain y#1 -> y#2 (0 tokens) and y#2 -> y#1 (1).
+        let chain_edges: Vec<_> = e
+            .graph
+            .buffers()
+            .filter(|(_, buffer)| {
+                e.copies[y.index()].contains(&buffer.source())
+                    && e.copies[y.index()].contains(&buffer.target())
+            })
+            .collect();
+        assert_eq!(chain_edges.len(), 2);
+        let total_tokens: u64 = chain_edges.iter().map(|(_, b)| b.initial_tokens()).sum();
+        assert_eq!(total_tokens, 1);
+    }
+
+    #[test]
+    fn existing_self_loops_are_expanded_not_duplicated() {
+        let mut b = CsdfGraphBuilder::new();
+        let x = b.add_sdf_task("x", 1);
+        let y = b.add_sdf_task("y", 1);
+        b.add_sdf_buffer(x, y, 2, 1, 0);
+        b.add_serializing_self_loop(y);
+        let g = b.build().unwrap();
+        let e = expand_to_hsdf(&g).unwrap();
+        // The self-loop of y (q_y = 2) expands to exactly 2 intra-task edges,
+        // no additional chain is appended.
+        let intra: usize = e
+            .graph
+            .buffers()
+            .filter(|(_, buffer)| {
+                e.copies[y.index()].contains(&buffer.source())
+                    && e.copies[y.index()].contains(&buffer.target())
+            })
+            .count();
+        assert_eq!(intra, 2);
+    }
+
+    #[test]
+    fn multi_phase_tasks_are_rejected() {
+        let mut b = CsdfGraphBuilder::new();
+        let x = b.add_task("x", vec![1, 1]);
+        let y = b.add_sdf_task("y", 1);
+        b.add_buffer(x, y, vec![1, 1], vec![2], 0);
+        let g = b.build().unwrap();
+        assert!(expand_to_hsdf(&g).is_err());
+    }
+
+    #[test]
+    fn div_ceil_handles_signs() {
+        assert_eq!(div_ceil(7, 3), 3);
+        assert_eq!(div_ceil(6, 3), 2);
+        assert_eq!(div_ceil(0, 3), 0);
+        assert_eq!(div_ceil(-1, 3), -1 / 3);
+    }
+}

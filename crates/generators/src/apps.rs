@@ -1,0 +1,326 @@
+//! Synthetic stand-ins for the industrial CSDF applications of Table 2.
+//!
+//! The paper's Table 2 evaluates five industrial applications (BlackScholes,
+//! Echo, JPEG2000, Pdetect, H264 Encoder) from the proprietary IB+AG5CSDF
+//! benchmark, plus five synthetic graphs. The real graphs are not available,
+//! so this module synthesises applications with the published task count,
+//! data-buffer count and repetition-sum magnitude. What drives the paper's
+//! results — huge repetition vectors that defeat state-space exploration
+//! while K-Iter terminates with small periodicity vectors — is preserved.
+
+use csdf::{lcm_u64, CsdfError, CsdfGraph, CsdfGraphBuilder, TaskId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Shape description of one synthetic industrial application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppSpec {
+    /// Application name, as printed in Table 2.
+    pub name: &'static str,
+    /// Number of tasks (Table 2 "Tasks" column).
+    pub tasks: usize,
+    /// Number of data buffers (Table 2 "Buffers" column, without the
+    /// serialising self-loops this generator adds on top).
+    pub buffers: usize,
+    /// Repetition "levels": tasks are assigned one of these repetition
+    /// counts; the magnitude of `Σq` follows from the distribution.
+    pub repetition_levels: &'static [u64],
+    /// Maximum number of cyclo-static phases per task.
+    pub max_phases: usize,
+    /// Inclusive range of per-phase durations.
+    pub duration_range: (u64, u64),
+    /// Seed of the deterministic layout.
+    pub seed: u64,
+}
+
+impl AppSpec {
+    fn level_of(&self, rng: &mut StdRng) -> u64 {
+        self.repetition_levels[rng.gen_range(0..self.repetition_levels.len())]
+    }
+}
+
+/// Builds the synthetic application described by `spec`.
+///
+/// The graph is a layered pipeline: tasks are ordered, a chain connects every
+/// task to a predecessor, extra forward buffers are added until the data
+/// buffer budget is reached minus one, and a single feedback buffer with a
+/// generous marking closes the graph so that self-timed execution has
+/// back-pressure. Every task is serialised with a one-token self-loop.
+///
+/// # Errors
+///
+/// Returns [`CsdfError`] if the spec is degenerate (fewer than 2 tasks or
+/// fewer buffers than tasks − 1) or rates overflow.
+pub fn industrial_app(spec: &AppSpec) -> Result<CsdfGraph, CsdfError> {
+    if spec.tasks < 2 || spec.buffers < spec.tasks {
+        return Err(CsdfError::EmptyGraph);
+    }
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut builder = CsdfGraphBuilder::named(spec.name);
+
+    // Repetition level per task; the first and last task share the lowest
+    // level so the feedback buffer stays small-rated.
+    let mut levels: Vec<u64> = (0..spec.tasks).map(|_| spec.level_of(&mut rng)).collect();
+    let lowest = *spec.repetition_levels.iter().min().expect("non-empty");
+    levels[0] = lowest;
+    levels[spec.tasks - 1] = lowest;
+
+    let mut phase_counts = Vec::with_capacity(spec.tasks);
+    let mut task_ids: Vec<TaskId> = Vec::with_capacity(spec.tasks);
+    for (index, _) in levels.iter().enumerate() {
+        let phases = rng.gen_range(1..=spec.max_phases.max(1));
+        let durations: Vec<u64> = (0..phases)
+            .map(|_| rng.gen_range(spec.duration_range.0..=spec.duration_range.1.max(1)))
+            .collect();
+        phase_counts.push(phases);
+        task_ids.push(builder.add_task(format!("{}_{index}", spec.name), durations));
+    }
+
+    let add_buffer = |builder: &mut CsdfGraphBuilder,
+                          rng: &mut StdRng,
+                          from: usize,
+                          to: usize,
+                          marking_periods: u64|
+     -> Result<(), CsdfError> {
+        let lcm = lcm_u64(levels[from], levels[to]).map_err(|_| CsdfError::Overflow)?;
+        let total_production = lcm / levels[from];
+        let total_consumption = lcm / levels[to];
+        let production = split_rates(rng, total_production, phase_counts[from]);
+        let consumption = split_rates(rng, total_consumption, phase_counts[to]);
+        let marking = marking_periods * (total_production + total_consumption);
+        builder.add_buffer(
+            task_ids[from],
+            task_ids[to],
+            production,
+            consumption,
+            marking,
+        );
+        Ok(())
+    };
+
+    // Connecting chain.
+    for index in 1..spec.tasks {
+        let from = if index == 1 { 0 } else { rng.gen_range(0..index) };
+        add_buffer(&mut builder, &mut rng, from, index, 0)?;
+    }
+    // Extra forward buffers up to the data-buffer budget minus the feedback.
+    let extra = spec.buffers.saturating_sub(spec.tasks);
+    for _ in 0..extra {
+        let from = rng.gen_range(0..spec.tasks - 1);
+        let to = rng.gen_range(from + 1..spec.tasks);
+        add_buffer(&mut builder, &mut rng, from, to, 0)?;
+    }
+    // One feedback buffer closing the pipeline (generous marking: 16 "periods"
+    // worth of tokens so it never deadlocks nor becomes the bottleneck).
+    add_buffer(&mut builder, &mut rng, spec.tasks - 1, 0, 16)?;
+
+    for &task in &task_ids {
+        builder.add_serializing_self_loop(task);
+    }
+    builder.build()
+}
+
+fn split_rates(rng: &mut StdRng, total: u64, parts: usize) -> Vec<u64> {
+    let parts = parts.max(1);
+    let mut values = vec![0u64; parts];
+    let mut remaining = total;
+    for value in values.iter_mut().take(parts - 1) {
+        let share = if remaining == 0 {
+            0
+        } else {
+            rng.gen_range(0..=remaining)
+        };
+        *value = share;
+        remaining -= share;
+    }
+    values[parts - 1] = remaining;
+    values
+}
+
+/// BlackScholes-like option-pricing pipeline (41 tasks, 40 data buffers).
+pub fn black_scholes() -> AppSpec {
+    AppSpec {
+        name: "BlackScholes",
+        tasks: 41,
+        buffers: 40 + 1, // 40 forward buffers + the feedback edge
+        repetition_levels: &[1, 5, 25, 125, 625],
+        max_phases: 2,
+        duration_range: (1, 40),
+        seed: 0x5eed_0001,
+    }
+}
+
+/// Echo-like audio echo-cancellation application (240 tasks, 703 data
+/// buffers, repetition sums in the hundreds of millions).
+pub fn echo() -> AppSpec {
+    AppSpec {
+        name: "Echo",
+        tasks: 240,
+        buffers: 703,
+        repetition_levels: &[1, 8, 64, 3840, 241_920, 3_386_880],
+        max_phases: 3,
+        duration_range: (1, 16),
+        seed: 0x5eed_0002,
+    }
+}
+
+/// JPEG2000-like wavelet encoder (38 tasks, 82 data buffers).
+pub fn jpeg2000() -> AppSpec {
+    AppSpec {
+        name: "JPEG2000",
+        tasks: 38,
+        buffers: 82,
+        repetition_levels: &[1, 4, 16, 128, 1024, 4096],
+        max_phases: 3,
+        duration_range: (1, 32),
+        seed: 0x5eed_0003,
+    }
+}
+
+/// Pedestrian-detection-like vision pipeline (58 tasks, 76 data buffers).
+pub fn pdetect() -> AppSpec {
+    AppSpec {
+        name: "Pdetect",
+        tasks: 58,
+        buffers: 76,
+        repetition_levels: &[1, 10, 100, 6600, 66_000],
+        max_phases: 2,
+        duration_range: (1, 64),
+        seed: 0x5eed_0004,
+    }
+}
+
+/// H264-encoder-like application (665 tasks, 3128 data buffers).
+pub fn h264_encoder() -> AppSpec {
+    AppSpec {
+        name: "H264Encoder",
+        tasks: 665,
+        buffers: 3128,
+        repetition_levels: &[1, 4, 16, 396, 1584, 25_344],
+        max_phases: 3,
+        duration_range: (1, 24),
+        seed: 0x5eed_0005,
+    }
+}
+
+/// The five synthetic graphs of the bottom of Table 2.
+pub fn synthetic_specs() -> Vec<AppSpec> {
+    vec![
+        AppSpec {
+            name: "graph1",
+            tasks: 90,
+            buffers: 617,
+            repetition_levels: &[1, 6, 36, 216, 1296],
+            max_phases: 3,
+            duration_range: (1, 20),
+            seed: 0x5eed_1001,
+        },
+        AppSpec {
+            name: "graph2",
+            tasks: 70,
+            buffers: 473,
+            repetition_levels: &[1, 90, 8100, 729_000, 7_290_000],
+            max_phases: 3,
+            duration_range: (1, 20),
+            seed: 0x5eed_1002,
+        },
+        AppSpec {
+            name: "graph3",
+            tasks: 154,
+            buffers: 671,
+            repetition_levels: &[1, 77, 5929, 456_533, 4_565_330],
+            max_phases: 3,
+            duration_range: (1, 20),
+            seed: 0x5eed_1003,
+        },
+        AppSpec {
+            name: "graph4",
+            tasks: 2426,
+            buffers: 2900,
+            repetition_levels: &[1, 2, 4, 16, 256],
+            max_phases: 2,
+            duration_range: (1, 20),
+            seed: 0x5eed_1004,
+        },
+        AppSpec {
+            name: "graph5",
+            tasks: 2767,
+            buffers: 4894,
+            repetition_levels: &[1, 3, 9, 81, 729],
+            max_phases: 2,
+            duration_range: (1, 20),
+            seed: 0x5eed_1005,
+        },
+    ]
+}
+
+/// All five industrial application specs in the order of Table 2.
+pub fn industrial_specs() -> Vec<AppSpec> {
+    vec![black_scholes(), echo(), jpeg2000(), pdetect(), h264_encoder()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_apps_build_and_are_consistent() {
+        for spec in [black_scholes(), jpeg2000(), pdetect()] {
+            let graph = industrial_app(&spec).unwrap();
+            assert_eq!(graph.task_count(), spec.tasks, "{}", spec.name);
+            // data buffers + one self-loop per task
+            assert_eq!(
+                graph.buffer_count(),
+                spec.buffers + spec.tasks,
+                "{}",
+                spec.name
+            );
+            let q = graph.repetition_vector().unwrap();
+            assert!(q.sum() > 1_000, "{} Σq = {}", spec.name, q.sum());
+        }
+    }
+
+    #[test]
+    fn blackscholes_has_finite_optimal_throughput() {
+        let graph = industrial_app(&black_scholes()).unwrap();
+        let result = kperiodic::optimal_throughput(&graph).unwrap();
+        assert!(matches!(result.throughput, csdf::Throughput::Finite(_)));
+    }
+
+    #[test]
+    fn echo_repetition_sum_is_huge() {
+        let graph = industrial_app(&echo()).unwrap();
+        let q = graph.repetition_vector().unwrap();
+        assert!(q.sum() > 100_000_000, "Σq = {}", q.sum());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = industrial_app(&jpeg2000()).unwrap();
+        let b = industrial_app(&jpeg2000()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn degenerate_specs_are_rejected() {
+        let bad = AppSpec {
+            name: "bad",
+            tasks: 1,
+            buffers: 0,
+            repetition_levels: &[1],
+            max_phases: 1,
+            duration_range: (1, 1),
+            seed: 0,
+        };
+        assert!(industrial_app(&bad).is_err());
+    }
+
+    #[test]
+    fn synthetic_specs_match_table2_sizes() {
+        let specs = synthetic_specs();
+        assert_eq!(specs.len(), 5);
+        assert_eq!(specs[0].tasks, 90);
+        assert_eq!(specs[3].tasks, 2426);
+        assert_eq!(specs[4].buffers, 4894);
+    }
+}

@@ -1,0 +1,222 @@
+//! Hand-written DSP application graphs.
+//!
+//! The paper's "ActualDSP" category contains classical signal-processing SDF
+//! benchmarks (sample-rate converter, modem, satellite receiver, H.263 and
+//! MP3 decoders). The published SDF3 files are not redistributable here, so
+//! this module re-creates the well-known *shapes* of those applications:
+//! multirate chains, feedback loops and fork/join stages with the rate ratios
+//! found in the literature. They drive the same code paths — multirate
+//! repetition vectors that hurt expansion and state-space methods — which is
+//! what Table 1 measures.
+
+use csdf::{CsdfError, CsdfGraph, CsdfGraphBuilder};
+
+/// A CD-to-DAT style multirate sample-rate converter chain with fractional
+/// rate changes (1:2, 3:7, 8:7, 5:3, 2:1) and a back-pressure loop.
+///
+/// # Errors
+///
+/// Never fails in practice; the signature keeps the builder's validation
+/// explicit.
+pub fn sample_rate_converter() -> Result<CsdfGraph, CsdfError> {
+    let mut b = CsdfGraphBuilder::named("samplerate");
+    let input = b.add_sdf_task("cd_in", 1);
+    let stage1 = b.add_sdf_task("fir_1_2", 2);
+    let stage2 = b.add_sdf_task("fir_3_7", 3);
+    let stage3 = b.add_sdf_task("fir_8_7", 3);
+    let stage4 = b.add_sdf_task("fir_5_3", 2);
+    let output = b.add_sdf_task("dat_out", 1);
+    b.add_sdf_buffer(input, stage1, 1, 2, 0);
+    b.add_sdf_buffer(stage1, stage2, 3, 7, 0);
+    b.add_sdf_buffer(stage2, stage3, 8, 7, 0);
+    b.add_sdf_buffer(stage3, stage4, 5, 3, 0);
+    b.add_sdf_buffer(stage4, output, 2, 1, 0);
+    // Back-pressure from the output so the state space stays finite; the
+    // rates close the chain's 40:49 firing ratio and the generous marking
+    // keeps the bursty multirate pipeline live.
+    b.add_sdf_buffer(output, input, 49, 40, 10 * (49 + 40));
+    for task in [input, stage1, stage2, stage3, stage4, output] {
+        b.add_serializing_self_loop(task);
+    }
+    b.build()
+}
+
+/// A bidirectional data modem: filterbank, equaliser and decision feedback.
+///
+/// # Errors
+///
+/// Never fails in practice.
+pub fn modem() -> Result<CsdfGraph, CsdfError> {
+    let mut b = CsdfGraphBuilder::named("modem");
+    let input = b.add_sdf_task("adc", 1);
+    let filter = b.add_sdf_task("filter", 3);
+    let equalizer = b.add_sdf_task("equalizer", 4);
+    let decision = b.add_sdf_task("decision", 1);
+    let decoder = b.add_sdf_task("decoder", 2);
+    let feedback = b.add_sdf_task("feedback", 1);
+    let dac = b.add_sdf_task("dac", 1);
+    b.add_sdf_buffer(input, filter, 1, 1, 0);
+    b.add_sdf_buffer(filter, equalizer, 1, 1, 0);
+    b.add_sdf_buffer(equalizer, decision, 1, 1, 0);
+    b.add_sdf_buffer(decision, decoder, 2, 1, 0);
+    b.add_sdf_buffer(decision, feedback, 1, 1, 0);
+    b.add_sdf_buffer(feedback, equalizer, 1, 1, 2);
+    b.add_sdf_buffer(decoder, dac, 1, 2, 0);
+    b.add_sdf_buffer(dac, input, 1, 1, 4);
+    for index in 0..b.task_count() {
+        b.add_serializing_self_loop(csdf::TaskId::new(index));
+    }
+    b.build()
+}
+
+/// A satellite receiver-like graph: parallel demodulation branches merged by
+/// a Viterbi-style decoder.
+///
+/// # Errors
+///
+/// Never fails in practice.
+pub fn satellite_receiver() -> Result<CsdfGraph, CsdfError> {
+    let mut b = CsdfGraphBuilder::named("satellite");
+    let antenna = b.add_sdf_task("antenna", 1);
+    let split = b.add_sdf_task("split", 1);
+    let branch_i = b.add_sdf_task("demod_i", 5);
+    let branch_q = b.add_sdf_task("demod_q", 5);
+    let merge = b.add_sdf_task("merge", 1);
+    let viterbi = b.add_sdf_task("viterbi", 11);
+    let sink = b.add_sdf_task("sink", 1);
+    b.add_sdf_buffer(antenna, split, 1, 1, 0);
+    b.add_sdf_buffer(split, branch_i, 4, 1, 0);
+    b.add_sdf_buffer(split, branch_q, 4, 1, 0);
+    b.add_sdf_buffer(branch_i, merge, 1, 4, 0);
+    b.add_sdf_buffer(branch_q, merge, 1, 4, 0);
+    b.add_sdf_buffer(merge, viterbi, 2, 1, 0);
+    b.add_sdf_buffer(viterbi, sink, 1, 2, 0);
+    b.add_sdf_buffer(sink, antenna, 1, 1, 8);
+    for index in 0..b.task_count() {
+        b.add_serializing_self_loop(csdf::TaskId::new(index));
+    }
+    b.build()
+}
+
+/// An H.263-decoder-like graph: the classic 1 ↔ 594/2376 macro-block rate
+/// change that makes expansion-based methods expensive.
+///
+/// # Errors
+///
+/// Never fails in practice.
+pub fn h263_decoder() -> Result<CsdfGraph, CsdfError> {
+    let mut b = CsdfGraphBuilder::named("h263_decoder");
+    let parser = b.add_sdf_task("vld", 120);
+    let dequant = b.add_sdf_task("dequant", 1);
+    let idct = b.add_sdf_task("idct", 2);
+    let motion = b.add_sdf_task("motion", 1);
+    let reconstruct = b.add_sdf_task("reconstruct", 80);
+    b.add_sdf_buffer(parser, dequant, 594, 1, 0);
+    b.add_sdf_buffer(dequant, idct, 1, 1, 0);
+    b.add_sdf_buffer(idct, motion, 1, 1, 0);
+    b.add_sdf_buffer(motion, reconstruct, 1, 594, 0);
+    b.add_sdf_buffer(reconstruct, parser, 1, 1, 2);
+    for index in 0..b.task_count() {
+        b.add_serializing_self_loop(csdf::TaskId::new(index));
+    }
+    b.build()
+}
+
+/// An MP3-decoder-like graph with granule/subband rate changes.
+///
+/// # Errors
+///
+/// Never fails in practice.
+pub fn mp3_decoder() -> Result<CsdfGraph, CsdfError> {
+    let mut b = CsdfGraphBuilder::named("mp3_decoder");
+    let huffman = b.add_sdf_task("huffman", 8);
+    let requant = b.add_sdf_task("requantize", 3);
+    let reorder = b.add_sdf_task("reorder", 2);
+    let stereo = b.add_sdf_task("stereo", 1);
+    let antialias = b.add_sdf_task("antialias", 1);
+    let imdct = b.add_sdf_task("imdct", 6);
+    let synth = b.add_sdf_task("synthesis", 12);
+    b.add_sdf_buffer(huffman, requant, 2, 1, 0);
+    b.add_sdf_buffer(requant, reorder, 1, 1, 0);
+    b.add_sdf_buffer(reorder, stereo, 2, 1, 0);
+    b.add_sdf_buffer(stereo, antialias, 1, 2, 0);
+    b.add_sdf_buffer(antialias, imdct, 1, 1, 0);
+    b.add_sdf_buffer(imdct, synth, 18, 32, 0);
+    b.add_sdf_buffer(synth, huffman, 8, 9, 96);
+    for index in 0..b.task_count() {
+        b.add_serializing_self_loop(csdf::TaskId::new(index));
+    }
+    b.build()
+}
+
+/// All five "actual DSP" graphs, matching the size of the paper's ActualDSP
+/// category (5 graphs, 4–22 tasks).
+///
+/// # Errors
+///
+/// Never fails in practice.
+pub fn actual_dsp_suite() -> Result<Vec<CsdfGraph>, CsdfError> {
+    Ok(vec![
+        sample_rate_converter()?,
+        modem()?,
+        satellite_receiver()?,
+        h263_decoder()?,
+        mp3_decoder()?,
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_dsp_graphs_are_consistent() {
+        for graph in actual_dsp_suite().unwrap() {
+            let q = graph.repetition_vector();
+            assert!(q.is_ok(), "{} is inconsistent", graph.name());
+            assert!(q.unwrap().sum() > 0);
+        }
+    }
+
+    #[test]
+    fn suite_size_matches_the_paper_category() {
+        let suite = actual_dsp_suite().unwrap();
+        assert_eq!(suite.len(), 5);
+        for graph in &suite {
+            assert!(graph.task_count() >= 4);
+            assert!(graph.task_count() <= 22);
+        }
+    }
+
+    #[test]
+    fn h263_has_a_large_repetition_sum() {
+        let g = h263_decoder().unwrap();
+        let q = g.repetition_vector().unwrap();
+        assert!(q.sum() > 1000, "Σq = {}", q.sum());
+    }
+
+    #[test]
+    fn samplerate_conversion_ratio_is_40_to_49() {
+        let g = sample_rate_converter().unwrap();
+        let q = g.repetition_vector().unwrap();
+        let input = g.find_task("cd_in").unwrap();
+        let output = g.find_task("dat_out").unwrap();
+        assert_eq!(
+            q.get(output) * 49,
+            q.get(input) * 40,
+            "output/input firing ratio must be 40/49"
+        );
+    }
+
+    #[test]
+    fn dsp_graphs_have_finite_optimal_throughput() {
+        for graph in [sample_rate_converter().unwrap(), modem().unwrap()] {
+            let result = kperiodic::optimal_throughput(&graph).unwrap();
+            assert!(
+                matches!(result.throughput, csdf::Throughput::Finite(_)),
+                "{} should have finite throughput",
+                graph.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! Random consistent (C)SDF graph generation.
+//!
+//! The generator first draws a repetition vector, then derives buffer rates
+//! from it so that every generated graph is consistent by construction. The
+//! topology is a random connected DAG skeleton plus optional feedback edges;
+//! feedback edges receive enough initial tokens to keep the graph live, and
+//! every task is serialised with a one-token self-loop (the convention of the
+//! SDF3 benchmark the paper uses).
+
+use csdf::{lcm_u64, CsdfError, CsdfGraph, CsdfGraphBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the random graph generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RandomGraphConfig {
+    /// Number of tasks to generate (at least 2).
+    pub tasks: usize,
+    /// Number of extra forward edges beyond the connecting chain.
+    pub extra_edges: usize,
+    /// Number of feedback (cycle-closing) edges.
+    pub feedback_edges: usize,
+    /// Candidate per-task repetition counts (drawn uniformly).
+    pub repetition_choices: Vec<u64>,
+    /// Maximum number of phases per task (1 = plain SDF).
+    pub max_phases: usize,
+    /// Inclusive range of phase durations.
+    pub duration_range: (u64, u64),
+    /// Multiplier applied to `i_b + o_b` to compute feedback markings
+    /// (2 keeps graphs comfortably live, 1 makes them tight).
+    pub marking_factor: u64,
+    /// Whether to add one-token self-loops to every task.
+    pub serialize: bool,
+}
+
+impl Default for RandomGraphConfig {
+    fn default() -> Self {
+        RandomGraphConfig {
+            tasks: 8,
+            extra_edges: 4,
+            feedback_edges: 2,
+            repetition_choices: vec![1, 2, 3, 4, 6],
+            max_phases: 3,
+            duration_range: (1, 10),
+            marking_factor: 2,
+            serialize: true,
+        }
+    }
+}
+
+impl RandomGraphConfig {
+    /// A configuration producing plain SDF graphs (single-phase tasks).
+    pub fn sdf(tasks: usize) -> Self {
+        RandomGraphConfig {
+            tasks,
+            max_phases: 1,
+            ..RandomGraphConfig::default()
+        }
+    }
+
+    /// A configuration producing small CSDF graphs suitable for exhaustive
+    /// cross-validation against symbolic execution.
+    pub fn small_csdf() -> Self {
+        RandomGraphConfig {
+            tasks: 4,
+            extra_edges: 1,
+            feedback_edges: 1,
+            repetition_choices: vec![1, 2, 3],
+            max_phases: 3,
+            duration_range: (1, 4),
+            marking_factor: 2,
+            serialize: true,
+        }
+    }
+}
+
+/// Generates a random consistent, live, serialised CSDF graph.
+///
+/// The same `seed` always produces the same graph.
+///
+/// # Errors
+///
+/// Returns [`CsdfError`] if the configuration is degenerate (fewer than two
+/// tasks) or the drawn rates overflow.
+pub fn random_graph(config: &RandomGraphConfig, seed: u64) -> Result<CsdfGraph, CsdfError> {
+    if config.tasks < 2 {
+        return Err(CsdfError::EmptyGraph);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = CsdfGraphBuilder::named(format!("random_{seed}"));
+
+    // Draw the repetition vector and phase counts first.
+    let repetition: Vec<u64> = (0..config.tasks)
+        .map(|_| {
+            config.repetition_choices
+                [rng.gen_range(0..config.repetition_choices.len().max(1))]
+        })
+        .collect();
+    let phase_counts: Vec<usize> = (0..config.tasks)
+        .map(|_| rng.gen_range(1..=config.max_phases.max(1)))
+        .collect();
+
+    let mut task_ids = Vec::with_capacity(config.tasks);
+    for index in 0..config.tasks {
+        let durations: Vec<u64> = (0..phase_counts[index])
+            .map(|_| rng.gen_range(config.duration_range.0..=config.duration_range.1.max(1)))
+            .collect();
+        task_ids.push(builder.add_task(format!("t{index}"), durations));
+    }
+
+    // Helper: rates between two tasks so that q_u · i = q_v · o.
+    let add_edge = |builder: &mut CsdfGraphBuilder,
+                        rng: &mut StdRng,
+                        from: usize,
+                        to: usize,
+                        marking_factor: u64|
+     -> Result<(), CsdfError> {
+        let lcm = lcm_u64(repetition[from], repetition[to]).map_err(|_| CsdfError::Overflow)?;
+        let total_production = lcm / repetition[from];
+        let total_consumption = lcm / repetition[to];
+        let production = split_total(rng, total_production, phase_counts[from]);
+        let consumption = split_total(rng, total_consumption, phase_counts[to]);
+        let marking = marking_factor * (total_production + total_consumption);
+        builder.add_buffer(task_ids[from], task_ids[to], production, consumption, marking);
+        Ok(())
+    };
+
+    // Connecting pipeline 0 → 1 → … → n-1 (forward edges, no initial tokens).
+    for index in 1..config.tasks {
+        add_edge(&mut builder, &mut rng, index - 1, index, 0)?;
+    }
+    // Extra forward edges.
+    for _ in 0..config.extra_edges {
+        let from = rng.gen_range(0..config.tasks - 1);
+        let to = rng.gen_range(from + 1..config.tasks);
+        add_edge(&mut builder, &mut rng, from, to, 0)?;
+    }
+    // Feedback edges close cycles and carry ample tokens to stay live. The
+    // first one always closes the pipeline (last task back to the first), so
+    // every generated graph is strongly connected and self-timed execution
+    // has back-pressure; additional feedback edges are placed randomly.
+    for feedback in 0..config.feedback_edges.max(1) {
+        let (from, to) = if feedback == 0 {
+            (config.tasks - 1, 0)
+        } else {
+            let to = rng.gen_range(0..config.tasks - 1);
+            (rng.gen_range(to + 1..config.tasks), to)
+        };
+        add_edge(&mut builder, &mut rng, from, to, config.marking_factor.max(1))?;
+    }
+
+    if config.serialize {
+        for &task in &task_ids {
+            builder.add_serializing_self_loop(task);
+        }
+    }
+
+    builder.build()
+}
+
+/// Splits `total` into `parts` non-negative integers summing to `total`
+/// (at least one part is positive when `total > 0`).
+fn split_total(rng: &mut StdRng, total: u64, parts: usize) -> Vec<u64> {
+    let parts = parts.max(1);
+    let mut values = vec![0u64; parts];
+    let mut remaining = total;
+    for value in values.iter_mut().take(parts - 1) {
+        let share = if remaining == 0 {
+            0
+        } else {
+            rng.gen_range(0..=remaining)
+        };
+        *value = share;
+        remaining -= share;
+    }
+    values[parts - 1] = remaining;
+    values
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_graphs_are_consistent_and_live_enough() {
+        for seed in 0..20 {
+            let g = random_graph(&RandomGraphConfig::default(), seed).unwrap();
+            assert!(g.is_consistent(), "seed {seed} produced an inconsistent graph");
+            assert!(g.task_count() == 8);
+            // Every task carries a self-loop.
+            for task in g.task_ids() {
+                assert!(
+                    g.outgoing(task).iter().any(|&b| g.buffer(b).is_self_loop()),
+                    "task {task} is not serialised"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = random_graph(&RandomGraphConfig::default(), 42).unwrap();
+        let b = random_graph(&RandomGraphConfig::default(), 42).unwrap();
+        assert_eq!(a, b);
+        let c = random_graph(&RandomGraphConfig::default(), 43).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sdf_configuration_produces_single_phase_tasks() {
+        let g = random_graph(&RandomGraphConfig::sdf(10), 7).unwrap();
+        assert!(g.is_sdf());
+        assert_eq!(g.task_count(), 10);
+    }
+
+    #[test]
+    fn degenerate_configurations_are_rejected() {
+        let config = RandomGraphConfig {
+            tasks: 1,
+            ..RandomGraphConfig::default()
+        };
+        assert!(random_graph(&config, 0).is_err());
+    }
+
+    #[test]
+    fn split_total_preserves_the_sum() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for total in [0u64, 1, 5, 100] {
+            for parts in 1..5 {
+                let values = split_total(&mut rng, total, parts);
+                assert_eq!(values.len(), parts);
+                assert_eq!(values.iter().sum::<u64>(), total);
+            }
+        }
+    }
+}

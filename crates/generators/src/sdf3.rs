@@ -1,0 +1,180 @@
+//! Synthetic reproduction of the SDF3 benchmark categories of Table 1.
+//!
+//! The paper evaluates its algorithm over four categories of the SDF3
+//! benchmark generator: `ActualDSP` (real applications), `MimicDSP`
+//! (synthetic graphs that mimic DSP statistics), `LgHSDF` (large homogeneous
+//! graphs) and `LgTransient` (large graphs with long transient phases and a
+//! repetition vector equal to the task count). The original graph files are
+//! not available here, so each category is synthesised to land inside the
+//! size ranges Table 1 reports (task count, channel count and `Σq`).
+
+use csdf::{CsdfError, CsdfGraph};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dsp::actual_dsp_suite;
+use crate::random::{random_graph, RandomGraphConfig};
+
+/// The four SDFG categories of the paper's Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sdf3Category {
+    /// Five real DSP applications (4–22 tasks, multirate).
+    ActualDsp,
+    /// Synthetic DSP-like graphs (3–25 tasks, moderate rates).
+    MimicDsp,
+    /// Large homogeneous-ish graphs with large repetition sums.
+    LgHsdf,
+    /// Large graphs (≈200–300 tasks) whose repetition vector is unitary, so
+    /// the difficulty is the long transient, not the rates.
+    LgTransient,
+}
+
+impl Sdf3Category {
+    /// All categories in the order of Table 1.
+    pub fn all() -> [Sdf3Category; 4] {
+        [
+            Sdf3Category::ActualDsp,
+            Sdf3Category::MimicDsp,
+            Sdf3Category::LgHsdf,
+            Sdf3Category::LgTransient,
+        ]
+    }
+
+    /// The category name as printed in Table 1.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Sdf3Category::ActualDsp => "ActualDSP",
+            Sdf3Category::MimicDsp => "MimicDSP",
+            Sdf3Category::LgHsdf => "LgHSDF",
+            Sdf3Category::LgTransient => "LgTransient",
+        }
+    }
+
+    /// Number of graphs the paper evaluates in this category.
+    pub fn paper_graph_count(&self) -> usize {
+        match self {
+            Sdf3Category::ActualDsp => 5,
+            _ => 100,
+        }
+    }
+}
+
+/// Generates `count` graphs of the given category (the `ActualDsp` category
+/// ignores `count` beyond its five fixed applications).
+///
+/// # Errors
+///
+/// Propagates builder/consistency errors, which do not occur for the built-in
+/// configurations.
+pub fn generate_category(
+    category: Sdf3Category,
+    count: usize,
+    seed: u64,
+) -> Result<Vec<CsdfGraph>, CsdfError> {
+    match category {
+        Sdf3Category::ActualDsp => {
+            let mut suite = actual_dsp_suite()?;
+            suite.truncate(count.max(1));
+            Ok(suite)
+        }
+        Sdf3Category::MimicDsp => (0..count)
+            .map(|index| {
+                let mut rng = StdRng::seed_from_u64(seed ^ (index as u64).wrapping_mul(0x9e37));
+                let config = RandomGraphConfig {
+                    tasks: rng.gen_range(3..=25),
+                    extra_edges: rng.gen_range(0..=6),
+                    feedback_edges: rng.gen_range(1..=3),
+                    repetition_choices: vec![1, 2, 3, 4, 6, 8, 12],
+                    max_phases: 1,
+                    duration_range: (1, 20),
+                    marking_factor: 2,
+                    serialize: true,
+                };
+                random_graph(&config, seed.wrapping_add(index as u64))
+            })
+            .collect(),
+        Sdf3Category::LgHsdf => (0..count)
+            .map(|index| {
+                let mut rng = StdRng::seed_from_u64(seed ^ (index as u64).wrapping_mul(0x51ed));
+                let config = RandomGraphConfig {
+                    tasks: rng.gen_range(6..=15),
+                    extra_edges: rng.gen_range(4..=12),
+                    feedback_edges: rng.gen_range(2..=4),
+                    repetition_choices: vec![1, 2, 4, 8, 16, 32],
+                    max_phases: 1,
+                    duration_range: (1, 50),
+                    marking_factor: 2,
+                    serialize: true,
+                };
+                random_graph(&config, seed.wrapping_add(index as u64))
+            })
+            .collect(),
+        Sdf3Category::LgTransient => (0..count)
+            .map(|index| {
+                let mut rng = StdRng::seed_from_u64(seed ^ (index as u64).wrapping_mul(0xabcd));
+                let config = RandomGraphConfig {
+                    tasks: rng.gen_range(181..=300),
+                    extra_edges: rng.gen_range(20..=80),
+                    feedback_edges: rng.gen_range(3..=8),
+                    // Unitary repetition vector: the difficulty is the long
+                    // transient of the self-timed execution, exactly as in
+                    // the paper's category (Σq equals the task count).
+                    repetition_choices: vec![1],
+                    max_phases: 1,
+                    duration_range: (1, 100),
+                    marking_factor: 3,
+                    serialize: true,
+                };
+                random_graph(&config, seed.wrapping_add(index as u64))
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn categories_have_table1_names() {
+        let names: Vec<&str> = Sdf3Category::all().iter().map(|c| c.name()).collect();
+        assert_eq!(
+            names,
+            vec!["ActualDSP", "MimicDSP", "LgHSDF", "LgTransient"]
+        );
+        assert_eq!(Sdf3Category::ActualDsp.paper_graph_count(), 5);
+        assert_eq!(Sdf3Category::MimicDsp.paper_graph_count(), 100);
+    }
+
+    #[test]
+    fn generated_categories_are_consistent_sdf() {
+        for category in [Sdf3Category::MimicDsp, Sdf3Category::LgHsdf] {
+            for graph in generate_category(category, 3, 11).unwrap() {
+                assert!(graph.is_sdf(), "{} must be SDF", category.name());
+                assert!(graph.is_consistent());
+            }
+        }
+    }
+
+    #[test]
+    fn lg_transient_has_unitary_repetition_vector() {
+        let graphs = generate_category(Sdf3Category::LgTransient, 1, 3).unwrap();
+        let graph = &graphs[0];
+        assert!(graph.task_count() >= 181);
+        let q = graph.repetition_vector().unwrap();
+        assert_eq!(q.sum(), graph.task_count() as u128);
+    }
+
+    #[test]
+    fn mimic_dsp_sizes_match_the_reported_range() {
+        for graph in generate_category(Sdf3Category::MimicDsp, 10, 5).unwrap() {
+            assert!((3..=25).contains(&graph.task_count()));
+        }
+    }
+
+    #[test]
+    fn actual_dsp_is_the_fixed_suite() {
+        let graphs = generate_category(Sdf3Category::ActualDsp, 10, 0).unwrap();
+        assert_eq!(graphs.len(), 5);
+    }
+}

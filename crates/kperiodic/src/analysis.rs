@@ -1,0 +1,276 @@
+//! Fixed-K throughput evaluation.
+//!
+//! Given a periodicity vector `K`, the minimum period of a K-periodic
+//! schedule is the maximum cost-to-time ratio of the event graph (Sections
+//! 3.2–3.3 of the paper). This module wraps that pipeline — event-graph
+//! construction, MCRP resolution, Theorem-3 normalisation — into
+//! [`evaluate_k_periodic`] and the 1-periodic convenience
+//! [`evaluate_periodic`].
+
+use csdf::{CsdfGraph, Rational, RepetitionVector, TaskId, Throughput};
+use mcr::{maximum_cycle_ratio, CycleRatioOutcome};
+
+use crate::error::AnalysisError;
+use crate::event_graph::{EventGraph, EventGraphLimits};
+use crate::periodicity::PeriodicityVector;
+
+/// Options shared by the fixed-K evaluation and the K-Iter loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnalysisOptions {
+    /// Limits on the size of the event graphs that may be built.
+    pub limits: EventGraphLimits,
+    /// Maximum number of K-Iter iterations (ignored by fixed-K evaluation).
+    pub max_iterations: usize,
+}
+
+impl Default for AnalysisOptions {
+    fn default() -> Self {
+        AnalysisOptions {
+            limits: EventGraphLimits::default(),
+            max_iterations: 256,
+        }
+    }
+}
+
+/// What the fixed-K evaluation concluded for the given periodicity vector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvaluationOutcome {
+    /// A K-periodic schedule exists; the fields give its minimum period.
+    Feasible {
+        /// Minimum period of the transformed graph `G̃` (the raw maximum
+        /// cost-to-time ratio `Ω*_{G̃}`).
+        transformed_period: Rational,
+        /// Normalised period `Ω_G = Ω*_{G̃} / lcm(K)` of the original graph.
+        period: Rational,
+        /// The throughput `1 / Ω_G` this schedule guarantees (a lower bound
+        /// of the maximum throughput, tight when the optimality test passes).
+        throughput: Throughput,
+        /// Tasks appearing on the critical circuit.
+        critical_tasks: Vec<TaskId>,
+    },
+    /// No K-periodic schedule exists for this periodicity vector (a circuit
+    /// of the event graph has non-positive total time). Larger periodicity
+    /// values may still admit a schedule.
+    Infeasible {
+        /// Tasks appearing on the offending circuit.
+        critical_tasks: Vec<TaskId>,
+    },
+    /// The event graph has no circuit with positive ratio: nothing bounds the
+    /// period and the throughput is unbounded (this happens for graphs
+    /// without feedback when tasks are not serialised).
+    Unconstrained,
+}
+
+/// Result of a fixed-K evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KPeriodicEvaluation {
+    /// The periodicity vector that was evaluated.
+    pub periodicity: PeriodicityVector,
+    /// Size of the event graph that was solved (nodes, arcs).
+    pub event_graph_size: (usize, usize),
+    /// The conclusion.
+    pub outcome: EvaluationOutcome,
+}
+
+impl KPeriodicEvaluation {
+    /// The throughput guaranteed by this evaluation: finite for feasible
+    /// outcomes, [`Throughput::Deadlocked`] for infeasible ones (pessimistic:
+    /// a larger K may still be feasible), [`Throughput::Unbounded`] when the
+    /// period is unconstrained.
+    pub fn throughput(&self) -> Throughput {
+        match &self.outcome {
+            EvaluationOutcome::Feasible { throughput, .. } => *throughput,
+            EvaluationOutcome::Infeasible { .. } => Throughput::Deadlocked,
+            EvaluationOutcome::Unconstrained => Throughput::Unbounded,
+        }
+    }
+
+    /// The normalised period, when the outcome is feasible.
+    pub fn period(&self) -> Option<Rational> {
+        match &self.outcome {
+            EvaluationOutcome::Feasible { period, .. } => Some(*period),
+            _ => None,
+        }
+    }
+}
+
+/// Evaluates the minimum period of a K-periodic schedule for a fixed `K`.
+///
+/// # Errors
+///
+/// Propagates model errors (inconsistency, overflow, invalid `K`), solver
+/// errors and event-graph size violations.
+///
+/// # Examples
+///
+/// ```
+/// use csdf::CsdfGraphBuilder;
+/// use kperiodic::{evaluate_k_periodic, AnalysisOptions, PeriodicityVector, EvaluationOutcome};
+///
+/// let mut builder = CsdfGraphBuilder::new();
+/// let ping = builder.add_sdf_task("ping", 1);
+/// let pong = builder.add_sdf_task("pong", 1);
+/// builder.add_sdf_buffer(ping, pong, 1, 1, 0);
+/// builder.add_sdf_buffer(pong, ping, 1, 1, 1);
+/// let graph = builder.build()?;
+///
+/// let k = PeriodicityVector::unitary(&graph);
+/// let evaluation = evaluate_k_periodic(&graph, &k, &AnalysisOptions::default())?;
+/// match evaluation.outcome {
+///     EvaluationOutcome::Feasible { period, .. } => {
+///         assert_eq!(period, csdf::Rational::from_integer(2));
+///     }
+///     other => panic!("unexpected {other:?}"),
+/// }
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn evaluate_k_periodic(
+    graph: &CsdfGraph,
+    periodicity: &PeriodicityVector,
+    options: &AnalysisOptions,
+) -> Result<KPeriodicEvaluation, AnalysisError> {
+    let repetition = graph.repetition_vector()?;
+    evaluate_with_repetition(graph, &repetition, periodicity, options)
+}
+
+/// Same as [`evaluate_k_periodic`] but reuses an already computed repetition
+/// vector (the K-Iter loop calls this on every iteration).
+pub fn evaluate_with_repetition(
+    graph: &CsdfGraph,
+    repetition: &RepetitionVector,
+    periodicity: &PeriodicityVector,
+    options: &AnalysisOptions,
+) -> Result<KPeriodicEvaluation, AnalysisError> {
+    let event_graph = EventGraph::build(graph, repetition, periodicity, &options.limits)?;
+    let outcome = match maximum_cycle_ratio(event_graph.ratio_graph())? {
+        CycleRatioOutcome::Acyclic | CycleRatioOutcome::NonPositive => {
+            EvaluationOutcome::Unconstrained
+        }
+        CycleRatioOutcome::Infinite { cycle } => EvaluationOutcome::Infeasible {
+            critical_tasks: event_graph.tasks_on_cycle(&cycle).into_iter().collect(),
+        },
+        CycleRatioOutcome::Finite { ratio, cycle } => {
+            let lcm = Rational::from_integer(event_graph.lcm_k() as i128);
+            let period = ratio.checked_div(&lcm)?;
+            EvaluationOutcome::Feasible {
+                transformed_period: ratio,
+                period,
+                throughput: Throughput::from_period(period)?,
+                critical_tasks: event_graph.tasks_on_cycle(&cycle).into_iter().collect(),
+            }
+        }
+    };
+    Ok(KPeriodicEvaluation {
+        periodicity: periodicity.clone(),
+        event_graph_size: (event_graph.node_count(), event_graph.arc_count()),
+        outcome,
+    })
+}
+
+/// Evaluates the minimum period of an ordinary (1-)periodic schedule — the
+/// approximate method the paper compares against (reference [4]).
+///
+/// # Errors
+///
+/// Same as [`evaluate_k_periodic`].
+pub fn evaluate_periodic(
+    graph: &CsdfGraph,
+    options: &AnalysisOptions,
+) -> Result<KPeriodicEvaluation, AnalysisError> {
+    evaluate_k_periodic(graph, &PeriodicityVector::unitary(graph), options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csdf::CsdfGraphBuilder;
+
+    fn ring_with_tokens(tokens: u64) -> CsdfGraph {
+        let mut b = CsdfGraphBuilder::new();
+        let x = b.add_sdf_task("x", 2);
+        let y = b.add_sdf_task("y", 3);
+        b.add_sdf_buffer(x, y, 1, 1, 0);
+        b.add_sdf_buffer(y, x, 1, 1, tokens);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn hsdf_ring_periods() {
+        // One token: executions strictly alternate, period 5.
+        let one = evaluate_periodic(&ring_with_tokens(1), &AnalysisOptions::default()).unwrap();
+        assert_eq!(one.period(), Some(Rational::from_integer(5)));
+        // Two tokens: period 5/2 per iteration... the cycle ratio is (2+3)/2.
+        let two = evaluate_periodic(&ring_with_tokens(2), &AnalysisOptions::default()).unwrap();
+        assert_eq!(two.period(), Some(Rational::new(5, 2).unwrap()));
+        assert!(two.throughput() > one.throughput());
+        assert_eq!(one.event_graph_size.0, 2);
+    }
+
+    #[test]
+    fn deadlocked_ring_is_infeasible() {
+        // Zero tokens on a cycle: no schedule whatsoever.
+        let evaluation =
+            evaluate_periodic(&ring_with_tokens(0), &AnalysisOptions::default()).unwrap();
+        match evaluation.outcome {
+            EvaluationOutcome::Infeasible { ref critical_tasks } => {
+                assert_eq!(critical_tasks.len(), 2);
+            }
+            ref other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(evaluation.throughput(), Throughput::Deadlocked);
+        assert_eq!(evaluation.period(), None);
+    }
+
+    #[test]
+    fn acyclic_graph_is_unconstrained() {
+        let mut b = CsdfGraphBuilder::new();
+        let x = b.add_sdf_task("x", 1);
+        let y = b.add_sdf_task("y", 1);
+        b.add_sdf_buffer(x, y, 1, 1, 0);
+        let g = b.build().unwrap();
+        let evaluation = evaluate_periodic(&g, &AnalysisOptions::default()).unwrap();
+        assert_eq!(evaluation.outcome, EvaluationOutcome::Unconstrained);
+        assert_eq!(evaluation.throughput(), Throughput::Unbounded);
+    }
+
+    #[test]
+    fn larger_k_never_hurts() {
+        // For a multirate ring, K-periodic schedules are at least as good as
+        // periodic ones.
+        let mut b = CsdfGraphBuilder::new();
+        let x = b.add_sdf_task("x", 1);
+        let y = b.add_sdf_task("y", 1);
+        b.add_sdf_buffer(x, y, 2, 1, 0);
+        b.add_sdf_buffer(y, x, 1, 2, 4);
+        let g = b.build().unwrap();
+        let options = AnalysisOptions::default();
+        let unitary = evaluate_periodic(&g, &options).unwrap();
+        let q = g.repetition_vector().unwrap();
+        let full = evaluate_k_periodic(&g, &PeriodicityVector::full(&q), &options).unwrap();
+        assert!(full.throughput() >= unitary.throughput());
+    }
+
+    #[test]
+    fn cyclo_static_phases_spread_the_work() {
+        // A CSDF producer that alternates between bursts of 2 and 0 tokens.
+        // Without self-loops nothing orders the phases of `x`, so no circuit
+        // bounds the period; once the tasks are serialised the evaluation
+        // produces a finite period.
+        let mut b = CsdfGraphBuilder::new();
+        let x = b.add_task("x", vec![1, 1]);
+        let y = b.add_sdf_task("y", 1);
+        b.add_buffer(x, y, vec![2, 0], vec![1], 0);
+        b.add_buffer(y, x, vec![1], vec![0, 2], 2);
+        let unserialized = b.build().unwrap();
+        let evaluation =
+            evaluate_periodic(&unserialized, &AnalysisOptions::default()).unwrap();
+        assert_eq!(evaluation.outcome, EvaluationOutcome::Unconstrained);
+
+        let serialized = csdf::transform::serialize_tasks(&unserialized).unwrap();
+        let evaluation = evaluate_periodic(&serialized, &AnalysisOptions::default()).unwrap();
+        assert!(matches!(
+            evaluation.outcome,
+            EvaluationOutcome::Feasible { .. }
+        ));
+    }
+}

@@ -1,0 +1,251 @@
+//! Theorem-2 constraint generation.
+//!
+//! For a buffer `b = (t, t')` and a pair of phases `(p, p')`, the paper's
+//! Theorem 2 (recalled from the authors' ESTIMedia'13 work) states that a
+//! periodic schedule is feasible if and only if, whenever
+//! `α_a(p,p') ≤ β_a(p,p')`,
+//!
+//! ```text
+//! S⟨t'_p', 1⟩ − S⟨t_p, 1⟩ ≥ d(t_p) + Ω · β_a(p,p') / (q_t · i_b)
+//! ```
+//!
+//! with
+//!
+//! ```text
+//! Q_a(p,p') = Oa⟨t'_p',1⟩ − Ia⟨t_p,1⟩ − M0(b) + in_b(p)
+//! α_a(p,p') = ⌈Q_a(p,p') − min(in_b(p), out_b(p'))⌉^{gcd_a}
+//! β_a(p,p') = ⌊Q_a(p,p') − 1⌋^{gcd_a}
+//! ```
+//!
+//! where `⌈x⌉^γ` (resp. `⌊x⌋^γ`) rounds up (resp. down) to a multiple of `γ`.
+//! This module computes these quantities on *expanded* rate vectors, so the
+//! same code serves the 1-periodic case and the K-periodic case (where every
+//! vector is duplicated `K_t` times, Section 3.2).
+
+/// One useful (non-redundant) precedence constraint between a producer phase
+/// and a consumer phase of a buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseConstraint {
+    /// 0-based producer phase index (into the expanded production vector).
+    pub producer_phase: usize,
+    /// 0-based consumer phase index (into the expanded consumption vector).
+    pub consumer_phase: usize,
+    /// The `α_a(p,p')` bound (a multiple of `gcd_a`).
+    pub alpha: i128,
+    /// The `β_a(p,p')` bound (a multiple of `gcd_a`); this is the value that
+    /// enters the schedule constraint and the event-graph arc weight.
+    pub beta: i128,
+}
+
+/// Computes every useful phase-pair constraint of a buffer described by its
+/// (possibly duplicated) production / consumption vectors and initial marking.
+///
+/// The returned constraints are exactly the pairs `(p, p')` of the paper's set
+/// `Y(a)` for which `α ≤ β`, in row-major order (producer phase outermost).
+///
+/// # Panics
+///
+/// Panics if either rate vector is empty or sums to zero (the
+/// [`csdf::CsdfGraphBuilder`] never produces such buffers).
+pub fn phase_constraints(
+    production: &[u64],
+    consumption: &[u64],
+    initial_tokens: u64,
+) -> Vec<PhaseConstraint> {
+    assert!(!production.is_empty() && !consumption.is_empty());
+    let total_production: u64 = production.iter().sum();
+    let total_consumption: u64 = consumption.iter().sum();
+    assert!(total_production > 0 && total_consumption > 0);
+    let gcd = csdf::gcd_u64(total_production, total_consumption) as i128;
+
+    // 1-based cumulative sums.
+    let mut cumulative_production = Vec::with_capacity(production.len());
+    let mut running = 0i128;
+    for &rate in production {
+        running += rate as i128;
+        cumulative_production.push(running);
+    }
+    let mut cumulative_consumption = Vec::with_capacity(consumption.len());
+    running = 0;
+    for &rate in consumption {
+        running += rate as i128;
+        cumulative_consumption.push(running);
+    }
+
+    let marking = initial_tokens as i128;
+    let mut constraints = Vec::new();
+    for (p, &produced_here) in production.iter().enumerate() {
+        let produced_before = cumulative_production[p];
+        for (p_prime, &consumed_here) in consumption.iter().enumerate() {
+            let consumed_before = cumulative_consumption[p_prime];
+            let q_value = consumed_before - produced_before - marking + produced_here as i128;
+            let alpha = ceil_to_multiple(
+                q_value - (produced_here.min(consumed_here)) as i128,
+                gcd,
+            );
+            let beta = floor_to_multiple(q_value - 1, gcd);
+            if alpha <= beta {
+                constraints.push(PhaseConstraint {
+                    producer_phase: p,
+                    consumer_phase: p_prime,
+                    alpha,
+                    beta,
+                });
+            }
+        }
+    }
+    constraints
+}
+
+/// Duplicates a rate vector `factor` times (the `[v]^P` notation of the
+/// paper's Section 3.2).
+pub fn duplicate_rates(rates: &[u64], factor: u64) -> Vec<u64> {
+    let mut duplicated = Vec::with_capacity(rates.len() * factor as usize);
+    for _ in 0..factor {
+        duplicated.extend_from_slice(rates);
+    }
+    duplicated
+}
+
+/// Rounds `value` down to a multiple of `step` (`⌊value⌋^step`).
+pub fn floor_to_multiple(value: i128, step: i128) -> i128 {
+    debug_assert!(step > 0);
+    value.div_euclid(step) * step
+}
+
+/// Rounds `value` up to a multiple of `step` (`⌈value⌉^step`).
+pub fn ceil_to_multiple(value: i128, step: i128) -> i128 {
+    debug_assert!(step > 0);
+    -((-value).div_euclid(step)) * step
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rounding_helpers() {
+        assert_eq!(floor_to_multiple(7, 3), 6);
+        assert_eq!(floor_to_multiple(-1, 3), -3);
+        assert_eq!(floor_to_multiple(6, 3), 6);
+        assert_eq!(ceil_to_multiple(7, 3), 9);
+        assert_eq!(ceil_to_multiple(-1, 3), 0);
+        assert_eq!(ceil_to_multiple(6, 3), 6);
+        assert_eq!(ceil_to_multiple(0, 5), 0);
+        assert_eq!(floor_to_multiple(0, 5), 0);
+    }
+
+    #[test]
+    fn duplicate_rates_repeats_in_order() {
+        assert_eq!(duplicate_rates(&[2, 3], 3), vec![2, 3, 2, 3, 2, 3]);
+        assert_eq!(duplicate_rates(&[1], 1), vec![1]);
+    }
+
+    #[test]
+    fn homogeneous_buffer_without_tokens() {
+        // Unit rates, no marking: a single constraint with β = 0 forcing the
+        // consumer to start after the producer.
+        let constraints = phase_constraints(&[1], &[1], 0);
+        assert_eq!(constraints.len(), 1);
+        assert_eq!(constraints[0].beta, 0);
+        assert_eq!(constraints[0].alpha, 0);
+    }
+
+    #[test]
+    fn homogeneous_buffer_with_one_token() {
+        // One initial token: β = −1, the classic "one iteration of slack".
+        let constraints = phase_constraints(&[1], &[1], 1);
+        assert_eq!(constraints.len(), 1);
+        assert_eq!(constraints[0].beta, -1);
+    }
+
+    #[test]
+    fn saturated_buffer_produces_no_constraint() {
+        // With two tokens and unit rates, gcd = 1: Q = 1 - 1 - 2 + 1 = -1,
+        // α = ⌈-2⌉ = -2 ≤ β = ⌊-2⌋ = -2: the constraint exists but is weak
+        // (β = -2). Larger markings keep weakening it, never removing it for
+        // gcd = 1, which matches the theorem.
+        let constraints = phase_constraints(&[1], &[1], 2);
+        assert_eq!(constraints.len(), 1);
+        assert_eq!(constraints[0].beta, -2);
+    }
+
+    #[test]
+    fn serializing_self_loop_constraints() {
+        // A 3-phase task's one-token self-loop: phases chain in order and the
+        // last phase of one execution precedes the first of the next.
+        let constraints = phase_constraints(&[1, 1, 1], &[1, 1, 1], 1);
+        // Expected pairs: (p, p+1) with β = 0 and (last, first) with β = -3.
+        assert!(constraints.contains(&PhaseConstraint {
+            producer_phase: 0,
+            consumer_phase: 1,
+            alpha: 0,
+            beta: 0,
+        }));
+        assert!(constraints.contains(&PhaseConstraint {
+            producer_phase: 1,
+            consumer_phase: 2,
+            alpha: 0,
+            beta: 0,
+        }));
+        assert!(constraints.contains(&PhaseConstraint {
+            producer_phase: 2,
+            consumer_phase: 0,
+            alpha: -3,
+            beta: -3,
+        }));
+        assert_eq!(constraints.len(), 3);
+    }
+
+    #[test]
+    fn figure1_buffer_constraints_are_plausible() {
+        // Paper Figure 1: in = [2,3,1], out = [2,5], M0 = 0, gcd = 1.
+        let constraints = phase_constraints(&[2, 3, 1], &[2, 5], 0);
+        // Every constraint must relate a valid phase pair and respect α ≤ β.
+        assert!(!constraints.is_empty());
+        for c in &constraints {
+            assert!(c.producer_phase < 3);
+            assert!(c.consumer_phase < 2);
+            assert!(c.alpha <= c.beta);
+        }
+        // The first consumer phase needs the first producer phase: for
+        // (p=1, p'=1): Q = 2 - 2 - 0 + 2 = 2, β = ⌊1⌋ = 1, α = ⌈0⌉ = 0.
+        let first = constraints
+            .iter()
+            .find(|c| c.producer_phase == 0 && c.consumer_phase == 0)
+            .expect("constraint (1,1) must exist");
+        assert_eq!(first.beta, 1);
+        assert_eq!(first.alpha, 0);
+    }
+
+    #[test]
+    fn gcd_strengthening_removes_redundant_pairs() {
+        // Rates 2 -> 2 with zero marking: gcd = 2. Q(1,1) = 2 - 2 - 0 + 2 = 2,
+        // α = ⌈0⌉^2 = 0, β = ⌊1⌋^2 = 0 → constraint kept with β = 0.
+        let constraints = phase_constraints(&[2], &[2], 0);
+        assert_eq!(constraints.len(), 1);
+        assert_eq!(constraints[0].beta, 0);
+        // With one token the constraint weakens: Q = 1, α = ⌈-1⌉^2 = 0,
+        // β = ⌊0⌋^2 = 0 → still kept, β = 0 (a single token cannot decouple
+        // rate-2 transfers).
+        let constraints = phase_constraints(&[2], &[2], 1);
+        assert_eq!(constraints.len(), 1);
+        assert_eq!(constraints[0].beta, 0);
+        // With two tokens (one full transfer ahead) the dependency relaxes by
+        // a full period: β = -2.
+        let constraints = phase_constraints(&[2], &[2], 2);
+        assert_eq!(constraints.len(), 1);
+        assert_eq!(constraints[0].beta, -2);
+    }
+
+    #[test]
+    fn duplicated_vectors_grow_the_constraint_set() {
+        let base = phase_constraints(&[1], &[1], 0);
+        let duplicated = phase_constraints(&duplicate_rates(&[1], 2), &duplicate_rates(&[1], 2), 0);
+        assert_eq!(base.len(), 1);
+        assert!(duplicated.len() > base.len());
+        for c in &duplicated {
+            assert!(c.alpha <= c.beta);
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! The Section-3.2 graph transformation `G → G̃`.
+//!
+//! Given a periodicity vector `K`, the adjacent vectors of every task `t`
+//! (durations, production rates, consumption rates) are duplicated `K_t`
+//! times. A 1-periodic schedule of the transformed graph `G̃` is exactly a
+//! K-periodic schedule of `G`, with periods related by
+//! `Ω_G = Ω_G̃ / lcm(K)` (Theorem 3).
+
+use csdf::{CsdfError, CsdfGraph, CsdfGraphBuilder, RepetitionVector};
+
+use crate::constraints::duplicate_rates;
+use crate::periodicity::PeriodicityVector;
+
+/// Builds the transformed graph `G̃` in which the phase vectors of every task
+/// `t` are duplicated `K_t` times.
+///
+/// The transformed graph has the same tasks and buffers as `G`; only the
+/// vectors grow: `ϕ̃(t) = K_t · ϕ(t)`, `ĩ_b = K_t · i_b`, `õ_b = K_{t'} · o_b`
+/// and the marking is unchanged.
+///
+/// # Errors
+///
+/// Returns [`CsdfError::InvalidPeriodicityVector`] when `K` does not match the
+/// graph, plus any builder validation error (which cannot occur for a graph
+/// built through [`CsdfGraphBuilder`]).
+///
+/// # Examples
+///
+/// ```
+/// use csdf::CsdfGraphBuilder;
+/// use kperiodic::{duplicate_phases, PeriodicityVector};
+///
+/// let mut builder = CsdfGraphBuilder::new();
+/// let a = builder.add_task("a", vec![1, 2]);
+/// let b = builder.add_sdf_task("b", 1);
+/// builder.add_buffer(a, b, vec![1, 1], vec![2], 0);
+/// let graph = builder.build()?;
+///
+/// let mut k = PeriodicityVector::unitary(&graph);
+/// k.set(a, 2)?;
+/// let transformed = duplicate_phases(&graph, &k)?;
+/// assert_eq!(transformed.task(a).phase_count(), 4);
+/// assert_eq!(transformed.buffer(csdf::BufferId::new(0)).production(), &[1, 1, 1, 1]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn duplicate_phases(
+    graph: &CsdfGraph,
+    periodicity: &PeriodicityVector,
+) -> Result<CsdfGraph, CsdfError> {
+    if periodicity.len() != graph.task_count() {
+        return Err(CsdfError::InvalidPeriodicityVector {
+            expected: graph.task_count(),
+            actual: periodicity.len(),
+        });
+    }
+    let mut builder = CsdfGraphBuilder::named(format!("{}_k", graph.name()));
+    for (task_id, task) in graph.tasks() {
+        let factor = periodicity.get(task_id);
+        builder.add_task(
+            task.name().to_string(),
+            duplicate_rates(task.durations(), factor),
+        );
+    }
+    for (_, buffer) in graph.buffers() {
+        builder.add_buffer(
+            buffer.source(),
+            buffer.target(),
+            duplicate_rates(buffer.production(), periodicity.get(buffer.source())),
+            duplicate_rates(buffer.consumption(), periodicity.get(buffer.target())),
+            buffer.initial_tokens(),
+        );
+    }
+    builder.build()
+}
+
+/// The repetition vector `q̃` of the transformed graph as defined by the
+/// paper: `q̃_t = q_t · lcm(K) / K_t`.
+///
+/// Note that this vector is deliberately **not** reduced to the smallest
+/// integer solution of `G̃`'s balance equations — the paper's Theorem 3 period
+/// normalisation `Ω_G = Ω_G̃ / lcm(K)` relies on exactly this scaling.
+///
+/// # Errors
+///
+/// Returns [`CsdfError::Overflow`] when an entry exceeds `u64` and
+/// [`CsdfError::InvalidPeriodicityVector`] on a length mismatch.
+pub fn transformed_repetition_vector(
+    repetition: &RepetitionVector,
+    periodicity: &PeriodicityVector,
+) -> Result<RepetitionVector, CsdfError> {
+    if repetition.len() != periodicity.len() {
+        return Err(CsdfError::InvalidPeriodicityVector {
+            expected: repetition.len(),
+            actual: periodicity.len(),
+        });
+    }
+    let lcm = periodicity.lcm()?;
+    let mut entries = Vec::with_capacity(repetition.len());
+    for (index, &q) in repetition.as_slice().iter().enumerate() {
+        let k = periodicity.as_slice()[index];
+        debug_assert!(lcm % k == 0);
+        let value = (q as u128)
+            .checked_mul((lcm / k) as u128)
+            .ok_or(CsdfError::Overflow)?;
+        entries.push(u64::try_from(value).map_err(|_| CsdfError::Overflow)?);
+    }
+    Ok(entries.into_iter().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csdf::{CsdfGraphBuilder, TaskId};
+
+    fn sample() -> CsdfGraph {
+        let mut b = CsdfGraphBuilder::new();
+        let x = b.add_task("x", vec![1, 1]);
+        let y = b.add_task("y", vec![2, 1, 1]);
+        b.add_buffer(x, y, vec![2, 1], vec![1, 1, 2], 0);
+        b.add_buffer(y, x, vec![1, 2, 1], vec![2, 1], 5);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn duplication_scales_vectors() {
+        let g = sample();
+        let k = PeriodicityVector::from_entries(&g, vec![3, 2]).unwrap();
+        let t = duplicate_phases(&g, &k).unwrap();
+        assert_eq!(t.task(TaskId::new(0)).phase_count(), 6);
+        assert_eq!(t.task(TaskId::new(1)).phase_count(), 6);
+        let forward = t.buffer(csdf::BufferId::new(0));
+        assert_eq!(forward.total_production(), 3 * 3);
+        assert_eq!(forward.total_consumption(), 2 * 4);
+        assert_eq!(forward.initial_tokens(), 0);
+        let backward = t.buffer(csdf::BufferId::new(1));
+        assert_eq!(backward.initial_tokens(), 5);
+    }
+
+    #[test]
+    fn transformed_graph_is_consistent() {
+        let g = sample();
+        let q = g.repetition_vector().unwrap();
+        let k = PeriodicityVector::from_entries(&g, vec![2, 3]).unwrap();
+        let t = duplicate_phases(&g, &k).unwrap();
+        assert!(t.is_consistent());
+        // The paper's q̃ must satisfy G̃'s balance equations even though it is
+        // not necessarily the minimal vector.
+        let q_tilde = transformed_repetition_vector(&q, &k).unwrap();
+        assert!(q_tilde.validates(&t));
+    }
+
+    #[test]
+    fn unitary_duplication_is_identity_on_structure() {
+        let g = sample();
+        let k = PeriodicityVector::unitary(&g);
+        let t = duplicate_phases(&g, &k).unwrap();
+        assert_eq!(t.task_count(), g.task_count());
+        assert_eq!(t.buffer_count(), g.buffer_count());
+        assert_eq!(
+            t.task(TaskId::new(0)).durations(),
+            g.task(TaskId::new(0)).durations()
+        );
+        let q = g.repetition_vector().unwrap();
+        let q_tilde = transformed_repetition_vector(&q, &k).unwrap();
+        assert_eq!(q_tilde.as_slice(), q.as_slice());
+    }
+
+    #[test]
+    fn length_mismatch_is_rejected() {
+        let g = sample();
+        let mut other_builder = CsdfGraphBuilder::new();
+        other_builder.add_sdf_task("only", 1);
+        let other = other_builder.build().unwrap();
+        let k = PeriodicityVector::unitary(&other);
+        assert!(matches!(
+            duplicate_phases(&g, &k),
+            Err(CsdfError::InvalidPeriodicityVector { .. })
+        ));
+        let q = g.repetition_vector().unwrap();
+        assert!(transformed_repetition_vector(&q, &k).is_err());
+    }
+}

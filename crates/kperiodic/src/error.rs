@@ -1,0 +1,96 @@
+//! Error type of the K-periodic analysis crate.
+
+use std::fmt;
+
+use csdf::{CsdfError, RationalError};
+use mcr::McrError;
+
+/// Errors raised by K-periodic throughput evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnalysisError {
+    /// The underlying CSDF model reported an error (inconsistency, overflow,
+    /// invalid periodicity vector, ...).
+    Model(CsdfError),
+    /// The cycle-ratio solver reported an error.
+    Solver(McrError),
+    /// The K-Iter loop exceeded its configured iteration budget before the
+    /// optimality test succeeded.
+    IterationLimitReached {
+        /// Number of iterations performed.
+        iterations: usize,
+    },
+    /// The event graph grew beyond the configured node budget.
+    EventGraphTooLarge {
+        /// Number of nodes the event graph would need.
+        nodes: usize,
+        /// The configured limit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::Model(err) => write!(f, "{err}"),
+            AnalysisError::Solver(err) => write!(f, "{err}"),
+            AnalysisError::IterationLimitReached { iterations } => {
+                write!(f, "k-iter did not converge within {iterations} iterations")
+            }
+            AnalysisError::EventGraphTooLarge { nodes, limit } => {
+                write!(f, "event graph needs {nodes} nodes, limit is {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AnalysisError::Model(err) => Some(err),
+            AnalysisError::Solver(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<CsdfError> for AnalysisError {
+    fn from(err: CsdfError) -> Self {
+        AnalysisError::Model(err)
+    }
+}
+
+impl From<McrError> for AnalysisError {
+    fn from(err: McrError) -> Self {
+        AnalysisError::Solver(err)
+    }
+}
+
+impl From<RationalError> for AnalysisError {
+    fn from(err: RationalError) -> Self {
+        AnalysisError::Model(CsdfError::Rational(err))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let model: AnalysisError = CsdfError::EmptyGraph.into();
+        assert!(model.to_string().contains("no tasks"));
+        let solver: AnalysisError = McrError::IterationLimit.into();
+        assert!(solver.to_string().contains("iteration"));
+        let rational: AnalysisError = RationalError::Overflow.into();
+        assert!(matches!(rational, AnalysisError::Model(_)));
+        let limit = AnalysisError::IterationLimitReached { iterations: 3 };
+        assert!(limit.to_string().contains('3'));
+        let size = AnalysisError::EventGraphTooLarge {
+            nodes: 10,
+            limit: 5,
+        };
+        assert!(size.to_string().contains("10"));
+        assert!(std::error::Error::source(&model).is_some());
+        assert!(std::error::Error::source(&limit).is_none());
+    }
+}

@@ -1,0 +1,340 @@
+//! Construction of the bi-valued event graph (Section 3.3).
+//!
+//! For a CSDF graph `G`, a repetition vector `q` and a periodicity vector `K`,
+//! the event graph has one node per execution `⟨t_p̃, 1⟩` of the transformed
+//! graph `G̃` (`K_t · ϕ(t)` nodes per task) and one arc per useful Theorem-2
+//! constraint, bi-valued by
+//!
+//! ```text
+//! L(e) = d̃(t_p̃)           H(e) = −β̃_a(p̃, p̃') / (ĩ_a · q̃_t)
+//! ```
+//!
+//! The maximum cost-to-time ratio of this graph is the minimum period
+//! `Ω*_{G̃}` of a 1-periodic schedule of `G̃`, i.e. of a K-periodic schedule of
+//! `G` (up to the `lcm(K)` normalisation of Theorem 3).
+
+use std::collections::BTreeSet;
+
+use csdf::{CsdfGraph, Rational, RepetitionVector, TaskId};
+use mcr::{CriticalCycle, NodeId, RatioGraph};
+
+use crate::constraints::{duplicate_rates, phase_constraints};
+use crate::error::AnalysisError;
+use crate::periodicity::PeriodicityVector;
+
+/// Identity of an event-graph node: an execution `⟨t_p̃, 1⟩` of the
+/// transformed graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventNode {
+    /// The task this execution belongs to.
+    pub task: TaskId,
+    /// 0-based phase index in the *transformed* graph, i.e. in
+    /// `0 .. K_t · ϕ(t)`.
+    pub phase: usize,
+}
+
+/// The bi-valued event graph of a CSDF graph under a periodicity vector.
+#[derive(Debug, Clone)]
+pub struct EventGraph {
+    ratio: RatioGraph,
+    nodes: Vec<EventNode>,
+    node_offset: Vec<usize>,
+    durations: Vec<Vec<u64>>,
+    lcm_k: u64,
+}
+
+/// Limits applied while building event graphs (guards against accidental
+/// blow-ups when K grows towards the repetition vector).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventGraphLimits {
+    /// Maximum number of nodes (executions) the event graph may contain.
+    pub max_nodes: usize,
+    /// Maximum number of arcs (constraints) the event graph may contain.
+    pub max_arcs: usize,
+}
+
+impl Default for EventGraphLimits {
+    fn default() -> Self {
+        EventGraphLimits {
+            max_nodes: 2_000_000,
+            max_arcs: 20_000_000,
+        }
+    }
+}
+
+impl EventGraph {
+    /// Builds the event graph of `graph` for the periodicity vector `k`.
+    ///
+    /// # Errors
+    ///
+    /// * [`AnalysisError::Model`] for inconsistent graphs, invalid `K`, or
+    ///   arithmetic overflow;
+    /// * [`AnalysisError::EventGraphTooLarge`] when the limits are exceeded.
+    pub fn build(
+        graph: &CsdfGraph,
+        repetition: &RepetitionVector,
+        k: &PeriodicityVector,
+        limits: &EventGraphLimits,
+    ) -> Result<Self, AnalysisError> {
+        if k.len() != graph.task_count() {
+            return Err(AnalysisError::Model(
+                csdf::CsdfError::InvalidPeriodicityVector {
+                    expected: graph.task_count(),
+                    actual: k.len(),
+                },
+            ));
+        }
+        let lcm_k = k.lcm()?;
+
+        // Node numbering: contiguous blocks per task.
+        let mut node_offset = Vec::with_capacity(graph.task_count());
+        let mut nodes = Vec::new();
+        let mut durations = Vec::with_capacity(graph.task_count());
+        for (task_id, task) in graph.tasks() {
+            node_offset.push(nodes.len());
+            let expanded = duplicate_rates(task.durations(), k.get(task_id));
+            for phase in 0..expanded.len() {
+                nodes.push(EventNode {
+                    task: task_id,
+                    phase,
+                });
+            }
+            durations.push(expanded);
+            if nodes.len() > limits.max_nodes {
+                return Err(AnalysisError::EventGraphTooLarge {
+                    nodes: nodes.len(),
+                    limit: limits.max_nodes,
+                });
+            }
+        }
+
+        let mut ratio = RatioGraph::new(nodes.len());
+        for (_, buffer) in graph.buffers() {
+            let producer = buffer.source();
+            let consumer = buffer.target();
+            let k_producer = k.get(producer);
+            let k_consumer = k.get(consumer);
+            let production = duplicate_rates(buffer.production(), k_producer);
+            let consumption = duplicate_rates(buffer.consumption(), k_consumer);
+
+            // ĩ_a · q̃_t = K_t·i_b · q_t·lcm(K)/K_t = i_b · q_t · lcm(K).
+            let denominator = (buffer.total_production() as i128)
+                .checked_mul(repetition.get(producer) as i128)
+                .and_then(|v| v.checked_mul(lcm_k as i128))
+                .ok_or(AnalysisError::Model(csdf::CsdfError::Overflow))?;
+
+            for constraint in
+                phase_constraints(&production, &consumption, buffer.initial_tokens())
+            {
+                let from = node_offset[producer.index()] + constraint.producer_phase;
+                let to = node_offset[consumer.index()] + constraint.consumer_phase;
+                let cost = Rational::from_integer(
+                    durations[producer.index()][constraint.producer_phase] as i128,
+                );
+                let time = Rational::new(-constraint.beta, denominator)
+                    .map_err(csdf::CsdfError::Rational)?;
+                ratio.add_arc(NodeId::new(from), NodeId::new(to), cost, time);
+                if ratio.arc_count() > limits.max_arcs {
+                    return Err(AnalysisError::EventGraphTooLarge {
+                        nodes: ratio.arc_count(),
+                        limit: limits.max_arcs,
+                    });
+                }
+            }
+        }
+
+        Ok(EventGraph {
+            ratio,
+            nodes,
+            node_offset,
+            durations,
+            lcm_k,
+        })
+    }
+
+    /// The underlying bi-valued ratio graph.
+    pub fn ratio_graph(&self) -> &RatioGraph {
+        &self.ratio
+    }
+
+    /// Number of execution nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of constraint arcs.
+    pub fn arc_count(&self) -> usize {
+        self.ratio.arc_count()
+    }
+
+    /// `lcm(K)` of the periodicity vector used to build this event graph.
+    pub fn lcm_k(&self) -> u64 {
+        self.lcm_k
+    }
+
+    /// The execution represented by an event-graph node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` does not belong to this event graph.
+    pub fn event(&self, node: NodeId) -> EventNode {
+        self.nodes[node.index()]
+    }
+
+    /// Event-graph node of the `phase`-th transformed execution of `task`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` or `phase` is out of range.
+    pub fn node_of(&self, task: TaskId, phase: usize) -> NodeId {
+        assert!(phase < self.durations[task.index()].len());
+        NodeId::new(self.node_offset[task.index()] + phase)
+    }
+
+    /// Duration of the `phase`-th transformed execution of `task`.
+    pub fn duration_of(&self, task: TaskId, phase: usize) -> u64 {
+        self.durations[task.index()][phase]
+    }
+
+    /// Number of transformed phases (`K_t · ϕ(t)`) of `task`.
+    pub fn phase_count_of(&self, task: TaskId) -> usize {
+        self.durations[task.index()].len()
+    }
+
+    /// The set of tasks whose executions appear on a critical circuit.
+    pub fn tasks_on_cycle(&self, cycle: &CriticalCycle) -> BTreeSet<TaskId> {
+        cycle
+            .nodes
+            .iter()
+            .map(|&node| self.event(node).task)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csdf::CsdfGraphBuilder;
+    use mcr::{maximum_cycle_ratio, CycleRatioOutcome};
+
+    /// Two unit-rate tasks in a loop with one token: the classic period-2
+    /// marked graph.
+    fn ring() -> CsdfGraph {
+        let mut b = CsdfGraphBuilder::new();
+        let x = b.add_sdf_task("x", 1);
+        let y = b.add_sdf_task("y", 1);
+        b.add_sdf_buffer(x, y, 1, 1, 0);
+        b.add_sdf_buffer(y, x, 1, 1, 1);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn ring_event_graph_has_period_two() {
+        let g = ring();
+        let q = g.repetition_vector().unwrap();
+        let k = PeriodicityVector::unitary(&g);
+        let eg = EventGraph::build(&g, &q, &k, &EventGraphLimits::default()).unwrap();
+        assert_eq!(eg.node_count(), 2);
+        assert_eq!(eg.arc_count(), 2);
+        assert_eq!(eg.lcm_k(), 1);
+        match maximum_cycle_ratio(eg.ratio_graph()).unwrap() {
+            CycleRatioOutcome::Finite { ratio, cycle } => {
+                assert_eq!(ratio, Rational::from_integer(2));
+                let tasks = eg.tasks_on_cycle(&cycle);
+                assert_eq!(tasks.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn node_lookup_round_trips() {
+        let g = ring();
+        let q = g.repetition_vector().unwrap();
+        let mut k = PeriodicityVector::unitary(&g);
+        k.set(TaskId::new(0), 3).unwrap();
+        let eg = EventGraph::build(&g, &q, &k, &EventGraphLimits::default()).unwrap();
+        assert_eq!(eg.node_count(), 4);
+        assert_eq!(eg.phase_count_of(TaskId::new(0)), 3);
+        assert_eq!(eg.phase_count_of(TaskId::new(1)), 1);
+        let node = eg.node_of(TaskId::new(0), 2);
+        assert_eq!(
+            eg.event(node),
+            EventNode {
+                task: TaskId::new(0),
+                phase: 2
+            }
+        );
+        assert_eq!(eg.duration_of(TaskId::new(0), 2), 1);
+    }
+
+    #[test]
+    fn serialized_multirate_sdf_matches_hand_computation() {
+        // x (duration 1) produces 2 tokens consumed 1 at a time by y
+        // (duration 3); both tasks serialised. q = [1, 2].
+        // The throughput is limited by y: one graph iteration needs 2
+        // executions of y, 6 time units, so the optimal period is 6, and it is
+        // already reached by a 1-periodic schedule for y... but the event
+        // graph at K = 1 only bounds the period by max(1, 2·3) = 6.
+        let mut b = CsdfGraphBuilder::new();
+        let x = b.add_sdf_task("x", 1);
+        let y = b.add_sdf_task("y", 3);
+        b.add_sdf_buffer(x, y, 2, 1, 0);
+        b.add_serializing_self_loop(x);
+        b.add_serializing_self_loop(y);
+        let g = b.build().unwrap();
+        let q = g.repetition_vector().unwrap();
+        let k = PeriodicityVector::unitary(&g);
+        let eg = EventGraph::build(&g, &q, &k, &EventGraphLimits::default()).unwrap();
+        match maximum_cycle_ratio(eg.ratio_graph()).unwrap() {
+            CycleRatioOutcome::Finite { ratio, .. } => {
+                assert_eq!(ratio, Rational::from_integer(6));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn node_limit_is_enforced() {
+        let g = ring();
+        let q = g.repetition_vector().unwrap();
+        let k = PeriodicityVector::unitary(&g);
+        let limits = EventGraphLimits {
+            max_nodes: 1,
+            max_arcs: 1000,
+        };
+        assert!(matches!(
+            EventGraph::build(&g, &q, &k, &limits),
+            Err(AnalysisError::EventGraphTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn arc_limit_is_enforced() {
+        let g = ring();
+        let q = g.repetition_vector().unwrap();
+        let k = PeriodicityVector::unitary(&g);
+        let limits = EventGraphLimits {
+            max_nodes: 1000,
+            max_arcs: 1,
+        };
+        assert!(matches!(
+            EventGraph::build(&g, &q, &k, &limits),
+            Err(AnalysisError::EventGraphTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_periodicity_length_is_rejected() {
+        let g = ring();
+        let q = g.repetition_vector().unwrap();
+        let mut other = CsdfGraphBuilder::new();
+        other.add_sdf_task("z", 1);
+        let other = other.build().unwrap();
+        let k = PeriodicityVector::unitary(&other);
+        assert!(matches!(
+            EventGraph::build(&g, &q, &k, &EventGraphLimits::default()),
+            Err(AnalysisError::Model(_))
+        ));
+    }
+}

@@ -1,0 +1,393 @@
+//! The K-Iter algorithm (Algorithm 1 of the paper) and its Theorem-4
+//! optimality test.
+
+use csdf::{gcd_u64, lcm_u64, CsdfError, CsdfGraph, Rational, RepetitionVector, TaskId, Throughput};
+
+use crate::analysis::{evaluate_with_repetition, AnalysisOptions, EvaluationOutcome};
+use crate::error::AnalysisError;
+use crate::periodicity::PeriodicityVector;
+
+/// How the periodicity vector is enlarged when the optimality test fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KUpdatePolicy {
+    /// The paper's rule: for every task `t` on the critical circuit,
+    /// `K_t ← lcm(K_t, q̄_t)` with `q̄_t = q_t / gcd{q_{t'} : t' ∈ c}`.
+    #[default]
+    CriticalCircuitLcm,
+    /// Ablation variant: on the first failed test, jump straight to the
+    /// graph-wide vector `K_t = q_t / gcd(q)`, which always passes the test on
+    /// the next iteration (the "repetition vector" extreme discussed in the
+    /// paper's introduction). Much larger event graphs, fewer iterations.
+    FullRepetition,
+}
+
+/// Configuration of the K-Iter loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KIterOptions {
+    /// Shared evaluation options (event-graph limits, iteration budget).
+    pub analysis: AnalysisOptions,
+    /// Periodicity update policy.
+    pub update_policy: KUpdatePolicy,
+    /// When `true`, the per-iteration history is recorded in the result.
+    pub record_history: bool,
+}
+
+/// One iteration of the K-Iter loop, as recorded in [`KIterResult::history`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KIterIteration {
+    /// The periodicity vector evaluated at this iteration.
+    pub periodicity: PeriodicityVector,
+    /// Size of the event graph (nodes, arcs).
+    pub event_graph_size: (usize, usize),
+    /// Normalised period obtained (`None` when the vector was infeasible).
+    pub period: Option<Rational>,
+    /// Tasks on the critical circuit.
+    pub critical_tasks: Vec<TaskId>,
+    /// Whether the Theorem-4 optimality test passed.
+    pub optimal: bool,
+}
+
+/// Result of the K-Iter algorithm.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KIterResult {
+    /// The maximum reachable throughput `Th*_G` of the graph.
+    pub throughput: Throughput,
+    /// The periodicity vector for which optimality was proven.
+    pub periodicity: PeriodicityVector,
+    /// Number of fixed-K evaluations performed.
+    pub iterations: usize,
+    /// Tasks of the final critical circuit (empty when the throughput is
+    /// unbounded).
+    pub critical_tasks: Vec<TaskId>,
+    /// Per-iteration details (empty unless [`KIterOptions::record_history`]).
+    pub history: Vec<KIterIteration>,
+}
+
+impl KIterResult {
+    /// The optimal period `Ω*_G = 1 / Th*_G`, when finite.
+    pub fn period(&self) -> Option<Rational> {
+        self.throughput.period()
+    }
+}
+
+/// Computes the maximum reachable throughput of `graph` with default options.
+///
+/// This is the paper's headline contribution: an exact throughput evaluation
+/// that iteratively grows a periodicity vector until a critical circuit
+/// certifies optimality (Theorem 4), instead of exploring the exponential
+/// state space of an as-soon-as-possible execution.
+///
+/// # Errors
+///
+/// * [`AnalysisError::Model`] if the graph is inconsistent or `i128`/`u64`
+///   arithmetic overflows;
+/// * [`AnalysisError::EventGraphTooLarge`] / [`AnalysisError::IterationLimitReached`]
+///   when the default resource budgets are exceeded (use
+///   [`kiter_with_options`] to raise them).
+///
+/// # Examples
+///
+/// ```
+/// use csdf::{CsdfGraphBuilder, Rational, Throughput};
+/// use kperiodic::optimal_throughput;
+///
+/// let mut builder = CsdfGraphBuilder::new();
+/// let ping = builder.add_sdf_task("ping", 1);
+/// let pong = builder.add_sdf_task("pong", 1);
+/// builder.add_sdf_buffer(ping, pong, 1, 1, 0);
+/// builder.add_sdf_buffer(pong, ping, 1, 1, 1);
+/// let graph = builder.build()?;
+///
+/// let result = optimal_throughput(&graph)?;
+/// assert_eq!(result.throughput, Throughput::Finite(Rational::new(1, 2)?));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn optimal_throughput(graph: &CsdfGraph) -> Result<KIterResult, AnalysisError> {
+    kiter_with_options(graph, &KIterOptions::default())
+}
+
+/// Computes the maximum reachable throughput of `graph` with explicit options.
+///
+/// # Errors
+///
+/// See [`optimal_throughput`].
+pub fn kiter_with_options(
+    graph: &CsdfGraph,
+    options: &KIterOptions,
+) -> Result<KIterResult, AnalysisError> {
+    let repetition = graph.repetition_vector()?;
+    let mut periodicity = PeriodicityVector::unitary(graph);
+    let mut history = Vec::new();
+    let max_iterations = options.analysis.max_iterations.max(1);
+
+    for iteration in 1..=max_iterations {
+        let evaluation =
+            evaluate_with_repetition(graph, &repetition, &periodicity, &options.analysis)?;
+
+        let (critical_tasks, period) = match &evaluation.outcome {
+            EvaluationOutcome::Unconstrained => {
+                // No circuit constrains the schedule; enlarging K cannot
+                // create new circuits, so the throughput is unbounded.
+                if options.record_history {
+                    history.push(KIterIteration {
+                        periodicity: periodicity.clone(),
+                        event_graph_size: evaluation.event_graph_size,
+                        period: None,
+                        critical_tasks: Vec::new(),
+                        optimal: true,
+                    });
+                }
+                return Ok(KIterResult {
+                    throughput: Throughput::Unbounded,
+                    periodicity,
+                    iterations: iteration,
+                    critical_tasks: Vec::new(),
+                    history,
+                });
+            }
+            EvaluationOutcome::Feasible {
+                period,
+                critical_tasks,
+                ..
+            } => (critical_tasks.clone(), Some(*period)),
+            EvaluationOutcome::Infeasible { critical_tasks } => (critical_tasks.clone(), None),
+        };
+
+        let normalized = normalized_repetition(&repetition, &critical_tasks);
+        let optimal = optimality_test(&periodicity, &normalized);
+
+        if options.record_history {
+            history.push(KIterIteration {
+                periodicity: periodicity.clone(),
+                event_graph_size: evaluation.event_graph_size,
+                period,
+                critical_tasks: critical_tasks.clone(),
+                optimal,
+            });
+        }
+
+        if optimal {
+            let throughput = match period {
+                Some(period) => Throughput::from_period(period)?,
+                // The critical circuit is infeasible even at its maximal
+                // useful periodicity: the graph deadlocks.
+                None => Throughput::Deadlocked,
+            };
+            return Ok(KIterResult {
+                throughput,
+                periodicity,
+                iterations: iteration,
+                critical_tasks,
+                history,
+            });
+        }
+
+        apply_update(
+            options.update_policy,
+            &mut periodicity,
+            &repetition,
+            &normalized,
+        )?;
+    }
+
+    Err(AnalysisError::IterationLimitReached {
+        iterations: max_iterations,
+    })
+}
+
+/// The per-task values `q̄_t = q_t / gcd{q_{t'} : t' on the circuit}` for the
+/// tasks of a critical circuit.
+fn normalized_repetition(
+    repetition: &RepetitionVector,
+    critical_tasks: &[TaskId],
+) -> Vec<(TaskId, u64)> {
+    let gcd = critical_tasks
+        .iter()
+        .fold(0u64, |acc, &task| gcd_u64(acc, repetition.get(task)));
+    let gcd = gcd.max(1);
+    critical_tasks
+        .iter()
+        .map(|&task| (task, repetition.get(task) / gcd))
+        .collect()
+}
+
+/// Theorem 4: the critical circuit certifies global optimality when every task
+/// on it has a periodicity that is a multiple of its normalised repetition
+/// count.
+fn optimality_test(periodicity: &PeriodicityVector, normalized: &[(TaskId, u64)]) -> bool {
+    normalized
+        .iter()
+        .all(|&(task, q_bar)| periodicity.get(task) % q_bar == 0)
+}
+
+fn apply_update(
+    policy: KUpdatePolicy,
+    periodicity: &mut PeriodicityVector,
+    repetition: &RepetitionVector,
+    normalized: &[(TaskId, u64)],
+) -> Result<(), AnalysisError> {
+    match policy {
+        KUpdatePolicy::CriticalCircuitLcm => {
+            for &(task, q_bar) in normalized {
+                let updated =
+                    lcm_u64(periodicity.get(task), q_bar).map_err(|_| CsdfError::Overflow)?;
+                periodicity.set(task, updated)?;
+            }
+        }
+        KUpdatePolicy::FullRepetition => {
+            let gcd = repetition
+                .as_slice()
+                .iter()
+                .fold(0u64, |acc, &q| gcd_u64(acc, q))
+                .max(1);
+            for index in 0..periodicity.len() {
+                let task = TaskId::new(index);
+                periodicity.set(task, repetition.get(task) / gcd)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csdf::CsdfGraphBuilder;
+
+    fn multirate_ring(tokens: u64) -> CsdfGraph {
+        // x produces 2 per firing, y consumes 1; feedback closes the loop.
+        let mut b = CsdfGraphBuilder::new();
+        let x = b.add_sdf_task("x", 2);
+        let y = b.add_sdf_task("y", 1);
+        b.add_sdf_buffer(x, y, 2, 1, 0);
+        b.add_sdf_buffer(y, x, 1, 2, tokens);
+        b.add_serializing_self_loop(x);
+        b.add_serializing_self_loop(y);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn simple_ring_is_optimal_at_k_one() {
+        let mut b = CsdfGraphBuilder::new();
+        let x = b.add_sdf_task("x", 1);
+        let y = b.add_sdf_task("y", 1);
+        b.add_sdf_buffer(x, y, 1, 1, 0);
+        b.add_sdf_buffer(y, x, 1, 1, 1);
+        let g = b.build().unwrap();
+        let result = optimal_throughput(&g).unwrap();
+        assert_eq!(result.iterations, 1);
+        assert_eq!(
+            result.throughput,
+            Throughput::Finite(Rational::new(1, 2).unwrap())
+        );
+        assert!(result.periodicity.is_unitary());
+        assert_eq!(result.period(), Some(Rational::from_integer(2)));
+    }
+
+    #[test]
+    fn multirate_ring_requires_growing_k() {
+        // q = [1, 2]: the critical circuit mixes both tasks, so K_y has to
+        // grow to 2 before the optimality test passes.
+        let g = multirate_ring(4);
+        let options = KIterOptions {
+            record_history: true,
+            ..KIterOptions::default()
+        };
+        let result = kiter_with_options(&g, &options).unwrap();
+        assert!(matches!(result.throughput, Throughput::Finite(_)));
+        assert!(!result.history.is_empty());
+        // Whatever the path taken, the final vector satisfies Theorem 4.
+        assert!(result.history.last().unwrap().optimal);
+        // The optimal throughput of this graph is limited by x (duration 2,
+        // once per iteration) and y (duration 1, twice per iteration,
+        // serialised): period 2 per iteration of x / 2 firings of y.
+        assert_eq!(
+            result.throughput,
+            Throughput::Finite(Rational::new(1, 2).unwrap())
+        );
+    }
+
+    #[test]
+    fn update_policies_agree_on_the_optimum() {
+        let g = multirate_ring(3);
+        let lcm_result = kiter_with_options(
+            &g,
+            &KIterOptions {
+                update_policy: KUpdatePolicy::CriticalCircuitLcm,
+                ..KIterOptions::default()
+            },
+        )
+        .unwrap();
+        let full_result = kiter_with_options(
+            &g,
+            &KIterOptions {
+                update_policy: KUpdatePolicy::FullRepetition,
+                ..KIterOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(lcm_result.throughput, full_result.throughput);
+        assert!(full_result.iterations <= 2);
+    }
+
+    #[test]
+    fn deadlocked_graph_is_detected() {
+        let mut b = CsdfGraphBuilder::new();
+        let x = b.add_sdf_task("x", 1);
+        let y = b.add_sdf_task("y", 1);
+        b.add_sdf_buffer(x, y, 1, 1, 0);
+        b.add_sdf_buffer(y, x, 1, 1, 0);
+        let g = b.build().unwrap();
+        let result = optimal_throughput(&g).unwrap();
+        assert_eq!(result.throughput, Throughput::Deadlocked);
+    }
+
+    #[test]
+    fn acyclic_graph_is_unbounded() {
+        let mut b = CsdfGraphBuilder::new();
+        let x = b.add_sdf_task("x", 1);
+        let y = b.add_sdf_task("y", 1);
+        b.add_sdf_buffer(x, y, 3, 2, 0);
+        let g = b.build().unwrap();
+        let result = optimal_throughput(&g).unwrap();
+        assert_eq!(result.throughput, Throughput::Unbounded);
+        assert!(result.critical_tasks.is_empty());
+    }
+
+    #[test]
+    fn kiter_never_reports_less_than_the_periodic_bound() {
+        use crate::analysis::evaluate_periodic;
+        let g = multirate_ring(5);
+        let periodic = evaluate_periodic(&g, &AnalysisOptions::default()).unwrap();
+        let optimal = optimal_throughput(&g).unwrap();
+        assert!(optimal.throughput >= periodic.throughput());
+    }
+
+    #[test]
+    fn iteration_limit_is_reported() {
+        let g = multirate_ring(4);
+        let options = KIterOptions {
+            analysis: AnalysisOptions {
+                max_iterations: 1,
+                ..AnalysisOptions::default()
+            },
+            ..KIterOptions::default()
+        };
+        match kiter_with_options(&g, &options) {
+            Err(AnalysisError::IterationLimitReached { iterations: 1 }) => {}
+            Ok(result) if result.iterations <= 1 => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn normalized_repetition_uses_circuit_gcd() {
+        let q: RepetitionVector = vec![6u64, 12, 6, 1].into_iter().collect();
+        let tasks = vec![TaskId::new(0), TaskId::new(2)];
+        let normalized = normalized_repetition(&q, &tasks);
+        assert_eq!(normalized, vec![(TaskId::new(0), 1), (TaskId::new(2), 1)]);
+        let tasks = vec![TaskId::new(0), TaskId::new(3)];
+        let normalized = normalized_repetition(&q, &tasks);
+        assert_eq!(normalized, vec![(TaskId::new(0), 6), (TaskId::new(3), 1)]);
+    }
+}

@@ -1,0 +1,84 @@
+//! # kperiodic — K-periodic scheduling and the K-Iter algorithm
+//!
+//! This crate is the core contribution of the workspace: a Rust
+//! implementation of *Optimal and fast throughput evaluation of CSDF*
+//! (Bodin, Munier-Kordon, Dupont de Dinechin — DAC 2016).
+//!
+//! * [`PeriodicityVector`] — the vector `K` of a K-periodic schedule
+//!   (Section 2.4);
+//! * [`duplicate_phases`] / [`transformed_repetition_vector`] — the `G → G̃`
+//!   transformation of Section 3.2 (Theorem 3);
+//! * [`EventGraph`] — the bi-valued graph whose maximum cost-to-time ratio is
+//!   the minimum period (Section 3.3);
+//! * [`evaluate_k_periodic`] / [`evaluate_periodic`] — fixed-K evaluation;
+//! * [`optimal_throughput`] / [`kiter_with_options`] — the K-Iter algorithm
+//!   with its Theorem-4 optimality test (Sections 3.4–3.5);
+//! * [`KPeriodicSchedule`] — explicit starting times, validation and ASCII
+//!   Gantt rendering;
+//! * [`paper_example`] — the reconstructed running example of the paper.
+//!
+//! # Examples
+//!
+//! ```
+//! use csdf::CsdfGraphBuilder;
+//! use kperiodic::optimal_throughput;
+//!
+//! // A producer/consumer pair with a feedback buffer of 3 tokens.
+//! let mut builder = CsdfGraphBuilder::new();
+//! let producer = builder.add_task("producer", vec![1, 2]);
+//! let consumer = builder.add_sdf_task("consumer", 1);
+//! builder.add_buffer(producer, consumer, vec![1, 2], vec![1], 0);
+//! builder.add_buffer(consumer, producer, vec![1], vec![1, 2], 3);
+//! let graph = builder.build()?;
+//!
+//! let result = optimal_throughput(&graph)?;
+//! println!("maximum throughput: {}", result.throughput);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analysis;
+mod constraints;
+mod duplication;
+mod error;
+mod event_graph;
+mod kiter;
+mod paper_example;
+mod periodicity;
+mod schedule;
+
+pub use analysis::{
+    evaluate_k_periodic, evaluate_periodic, evaluate_with_repetition, AnalysisOptions,
+    EvaluationOutcome, KPeriodicEvaluation,
+};
+pub use constraints::{
+    ceil_to_multiple, duplicate_rates, floor_to_multiple, phase_constraints, PhaseConstraint,
+};
+pub use duplication::{duplicate_phases, transformed_repetition_vector};
+pub use error::AnalysisError;
+pub use event_graph::{EventGraph, EventGraphLimits, EventNode};
+pub use kiter::{
+    kiter_with_options, optimal_throughput, KIterIteration, KIterOptions, KIterResult,
+    KUpdatePolicy,
+};
+pub use paper_example::{paper_example, PaperExampleTasks};
+pub use periodicity::PeriodicityVector;
+pub use schedule::KPeriodicSchedule;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PeriodicityVector>();
+        assert_send_sync::<KIterResult>();
+        assert_send_sync::<KPeriodicEvaluation>();
+        assert_send_sync::<KPeriodicSchedule>();
+        assert_send_sync::<AnalysisError>();
+        assert_send_sync::<EventGraph>();
+    }
+}

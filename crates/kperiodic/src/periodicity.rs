@@ -1,0 +1,229 @@
+//! Periodicity vectors `K` of K-periodic schedules.
+
+use std::fmt;
+
+use csdf::{lcm_u64, CsdfError, CsdfGraph, RepetitionVector, TaskId};
+
+/// A periodicity vector `K = [K_1, …, K_{|T|}]` assigning to every task the
+/// number of executions whose starting times are fixed explicitly; the
+/// remaining executions repeat with the task period `µ_t` (Section 2.4 of the
+/// paper).
+///
+/// A unitary vector (`K_t = 1` everywhere) describes an ordinary periodic
+/// (1-periodic) schedule.
+///
+/// # Examples
+///
+/// ```
+/// use csdf::CsdfGraphBuilder;
+/// use kperiodic::PeriodicityVector;
+///
+/// let mut builder = CsdfGraphBuilder::new();
+/// let a = builder.add_sdf_task("a", 1);
+/// let b = builder.add_sdf_task("b", 1);
+/// builder.add_sdf_buffer(a, b, 2, 3, 0);
+/// let graph = builder.build()?;
+///
+/// let mut k = PeriodicityVector::unitary(&graph);
+/// assert!(k.is_unitary());
+/// k.set(a, 2)?;
+/// assert_eq!(k.get(a), 2);
+/// assert_eq!(k.lcm()?, 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PeriodicityVector {
+    entries: Vec<u64>,
+}
+
+impl PeriodicityVector {
+    /// The unitary vector `K_t = 1` for every task of `graph`.
+    pub fn unitary(graph: &CsdfGraph) -> Self {
+        PeriodicityVector {
+            entries: vec![1; graph.task_count()],
+        }
+    }
+
+    /// The vector `K_t = q_t`, the largest vector K-Iter can ever need; with
+    /// it the K-periodic schedule describes one full graph iteration
+    /// explicitly.
+    pub fn full(repetition: &RepetitionVector) -> Self {
+        PeriodicityVector {
+            entries: repetition.as_slice().to_vec(),
+        }
+    }
+
+    /// Builds a vector from explicit entries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CsdfError::InvalidPeriodicityVector`] when the length does
+    /// not match the task count of `graph` and [`CsdfError::ZeroPeriodicity`]
+    /// when an entry is zero.
+    pub fn from_entries(graph: &CsdfGraph, entries: Vec<u64>) -> Result<Self, CsdfError> {
+        if entries.len() != graph.task_count() {
+            return Err(CsdfError::InvalidPeriodicityVector {
+                expected: graph.task_count(),
+                actual: entries.len(),
+            });
+        }
+        if let Some(index) = entries.iter().position(|&k| k == 0) {
+            return Err(CsdfError::ZeroPeriodicity(TaskId::new(index)));
+        }
+        Ok(PeriodicityVector { entries })
+    }
+
+    /// The periodicity `K_t` of a task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` is out of range for the graph this vector belongs to.
+    pub fn get(&self, task: TaskId) -> u64 {
+        self.entries[task.index()]
+    }
+
+    /// Sets the periodicity of a task.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CsdfError::ZeroPeriodicity`] when `value` is zero and
+    /// [`CsdfError::TaskIndexOutOfRange`] when the task is unknown.
+    pub fn set(&mut self, task: TaskId, value: u64) -> Result<(), CsdfError> {
+        if value == 0 {
+            return Err(CsdfError::ZeroPeriodicity(task));
+        }
+        let entry = self
+            .entries
+            .get_mut(task.index())
+            .ok_or(CsdfError::TaskIndexOutOfRange(task.index()))?;
+        *entry = value;
+        Ok(())
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` when the vector has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All entries in task order.
+    pub fn as_slice(&self) -> &[u64] {
+        &self.entries
+    }
+
+    /// Returns `true` when every entry equals one (ordinary periodic
+    /// schedule).
+    pub fn is_unitary(&self) -> bool {
+        self.entries.iter().all(|&k| k == 1)
+    }
+
+    /// Least common multiple `lcm(K)` of all entries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CsdfError::Overflow`] when the lcm exceeds `u64`.
+    pub fn lcm(&self) -> Result<u64, CsdfError> {
+        let mut result = 1u64;
+        for &entry in &self.entries {
+            result = lcm_u64(result, entry).map_err(|_| CsdfError::Overflow)?;
+        }
+        Ok(result)
+    }
+
+    /// Sum of all entries — a proxy for the size of the event graph K-Iter
+    /// has to solve.
+    pub fn sum(&self) -> u128 {
+        self.entries.iter().map(|&k| k as u128).sum()
+    }
+
+    /// Component-wise comparison: `true` when `self ≤ other` everywhere.
+    pub fn dominated_by(&self, other: &PeriodicityVector) -> bool {
+        self.entries.len() == other.entries.len()
+            && self
+                .entries
+                .iter()
+                .zip(&other.entries)
+                .all(|(a, b)| a <= b)
+    }
+}
+
+impl fmt::Display for PeriodicityVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (index, entry) in self.entries.iter().enumerate() {
+            if index > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{entry}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csdf::CsdfGraphBuilder;
+
+    fn graph() -> CsdfGraph {
+        let mut b = CsdfGraphBuilder::new();
+        let x = b.add_sdf_task("x", 1);
+        let y = b.add_sdf_task("y", 1);
+        b.add_sdf_buffer(x, y, 2, 3, 0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn unitary_vector() {
+        let g = graph();
+        let k = PeriodicityVector::unitary(&g);
+        assert!(k.is_unitary());
+        assert_eq!(k.lcm().unwrap(), 1);
+        assert_eq!(k.sum(), 2);
+        assert_eq!(k.to_string(), "[1, 1]");
+    }
+
+    #[test]
+    fn full_vector_copies_the_repetition_vector() {
+        let g = graph();
+        let q = g.repetition_vector().unwrap();
+        let k = PeriodicityVector::full(&q);
+        assert_eq!(k.as_slice(), q.as_slice());
+        assert!(!k.is_unitary());
+    }
+
+    #[test]
+    fn from_entries_validates() {
+        let g = graph();
+        assert!(matches!(
+            PeriodicityVector::from_entries(&g, vec![1]),
+            Err(CsdfError::InvalidPeriodicityVector { expected: 2, actual: 1 })
+        ));
+        assert!(matches!(
+            PeriodicityVector::from_entries(&g, vec![1, 0]),
+            Err(CsdfError::ZeroPeriodicity(t)) if t.index() == 1
+        ));
+        let k = PeriodicityVector::from_entries(&g, vec![2, 3]).unwrap();
+        assert_eq!(k.lcm().unwrap(), 6);
+    }
+
+    #[test]
+    fn set_and_dominance() {
+        let g = graph();
+        let mut k = PeriodicityVector::unitary(&g);
+        let q = g.repetition_vector().unwrap();
+        let full = PeriodicityVector::full(&q);
+        assert!(k.dominated_by(&full));
+        k.set(TaskId::new(0), 5).unwrap();
+        assert!(!k.dominated_by(&full));
+        assert!(k.set(TaskId::new(0), 0).is_err());
+        assert!(k.set(TaskId::new(9), 1).is_err());
+        assert_eq!(k.get(TaskId::new(0)), 5);
+        assert_eq!(k.len(), 2);
+        assert!(!k.is_empty());
+    }
+}

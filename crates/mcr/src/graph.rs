@@ -1,0 +1,226 @@
+//! Bi-valued directed graphs for cost-to-time ratio problems.
+
+use std::fmt;
+
+use csdf::Rational;
+
+/// Index of a node in a [`RatioGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// Creates a node id from a raw index.
+    pub fn new(index: usize) -> Self {
+        NodeId(index)
+    }
+
+    /// The raw dense index.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Index of an arc in a [`RatioGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ArcId(pub(crate) usize);
+
+impl ArcId {
+    /// Creates an arc id from a raw index.
+    pub fn new(index: usize) -> Self {
+        ArcId(index)
+    }
+
+    /// The raw dense index.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// An arc bi-valued by a cost `L(e)` and a time `H(e)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arc {
+    /// Source node.
+    pub from: NodeId,
+    /// Target node.
+    pub to: NodeId,
+    /// Cost `L(e)` (numerator contribution of the cycle ratio).
+    pub cost: Rational,
+    /// Time `H(e)` (denominator contribution of the cycle ratio). Individual
+    /// arcs may carry zero or negative time; only cycle sums matter.
+    pub time: Rational,
+}
+
+/// A directed graph whose arcs carry a cost and a time, on which the
+/// *maximum cost-to-time ratio* `λ = max_c ΣL(c) / ΣH(c)` is computed.
+///
+/// This is the "bi-valued graph" of Section 3.3 of the paper; the solver
+/// lives in [`crate::maximum_cycle_ratio`].
+///
+/// # Examples
+///
+/// ```
+/// use mcr::{RatioGraph, maximum_cycle_ratio, CycleRatioOutcome};
+/// use csdf::Rational;
+///
+/// let mut graph = RatioGraph::new(2);
+/// let a = graph.node(0);
+/// let b = graph.node(1);
+/// graph.add_arc(a, b, Rational::from_integer(3), Rational::from_integer(1));
+/// graph.add_arc(b, a, Rational::from_integer(1), Rational::from_integer(1));
+/// let outcome = maximum_cycle_ratio(&graph)?;
+/// match outcome {
+///     CycleRatioOutcome::Finite { ratio, .. } => assert_eq!(ratio, Rational::from_integer(2)),
+///     other => panic!("unexpected outcome {other:?}"),
+/// }
+/// # Ok::<(), mcr::McrError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RatioGraph {
+    node_count: usize,
+    arcs: Vec<Arc>,
+    outgoing: Vec<Vec<ArcId>>,
+}
+
+impl RatioGraph {
+    /// Creates a graph with `node_count` nodes and no arcs.
+    pub fn new(node_count: usize) -> Self {
+        RatioGraph {
+            node_count,
+            arcs: Vec::new(),
+            outgoing: vec![Vec::new(); node_count],
+        }
+    }
+
+    /// Returns the node id for a raw index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.node_count()`.
+    pub fn node(&self, index: usize) -> NodeId {
+        assert!(index < self.node_count, "node index out of range");
+        NodeId(index)
+    }
+
+    /// Adds one more node and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId(self.node_count);
+        self.node_count += 1;
+        self.outgoing.push(Vec::new());
+        id
+    }
+
+    /// Adds an arc and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn add_arc(&mut self, from: NodeId, to: NodeId, cost: Rational, time: Rational) -> ArcId {
+        assert!(from.0 < self.node_count && to.0 < self.node_count);
+        let id = ArcId(self.arcs.len());
+        self.arcs.push(Arc {
+            from,
+            to,
+            cost,
+            time,
+        });
+        self.outgoing[from.0].push(id);
+        id
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of arcs.
+    pub fn arc_count(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// The arc addressed by `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn arc(&self, id: ArcId) -> &Arc {
+        &self.arcs[id.0]
+    }
+
+    /// Iterator over `(ArcId, &Arc)` pairs.
+    pub fn arcs(&self) -> impl Iterator<Item = (ArcId, &Arc)> + '_ {
+        self.arcs.iter().enumerate().map(|(i, a)| (ArcId(i), a))
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.node_count).map(NodeId)
+    }
+
+    /// Arcs leaving `node`.
+    pub fn outgoing(&self, node: NodeId) -> &[ArcId] {
+        &self.outgoing[node.0]
+    }
+
+    /// Sum of the costs and times along a sequence of arcs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`csdf::RationalError`] on overflow.
+    pub fn path_weight(
+        &self,
+        arcs: &[ArcId],
+    ) -> Result<(Rational, Rational), csdf::RationalError> {
+        let mut cost = Rational::ZERO;
+        let mut time = Rational::ZERO;
+        for &arc_id in arcs {
+            let arc = self.arc(arc_id);
+            cost = cost.checked_add(&arc.cost)?;
+            time = time.checked_add(&arc.time)?;
+        }
+        Ok((cost, time))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_adjacency() {
+        let mut g = RatioGraph::new(2);
+        let extra = g.add_node();
+        assert_eq!(g.node_count(), 3);
+        let a = g.node(0);
+        let b = g.node(1);
+        let e1 = g.add_arc(a, b, Rational::ONE, Rational::ONE);
+        let e2 = g.add_arc(b, extra, Rational::from_integer(2), Rational::ZERO);
+        assert_eq!(g.arc_count(), 2);
+        assert_eq!(g.outgoing(a), &[e1]);
+        assert_eq!(g.outgoing(b), &[e2]);
+        assert_eq!(g.arc(e2).cost, Rational::from_integer(2));
+        assert_eq!(g.nodes().count(), 3);
+    }
+
+    #[test]
+    fn path_weight_sums_costs_and_times() {
+        let mut g = RatioGraph::new(3);
+        let e1 = g.add_arc(g.node(0), g.node(1), Rational::from_integer(1), Rational::new(1, 2).unwrap());
+        let e2 = g.add_arc(g.node(1), g.node(2), Rational::from_integer(2), Rational::new(1, 3).unwrap());
+        let (cost, time) = g.path_weight(&[e1, e2]).unwrap();
+        assert_eq!(cost, Rational::from_integer(3));
+        assert_eq!(time, Rational::new(5, 6).unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_node_panics() {
+        let g = RatioGraph::new(1);
+        let _ = g.node(5);
+    }
+}

@@ -1,0 +1,189 @@
+//! Karp's algorithm for the maximum cycle mean.
+//!
+//! The maximum cycle *mean* is the special case of the cost-to-time ratio in
+//! which every arc has time 1 (`λ = max_c ΣL(c) / |c|`). Karp's classical
+//! dynamic program computes it in `O(V·E)` per strongly connected component
+//! and is used in this workspace as an independent oracle for the parametric
+//! solver and for homogeneous (HSDF-style) analyses.
+
+use csdf::Rational;
+
+use crate::graph::{NodeId, RatioGraph};
+use crate::scc::SccDecomposition;
+use crate::solve::McrError;
+
+/// Computes the maximum cycle mean `max_c ΣL(c) / |c|` of `graph`, ignoring
+/// the arc times entirely.
+///
+/// Returns `None` when the graph has no circuit.
+///
+/// # Errors
+///
+/// Returns [`McrError::Rational`] on arithmetic overflow.
+///
+/// # Examples
+///
+/// ```
+/// use mcr::{RatioGraph, maximum_cycle_mean};
+/// use csdf::Rational;
+///
+/// let mut graph = RatioGraph::new(2);
+/// let (a, b) = (graph.node(0), graph.node(1));
+/// graph.add_arc(a, b, Rational::from_integer(3), Rational::ONE);
+/// graph.add_arc(b, a, Rational::from_integer(1), Rational::ONE);
+/// let mean = maximum_cycle_mean(&graph)?;
+/// assert_eq!(mean, Some(Rational::from_integer(2)));
+/// # Ok::<(), mcr::McrError>(())
+/// ```
+pub fn maximum_cycle_mean(graph: &RatioGraph) -> Result<Option<Rational>, McrError> {
+    let scc = SccDecomposition::compute(graph);
+    let mut best: Option<Rational> = None;
+    for component_index in 0..scc.component_count() {
+        if !scc.is_cyclic_component(graph, component_index) {
+            continue;
+        }
+        let members = scc.component(component_index);
+        let mean = component_cycle_mean(graph, members)?;
+        if let Some(mean) = mean {
+            if best.map(|b| mean > b).unwrap_or(true) {
+                best = Some(mean);
+            }
+        }
+    }
+    Ok(best)
+}
+
+fn component_cycle_mean(
+    graph: &RatioGraph,
+    members: &[NodeId],
+) -> Result<Option<Rational>, McrError> {
+    let n = members.len();
+    let mut local_of = vec![usize::MAX; graph.node_count()];
+    for (local, node) in members.iter().enumerate() {
+        local_of[node.index()] = local;
+    }
+    let arcs: Vec<(usize, usize, Rational)> = members
+        .iter()
+        .flat_map(|&node| graph.outgoing(node).iter().copied())
+        .filter_map(|arc_id| {
+            let arc = graph.arc(arc_id);
+            let to = local_of[arc.to.index()];
+            if to == usize::MAX {
+                None
+            } else {
+                Some((local_of[arc.from.index()], to, arc.cost))
+            }
+        })
+        .collect();
+
+    // progression[k][v] = maximum weight of a walk of exactly k arcs ending at
+    // v, starting anywhere in the component (classical Karp table with a
+    // virtual source).
+    let mut progression: Vec<Vec<Option<Rational>>> = vec![vec![None; n]; n + 1];
+    for value in progression[0].iter_mut() {
+        *value = Some(Rational::ZERO);
+    }
+    for k in 1..=n {
+        for &(from, to, cost) in &arcs {
+            if let Some(previous) = progression[k - 1][from] {
+                let candidate = previous.checked_add(&cost)?;
+                let entry = &mut progression[k][to];
+                if entry.map(|current| candidate > current).unwrap_or(true) {
+                    *entry = Some(candidate);
+                }
+            }
+        }
+    }
+
+    // λ = max_v min_{0 ≤ k < n} (D_n(v) − D_k(v)) / (n − k)
+    let mut best: Option<Rational> = None;
+    for v in 0..n {
+        let Some(final_value) = progression[n][v] else {
+            continue;
+        };
+        let mut minimum: Option<Rational> = None;
+        for k in 0..n {
+            let Some(intermediate) = progression[k][v] else {
+                continue;
+            };
+            let numerator = final_value.checked_sub(&intermediate)?;
+            let mean = numerator.checked_div(&Rational::from_integer((n - k) as i128))?;
+            if minimum.map(|m| mean < m).unwrap_or(true) {
+                minimum = Some(mean);
+            }
+        }
+        if let Some(minimum) = minimum {
+            if best.map(|b| minimum > b).unwrap_or(true) {
+                best = Some(minimum);
+            }
+        }
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solve::{maximum_cycle_ratio, CycleRatioOutcome};
+
+    fn int(v: i128) -> Rational {
+        Rational::from_integer(v)
+    }
+
+    #[test]
+    fn simple_two_cycle() {
+        let mut g = RatioGraph::new(3);
+        g.add_arc(g.node(0), g.node(1), int(4), Rational::ONE);
+        g.add_arc(g.node(1), g.node(0), int(2), Rational::ONE);
+        g.add_arc(g.node(1), g.node(2), int(10), Rational::ONE);
+        g.add_arc(g.node(2), g.node(1), int(0), Rational::ONE);
+        // Means: (4+2)/2 = 3 and (10+0)/2 = 5.
+        assert_eq!(maximum_cycle_mean(&g).unwrap(), Some(int(5)));
+    }
+
+    #[test]
+    fn acyclic_graph_has_no_mean() {
+        let mut g = RatioGraph::new(2);
+        g.add_arc(g.node(0), g.node(1), int(1), Rational::ONE);
+        assert_eq!(maximum_cycle_mean(&g).unwrap(), None);
+    }
+
+    #[test]
+    fn self_loop_mean_is_its_cost() {
+        let mut g = RatioGraph::new(1);
+        g.add_arc(g.node(0), g.node(0), int(9), Rational::ONE);
+        assert_eq!(maximum_cycle_mean(&g).unwrap(), Some(int(9)));
+    }
+
+    #[test]
+    fn agrees_with_ratio_solver_on_unit_times() {
+        let mut g = RatioGraph::new(4);
+        g.add_arc(g.node(0), g.node(1), int(3), Rational::ONE);
+        g.add_arc(g.node(1), g.node(2), int(1), Rational::ONE);
+        g.add_arc(g.node(2), g.node(0), int(5), Rational::ONE);
+        g.add_arc(g.node(2), g.node(3), int(2), Rational::ONE);
+        g.add_arc(g.node(3), g.node(2), int(8), Rational::ONE);
+        let karp = maximum_cycle_mean(&g).unwrap().unwrap();
+        match maximum_cycle_ratio(&g).unwrap() {
+            CycleRatioOutcome::Finite { ratio, .. } => assert_eq!(ratio, karp),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_means_are_supported() {
+        // A single cycle whose mean is negative: the ratio solver reports
+        // NonPositive, Karp still reports the exact mean.
+        let mut g = RatioGraph::new(2);
+        g.add_arc(g.node(0), g.node(1), int(-3), Rational::ONE);
+        g.add_arc(g.node(1), g.node(0), int(1), Rational::ONE);
+        assert_eq!(
+            maximum_cycle_mean(&g).unwrap(),
+            Some(Rational::new(-1, 1).unwrap())
+        );
+        assert_eq!(
+            maximum_cycle_ratio(&g).unwrap(),
+            CycleRatioOutcome::NonPositive
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! # mcr — Maximum Cycle Ratio / Maximum Cycle Mean solvers
+//!
+//! The K-Iter algorithm (DAC 2016) evaluates the minimum period of a
+//! (K-)periodic schedule by solving a *Maximum Cost-to-time Ratio Problem*
+//! on a bi-valued event graph (Section 3.3 of the paper). This crate provides:
+//!
+//! * [`RatioGraph`] — a directed graph whose arcs carry a cost `L(e)` and a
+//!   time `H(e)`;
+//! * [`maximum_cycle_ratio`] — an exact parametric solver returning the
+//!   maximum ratio and a critical circuit ([`CycleRatioOutcome`]);
+//! * [`maximum_cycle_mean`] — Karp's algorithm for the unit-time special
+//!   case;
+//! * [`maximum_cycle_ratio_brute_force`] / [`enumerate_elementary_cycles`] —
+//!   an exhaustive oracle for tests;
+//! * [`SccDecomposition`] — Tarjan's strongly connected components.
+//!
+//! # Examples
+//!
+//! ```
+//! use mcr::{RatioGraph, maximum_cycle_ratio, CycleRatioOutcome};
+//! use csdf::Rational;
+//!
+//! let mut graph = RatioGraph::new(2);
+//! let (a, b) = (graph.node(0), graph.node(1));
+//! graph.add_arc(a, b, Rational::from_integer(2), Rational::from_integer(1));
+//! graph.add_arc(b, a, Rational::from_integer(4), Rational::from_integer(2));
+//! let outcome = maximum_cycle_ratio(&graph)?;
+//! assert_eq!(outcome.ratio(), Some(Rational::from_integer(2)));
+//! # Ok::<(), mcr::McrError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod brute;
+mod graph;
+mod karp;
+mod scc;
+mod solve;
+
+pub use brute::{enumerate_elementary_cycles, maximum_cycle_ratio_brute_force};
+pub use graph::{Arc, ArcId, NodeId, RatioGraph};
+pub use karp::maximum_cycle_mean;
+pub use scc::SccDecomposition;
+pub use solve::{maximum_cycle_ratio, CriticalCycle, CycleRatioOutcome, McrError};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RatioGraph>();
+        assert_send_sync::<CycleRatioOutcome>();
+        assert_send_sync::<CriticalCycle>();
+        assert_send_sync::<McrError>();
+        assert_send_sync::<SccDecomposition>();
+    }
+}

@@ -1,0 +1,186 @@
+//! Strongly connected components (iterative Tarjan).
+
+use crate::graph::{NodeId, RatioGraph};
+
+/// The strongly connected components of a [`RatioGraph`].
+///
+/// Components are numbered in reverse topological order (Tarjan's output
+/// order); every node belongs to exactly one component.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SccDecomposition {
+    component_of: Vec<usize>,
+    components: Vec<Vec<NodeId>>,
+}
+
+impl SccDecomposition {
+    /// Computes the strongly connected components of `graph`.
+    pub fn compute(graph: &RatioGraph) -> Self {
+        let n = graph.node_count();
+        let mut index = vec![usize::MAX; n];
+        let mut low = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut component_of = vec![usize::MAX; n];
+        let mut components: Vec<Vec<NodeId>> = Vec::new();
+        let mut next_index = 0usize;
+
+        // Iterative Tarjan: (node, next outgoing-arc position) call frames.
+        let mut call_stack: Vec<(usize, usize)> = Vec::new();
+        for start in 0..n {
+            if index[start] != usize::MAX {
+                continue;
+            }
+            call_stack.push((start, 0));
+            index[start] = next_index;
+            low[start] = next_index;
+            next_index += 1;
+            stack.push(start);
+            on_stack[start] = true;
+
+            while let Some(&mut (node, ref mut arc_position)) = call_stack.last_mut() {
+                let outgoing = graph.outgoing(NodeId::new(node));
+                if *arc_position < outgoing.len() {
+                    let arc = graph.arc(outgoing[*arc_position]);
+                    *arc_position += 1;
+                    let successor = arc.to.index();
+                    if index[successor] == usize::MAX {
+                        index[successor] = next_index;
+                        low[successor] = next_index;
+                        next_index += 1;
+                        stack.push(successor);
+                        on_stack[successor] = true;
+                        call_stack.push((successor, 0));
+                    } else if on_stack[successor] {
+                        low[node] = low[node].min(index[successor]);
+                    }
+                } else {
+                    call_stack.pop();
+                    if let Some(&mut (parent, _)) = call_stack.last_mut() {
+                        low[parent] = low[parent].min(low[node]);
+                    }
+                    if low[node] == index[node] {
+                        let component_id = components.len();
+                        let mut members = Vec::new();
+                        loop {
+                            let member = stack.pop().expect("tarjan stack underflow");
+                            on_stack[member] = false;
+                            component_of[member] = component_id;
+                            members.push(NodeId::new(member));
+                            if member == node {
+                                break;
+                            }
+                        }
+                        components.push(members);
+                    }
+                }
+            }
+        }
+
+        SccDecomposition {
+            component_of,
+            components,
+        }
+    }
+
+    /// Component index of a node.
+    pub fn component_of(&self, node: NodeId) -> usize {
+        self.component_of[node.index()]
+    }
+
+    /// Number of components.
+    pub fn component_count(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Members of component `index`.
+    pub fn component(&self, index: usize) -> &[NodeId] {
+        &self.components[index]
+    }
+
+    /// Iterator over all components.
+    pub fn components(&self) -> impl Iterator<Item = &[NodeId]> + '_ {
+        self.components.iter().map(Vec::as_slice)
+    }
+
+    /// Returns `true` when the component containing `node` can hold a cycle:
+    /// it has more than one node, or its single node has a self-arc.
+    pub fn is_cyclic_component(&self, graph: &RatioGraph, index: usize) -> bool {
+        let members = &self.components[index];
+        if members.len() > 1 {
+            return true;
+        }
+        let node = members[0];
+        graph
+            .outgoing(node)
+            .iter()
+            .any(|&arc| graph.arc(arc).to == node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csdf::Rational;
+
+    fn arc(g: &mut RatioGraph, from: usize, to: usize) {
+        let (f, t) = (g.node(from), g.node(to));
+        g.add_arc(f, t, Rational::ONE, Rational::ONE);
+    }
+
+    #[test]
+    fn two_cycles_and_a_bridge() {
+        let mut g = RatioGraph::new(5);
+        arc(&mut g, 0, 1);
+        arc(&mut g, 1, 0);
+        arc(&mut g, 1, 2);
+        arc(&mut g, 2, 3);
+        arc(&mut g, 3, 4);
+        arc(&mut g, 4, 2);
+        let scc = SccDecomposition::compute(&g);
+        assert_eq!(scc.component_count(), 2);
+        assert_eq!(scc.component_of(g.node(0)), scc.component_of(g.node(1)));
+        assert_eq!(scc.component_of(g.node(2)), scc.component_of(g.node(4)));
+        assert_ne!(scc.component_of(g.node(0)), scc.component_of(g.node(2)));
+        for index in 0..scc.component_count() {
+            assert!(scc.is_cyclic_component(&g, index));
+        }
+    }
+
+    #[test]
+    fn acyclic_graph_has_singleton_components() {
+        let mut g = RatioGraph::new(4);
+        arc(&mut g, 0, 1);
+        arc(&mut g, 1, 2);
+        arc(&mut g, 2, 3);
+        let scc = SccDecomposition::compute(&g);
+        assert_eq!(scc.component_count(), 4);
+        for index in 0..4 {
+            assert!(!scc.is_cyclic_component(&g, index));
+            assert_eq!(scc.component(index).len(), 1);
+        }
+    }
+
+    #[test]
+    fn self_loop_is_a_cyclic_component() {
+        let mut g = RatioGraph::new(2);
+        arc(&mut g, 0, 0);
+        arc(&mut g, 0, 1);
+        let scc = SccDecomposition::compute(&g);
+        assert_eq!(scc.component_count(), 2);
+        let self_loop_component = scc.component_of(g.node(0));
+        assert!(scc.is_cyclic_component(&g, self_loop_component));
+        assert!(!scc.is_cyclic_component(&g, scc.component_of(g.node(1))));
+    }
+
+    #[test]
+    fn components_iterator_covers_all_nodes() {
+        let mut g = RatioGraph::new(3);
+        arc(&mut g, 0, 1);
+        arc(&mut g, 1, 2);
+        arc(&mut g, 2, 0);
+        let scc = SccDecomposition::compute(&g);
+        let total: usize = scc.components().map(<[NodeId]>::len).sum();
+        assert_eq!(total, 3);
+        assert_eq!(scc.component_count(), 1);
+    }
+}

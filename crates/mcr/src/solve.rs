@@ -1,0 +1,522 @@
+//! Maximum cost-to-time ratio solver.
+//!
+//! Solves the Maximum Cost-to-time Ratio Problem (MCRP) of Dasdan, Irani and
+//! Gupta (reference [5] of the paper): given a directed graph whose arcs carry
+//! a cost `L(e)` and a time `H(e)`, compute
+//! `λ = max_{c ∈ C(G)} ΣL(c) / ΣH(c)` together with a critical circuit.
+//!
+//! The solver is an exact parametric method: starting from `λ = 0` it
+//! repeatedly searches, with a Bellman–Ford longest-walk pass over
+//! lexicographic weights `(L(e) − λ·H(e), −H(e))`, for a circuit whose reduced
+//! weight is positive. Every circuit found strictly increases `λ` (or proves
+//! the instance infeasible when its total time is not positive), so the
+//! iteration terminates on the exact maximum ratio over the finite set of
+//! simple circuits. All arithmetic is exact rational arithmetic.
+
+use std::fmt;
+
+use csdf::{Rational, RationalError};
+
+use crate::graph::{ArcId, NodeId, RatioGraph};
+use crate::scc::SccDecomposition;
+
+/// Errors raised by the MCRP solver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum McrError {
+    /// Exact rational arithmetic overflowed.
+    Rational(RationalError),
+    /// The solver exceeded its iteration budget (defensive bound; should not
+    /// happen on well-formed inputs).
+    IterationLimit,
+}
+
+impl fmt::Display for McrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            McrError::Rational(err) => write!(f, "{err}"),
+            McrError::IterationLimit => write!(f, "cycle ratio iteration limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for McrError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            McrError::Rational(err) => Some(err),
+            McrError::IterationLimit => None,
+        }
+    }
+}
+
+impl From<RationalError> for McrError {
+    fn from(err: RationalError) -> Self {
+        McrError::Rational(err)
+    }
+}
+
+/// A circuit of the ratio graph together with its accumulated cost and time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CriticalCycle {
+    /// Arcs of the circuit, in traversal order.
+    pub arcs: Vec<ArcId>,
+    /// Nodes of the circuit, in traversal order (`nodes[i]` is the source of
+    /// `arcs[i]`).
+    pub nodes: Vec<NodeId>,
+    /// Total cost `ΣL(c)`.
+    pub cost: Rational,
+    /// Total time `ΣH(c)`.
+    pub time: Rational,
+}
+
+impl CriticalCycle {
+    /// The cost-to-time ratio of the circuit.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the total time is zero.
+    pub fn ratio(&self) -> Result<Rational, RationalError> {
+        self.cost.checked_div(&self.time)
+    }
+
+    /// Number of arcs in the circuit.
+    pub fn len(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// Returns `true` for an empty circuit (never produced by the solver).
+    pub fn is_empty(&self) -> bool {
+        self.arcs.is_empty()
+    }
+}
+
+/// Outcome of [`maximum_cycle_ratio`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CycleRatioOutcome {
+    /// The graph has no circuit at all.
+    Acyclic,
+    /// Circuits exist but none has a positive ratio: the ratio problem does
+    /// not constrain the period (all circuit costs are zero).
+    NonPositive,
+    /// The maximum ratio is finite and positive; `cycle` is a critical
+    /// circuit attaining it.
+    Finite {
+        /// The maximum cost-to-time ratio `λ`.
+        ratio: Rational,
+        /// A circuit attaining the maximum.
+        cycle: CriticalCycle,
+    },
+    /// A circuit with positive cost and non-positive time exists: the ratio is
+    /// unbounded (for throughput evaluation this means no periodic schedule
+    /// exists for the given periodicity vector).
+    Infinite {
+        /// The offending circuit.
+        cycle: CriticalCycle,
+    },
+}
+
+impl CycleRatioOutcome {
+    /// The finite maximum ratio, if any.
+    pub fn ratio(&self) -> Option<Rational> {
+        match self {
+            CycleRatioOutcome::Finite { ratio, .. } => Some(*ratio),
+            _ => None,
+        }
+    }
+
+    /// The critical circuit, if the outcome carries one.
+    pub fn cycle(&self) -> Option<&CriticalCycle> {
+        match self {
+            CycleRatioOutcome::Finite { cycle, .. } | CycleRatioOutcome::Infinite { cycle } => {
+                Some(cycle)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Computes the maximum cost-to-time ratio of `graph` and a critical circuit.
+///
+/// # Errors
+///
+/// Returns [`McrError::Rational`] if the exact arithmetic overflows `i128`.
+///
+/// # Examples
+///
+/// ```
+/// use mcr::{RatioGraph, maximum_cycle_ratio, CycleRatioOutcome};
+/// use csdf::Rational;
+///
+/// // Two circuits: ratio 3/1 and ratio 5/4; the maximum is 3.
+/// let mut graph = RatioGraph::new(3);
+/// let (a, b, c) = (graph.node(0), graph.node(1), graph.node(2));
+/// graph.add_arc(a, a, Rational::from_integer(3), Rational::from_integer(1));
+/// graph.add_arc(b, c, Rational::from_integer(2), Rational::from_integer(3));
+/// graph.add_arc(c, b, Rational::from_integer(3), Rational::from_integer(1));
+/// match maximum_cycle_ratio(&graph)? {
+///     CycleRatioOutcome::Finite { ratio, .. } => assert_eq!(ratio, Rational::from_integer(3)),
+///     other => panic!("unexpected {other:?}"),
+/// }
+/// # Ok::<(), mcr::McrError>(())
+/// ```
+pub fn maximum_cycle_ratio(graph: &RatioGraph) -> Result<CycleRatioOutcome, McrError> {
+    let scc = SccDecomposition::compute(graph);
+    let mut best: Option<(Rational, CriticalCycle)> = None;
+    let mut saw_cycle = false;
+
+    for component_index in 0..scc.component_count() {
+        if !scc.is_cyclic_component(graph, component_index) {
+            continue;
+        }
+        saw_cycle = true;
+        let members = scc.component(component_index);
+        match component_max_ratio(graph, members)? {
+            ComponentOutcome::NonPositive => {}
+            ComponentOutcome::Finite { ratio, cycle } => {
+                if best.as_ref().map(|(r, _)| ratio > *r).unwrap_or(true) {
+                    best = Some((ratio, cycle));
+                }
+            }
+            ComponentOutcome::Infinite { cycle } => {
+                return Ok(CycleRatioOutcome::Infinite { cycle });
+            }
+        }
+    }
+
+    Ok(match best {
+        Some((ratio, cycle)) => CycleRatioOutcome::Finite { ratio, cycle },
+        None if saw_cycle => CycleRatioOutcome::NonPositive,
+        None => CycleRatioOutcome::Acyclic,
+    })
+}
+
+enum ComponentOutcome {
+    NonPositive,
+    Finite {
+        ratio: Rational,
+        cycle: CriticalCycle,
+    },
+    Infinite {
+        cycle: CriticalCycle,
+    },
+}
+
+/// Parametric iteration restricted to one strongly connected component.
+fn component_max_ratio(
+    graph: &RatioGraph,
+    members: &[NodeId],
+) -> Result<ComponentOutcome, McrError> {
+    // Dense renumbering of the component's nodes.
+    let mut local_of = vec![usize::MAX; graph.node_count()];
+    for (local, node) in members.iter().enumerate() {
+        local_of[node.index()] = local;
+    }
+    let arcs: Vec<ArcId> = members
+        .iter()
+        .flat_map(|&node| graph.outgoing(node).iter().copied())
+        .filter(|&arc| local_of[graph.arc(arc).to.index()] != usize::MAX)
+        .collect();
+
+    let mut lambda = Rational::ZERO;
+    let mut best: Option<CriticalCycle> = None;
+    // Defensive bound: each round strictly increases lambda towards the
+    // maximum over simple circuits; the number of rounds observed in practice
+    // is tiny, but protect against pathological inputs anyway.
+    let iteration_limit = 16 * members.len().max(4) + arcs.len();
+
+    for _ in 0..iteration_limit {
+        match find_violating_cycle(graph, members, &local_of, &arcs, lambda)? {
+            None => {
+                return Ok(match best {
+                    Some(cycle) => ComponentOutcome::Finite {
+                        ratio: lambda,
+                        cycle,
+                    },
+                    None => ComponentOutcome::NonPositive,
+                });
+            }
+            Some(cycle) => {
+                if !cycle.time.is_positive() {
+                    return Ok(ComponentOutcome::Infinite { cycle });
+                }
+                lambda = cycle.cost.checked_div(&cycle.time)?;
+                best = Some(cycle);
+            }
+        }
+    }
+    Err(McrError::IterationLimit)
+}
+
+/// Searches the component for a circuit whose reduced weight
+/// `(ΣL − λΣH, −ΣH)` is lexicographically positive. Returns `None` when no
+/// such circuit exists (λ is an upper bound of all finite circuit ratios).
+fn find_violating_cycle(
+    graph: &RatioGraph,
+    members: &[NodeId],
+    local_of: &[usize],
+    arcs: &[ArcId],
+    lambda: Rational,
+) -> Result<Option<CriticalCycle>, McrError> {
+    let n = members.len();
+    // Reduced lexicographic arc weights, grouped by source node so that each
+    // round only relaxes arcs leaving nodes improved in the previous round
+    // (level-synchronous Bellman–Ford with an active set).
+    let mut weights: Vec<(Rational, Rational)> = Vec::with_capacity(arcs.len());
+    let mut outgoing: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (position, &arc_id) in arcs.iter().enumerate() {
+        let arc = graph.arc(arc_id);
+        let reduced = arc.cost.checked_sub(&lambda.checked_mul(&arc.time)?)?;
+        let negative_time = arc.time.checked_neg()?;
+        weights.push((reduced, negative_time));
+        outgoing[local_of[arc.from.index()]].push(position);
+    }
+
+    let mut distance: Vec<(Rational, Rational)> = vec![(Rational::ZERO, Rational::ZERO); n];
+    let mut predecessor: Vec<Option<usize>> = vec![None; n]; // index into `arcs`
+    let mut active: Vec<usize> = (0..n).collect();
+    let mut in_next = vec![false; n];
+
+    // After n rounds any further improvement proves a positive circuit; the
+    // extra rounds (up to 4n in total) only serve the defensive fallback in
+    // case a predecessor chain does not expose the circuit immediately.
+    for round in 0..=4 * n.max(1) {
+        let mut next_active: Vec<usize> = Vec::new();
+        for &node in &active {
+            for &position in &outgoing[node] {
+                let arc = graph.arc(arcs[position]);
+                let to = local_of[arc.to.index()];
+                let candidate = (
+                    distance[node].0.checked_add(&weights[position].0)?,
+                    distance[node].1.checked_add(&weights[position].1)?,
+                );
+                if lex_greater(&candidate, &distance[to]) {
+                    distance[to] = candidate;
+                    predecessor[to] = Some(position);
+                    if !in_next[to] {
+                        in_next[to] = true;
+                        next_active.push(to);
+                    }
+                }
+            }
+        }
+        if next_active.is_empty() {
+            return Ok(None);
+        }
+        if round >= n {
+            // A walk longer than n arcs still improves: a positive circuit
+            // exists. Extract it from the predecessor graph.
+            for &start in &next_active {
+                if let Some(cycle) =
+                    extract_cycle(graph, members, local_of, arcs, &predecessor, start)
+                {
+                    return Ok(Some(cycle));
+                }
+            }
+            // Extremely unlikely: the circuit is not yet visible from the
+            // improved nodes' predecessor chains; keep relaxing.
+        }
+        for &node in &next_active {
+            in_next[node] = false;
+        }
+        active = next_active;
+    }
+    Err(McrError::IterationLimit)
+}
+
+fn lex_greater(a: &(Rational, Rational), b: &(Rational, Rational)) -> bool {
+    match a.0.cmp(&b.0) {
+        std::cmp::Ordering::Greater => true,
+        std::cmp::Ordering::Less => false,
+        std::cmp::Ordering::Equal => a.1 > b.1,
+    }
+}
+
+fn extract_cycle(
+    graph: &RatioGraph,
+    members: &[NodeId],
+    local_of: &[usize],
+    arcs: &[ArcId],
+    predecessor: &[Option<usize>],
+    start: usize,
+) -> Option<CriticalCycle> {
+    // Walk the predecessor chain from `start` until a node repeats (a circuit
+    // of the predecessor graph) or the chain ends (no circuit visible from
+    // this node yet).
+    let n = members.len();
+    let mut visit_order = vec![usize::MAX; n];
+    let mut chain = Vec::new();
+    let mut current = start;
+    let cycle_entry = loop {
+        if visit_order[current] != usize::MAX {
+            break current;
+        }
+        visit_order[current] = chain.len();
+        let arc_position = predecessor[current]?;
+        chain.push(arcs[arc_position]);
+        current = local_of[graph.arc(arcs[arc_position]).from.index()];
+    };
+    // The chain was collected walking *backwards*: chain[i] is the arc whose
+    // head is the i-th visited node. The circuit consists of the arcs visited
+    // from the first occurrence of `cycle_entry` onwards.
+    let first_index = visit_order[cycle_entry];
+    let mut cycle_arcs: Vec<ArcId> = chain[first_index..].to_vec();
+    cycle_arcs.reverse();
+    let nodes: Vec<NodeId> = cycle_arcs.iter().map(|&arc| graph.arc(arc).from).collect();
+    let (cost, time) = graph.path_weight(&cycle_arcs).ok()?;
+    Some(CriticalCycle {
+        arcs: cycle_arcs,
+        nodes,
+        cost,
+        time,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int(v: i128) -> Rational {
+        Rational::from_integer(v)
+    }
+
+    #[test]
+    fn single_self_loop() {
+        let mut g = RatioGraph::new(1);
+        g.add_arc(g.node(0), g.node(0), int(7), int(2));
+        match maximum_cycle_ratio(&g).unwrap() {
+            CycleRatioOutcome::Finite { ratio, cycle } => {
+                assert_eq!(ratio, Rational::new(7, 2).unwrap());
+                assert_eq!(cycle.len(), 1);
+                assert_eq!(cycle.ratio().unwrap(), ratio);
+                assert!(!cycle.is_empty());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn picks_the_larger_of_two_cycles() {
+        let mut g = RatioGraph::new(4);
+        // Cycle 1: 0 -> 1 -> 0 with ratio (2+2)/(1+1) = 2.
+        g.add_arc(g.node(0), g.node(1), int(2), int(1));
+        g.add_arc(g.node(1), g.node(0), int(2), int(1));
+        // Cycle 2: 2 -> 3 -> 2 with ratio (9+1)/(1+1) = 5.
+        g.add_arc(g.node(2), g.node(3), int(9), int(1));
+        g.add_arc(g.node(3), g.node(2), int(1), int(1));
+        match maximum_cycle_ratio(&g).unwrap() {
+            CycleRatioOutcome::Finite { ratio, cycle } => {
+                assert_eq!(ratio, int(5));
+                assert_eq!(cycle.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn acyclic_graph() {
+        let mut g = RatioGraph::new(3);
+        g.add_arc(g.node(0), g.node(1), int(1), int(1));
+        g.add_arc(g.node(1), g.node(2), int(1), int(1));
+        assert_eq!(
+            maximum_cycle_ratio(&g).unwrap(),
+            CycleRatioOutcome::Acyclic
+        );
+    }
+
+    #[test]
+    fn zero_cost_cycles_are_non_positive() {
+        let mut g = RatioGraph::new(2);
+        g.add_arc(g.node(0), g.node(1), int(0), int(1));
+        g.add_arc(g.node(1), g.node(0), int(0), int(1));
+        assert_eq!(
+            maximum_cycle_ratio(&g).unwrap(),
+            CycleRatioOutcome::NonPositive
+        );
+    }
+
+    #[test]
+    fn negative_time_cycle_is_infinite() {
+        let mut g = RatioGraph::new(2);
+        g.add_arc(g.node(0), g.node(1), int(1), int(1));
+        g.add_arc(g.node(1), g.node(0), int(1), int(-2));
+        match maximum_cycle_ratio(&g).unwrap() {
+            CycleRatioOutcome::Infinite { cycle } => {
+                assert!(cycle.time <= Rational::ZERO);
+                assert!(cycle.cost.is_positive());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_time_positive_cost_cycle_is_infinite() {
+        let mut g = RatioGraph::new(2);
+        g.add_arc(g.node(0), g.node(1), int(1), int(3));
+        g.add_arc(g.node(1), g.node(0), int(1), int(-3));
+        match maximum_cycle_ratio(&g).unwrap() {
+            CycleRatioOutcome::Infinite { cycle } => assert!(cycle.time.is_zero()),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negative_time_arcs_are_fine_when_cycles_stay_positive() {
+        // Arc with negative time inside a cycle whose total time is positive.
+        let mut g = RatioGraph::new(3);
+        g.add_arc(g.node(0), g.node(1), int(1), int(-1));
+        g.add_arc(g.node(1), g.node(2), int(1), int(3));
+        g.add_arc(g.node(2), g.node(0), int(1), int(2));
+        match maximum_cycle_ratio(&g).unwrap() {
+            CycleRatioOutcome::Finite { ratio, cycle } => {
+                assert_eq!(ratio, Rational::new(3, 4).unwrap());
+                assert_eq!(cycle.len(), 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_cycles_share_nodes() {
+        // Two circuits through node 0: 0->1->0 (ratio 2) and 0->2->0 (ratio 4).
+        let mut g = RatioGraph::new(3);
+        g.add_arc(g.node(0), g.node(1), int(1), int(1));
+        g.add_arc(g.node(1), g.node(0), int(3), int(1));
+        g.add_arc(g.node(0), g.node(2), int(5), int(1));
+        g.add_arc(g.node(2), g.node(0), int(3), int(1));
+        match maximum_cycle_ratio(&g).unwrap() {
+            CycleRatioOutcome::Finite { ratio, cycle } => {
+                assert_eq!(ratio, int(4));
+                // The critical circuit must be 0 -> 2 -> 0.
+                assert!(cycle.nodes.contains(&g.node(2)));
+                assert!(!cycle.nodes.contains(&g.node(1)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fractional_ratios_are_exact() {
+        let mut g = RatioGraph::new(2);
+        g.add_arc(
+            g.node(0),
+            g.node(1),
+            Rational::new(1, 3).unwrap(),
+            Rational::new(1, 7).unwrap(),
+        );
+        g.add_arc(
+            g.node(1),
+            g.node(0),
+            Rational::new(1, 5).unwrap(),
+            Rational::new(1, 11).unwrap(),
+        );
+        let expected = (Rational::new(1, 3).unwrap() + Rational::new(1, 5).unwrap())
+            .unwrap()
+            .checked_div(
+                &(Rational::new(1, 7).unwrap() + Rational::new(1, 11).unwrap()).unwrap(),
+            )
+            .unwrap();
+        match maximum_cycle_ratio(&g).unwrap() {
+            CycleRatioOutcome::Finite { ratio, .. } => assert_eq!(ratio, expected),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Throughput under buffer-size constraints (the bottom half of Table 2).
+//!
+//! Buffer capacities are modelled as reverse buffers; the example sweeps the
+//! capacity slack of a DSP pipeline and shows the throughput/storage
+//! trade-off, evaluated exactly with K-Iter and compared with the 1-periodic
+//! approximation.
+//!
+//! Run with `cargo run --example buffer_sizing --release`.
+
+use kiter::generators::{buffer_sized, dsp};
+use kiter::{optimal_throughput, periodic_throughput, Throughput};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let graph = dsp::modem()?;
+    println!("application: {} ({} tasks, {} buffers)", graph.name(), graph.task_count(), graph.buffer_count());
+
+    let unbounded = optimal_throughput(&graph)?;
+    println!(
+        "unbounded buffers: Th* = {} (K = {})\n",
+        unbounded.throughput, unbounded.periodicity
+    );
+
+    println!("{:>6} | {:>14} | {:>14} | {:>10}", "slack", "K-Iter Th*", "periodic Th", "optimality");
+    println!("{:->6}-+-{:->14}-+-{:->14}-+-{:->10}", "", "", "", "");
+    for slack in [1u64, 2, 3, 4, 8] {
+        let bounded = buffer_sized(&graph, slack)?;
+        let optimal = optimal_throughput(&bounded)?;
+        let periodic = periodic_throughput(&bounded)?;
+        let optimality = match (periodic.throughput(), optimal.throughput) {
+            (Some(Throughput::Finite(bound)), Throughput::Finite(exact)) => {
+                format!(
+                    "{:.1}%",
+                    100.0 * bound.to_f64() / exact.to_f64().max(f64::MIN_POSITIVE)
+                )
+            }
+            (None, _) => "N/S".to_string(),
+            _ => "-".to_string(),
+        };
+        println!(
+            "{:>6} | {:>14} | {:>14} | {:>10}",
+            slack,
+            optimal.throughput.to_string(),
+            periodic
+                .throughput()
+                .map(|t| t.to_string())
+                .unwrap_or_else(|| "N/S".to_string()),
+            optimality
+        );
+    }
+    println!("\nA slack of k bounds every buffer to k·(i_b + o_b) tokens.");
+    Ok(())
+}

@@ -1,0 +1,55 @@
+//! Evaluate the five "ActualDSP" applications with the three exact methods.
+//!
+//! This reproduces, on a small scale, the comparison of the paper's Table 1:
+//! K-Iter against HSDF expansion and symbolic execution on real DSP graph
+//! shapes.
+//!
+//! Run with `cargo run --example dsp_pipeline --release`.
+
+use std::time::Instant;
+
+use kiter::generators::dsp::actual_dsp_suite;
+use kiter::{
+    expansion_throughput, optimal_throughput, symbolic_execution_throughput, Budget,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let budget = Budget::default();
+    println!(
+        "{:<14} {:>6} {:>8} {:>10} | {:>12} {:>12} {:>12}",
+        "graph", "tasks", "buffers", "sum(q)", "kiter", "expansion", "symbolic"
+    );
+    for graph in actual_dsp_suite()? {
+        let q = graph.repetition_vector()?;
+
+        let start = Instant::now();
+        let kiter = optimal_throughput(&graph)?;
+        let kiter_time = start.elapsed();
+
+        let expansion = expansion_throughput(&graph, &budget)?;
+        let symbolic = symbolic_execution_throughput(&graph, &budget)?;
+
+        // All exact methods must agree whenever they finish.
+        if let (Some(a), Some(b)) = (expansion.throughput(), symbolic.throughput()) {
+            assert_eq!(a, kiter.throughput, "expansion disagrees on {}", graph.name());
+            assert_eq!(b, kiter.throughput, "symbolic disagrees on {}", graph.name());
+        }
+
+        println!(
+            "{:<14} {:>6} {:>8} {:>10} | {:>12} {:>12} {:>12}",
+            graph.name(),
+            graph.task_count(),
+            graph.buffer_count(),
+            q.sum(),
+            format!("{:?}", kiter_time),
+            format!("{:?}", expansion.wall_time),
+            format!("{:?}", symbolic.wall_time),
+        );
+        println!(
+            "{:<40}   Th* = {}",
+            "",
+            kiter.throughput
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,118 @@
+//! Cross-crate integration tests: the three exact methods must agree.
+
+use kiter::generators::{dsp, random_graph, RandomGraphConfig};
+use kiter::{
+    expansion_throughput, optimal_throughput, paper_example, periodic_throughput,
+    symbolic_execution_throughput, Budget, Throughput,
+};
+
+/// K-Iter and symbolic execution are both exact: they must agree on every
+/// graph the simulator can finish within its budget.
+#[test]
+fn kiter_matches_symbolic_execution_on_random_csdf_graphs() {
+    let config = RandomGraphConfig::small_csdf();
+    let budget = Budget::default();
+    let mut checked = 0;
+    for seed in 0..40 {
+        let graph = random_graph(&config, seed).expect("generator cannot fail");
+        let kiter = optimal_throughput(&graph).expect("kiter");
+        let symbolic = symbolic_execution_throughput(&graph, &budget).expect("symbolic");
+        if let Some(reference) = symbolic.throughput() {
+            assert_eq!(
+                kiter.throughput, reference,
+                "disagreement on seed {seed}:\n{graph}"
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked >= 32, "too many symbolic-execution timeouts: {checked}/40");
+}
+
+/// On SDF graphs the expansion method is exact as well.
+#[test]
+fn kiter_matches_expansion_on_random_sdf_graphs() {
+    let config = RandomGraphConfig::sdf(6);
+    let budget = Budget::default();
+    for seed in 0..25 {
+        let graph = random_graph(&config, seed).expect("generator cannot fail");
+        let kiter = optimal_throughput(&graph).expect("kiter");
+        let expansion = expansion_throughput(&graph, &budget).expect("expansion");
+        if let Some(reference) = expansion.throughput() {
+            assert_eq!(
+                kiter.throughput, reference,
+                "disagreement on seed {seed}:\n{graph}"
+            );
+        }
+    }
+}
+
+/// The periodic method is a lower bound of the optimum, never above it.
+#[test]
+fn periodic_is_a_lower_bound_on_random_graphs() {
+    let config = RandomGraphConfig::default();
+    for seed in 0..25 {
+        let graph = random_graph(&config, seed).expect("generator cannot fail");
+        let kiter = optimal_throughput(&graph).expect("kiter");
+        let periodic = periodic_throughput(&graph).expect("periodic");
+        if let (Some(bound), Throughput::Finite(_)) = (periodic.throughput(), kiter.throughput) {
+            assert!(
+                bound <= kiter.throughput,
+                "periodic bound above optimum on seed {seed}"
+            );
+        }
+    }
+}
+
+/// The reconstructed paper example: exact methods agree, periodic is a bound.
+#[test]
+fn paper_example_cross_validation() {
+    let (graph, _) = paper_example();
+    let kiter = optimal_throughput(&graph).expect("kiter");
+    assert!(matches!(kiter.throughput, Throughput::Finite(_)));
+
+    let symbolic = symbolic_execution_throughput(&graph, &Budget::benchmark()).expect("symbolic");
+    if let Some(reference) = symbolic.throughput() {
+        assert_eq!(kiter.throughput, reference);
+    }
+
+    let periodic = periodic_throughput(&graph).expect("periodic");
+    if let Some(bound) = periodic.throughput() {
+        assert!(bound <= kiter.throughput);
+    }
+}
+
+/// The hand-written DSP applications: every method that completes agrees.
+#[test]
+fn dsp_suite_cross_validation() {
+    let budget = Budget::default();
+    for graph in dsp::actual_dsp_suite().expect("dsp suite") {
+        let kiter = optimal_throughput(&graph).expect("kiter");
+        assert!(
+            matches!(kiter.throughput, Throughput::Finite(_)),
+            "{} must have a finite optimal throughput",
+            graph.name()
+        );
+        let expansion = expansion_throughput(&graph, &budget).expect("expansion");
+        if let Some(reference) = expansion.throughput() {
+            assert_eq!(kiter.throughput, reference, "{}", graph.name());
+        }
+        let symbolic = symbolic_execution_throughput(&graph, &budget).expect("symbolic");
+        if let Some(reference) = symbolic.throughput() {
+            assert_eq!(kiter.throughput, reference, "{}", graph.name());
+        }
+    }
+}
+
+/// Deadlocked graphs are recognised identically by K-Iter and the simulator.
+#[test]
+fn deadlock_detection_agrees() {
+    let mut builder = kiter::CsdfGraphBuilder::new();
+    let a = builder.add_task("a", vec![1, 2]);
+    let b = builder.add_sdf_task("b", 3);
+    builder.add_buffer(a, b, vec![1, 1], vec![2], 0);
+    builder.add_buffer(b, a, vec![2], vec![1, 1], 1);
+    let graph = builder.build().expect("valid graph");
+    let kiter = optimal_throughput(&graph).expect("kiter");
+    let symbolic = symbolic_execution_throughput(&graph, &Budget::default()).expect("symbolic");
+    assert_eq!(Some(kiter.throughput), symbolic.throughput());
+}

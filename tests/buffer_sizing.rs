@@ -1,0 +1,83 @@
+//! Integration tests for the buffer-size-constrained pipeline (Table 2,
+//! bottom half).
+
+use kiter::generators::{buffer_sized, dsp, random_graph, RandomGraphConfig};
+use kiter::{optimal_throughput, symbolic_execution_throughput, Budget, Throughput};
+
+/// Bounding buffers can only reduce the throughput.
+#[test]
+fn bounded_throughput_never_exceeds_unbounded() {
+    for seed in 0..10 {
+        let graph = random_graph(&RandomGraphConfig::small_csdf(), seed).expect("generator");
+        let unbounded = optimal_throughput(&graph).expect("kiter");
+        let bounded_graph = buffer_sized(&graph, 2).expect("bounding");
+        let bounded = optimal_throughput(&bounded_graph).expect("kiter bounded");
+        assert!(
+            bounded.throughput <= unbounded.throughput,
+            "seed {seed}: bounding increased the throughput"
+        );
+    }
+}
+
+/// Larger capacities can only help.
+#[test]
+fn throughput_is_monotone_in_buffer_slack() {
+    let graph = dsp::modem().expect("modem");
+    let mut previous = Throughput::Deadlocked;
+    for slack in [1u64, 2, 4, 8] {
+        let bounded = buffer_sized(&graph, slack).expect("bounding");
+        let result = optimal_throughput(&bounded).expect("kiter");
+        assert!(
+            result.throughput >= previous,
+            "throughput decreased when slack grew to {slack}"
+        );
+        previous = result.throughput;
+    }
+    // With generous capacities the bounded graph reaches the unbounded
+    // optimum.
+    let unbounded = optimal_throughput(&graph).expect("kiter");
+    let generous = optimal_throughput(&buffer_sized(&graph, 64).expect("bounding")).expect("kiter");
+    assert_eq!(generous.throughput, unbounded.throughput);
+}
+
+/// The exact methods still agree on bounded graphs (where the simulator's
+/// state space is finite by construction).
+#[test]
+fn bounded_graphs_cross_validate() {
+    let budget = Budget::default();
+    for seed in 0..10 {
+        let graph = random_graph(&RandomGraphConfig::small_csdf(), seed).expect("generator");
+        let bounded_graph = buffer_sized(&graph, 3).expect("bounding");
+        let kiter = optimal_throughput(&bounded_graph).expect("kiter");
+        let symbolic =
+            symbolic_execution_throughput(&bounded_graph, &budget).expect("symbolic");
+        if let Some(reference) = symbolic.throughput() {
+            assert_eq!(kiter.throughput, reference, "seed {seed}");
+        }
+    }
+}
+
+/// Tiny capacities deadlock multirate graphs; both methods must notice.
+#[test]
+fn undersized_buffers_deadlock() {
+    let mut builder = kiter::CsdfGraphBuilder::new();
+    let producer = builder.add_sdf_task("producer", 1);
+    let consumer = builder.add_sdf_task("consumer", 1);
+    builder.add_sdf_buffer(producer, consumer, 5, 3, 0);
+    builder.add_serializing_self_loop(producer);
+    builder.add_serializing_self_loop(consumer);
+    let graph = builder.build().expect("valid");
+    // Capacity 4 < production burst of 5: the producer can never fire.
+    let bounded = csdf::transform::bound_buffers(
+        &graph,
+        &[csdf::transform::BufferCapacity {
+            buffer: kiter::BufferId::new(0),
+            capacity: 4,
+        }],
+    )
+    .expect("bounding");
+    let kiter = optimal_throughput(&bounded).expect("kiter");
+    assert_eq!(kiter.throughput, Throughput::Deadlocked);
+    let symbolic = symbolic_execution_throughput(&bounded, &Budget::default()).expect("symbolic");
+    assert_eq!(symbolic.throughput(), Some(Throughput::Deadlocked));
+}

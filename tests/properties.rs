@@ -1,0 +1,108 @@
+//! Property-based tests over randomly generated CSDF graphs.
+
+use proptest::prelude::*;
+
+use kiter::analysis::{
+    duplicate_phases, evaluate_k_periodic, transformed_repetition_vector, EvaluationOutcome,
+};
+use kiter::generators::{random_graph, RandomGraphConfig};
+use kiter::{
+    optimal_throughput, symbolic_execution_throughput, AnalysisOptions, Budget,
+    KPeriodicSchedule, PeriodicityVector, Rational, Throughput,
+};
+
+fn small_config(max_phases: usize, tasks: usize) -> RandomGraphConfig {
+    RandomGraphConfig {
+        tasks,
+        extra_edges: 1,
+        feedback_edges: 1,
+        repetition_choices: vec![1, 2, 3],
+        max_phases,
+        duration_range: (1, 4),
+        marking_factor: 2,
+        serialize: true,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        ..ProptestConfig::default()
+    })]
+
+    /// The headline claim of the paper: K-Iter computes the *exact* maximum
+    /// throughput, i.e. the value found by self-timed state-space exploration.
+    #[test]
+    fn kiter_equals_symbolic_execution(seed in 0u64..5_000, tasks in 3usize..6, phases in 1usize..4) {
+        let graph = random_graph(&small_config(phases, tasks), seed).expect("generator");
+        let kiter = optimal_throughput(&graph).expect("kiter");
+        let symbolic = symbolic_execution_throughput(&graph, &Budget::default()).expect("sim");
+        if let Some(reference) = symbolic.throughput() {
+            prop_assert_eq!(kiter.throughput, reference);
+        }
+    }
+
+    /// Growing the periodicity vector can only improve (or keep) the
+    /// K-periodic throughput bound.
+    #[test]
+    fn kperiodic_bound_is_monotone_in_k(seed in 0u64..5_000, tasks in 3usize..6) {
+        let graph = random_graph(&small_config(2, tasks), seed).expect("generator");
+        let q = graph.repetition_vector().expect("consistent");
+        let options = AnalysisOptions::default();
+        let unitary = evaluate_k_periodic(&graph, &PeriodicityVector::unitary(&graph), &options)
+            .expect("unitary evaluation");
+        let full = evaluate_k_periodic(&graph, &PeriodicityVector::full(&q), &options)
+            .expect("full evaluation");
+        prop_assert!(full.throughput() >= unitary.throughput());
+    }
+
+    /// Theorem 3: the transformed graph G̃ is consistent and the paper's q̃
+    /// satisfies its balance equations.
+    #[test]
+    fn duplication_preserves_consistency(seed in 0u64..5_000, tasks in 3usize..6, k_seed in 0u64..1_000) {
+        let graph = random_graph(&small_config(3, tasks), seed).expect("generator");
+        let q = graph.repetition_vector().expect("consistent");
+        // Derive a pseudo-random periodicity vector from k_seed.
+        let entries: Vec<u64> = (0..graph.task_count())
+            .map(|index| 1 + ((k_seed >> (index % 8)) & 0x3))
+            .collect();
+        let k = PeriodicityVector::from_entries(&graph, entries).expect("valid K");
+        let transformed = duplicate_phases(&graph, &k).expect("duplication");
+        prop_assert!(transformed.is_consistent());
+        let q_tilde = transformed_repetition_vector(&q, &k).expect("q tilde");
+        prop_assert!(q_tilde.validates(&transformed));
+    }
+
+    /// Any feasible K-periodic evaluation yields an explicit schedule that
+    /// keeps every buffer non-negative when replayed.
+    #[test]
+    fn schedules_replay_without_negative_buffers(seed in 0u64..5_000, tasks in 3usize..5) {
+        let graph = random_graph(&small_config(2, tasks), seed).expect("generator");
+        let options = AnalysisOptions::default();
+        let k = PeriodicityVector::unitary(&graph);
+        if let Some(schedule) = KPeriodicSchedule::compute(&graph, &k, &options).expect("compute") {
+            prop_assert!(schedule.validate(&graph, 4), "schedule violates a buffer:\n{}", graph);
+        }
+    }
+
+    /// The 1-periodic throughput never exceeds the optimum, and the optimum's
+    /// period equals the inverse of its throughput.
+    #[test]
+    fn periodic_bound_and_period_inversion(seed in 0u64..5_000, tasks in 3usize..6) {
+        let graph = random_graph(&small_config(2, tasks), seed).expect("generator");
+        let options = AnalysisOptions::default();
+        let periodic = evaluate_k_periodic(&graph, &PeriodicityVector::unitary(&graph), &options)
+            .expect("periodic");
+        let optimal = optimal_throughput(&graph).expect("kiter");
+        if let EvaluationOutcome::Feasible { throughput, .. } = periodic.outcome {
+            prop_assert!(throughput <= optimal.throughput);
+        }
+        if let Throughput::Finite(value) = optimal.throughput {
+            let period = optimal.period().expect("finite throughput has a period");
+            prop_assert_eq!(
+                period.checked_mul(&value).expect("no overflow"),
+                Rational::ONE
+            );
+        }
+    }
+}
