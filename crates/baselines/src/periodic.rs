@@ -62,9 +62,7 @@ pub fn periodic_throughput_with_options(
             (EvaluationStatus::LowerBound, Some(throughput))
         }
         EvaluationOutcome::Infeasible { .. } => (EvaluationStatus::NoSolution, None),
-        EvaluationOutcome::Unconstrained => {
-            (EvaluationStatus::Exact, Some(Throughput::Unbounded))
-        }
+        EvaluationOutcome::Unconstrained => (EvaluationStatus::Exact, Some(Throughput::Unbounded)),
     };
     Ok(MethodResult {
         status,

@@ -101,9 +101,7 @@ pub fn symbolic_execution_throughput(
                         break;
                     }
                     consume(graph, &mut tokens, task_index, phase);
-                    let duration = graph
-                        .task(csdf::TaskId::new(task_index))
-                        .duration(phase);
+                    let duration = graph.task(csdf::TaskId::new(task_index)).duration(phase);
                     completions.push(std::cmp::Reverse((now + duration, task_index, phase)));
                     next_phase[task_index] = (phase + 1) % phase_counts[task_index];
                     started[task_index] += 1;

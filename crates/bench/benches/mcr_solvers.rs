@@ -23,8 +23,8 @@ fn bench_mcr(c: &mut Criterion) {
         let graph = random_graph(&config, 7).expect("generation succeeds");
         let q = graph.repetition_vector().expect("consistent");
         let k = PeriodicityVector::unitary(&graph);
-        let event_graph = EventGraph::build(&graph, &q, &k, &EventGraphLimits::default())
-            .expect("event graph");
+        let event_graph =
+            EventGraph::build(&graph, &q, &k, &EventGraphLimits::default()).expect("event graph");
         group.bench_with_input(
             BenchmarkId::new("parametric_ratio", tasks),
             event_graph.ratio_graph(),

@@ -27,7 +27,7 @@ fn main() {
             continue;
         }
         match industrial_app(&spec) {
-            Ok(graph) => row(&spec.name, &graph, &budget),
+            Ok(graph) => row(spec.name, &graph, &budget),
             Err(err) => println!("{:<14} generation failed: {err}", spec.name),
         }
     }
@@ -38,7 +38,7 @@ fn main() {
             continue;
         }
         match industrial_app(&spec).and_then(|g| buffer_sized(&g, 2)) {
-            Ok(graph) => row(&spec.name, &graph, &budget),
+            Ok(graph) => row(spec.name, &graph, &budget),
             Err(err) => println!("{:<14} generation failed: {err}", spec.name),
         }
     }
@@ -49,7 +49,7 @@ fn main() {
             continue;
         }
         match industrial_app(&spec) {
-            Ok(graph) => row(&spec.name, &graph, &budget),
+            Ok(graph) => row(spec.name, &graph, &budget),
             Err(err) => println!("{:<14} generation failed: {err}", spec.name),
         }
     }

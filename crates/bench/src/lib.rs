@@ -21,8 +21,8 @@ use kperiodic::{kiter_with_options, AnalysisError, KIterOptions};
 pub enum Method {
     /// The paper's K-Iter algorithm (exact).
     KIter,
-    /// SDF → HSDF expansion + maximum cycle ratio (exact, SDF only) — the
-    /// `[6]` column of Table 1.
+    /// (C)SDF → HSDF expansion + maximum cycle ratio (exact) — the `[6]`
+    /// column of Table 1.
     Expansion,
     /// Self-timed state-space exploration (exact) — the `[8]`/`[16]` columns.
     SymbolicExecution,

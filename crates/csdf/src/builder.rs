@@ -275,9 +275,6 @@ mod tests {
         let mut b = CsdfGraphBuilder::new();
         let x = b.add_sdf_task("x", 1);
         b.add_sdf_buffer(x, TaskId::new(9), 1, 1, 0);
-        assert!(matches!(
-            b.build(),
-            Err(CsdfError::TaskIndexOutOfRange(9))
-        ));
+        assert!(matches!(b.build(), Err(CsdfError::TaskIndexOutOfRange(9))));
     }
 }

@@ -137,10 +137,7 @@ impl CsdfGraph {
 
     /// Finds a task by name.
     pub fn find_task(&self, name: &str) -> Option<TaskId> {
-        self.tasks
-            .iter()
-            .position(|t| t.name() == name)
-            .map(TaskId)
+        self.tasks.iter().position(|t| t.name() == name).map(TaskId)
     }
 
     /// Returns `true` when every task has a single phase (the graph is an
@@ -153,9 +150,10 @@ impl CsdfGraph {
     /// a single phase and every rate equals one.
     pub fn is_hsdf(&self) -> bool {
         self.is_sdf()
-            && self.buffers.iter().all(|b| {
-                b.total_production() == 1 && b.total_consumption() == 1
-            })
+            && self
+                .buffers
+                .iter()
+                .all(|b| b.total_production() == 1 && b.total_consumption() == 1)
     }
 
     /// Computes the (smallest, component-wise) repetition vector of the graph.

@@ -168,7 +168,12 @@ impl Rational {
         let num = self
             .num
             .checked_mul(lhs_scale)
-            .and_then(|a| other.num.checked_mul(rhs_scale).and_then(|b| a.checked_add(b)))
+            .and_then(|a| {
+                other
+                    .num
+                    .checked_mul(rhs_scale)
+                    .and_then(|b| a.checked_add(b))
+            })
             .ok_or(RationalError::Overflow)?;
         let den = self
             .den

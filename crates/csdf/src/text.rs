@@ -73,7 +73,9 @@ fn join(values: &[u64]) -> String {
 pub fn parse(input: &str) -> Result<CsdfGraph, CsdfError> {
     let mut name = "csdf".to_string();
     let mut builder: Option<CsdfGraphBuilder> = None;
-    let mut pending_buffers: Vec<(usize, String, String, Vec<u64>, Vec<u64>, u64)> = Vec::new();
+    // line number, source, target, production, consumption, initial tokens
+    type PendingBuffer = (usize, String, String, Vec<u64>, Vec<u64>, u64);
+    let mut pending_buffers: Vec<PendingBuffer> = Vec::new();
 
     for (line_index, raw_line) in input.lines().enumerate() {
         let line_number = line_index + 1;
@@ -117,7 +119,14 @@ pub fn parse(input: &str) -> Result<CsdfGraph, CsdfError> {
                 let tokens = *tokens
                     .first()
                     .ok_or_else(|| parse_error(line_number, "missing token count"))?;
-                pending_buffers.push((line_number, source, target, production, consumption, tokens));
+                pending_buffers.push((
+                    line_number,
+                    source,
+                    target,
+                    production,
+                    consumption,
+                    tokens,
+                ));
             }
             Some(other) => {
                 return Err(parse_error(

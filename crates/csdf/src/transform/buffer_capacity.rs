@@ -185,7 +185,8 @@ mod tests {
         b.add_sdf_buffer(x, y, 2, 3, 0);
         b.add_serializing_self_loop(x);
         let g = b.build().unwrap();
-        let bounded = bound_all_buffers(&g, |_, b| b.total_production() + b.total_consumption()).unwrap();
+        let bounded =
+            bound_all_buffers(&g, |_, b| b.total_production() + b.total_consumption()).unwrap();
         // one forward channel + self loop + one reverse channel
         assert_eq!(bounded.buffer_count(), 3);
     }

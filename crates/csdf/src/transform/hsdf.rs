@@ -1,12 +1,13 @@
-//! SDF → HSDF expansion (Lee & Messerschmitt style).
+//! (C)SDF → HSDF expansion (Lee & Messerschmitt style).
 //!
-//! The expansion replaces every task `t` of a consistent SDF graph by `q_t`
-//! copies — one per firing inside a graph iteration — and every buffer by
-//! unit-rate precedence edges between the copies. The resulting Homogeneous
-//! SDF graph has the same maximum throughput as the original and its minimum
-//! period is a Maximum Cycle Mean problem, which is how the expansion-based
-//! baseline methods (references [10] and [6] of the paper) evaluate
-//! throughput.
+//! The expansion replaces every task `t` of a consistent CSDF graph by
+//! `q_t · φ_t` copies — one per *phase firing* inside a graph iteration — and
+//! every buffer by unit-rate precedence edges between the copies. The
+//! resulting Homogeneous SDF graph has the same maximum throughput as the
+//! original and its minimum period is a Maximum Cycle Mean problem, which is
+//! how the expansion-based baseline methods (references [10] and [6] of the
+//! paper) evaluate throughput. For plain SDF graphs (`φ_t = 1` everywhere)
+//! this reduces to the classical `q_t`-copies expansion.
 //!
 //! The expansion adds, for every consumer firing, a single precedence edge
 //! from the *last* producer firing it depends on. This is sufficient because
@@ -26,13 +27,14 @@ use crate::task::TaskId;
 pub struct HsdfExpansion {
     /// The expanded homogeneous graph (all rates are 1).
     pub graph: CsdfGraph,
-    /// `copies[t]` lists, in firing order, the expanded task ids of original
-    /// task `t`.
+    /// `copies[t]` lists, in phase-firing order, the expanded task ids of
+    /// original task `t` (`q_t · φ_t` entries; firing `i` executes phase
+    /// `i mod φ_t`).
     pub copies: Vec<Vec<TaskId>>,
 }
 
 impl HsdfExpansion {
-    /// Total number of firing copies, i.e. `Σ_t q_t`.
+    /// Total number of firing copies, i.e. `Σ_t q_t · φ_t`.
     pub fn copy_count(&self) -> usize {
         self.copies.iter().map(Vec::len).sum()
     }
@@ -48,15 +50,15 @@ impl HsdfExpansion {
     }
 }
 
-/// Expands a consistent SDF graph into an equivalent HSDF graph.
+/// Expands a consistent (C)SDF graph into an equivalent HSDF graph.
+///
+/// Every task `t` becomes `q_t · φ_t` unit-rate copies, one per phase firing
+/// of a graph iteration; copy `i` carries the duration of phase `i mod φ_t`.
 ///
 /// # Errors
 ///
 /// * [`CsdfError::Inconsistent`] / [`CsdfError::Overflow`] if the repetition
 ///   vector cannot be computed or a delay does not fit in `u64`.
-/// * [`CsdfError::RateLengthMismatch`] if the graph contains a multi-phase
-///   (true CSDF) task: the expansion baseline is only defined for SDF graphs,
-///   exactly as the expansion-based methods compared in the paper's Table 1.
 ///
 /// # Examples
 ///
@@ -65,68 +67,96 @@ impl HsdfExpansion {
 ///
 /// let mut builder = CsdfGraphBuilder::new();
 /// let a = builder.add_sdf_task("a", 1);
-/// let b = builder.add_sdf_task("b", 1);
-/// builder.add_sdf_buffer(a, b, 2, 3, 0);
+/// let b = builder.add_task("b", vec![1, 1]);
+/// builder.add_buffer(a, b, vec![2], vec![1, 2], 0);
 /// let graph = builder.build()?;
 /// let expansion = expand_to_hsdf(&graph)?;
-/// // q = [3, 2] so the expansion has 5 firing copies.
-/// assert_eq!(expansion.copy_count(), 5);
+/// // q = [3, 2] and b has two phases, so the expansion has 3 + 2·2 copies.
+/// assert_eq!(expansion.copy_count(), 7);
 /// assert!(expansion.graph.is_hsdf());
 /// # Ok::<(), csdf::CsdfError>(())
 /// ```
 pub fn expand_to_hsdf(graph: &CsdfGraph) -> Result<HsdfExpansion, CsdfError> {
-    for (_, task) in graph.tasks() {
-        if !task.is_sdf() {
-            return Err(CsdfError::RateLengthMismatch {
-                task: task.name().to_string(),
-                phases: task.phase_count(),
-                rate_len: 1,
-            });
-        }
-    }
     let q = graph.repetition_vector()?;
     let mut builder = CsdfGraphBuilder::named(format!("{}_hsdf", graph.name()));
     let mut copies: Vec<Vec<TaskId>> = Vec::with_capacity(graph.task_count());
     for (task_id, task) in graph.tasks() {
+        let phases = task.phase_count();
         let mut task_copies = Vec::new();
-        for firing in 0..q.get(task_id) {
+        for firing in 0..q.get(task_id) as usize * phases {
             let copy = builder.add_sdf_task(
                 format!("{}#{}", task.name(), firing + 1),
-                task.duration(0),
+                task.duration(firing % phases),
             );
             task_copies.push(copy);
         }
         copies.push(task_copies);
     }
 
-    // Precedence edges from the last needed producer firing of every consumer
-    // firing.
+    // Precedence edges from the last needed producer phase firing of every
+    // consumer phase firing.
     for (_, buffer) in graph.buffers() {
         let producer = buffer.source();
         let consumer = buffer.target();
-        let p = buffer.total_production() as i128;
-        let c = buffer.total_consumption() as i128;
+        let phases_u = graph.task(producer).phase_count() as i128;
+        let phases_v = graph.task(consumer).phase_count() as i128;
+        let sum_p = buffer.total_production() as i128;
+        let sum_c = buffer.total_consumption() as i128;
         let m = buffer.initial_tokens() as i128;
-        let qu = q.get(producer) as i128;
-        let qv = q.get(consumer) as i128;
-        for j in 1..=qv {
+        if sum_c == 0 {
+            // The consumer never reads this buffer: no precedence at all.
+            continue;
+        }
+        // Cumulative production within one phase cycle: prefix_p[i] = tokens
+        // after the first i phase firings of a cycle (prefix_p[0] = 0). Only
+        // the producer side needs the explicit array — it is searched in
+        // reverse (production count -> phase index); the consumer side uses
+        // `Buffer::cumulative_consumption` directly.
+        let prefix_p: Vec<i128> = std::iter::once(0)
+            .chain(buffer.production().iter().scan(0i128, |acc, &r| {
+                *acc += r as i128;
+                Some(*acc)
+            }))
+            .collect();
+        let firings_u = q.get(producer) as i128 * phases_u;
+        let firings_v = q.get(consumer) as i128 * phases_v;
+        let consumed_per_iteration = q.get(consumer) as i128 * sum_c;
+        for j in 1..=firings_v {
+            let phase_v = ((j - 1) % phases_v) as usize;
+            if buffer.consumption_at(phase_v) == 0 {
+                // This phase consumes nothing from the buffer: no dependency.
+                continue;
+            }
+            // Tokens consumed through the end of the j-th phase firing of one
+            // iteration (`Oa` of the paper; the cycle index is 1-based).
+            let consumed_within =
+                buffer.cumulative_consumption(phase_v, ((j - 1) / phases_v + 1) as u64) as i128;
             // Smallest iteration w >= 1 of the consumer such that its j-th
-            // firing needs at least one producer firing.
-            let needed_offset = m + 1 - j * c;
+            // phase firing needs at least one producer firing.
+            let needed_offset = m + 1 - consumed_within;
             let w = 1 + if needed_offset > 0 {
-                div_ceil(needed_offset, qv * c)
+                div_ceil(needed_offset, consumed_per_iteration)
             } else {
                 0
             };
-            let global_consumption = ((w - 1) * qv + j) * c;
-            let needed_firings = div_ceil(global_consumption - m, p);
-            if needed_firings < 1 {
+            let global_consumption = (w - 1) * consumed_per_iteration + consumed_within;
+            // Smallest global count n of producer phase firings with
+            // cumulative production >= global_consumption - m.
+            let needed = global_consumption - m;
+            if needed < 1 {
                 // Enough initial tokens forever (cannot happen once w is
                 // advanced, kept for safety).
                 continue;
             }
-            let producer_copy = ((needed_firings - 1) % qu) as usize;
-            let producer_iteration = (needed_firings - 1) / qu + 1;
+            let full_cycles = (needed - 1).div_euclid(sum_p);
+            let remainder = needed - full_cycles * sum_p; // in 1..=sum_p
+            let within_cycle = prefix_p
+                .iter()
+                .position(|&produced| produced >= remainder)
+                .expect("prefix sums reach the cycle total") as i128;
+            let needed_firings = full_cycles * phases_u + within_cycle;
+            let producer_copy = ((needed_firings - 1) % firings_u) as usize;
+            let producer_iteration = (needed_firings - 1) / firings_u + 1;
             let delay = w - producer_iteration;
             debug_assert!(delay >= 0, "stationary dependency must not look ahead");
             builder.add_sdf_buffer(
@@ -286,13 +316,52 @@ mod tests {
     }
 
     #[test]
-    fn multi_phase_tasks_are_rejected() {
+    fn multi_phase_tasks_expand_to_one_copy_per_phase_firing() {
         let mut b = CsdfGraphBuilder::new();
-        let x = b.add_task("x", vec![1, 1]);
+        let x = b.add_task("x", vec![1, 3]);
         let y = b.add_sdf_task("y", 1);
         b.add_buffer(x, y, vec![1, 1], vec![2], 0);
         let g = b.build().unwrap();
-        assert!(expand_to_hsdf(&g).is_err());
+        let e = expand_to_hsdf(&g).unwrap();
+        // q = [1, 1]; x has two phases, y one: three copies in total.
+        assert_eq!(e.copies[x.index()].len(), 2);
+        assert_eq!(e.copies[y.index()].len(), 1);
+        assert!(e.graph.is_hsdf());
+        // Copies carry their phase's duration.
+        assert_eq!(e.graph.task(e.copies[x.index()][0]).duration(0), 1);
+        assert_eq!(e.graph.task(e.copies[x.index()][1]).duration(0), 3);
+        // y's single firing consumes 2 tokens, available only after both
+        // phases of x: the dependency points at x#2.
+        let edge = e
+            .graph
+            .buffers()
+            .find(|(_, buffer)| buffer.target() == e.copies[y.index()][0])
+            .unwrap()
+            .1;
+        assert_eq!(edge.source(), e.copies[x.index()][1]);
+        assert_eq!(edge.initial_tokens(), 0);
+    }
+
+    #[test]
+    fn zero_rate_phases_produce_no_dependency() {
+        // y's first phase consumes nothing: only its second phase depends on
+        // the producer.
+        let mut b = CsdfGraphBuilder::new();
+        let x = b.add_sdf_task("x", 1);
+        let y = b.add_task("y", vec![1, 1]);
+        b.add_buffer(x, y, vec![1], vec![0, 1], 0);
+        let g = b.build().unwrap();
+        let e = expand_to_hsdf(&g).unwrap();
+        let targets: Vec<_> = e
+            .graph
+            .buffers()
+            .filter(|(_, buffer)| {
+                buffer.source() == e.copies[x.index()][0]
+                    && e.copies[y.index()].contains(&buffer.target())
+            })
+            .map(|(_, buffer)| buffer.target())
+            .collect();
+        assert_eq!(targets, vec![e.copies[y.index()][1]]);
     }
 
     #[test]

@@ -77,10 +77,10 @@ pub fn industrial_app(spec: &AppSpec) -> Result<CsdfGraph, CsdfError> {
     }
 
     let add_buffer = |builder: &mut CsdfGraphBuilder,
-                          rng: &mut StdRng,
-                          from: usize,
-                          to: usize,
-                          marking_periods: u64|
+                      rng: &mut StdRng,
+                      from: usize,
+                      to: usize,
+                      marking_periods: u64|
      -> Result<(), CsdfError> {
         let lcm = lcm_u64(levels[from], levels[to]).map_err(|_| CsdfError::Overflow)?;
         let total_production = lcm / levels[from];
@@ -100,7 +100,11 @@ pub fn industrial_app(spec: &AppSpec) -> Result<CsdfGraph, CsdfError> {
 
     // Connecting chain.
     for index in 1..spec.tasks {
-        let from = if index == 1 { 0 } else { rng.gen_range(0..index) };
+        let from = if index == 1 {
+            0
+        } else {
+            rng.gen_range(0..index)
+        };
         add_buffer(&mut builder, &mut rng, from, index, 0)?;
     }
     // Extra forward buffers up to the data-buffer budget minus the feedback.
@@ -256,7 +260,13 @@ pub fn synthetic_specs() -> Vec<AppSpec> {
 
 /// All five industrial application specs in the order of Table 2.
 pub fn industrial_specs() -> Vec<AppSpec> {
-    vec![black_scholes(), echo(), jpeg2000(), pdetect(), h264_encoder()]
+    vec![
+        black_scholes(),
+        echo(),
+        jpeg2000(),
+        pdetect(),
+        h264_encoder(),
+    ]
 }
 
 #[cfg(test)]

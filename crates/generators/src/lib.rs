@@ -69,10 +69,7 @@ mod tests {
     #[test]
     fn buffer_sizing_doubles_non_self_loop_buffers() {
         let g = random_graph(&RandomGraphConfig::default(), 9).unwrap();
-        let data_buffers = g
-            .buffers()
-            .filter(|(_, b)| !b.is_self_loop())
-            .count();
+        let data_buffers = g.buffers().filter(|(_, b)| !b.is_self_loop()).count();
         let bounded = buffer_sized(&g, 2).unwrap();
         assert_eq!(bounded.buffer_count(), g.buffer_count() + data_buffers);
         assert!(bounded.is_consistent());

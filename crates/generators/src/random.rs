@@ -92,8 +92,7 @@ pub fn random_graph(config: &RandomGraphConfig, seed: u64) -> Result<CsdfGraph, 
     // Draw the repetition vector and phase counts first.
     let repetition: Vec<u64> = (0..config.tasks)
         .map(|_| {
-            config.repetition_choices
-                [rng.gen_range(0..config.repetition_choices.len().max(1))]
+            config.repetition_choices[rng.gen_range(0..config.repetition_choices.len().max(1))]
         })
         .collect();
     let phase_counts: Vec<usize> = (0..config.tasks)
@@ -101,8 +100,8 @@ pub fn random_graph(config: &RandomGraphConfig, seed: u64) -> Result<CsdfGraph, 
         .collect();
 
     let mut task_ids = Vec::with_capacity(config.tasks);
-    for index in 0..config.tasks {
-        let durations: Vec<u64> = (0..phase_counts[index])
+    for (index, &phases) in phase_counts.iter().enumerate() {
+        let durations: Vec<u64> = (0..phases)
             .map(|_| rng.gen_range(config.duration_range.0..=config.duration_range.1.max(1)))
             .collect();
         task_ids.push(builder.add_task(format!("t{index}"), durations));
@@ -110,10 +109,10 @@ pub fn random_graph(config: &RandomGraphConfig, seed: u64) -> Result<CsdfGraph, 
 
     // Helper: rates between two tasks so that q_u · i = q_v · o.
     let add_edge = |builder: &mut CsdfGraphBuilder,
-                        rng: &mut StdRng,
-                        from: usize,
-                        to: usize,
-                        marking_factor: u64|
+                    rng: &mut StdRng,
+                    from: usize,
+                    to: usize,
+                    marking_factor: u64|
      -> Result<(), CsdfError> {
         let lcm = lcm_u64(repetition[from], repetition[to]).map_err(|_| CsdfError::Overflow)?;
         let total_production = lcm / repetition[from];
@@ -121,7 +120,13 @@ pub fn random_graph(config: &RandomGraphConfig, seed: u64) -> Result<CsdfGraph, 
         let production = split_total(rng, total_production, phase_counts[from]);
         let consumption = split_total(rng, total_consumption, phase_counts[to]);
         let marking = marking_factor * (total_production + total_consumption);
-        builder.add_buffer(task_ids[from], task_ids[to], production, consumption, marking);
+        builder.add_buffer(
+            task_ids[from],
+            task_ids[to],
+            production,
+            consumption,
+            marking,
+        );
         Ok(())
     };
 
@@ -146,7 +151,13 @@ pub fn random_graph(config: &RandomGraphConfig, seed: u64) -> Result<CsdfGraph, 
             let to = rng.gen_range(0..config.tasks - 1);
             (rng.gen_range(to + 1..config.tasks), to)
         };
-        add_edge(&mut builder, &mut rng, from, to, config.marking_factor.max(1))?;
+        add_edge(
+            &mut builder,
+            &mut rng,
+            from,
+            to,
+            config.marking_factor.max(1),
+        )?;
     }
 
     if config.serialize {
@@ -185,7 +196,10 @@ mod tests {
     fn generated_graphs_are_consistent_and_live_enough() {
         for seed in 0..20 {
             let g = random_graph(&RandomGraphConfig::default(), seed).unwrap();
-            assert!(g.is_consistent(), "seed {seed} produced an inconsistent graph");
+            assert!(
+                g.is_consistent(),
+                "seed {seed} produced an inconsistent graph"
+            );
             assert!(g.task_count() == 8);
             // Every task carries a self-loop.
             for task in g.task_ids() {

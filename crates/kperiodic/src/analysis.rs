@@ -262,8 +262,7 @@ mod tests {
         b.add_buffer(x, y, vec![2, 0], vec![1], 0);
         b.add_buffer(y, x, vec![1], vec![0, 2], 2);
         let unserialized = b.build().unwrap();
-        let evaluation =
-            evaluate_periodic(&unserialized, &AnalysisOptions::default()).unwrap();
+        let evaluation = evaluate_periodic(&unserialized, &AnalysisOptions::default()).unwrap();
         assert_eq!(evaluation.outcome, EvaluationOutcome::Unconstrained);
 
         let serialized = csdf::transform::serialize_tasks(&unserialized).unwrap();

@@ -79,10 +79,7 @@ pub fn phase_constraints(
         for (p_prime, &consumed_here) in consumption.iter().enumerate() {
             let consumed_before = cumulative_consumption[p_prime];
             let q_value = consumed_before - produced_before - marking + produced_here as i128;
-            let alpha = ceil_to_multiple(
-                q_value - (produced_here.min(consumed_here)) as i128,
-                gcd,
-            );
+            let alpha = ceil_to_multiple(q_value - (produced_here.min(consumed_here)) as i128, gcd);
             let beta = floor_to_multiple(q_value - 1, gcd);
             if alpha <= beta {
                 constraints.push(PhaseConstraint {

@@ -123,8 +123,7 @@ impl EventGraph {
                 .and_then(|v| v.checked_mul(lcm_k as i128))
                 .ok_or(AnalysisError::Model(csdf::CsdfError::Overflow))?;
 
-            for constraint in
-                phase_constraints(&production, &consumption, buffer.initial_tokens())
+            for constraint in phase_constraints(&production, &consumption, buffer.initial_tokens())
             {
                 let from = node_offset[producer.index()] + constraint.producer_phase;
                 let to = node_offset[consumer.index()] + constraint.consumer_phase;

@@ -1,7 +1,9 @@
 //! The K-Iter algorithm (Algorithm 1 of the paper) and its Theorem-4
 //! optimality test.
 
-use csdf::{gcd_u64, lcm_u64, CsdfError, CsdfGraph, Rational, RepetitionVector, TaskId, Throughput};
+use csdf::{
+    gcd_u64, lcm_u64, CsdfError, CsdfGraph, Rational, RepetitionVector, TaskId, Throughput,
+};
 
 use crate::analysis::{evaluate_with_repetition, AnalysisOptions, EvaluationOutcome};
 use crate::error::AnalysisError;

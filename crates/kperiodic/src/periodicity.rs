@@ -143,11 +143,7 @@ impl PeriodicityVector {
     /// Component-wise comparison: `true` when `self ≤ other` everywhere.
     pub fn dominated_by(&self, other: &PeriodicityVector) -> bool {
         self.entries.len() == other.entries.len()
-            && self
-                .entries
-                .iter()
-                .zip(&other.entries)
-                .all(|(a, b)| a <= b)
+            && self.entries.iter().zip(&other.entries).all(|(a, b)| a <= b)
     }
 }
 
@@ -201,7 +197,10 @@ mod tests {
         let g = graph();
         assert!(matches!(
             PeriodicityVector::from_entries(&g, vec![1]),
-            Err(CsdfError::InvalidPeriodicityVector { expected: 2, actual: 1 })
+            Err(CsdfError::InvalidPeriodicityVector {
+                expected: 2,
+                actual: 1
+            })
         ));
         assert!(matches!(
             PeriodicityVector::from_entries(&g, vec![1, 0]),

@@ -7,7 +7,6 @@
 //! finite). The remaining executions repeat with the per-task period
 //! `µ_t = Ω_G · K_t / q_t`.
 
-
 use csdf::{CsdfGraph, Rational, RepetitionVector, TaskId};
 
 use crate::analysis::{AnalysisOptions, EvaluationOutcome};
@@ -44,12 +43,8 @@ impl KPeriodicSchedule {
         options: &AnalysisOptions,
     ) -> Result<Option<Self>, AnalysisError> {
         let repetition = graph.repetition_vector()?;
-        let evaluation = crate::analysis::evaluate_with_repetition(
-            graph,
-            &repetition,
-            periodicity,
-            options,
-        )?;
+        let evaluation =
+            crate::analysis::evaluate_with_repetition(graph, &repetition, periodicity, options)?;
         let (transformed_period, period) = match evaluation.outcome {
             EvaluationOutcome::Feasible {
                 transformed_period,
@@ -153,8 +148,8 @@ impl KPeriodicSchedule {
             'outer: loop {
                 for phase in 0..phases {
                     let start = self.start_inner(task_id, phase, n);
-                    let duration = self.durations[task_id.index()]
-                        [((n - 1) % k) as usize * phases + phase];
+                    let duration =
+                        self.durations[task_id.index()][((n - 1) % k) as usize * phases + phase];
                     let begin = start.to_f64().round() as i64;
                     if begin >= horizon as i64 {
                         if phase == 0 {
@@ -320,7 +315,10 @@ mod tests {
             .unwrap()
             .expect("feasible");
         assert_eq!(schedule.period(), Rational::from_integer(3));
-        assert_eq!(schedule.task_period(TaskId::new(0)), Rational::from_integer(3));
+        assert_eq!(
+            schedule.task_period(TaskId::new(0)),
+            Rational::from_integer(3)
+        );
         assert!(schedule.periodicity().is_unitary());
     }
 
@@ -365,9 +363,10 @@ mod tests {
         b.add_serializing_self_loop(y);
         let g = b.build().unwrap();
         let result = optimal_throughput(&g).unwrap();
-        let schedule = KPeriodicSchedule::compute(&g, &result.periodicity, &AnalysisOptions::default())
-            .unwrap()
-            .unwrap();
+        let schedule =
+            KPeriodicSchedule::compute(&g, &result.periodicity, &AnalysisOptions::default())
+                .unwrap()
+                .unwrap();
         assert_eq!(Some(schedule.period()), result.period());
         assert!(schedule.validate(&g, 6));
     }

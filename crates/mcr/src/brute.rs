@@ -66,9 +66,7 @@ fn dfs(
 /// # Errors
 ///
 /// Returns [`McrError::Rational`] on arithmetic overflow.
-pub fn maximum_cycle_ratio_brute_force(
-    graph: &RatioGraph,
-) -> Result<CycleRatioOutcome, McrError> {
+pub fn maximum_cycle_ratio_brute_force(graph: &RatioGraph) -> Result<CycleRatioOutcome, McrError> {
     let cycles = enumerate_elementary_cycles(graph);
     if cycles.is_empty() {
         return Ok(CycleRatioOutcome::Acyclic);

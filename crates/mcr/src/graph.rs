@@ -172,10 +172,7 @@ impl RatioGraph {
     /// # Errors
     ///
     /// Returns [`csdf::RationalError`] on overflow.
-    pub fn path_weight(
-        &self,
-        arcs: &[ArcId],
-    ) -> Result<(Rational, Rational), csdf::RationalError> {
+    pub fn path_weight(&self, arcs: &[ArcId]) -> Result<(Rational, Rational), csdf::RationalError> {
         let mut cost = Rational::ZERO;
         let mut time = Rational::ZERO;
         for &arc_id in arcs {
@@ -210,8 +207,18 @@ mod tests {
     #[test]
     fn path_weight_sums_costs_and_times() {
         let mut g = RatioGraph::new(3);
-        let e1 = g.add_arc(g.node(0), g.node(1), Rational::from_integer(1), Rational::new(1, 2).unwrap());
-        let e2 = g.add_arc(g.node(1), g.node(2), Rational::from_integer(2), Rational::new(1, 3).unwrap());
+        let e1 = g.add_arc(
+            g.node(0),
+            g.node(1),
+            Rational::from_integer(1),
+            Rational::new(1, 2).unwrap(),
+        );
+        let e2 = g.add_arc(
+            g.node(1),
+            g.node(2),
+            Rational::from_integer(2),
+            Rational::new(1, 3).unwrap(),
+        );
         let (cost, time) = g.path_weight(&[e1, e2]).unwrap();
         assert_eq!(cost, Rational::from_integer(3));
         assert_eq!(time, Rational::new(5, 6).unwrap());

@@ -97,13 +97,13 @@ fn component_cycle_mean(
 
     // λ = max_v min_{0 ≤ k < n} (D_n(v) − D_k(v)) / (n − k)
     let mut best: Option<Rational> = None;
-    for v in 0..n {
-        let Some(final_value) = progression[n][v] else {
+    for (v, &final_entry) in progression[n].iter().enumerate() {
+        let Some(final_value) = final_entry else {
             continue;
         };
         let mut minimum: Option<Rational> = None;
-        for k in 0..n {
-            let Some(intermediate) = progression[k][v] else {
+        for (k, row) in progression.iter().enumerate().take(n) {
+            let Some(intermediate) = row[v] else {
                 continue;
             };
             let numerator = final_value.checked_sub(&intermediate)?;

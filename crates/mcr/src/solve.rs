@@ -416,10 +416,7 @@ mod tests {
         let mut g = RatioGraph::new(3);
         g.add_arc(g.node(0), g.node(1), int(1), int(1));
         g.add_arc(g.node(1), g.node(2), int(1), int(1));
-        assert_eq!(
-            maximum_cycle_ratio(&g).unwrap(),
-            CycleRatioOutcome::Acyclic
-        );
+        assert_eq!(maximum_cycle_ratio(&g).unwrap(), CycleRatioOutcome::Acyclic);
     }
 
     #[test]
@@ -510,9 +507,7 @@ mod tests {
         );
         let expected = (Rational::new(1, 3).unwrap() + Rational::new(1, 5).unwrap())
             .unwrap()
-            .checked_div(
-                &(Rational::new(1, 7).unwrap() + Rational::new(1, 11).unwrap()).unwrap(),
-            )
+            .checked_div(&(Rational::new(1, 7).unwrap() + Rational::new(1, 11).unwrap()).unwrap())
             .unwrap();
         match maximum_cycle_ratio(&g).unwrap() {
             CycleRatioOutcome::Finite { ratio, .. } => assert_eq!(ratio, expected),

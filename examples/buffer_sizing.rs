@@ -12,7 +12,12 @@ use kiter::{optimal_throughput, periodic_throughput, Throughput};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let graph = dsp::modem()?;
-    println!("application: {} ({} tasks, {} buffers)", graph.name(), graph.task_count(), graph.buffer_count());
+    println!(
+        "application: {} ({} tasks, {} buffers)",
+        graph.name(),
+        graph.task_count(),
+        graph.buffer_count()
+    );
 
     let unbounded = optimal_throughput(&graph)?;
     println!(
@@ -20,7 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         unbounded.throughput, unbounded.periodicity
     );
 
-    println!("{:>6} | {:>14} | {:>14} | {:>10}", "slack", "K-Iter Th*", "periodic Th", "optimality");
+    println!(
+        "{:>6} | {:>14} | {:>14} | {:>10}",
+        "slack", "K-Iter Th*", "periodic Th", "optimality"
+    );
     println!("{:->6}-+-{:->14}-+-{:->14}-+-{:->10}", "", "", "", "");
     for slack in [1u64, 2, 3, 4, 8] {
         let bounded = buffer_sized(&graph, slack)?;

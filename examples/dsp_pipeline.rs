@@ -9,9 +9,7 @@
 use std::time::Instant;
 
 use kiter::generators::dsp::actual_dsp_suite;
-use kiter::{
-    expansion_throughput, optimal_throughput, symbolic_execution_throughput, Budget,
-};
+use kiter::{expansion_throughput, optimal_throughput, symbolic_execution_throughput, Budget};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let budget = Budget::default();
@@ -31,8 +29,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         // All exact methods must agree whenever they finish.
         if let (Some(a), Some(b)) = (expansion.throughput(), symbolic.throughput()) {
-            assert_eq!(a, kiter.throughput, "expansion disagrees on {}", graph.name());
-            assert_eq!(b, kiter.throughput, "symbolic disagrees on {}", graph.name());
+            assert_eq!(
+                a,
+                kiter.throughput,
+                "expansion disagrees on {}",
+                graph.name()
+            );
+            assert_eq!(
+                b,
+                kiter.throughput,
+                "symbolic disagrees on {}",
+                graph.name()
+            );
         }
 
         println!(
@@ -45,11 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             format!("{:?}", expansion.wall_time),
             format!("{:?}", symbolic.wall_time),
         );
-        println!(
-            "{:<40}   Th* = {}",
-            "",
-            kiter.throughput
-        );
+        println!("{:<40}   Th* = {}", "", kiter.throughput);
     }
     Ok(())
 }

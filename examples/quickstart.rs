@@ -4,8 +4,8 @@
 //! Run with `cargo run --example quickstart`.
 
 use kiter::{
-    expansion_throughput, optimal_throughput, periodic_throughput,
-    symbolic_execution_throughput, Budget, CsdfGraphBuilder, KPeriodicSchedule,
+    expansion_throughput, optimal_throughput, periodic_throughput, symbolic_execution_throughput,
+    Budget, CsdfGraphBuilder, KPeriodicSchedule,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

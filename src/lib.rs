@@ -61,9 +61,9 @@ pub use csdf_baselines::{
     EvaluationStatus, MethodResult,
 };
 pub use kperiodic::{
-    evaluate_k_periodic, evaluate_periodic, kiter_with_options, optimal_throughput,
-    paper_example, AnalysisError, AnalysisOptions, KIterOptions, KIterResult, KPeriodicSchedule,
-    KUpdatePolicy, PeriodicityVector,
+    evaluate_k_periodic, evaluate_periodic, kiter_with_options, optimal_throughput, paper_example,
+    AnalysisError, AnalysisOptions, KIterOptions, KIterResult, KPeriodicSchedule, KUpdatePolicy,
+    PeriodicityVector,
 };
 
 #[cfg(test)]

@@ -25,7 +25,31 @@ fn kiter_matches_symbolic_execution_on_random_csdf_graphs() {
             checked += 1;
         }
     }
-    assert!(checked >= 32, "too many symbolic-execution timeouts: {checked}/40");
+    assert!(
+        checked >= 32,
+        "too many symbolic-execution timeouts: {checked}/40"
+    );
+}
+
+/// The phase-level HSDF expansion is exact on true CSDF graphs too.
+#[test]
+fn kiter_matches_expansion_on_random_csdf_graphs() {
+    let config = RandomGraphConfig::small_csdf();
+    let budget = Budget::default();
+    let mut checked = 0;
+    for seed in 0..25 {
+        let graph = random_graph(&config, seed).expect("generator cannot fail");
+        let kiter = optimal_throughput(&graph).expect("kiter");
+        let expansion = expansion_throughput(&graph, &budget).expect("expansion");
+        if let Some(reference) = expansion.throughput() {
+            assert_eq!(
+                kiter.throughput, reference,
+                "disagreement on seed {seed}:\n{graph}"
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked >= 20, "too many expansion timeouts: {checked}/25");
 }
 
 /// On SDF graphs the expansion method is exact as well.

@@ -49,8 +49,7 @@ fn bounded_graphs_cross_validate() {
         let graph = random_graph(&RandomGraphConfig::small_csdf(), seed).expect("generator");
         let bounded_graph = buffer_sized(&graph, 3).expect("bounding");
         let kiter = optimal_throughput(&bounded_graph).expect("kiter");
-        let symbolic =
-            symbolic_execution_throughput(&bounded_graph, &budget).expect("symbolic");
+        let symbolic = symbolic_execution_throughput(&bounded_graph, &budget).expect("symbolic");
         if let Some(reference) = symbolic.throughput() {
             assert_eq!(kiter.throughput, reference, "seed {seed}");
         }

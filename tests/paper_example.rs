@@ -1,0 +1,74 @@
+//! Cross-method agreement on the paper's running example (Figure 2).
+//!
+//! The three exact throughput evaluation methods — K-Iter (the paper's
+//! contribution), HSDF expansion and symbolic execution — must all report the
+//! same maximum throughput for the reconstructed Figure-2 graph, and the
+//! 1-periodic bound must stay at or below it.
+
+use kiter::{
+    expansion_throughput, optimal_throughput, paper_example, periodic_throughput,
+    symbolic_execution_throughput, Budget, Throughput,
+};
+
+#[test]
+fn kiter_expansion_and_symbolic_execution_agree_on_the_paper_example() {
+    let (graph, _) = paper_example();
+    let budget = Budget::default();
+
+    let kiter = optimal_throughput(&graph).expect("kiter");
+    let expansion = expansion_throughput(&graph, &budget).expect("expansion");
+    let symbolic = symbolic_execution_throughput(&graph, &budget).expect("symbolic");
+
+    let expansion_value = expansion
+        .throughput()
+        .expect("expansion finishes within the default budget on the paper example");
+    let symbolic_value = symbolic
+        .throughput()
+        .expect("symbolic execution finishes within the default budget on the paper example");
+
+    assert_eq!(
+        kiter.throughput, expansion_value,
+        "K-Iter and HSDF expansion disagree:\n{graph}"
+    );
+    assert_eq!(
+        kiter.throughput, symbolic_value,
+        "K-Iter and symbolic execution disagree:\n{graph}"
+    );
+}
+
+#[test]
+fn periodic_bound_does_not_exceed_the_optimum_on_the_paper_example() {
+    let (graph, _) = paper_example();
+    let optimal = optimal_throughput(&graph).expect("kiter");
+    let periodic = periodic_throughput(&graph).expect("periodic");
+    if let Some(bound) = periodic.throughput() {
+        assert!(
+            bound <= optimal.throughput,
+            "1-periodic bound {bound:?} exceeds the optimum {:?}",
+            optimal.throughput
+        );
+    }
+}
+
+#[test]
+fn the_paper_example_optimum_is_finite_and_stable() {
+    let (graph, tasks) = paper_example();
+    assert_eq!(graph.task_count(), 4);
+    let q = graph.repetition_vector().expect("consistent");
+    assert_eq!(q.get(tasks.a), 6);
+    assert_eq!(q.get(tasks.b), 12);
+    assert_eq!(q.get(tasks.c), 6);
+    assert_eq!(q.get(tasks.d), 1);
+
+    let result = optimal_throughput(&graph).expect("kiter");
+    let Throughput::Finite(value) = result.throughput else {
+        panic!("the paper example must have finite throughput");
+    };
+    // Regression pin: the reconstruction's exact optimum, cross-checked above
+    // against expansion and symbolic execution.
+    let period = result.period().expect("finite throughput has a period");
+    assert_eq!(
+        period.checked_mul(&value).expect("no overflow"),
+        kiter::Rational::ONE
+    );
+}

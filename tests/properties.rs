@@ -7,8 +7,8 @@ use kiter::analysis::{
 };
 use kiter::generators::{random_graph, RandomGraphConfig};
 use kiter::{
-    optimal_throughput, symbolic_execution_throughput, AnalysisOptions, Budget,
-    KPeriodicSchedule, PeriodicityVector, Rational, Throughput,
+    optimal_throughput, symbolic_execution_throughput, AnalysisOptions, Budget, KPeriodicSchedule,
+    PeriodicityVector, Rational, Throughput,
 };
 
 fn small_config(max_phases: usize, tasks: usize) -> RandomGraphConfig {

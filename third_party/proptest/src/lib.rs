@@ -1,0 +1,309 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! property-testing crate.
+//!
+//! The build environment has no access to crates.io, so this crate implements
+//! the small `proptest` API subset the workspace's tests use: the
+//! [`proptest!`] macro with an optional `#![proptest_config(..)]` header,
+//! integer-range [`Strategy`]s, and the `prop_assert*` macros. Cases are
+//! drawn from a deterministic per-test stream (seeded from the test name), so
+//! failures are reproducible; there is no shrinking — a failure reports the
+//! case index and the sampled arguments instead.
+
+#![forbid(unsafe_code)]
+
+/// Strategies: how argument values are drawn.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use core::ops::{Range, RangeInclusive};
+
+    /// A source of values for one macro argument, mirroring
+    /// `proptest::strategy::Strategy` in spirit (no shrinking).
+    pub trait Strategy {
+        /// The type of values this strategy produces.
+        type Value: core::fmt::Debug;
+
+        /// Draws one value from the deterministic case stream.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let span = (self.end as u128) - (self.start as u128);
+                    self.start + (rng.next_u64() as u128 % span) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "cannot sample empty range");
+                    let span = (end as u128) - (start as u128) + 1;
+                    start + (rng.next_u64() as u128 % span) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    /// A fixed list of candidate values, sampled uniformly.
+    impl<T: Clone + core::fmt::Debug> Strategy for Vec<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            assert!(!self.is_empty(), "cannot sample from an empty vector");
+            self[(rng.next_u64() % self.len() as u64) as usize].clone()
+        }
+    }
+}
+
+/// Test execution: configuration, RNG and the case loop.
+pub mod test_runner {
+    /// Mirror of `proptest::test_runner::Config`; only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of cases each property is checked against.
+        pub cases: u32,
+        /// Accepted for API parity; unused (there is no rejection sampling).
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config {
+                cases: 64,
+                max_global_rejects: 1024,
+            }
+        }
+    }
+
+    /// A failed property case: the message carried by `prop_assert*`.
+    #[derive(Debug)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// Creates a failure with the given explanation.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl core::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    /// Deterministic SplitMix64 stream backing every strategy draw.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the stream; the runner derives the seed from the test name
+        /// and case index so every case is independently reproducible.
+        pub fn seed_from_u64(state: u64) -> Self {
+            TestRng { state }
+        }
+
+        /// Returns the next 64 uniformly distributed bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// Runs one property over `config.cases` deterministic cases.
+    pub struct TestRunner {
+        config: Config,
+        name: &'static str,
+    }
+
+    impl TestRunner {
+        /// Creates a runner for the named property.
+        pub fn new(config: Config, name: &'static str) -> Self {
+            TestRunner { config, name }
+        }
+
+        /// Executes the property once per case, panicking on the first
+        /// failure with the case index (re-runs are deterministic, so the
+        /// index pinpoints the failing inputs).
+        pub fn run<F>(&mut self, mut case: F)
+        where
+            F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+        {
+            let base = fnv1a(self.name.as_bytes());
+            for index in 0..self.config.cases {
+                let mut rng = TestRng::seed_from_u64(
+                    base ^ (u64::from(index)).wrapping_mul(0xA24B_AED4_963E_E407),
+                );
+                if let Err(error) = case(&mut rng) {
+                    panic!(
+                        "property `{}` failed at case {index}/{}: {error}",
+                        self.name, self.config.cases
+                    );
+                }
+            }
+        }
+    }
+
+    fn fnv1a(bytes: &[u8]) -> u64 {
+        let mut hash = 0xCBF2_9CE4_8422_2325u64;
+        for &byte in bytes {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        hash
+    }
+}
+
+/// Everything the tests import, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Declares deterministic property tests, mirroring `proptest::proptest!`.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_items! { config = ($config); $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_items! {
+            config = (<$crate::test_runner::Config as Default>::default());
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands one test item at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( config = ($config:expr); ) => {};
+    (
+        config = ($config:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $config;
+            let mut runner = $crate::test_runner::TestRunner::new(config, stringify!($name));
+            runner.run(|__proptest_rng| {
+                $(
+                    let $arg =
+                        $crate::strategy::Strategy::sample(&($strategy), __proptest_rng);
+                )*
+                $body
+                Ok(())
+            });
+        }
+        $crate::__proptest_items! { config = ($config); $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property, failing the case (not the process)
+/// on violation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts two values are equal inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            )));
+        }
+    }};
+}
+
+/// Asserts two values are unequal inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left != right) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_stay_in_bounds(value in 10u64..20, inclusive in 3usize..=5) {
+            prop_assert!((10..20).contains(&value));
+            prop_assert!((3..=5).contains(&inclusive));
+        }
+
+        #[test]
+        fn eq_macros_accept_equal_values(value in 0u32..100) {
+            prop_assert_eq!(value, value);
+            prop_assert_ne!(value, value + 1);
+        }
+    }
+
+    #[test]
+    fn failing_property_panics_with_case_index() {
+        let result = std::panic::catch_unwind(|| {
+            let config = crate::test_runner::Config {
+                cases: 4,
+                ..Default::default()
+            };
+            let mut runner = crate::test_runner::TestRunner::new(config, "always_fails");
+            runner.run(|_| Err(crate::test_runner::TestCaseError::fail("boom")));
+        });
+        let message = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(message.contains("always_fails"), "{message}");
+        assert!(message.contains("case 0"), "{message}");
+    }
+}
