@@ -5,37 +5,77 @@
 //! Run with `cargo run -p kiter-bench --bin table1 --release`.
 //! The number of generated graphs per category defaults to 8 and can be
 //! raised with `KITER_BENCH_GRAPHS=100` to match the paper's setup.
+//! `--json` emits one JSON object per category row; `--only <name>` filters
+//! categories by name substring.
 
 use csdf_baselines::Budget;
 use csdf_generators::sdf3::{generate_category, Sdf3Category};
-use kiter_bench::{category_row, graphs_per_category, Method};
+use kiter_bench::{category_row, graphs_per_category, json_escape, Method, TableArgs};
 
 fn main() {
     let budget = Budget::benchmark();
     let per_category = graphs_per_category();
     let methods = [Method::KIter, Method::Expansion, Method::SymbolicExecution];
+    let args = TableArgs::parse();
 
-    println!("Table 1: average computation time of three optimal throughput evaluation methods");
-    println!("(synthetic reproduction of the SDF3 benchmark categories; see DESIGN.md §5)\n");
-    println!(
-        "{:<12} {:>7} {:>16} {:>16} {:>24} | {:>14} {:>14} {:>14}",
-        "Category",
-        "graphs",
-        "tasks min/avg/max",
-        "chans min/avg/max",
-        "sum(q) min/avg/max",
-        "K-Iter",
-        "[6] expansion",
-        "[8] symbolic"
-    );
+    if !args.json {
+        println!(
+            "Table 1: average computation time of three optimal throughput evaluation methods"
+        );
+        println!("(synthetic reproduction of the SDF3 benchmark categories; see DESIGN.md §5)\n");
+        println!(
+            "{:<12} {:>7} {:>16} {:>16} {:>24} | {:>14} {:>14} {:>14}",
+            "Category",
+            "graphs",
+            "tasks min/avg/max",
+            "chans min/avg/max",
+            "sum(q) min/avg/max",
+            "K-Iter",
+            "[6] expansion",
+            "[8] symbolic"
+        );
+    }
 
     for category in Sdf3Category::all() {
+        if !args.wants(category.name()) {
+            continue;
+        }
         let count = match category {
             Sdf3Category::ActualDsp => 5,
             _ => per_category,
         };
         let graphs = generate_category(category, count, 0xDAC1).expect("generation succeeds");
         let row = category_row(category.name(), &graphs, &methods, &budget);
+        if args.json {
+            let methods_json: Vec<String> = row
+                .averages
+                .iter()
+                .map(|(method, avg, failures)| {
+                    format!(
+                        "\"{}\":{{\"avg_ms\":{:.3},\"failures\":{}}}",
+                        json_escape(method.label()),
+                        avg.as_secs_f64() * 1e3,
+                        failures
+                    )
+                })
+                .collect();
+            println!(
+                "{{\"table\":\"table1\",\"category\":\"{}\",\"graphs\":{},\"tasks\":[{},{},{}],\"buffers\":[{},{},{}],\"sum_q\":[{},{},{}],\"methods\":{{{}}}}}",
+                json_escape(&row.name),
+                row.graphs,
+                row.tasks.0,
+                row.tasks.1,
+                row.tasks.2,
+                row.buffers.0,
+                row.buffers.1,
+                row.buffers.2,
+                row.repetition_sum.0,
+                row.repetition_sum.1,
+                row.repetition_sum.2,
+                methods_json.join(","),
+            );
+            continue;
+        }
         let cells: Vec<String> = row
             .averages
             .iter()
@@ -62,5 +102,7 @@ fn main() {
             cells[2],
         );
     }
-    println!("\n(NNx) marks the number of graphs a method failed to finish within its budget.");
+    if !args.json {
+        println!("\n(NNx) marks the number of graphs a method failed to finish within its budget.");
+    }
 }

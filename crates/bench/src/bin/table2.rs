@@ -6,58 +6,105 @@
 //! Run with `cargo run -p kiter-bench --bin table2 --release`.
 //! `KITER_TABLE2_FULL=1` additionally evaluates the largest instances
 //! (H264Encoder, graph4, graph5), which take several minutes.
+//!
+//! Options: `--json` emits one JSON object per row (the committed
+//! `BENCH_TABLE2.json` reference file is produced this way), `--only <name>`
+//! filters rows by name substring, and `--section <no-buffer|sized|synthetic>`
+//! runs a single section — CI uses
+//! `--section sized --only JPEG2000 --json` under a hard timeout to guard the
+//! buffer-sized pathology that Howard's policy iteration fixed.
 
 use csdf::CsdfGraph;
 use csdf_baselines::Budget;
 use csdf_generators::apps::{industrial_app, industrial_specs, synthetic_specs, AppSpec};
 use csdf_generators::buffer_sized;
-use kiter_bench::{run_method, Method};
+use kiter_bench::{json_escape, run_method, Method, TableArgs};
 
 fn main() {
     let budget = Budget::default();
     let full = std::env::var("KITER_TABLE2_FULL").is_ok();
+    let args = TableArgs::parse();
 
-    println!("Table 2: periodic [4] vs K-Iter vs symbolic execution [16]");
-    println!("(synthetic reproductions of the IB+AG5CSDF applications; see DESIGN.md §5)\n");
-    header();
+    if !args.json {
+        println!("Table 2: periodic [4] vs K-Iter vs symbolic execution [16]");
+        println!("(synthetic reproductions of the IB+AG5CSDF applications; see DESIGN.md §5)\n");
+        header();
+    }
 
-    println!("-- no buffer size --------------------------------------------------------------");
-    for spec in industrial_specs() {
-        if skip_large(&spec, full) {
-            continue;
+    if args.wants_section("no-buffer") {
+        if !args.json {
+            println!(
+                "-- no buffer size --------------------------------------------------------------"
+            );
         }
-        match industrial_app(&spec) {
-            Ok(graph) => row(spec.name, &graph, &budget),
-            Err(err) => println!("{:<14} generation failed: {err}", spec.name),
+        for spec in industrial_specs() {
+            if skip_large(&spec, full) || !args.wants(spec.name) {
+                continue;
+            }
+            match industrial_app(&spec) {
+                Ok(graph) => row(&args, "no-buffer", spec.name, &graph, &budget),
+                Err(err) => generation_failed(&args, "no-buffer", spec.name, &err),
+            }
         }
     }
 
-    println!("-- fixed buffer size -----------------------------------------------------------");
-    for spec in industrial_specs() {
-        if skip_large(&spec, full) {
-            continue;
+    if args.wants_section("sized") {
+        if !args.json {
+            println!(
+                "-- fixed buffer size -----------------------------------------------------------"
+            );
         }
-        match industrial_app(&spec).and_then(|g| buffer_sized(&g, 2)) {
-            Ok(graph) => row(spec.name, &graph, &budget),
-            Err(err) => println!("{:<14} generation failed: {err}", spec.name),
-        }
-    }
-
-    println!("-- synthetic graphs ------------------------------------------------------------");
-    for spec in synthetic_specs() {
-        if skip_large(&spec, full) {
-            continue;
-        }
-        match industrial_app(&spec) {
-            Ok(graph) => row(spec.name, &graph, &budget),
-            Err(err) => println!("{:<14} generation failed: {err}", spec.name),
+        for spec in industrial_specs() {
+            if skip_large(&spec, full) || !args.wants(spec.name) {
+                continue;
+            }
+            match industrial_app(&spec).and_then(|g| buffer_sized(&g, 2)) {
+                Ok(graph) => row(&args, "sized", spec.name, &graph, &budget),
+                Err(err) => generation_failed(&args, "sized", spec.name, &err),
+            }
         }
     }
 
-    if !full {
-        println!("\n(the largest instances were skipped; set KITER_TABLE2_FULL=1 to include them)");
+    if args.wants_section("synthetic") {
+        if !args.json {
+            println!(
+                "-- synthetic graphs ------------------------------------------------------------"
+            );
+        }
+        for spec in synthetic_specs() {
+            if skip_large(&spec, full) || !args.wants(spec.name) {
+                continue;
+            }
+            match industrial_app(&spec) {
+                Ok(graph) => row(&args, "synthetic", spec.name, &graph, &budget),
+                Err(err) => generation_failed(&args, "synthetic", spec.name, &err),
+            }
+        }
     }
-    println!("'N/S' = the method has no solution, '> budget' = resource budget exhausted.");
+
+    if !args.json {
+        if !full {
+            println!(
+                "\n(the largest instances were skipped; set KITER_TABLE2_FULL=1 to include them)"
+            );
+        }
+        println!("'N/S' = the method has no solution, '> budget' = resource budget exhausted.");
+    }
+}
+
+/// Reports a generator failure without corrupting the output stream: a
+/// structured object in `--json` mode, the plain line otherwise.
+fn generation_failed(args: &TableArgs, section: &str, name: &str, err: &impl std::fmt::Display) {
+    if args.json {
+        println!(
+            "{{\"table\":\"table2\",\"section\":\"{}\",\"name\":\"{}\",\"error\":\"{}\"}}",
+            json_escape(section),
+            json_escape(name),
+            json_escape(&err.to_string()),
+        );
+    } else {
+        println!("{name:<14} generation failed: {err}");
+    }
 }
 
 fn skip_large(spec: &AppSpec, full: bool) -> bool {
@@ -80,7 +127,7 @@ fn header() {
     );
 }
 
-fn row(name: &str, graph: &CsdfGraph, budget: &Budget) {
+fn row(args: &TableArgs, section: &str, name: &str, graph: &CsdfGraph, budget: &Budget) {
     let sum = graph
         .repetition_vector()
         .map(|q| q.sum().to_string())
@@ -90,6 +137,21 @@ fn row(name: &str, graph: &CsdfGraph, budget: &Budget) {
     let periodic = run_method(graph, Method::Periodic, budget);
     let symbolic = run_method(graph, Method::SymbolicExecution, budget);
     let reference = kiter.throughput;
+
+    if args.json {
+        println!(
+            "{{\"table\":\"table2\",\"section\":\"{}\",\"name\":\"{}\",\"tasks\":{},\"buffers\":{},\"sum_q\":\"{}\",\"periodic\":{},\"kiter\":{},\"symbolic\":{}}}",
+            json_escape(section),
+            json_escape(name),
+            graph.task_count(),
+            graph.buffer_count(),
+            json_escape(&sum),
+            periodic.json_fragment(),
+            kiter.json_fragment(),
+            symbolic.json_fragment(),
+        );
+        return;
+    }
 
     println!(
         "{:<14} {:>6} {:>8} {:>14} | {:>6} {:>12} | {:>6} {:>12} | {:>6} {:>12}",

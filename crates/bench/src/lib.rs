@@ -134,6 +134,7 @@ fn run_kiter(graph: &CsdfGraph) -> Result<kperiodic::KIterResult, AnalysisError>
                 max_arcs: 2_000_000,
             },
             max_iterations: 64,
+            ..kperiodic::AnalysisOptions::default()
         },
         ..KIterOptions::default()
     };
@@ -222,6 +223,92 @@ fn min_avg_max_u128(values: &[u128]) -> (u128, u128, u128) {
     let max = *values.iter().max().expect("non-empty");
     let avg = values.iter().sum::<u128>() / values.len() as u128;
     (min, avg, max)
+}
+
+/// Command-line options shared by the `table1`/`table2` binaries.
+///
+/// * `--json` — emit one JSON object per row (JSON Lines) instead of the
+///   human-readable table, for committing reference numbers and for CI
+///   assertions;
+/// * `--only <substring>` — evaluate only rows whose name contains the
+///   (case-insensitive) substring;
+/// * `--section <name>` — evaluate only the named section of `table2`
+///   (`no-buffer`, `sized` or `synthetic`).
+#[derive(Debug, Clone, Default)]
+pub struct TableArgs {
+    /// Emit JSON Lines instead of the aligned text table.
+    pub json: bool,
+    /// Case-insensitive substring filter on row names.
+    pub only: Option<String>,
+    /// Section filter (`table2` only).
+    pub section: Option<String>,
+}
+
+impl TableArgs {
+    /// Parses the process arguments, ignoring anything unknown.
+    pub fn parse() -> Self {
+        let mut args = TableArgs::default();
+        let mut iterator = std::env::args().skip(1);
+        while let Some(argument) = iterator.next() {
+            match argument.as_str() {
+                "--json" => args.json = true,
+                "--only" => args.only = iterator.next().map(|v| v.to_lowercase()),
+                "--section" => args.section = iterator.next().map(|v| v.to_lowercase()),
+                _ => {}
+            }
+        }
+        args
+    }
+
+    /// Whether a row with this name passes the `--only` filter.
+    pub fn wants(&self, name: &str) -> bool {
+        self.only
+            .as_deref()
+            .map(|filter| name.to_lowercase().contains(filter))
+            .unwrap_or(true)
+    }
+
+    /// Whether this section passes the `--section` filter.
+    pub fn wants_section(&self, section: &str) -> bool {
+        self.section
+            .as_deref()
+            .map(|filter| filter == section)
+            .unwrap_or(true)
+    }
+}
+
+/// Minimal JSON string escaping (the emitted names are plain ASCII, but stay
+/// correct regardless).
+pub fn json_escape(text: &str) -> String {
+    let mut escaped = String::with_capacity(text.len());
+    for character in text.chars() {
+        match character {
+            '"' => escaped.push_str("\\\""),
+            '\\' => escaped.push_str("\\\\"),
+            control if (control as u32) < 0x20 => {
+                escaped.push_str(&format!("\\u{:04x}", control as u32));
+            }
+            other => escaped.push(other),
+        }
+    }
+    escaped
+}
+
+impl MethodOutcome {
+    /// JSON fragment describing this outcome, e.g.
+    /// `{"throughput":"1/42","time_ms":3.14,"completed":true}`.
+    pub fn json_fragment(&self) -> String {
+        let throughput = match self.throughput {
+            Some(value) => format!("\"{}\"", json_escape(&value.to_string())),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"throughput\":{},\"time_ms\":{:.3},\"completed\":{}}}",
+            throughput,
+            self.duration.as_secs_f64() * 1e3,
+            self.completed
+        )
+    }
 }
 
 /// Number of graphs per generated category, overridable with the

@@ -50,6 +50,13 @@ pub enum CsdfError {
         /// Initial tokens already stored.
         marking: u64,
     },
+    /// The same buffer was given more than one capacity in a single
+    /// `bound_buffers` call (each duplicate would add its own reverse buffer
+    /// and silently over-constrain the graph).
+    DuplicateBufferCapacity {
+        /// Index of the buffer that appeared more than once.
+        buffer: usize,
+    },
     /// The requested periodicity vector has the wrong length or a zero entry.
     InvalidPeriodicityVector {
         /// Number of tasks in the graph.
@@ -104,6 +111,9 @@ impl fmt::Display for CsdfError {
                 f,
                 "buffer {buffer} capacity {capacity} is smaller than its initial marking {marking}"
             ),
+            CsdfError::DuplicateBufferCapacity { buffer } => {
+                write!(f, "buffer {buffer} was assigned more than one capacity")
+            }
             CsdfError::InvalidPeriodicityVector { expected, actual } => write!(
                 f,
                 "periodicity vector has length {actual}, expected {expected}"

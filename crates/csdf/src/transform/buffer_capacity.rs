@@ -29,12 +29,18 @@ pub struct BufferCapacity {
 /// Self-loop buffers are never bounded (a reverse self-loop would be
 /// meaningless) and requesting a capacity for one is ignored.
 ///
+/// Listing the same buffer twice is rejected: each entry adds one reverse
+/// buffer, so duplicates would silently over-constrain the graph (two
+/// back-pressure channels for one buffer) and change its throughput.
+///
 /// # Errors
 ///
 /// * [`CsdfError::BufferIndexOutOfRange`] if a capacity references a missing
 ///   buffer.
 /// * [`CsdfError::CapacityBelowMarking`] if a capacity is smaller than the
 ///   buffer's initial marking.
+/// * [`CsdfError::DuplicateBufferCapacity`] if the same buffer appears in
+///   more than one [`BufferCapacity`] entry.
 ///
 /// # Examples
 ///
@@ -67,8 +73,15 @@ pub fn bound_buffers(
             buffer.initial_tokens(),
         );
     }
+    let mut bounded = vec![false; graph.buffer_count()];
     for assignment in capacities {
         let buffer = graph.try_buffer(assignment.buffer)?;
+        if bounded[assignment.buffer.index()] {
+            return Err(CsdfError::DuplicateBufferCapacity {
+                buffer: assignment.buffer.index(),
+            });
+        }
+        bounded[assignment.buffer.index()] = true;
         if buffer.is_self_loop() {
             continue;
         }
@@ -175,6 +188,42 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, CsdfError::BufferIndexOutOfRange(7)));
+    }
+
+    #[test]
+    fn duplicate_capacity_entries_are_rejected() {
+        // Before the check, each duplicate entry silently added another
+        // reverse buffer, doubling the back-pressure and changing the
+        // throughput of the bounded graph.
+        let (g, chan) = two_task_graph(1);
+        let err = bound_buffers(
+            &g,
+            &[
+                BufferCapacity {
+                    buffer: chan,
+                    capacity: 6,
+                },
+                BufferCapacity {
+                    buffer: chan,
+                    capacity: 9,
+                },
+            ],
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            CsdfError::DuplicateBufferCapacity { buffer: 0 }
+        ));
+        // A single entry still works.
+        let bounded = bound_buffers(
+            &g,
+            &[BufferCapacity {
+                buffer: chan,
+                capacity: 6,
+            }],
+        )
+        .unwrap();
+        assert_eq!(bounded.buffer_count(), 2);
     }
 
     #[test]

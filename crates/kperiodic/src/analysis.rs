@@ -8,7 +8,7 @@
 //! [`evaluate_periodic`].
 
 use csdf::{CsdfGraph, Rational, RepetitionVector, TaskId, Throughput};
-use mcr::{maximum_cycle_ratio, CycleRatioOutcome};
+use mcr::{CycleRatioOutcome, Solver, SolverChoice};
 
 use crate::error::AnalysisError;
 use crate::event_graph::{EventGraph, EventGraphLimits};
@@ -21,6 +21,10 @@ pub struct AnalysisOptions {
     pub limits: EventGraphLimits,
     /// Maximum number of K-Iter iterations (ignored by fixed-K evaluation).
     pub max_iterations: usize,
+    /// Which maximum cycle ratio algorithm solves the event graphs
+    /// ([`SolverChoice::Auto`] picks Howard's policy iteration for large
+    /// components, which is what makes buffer-sized instances tractable).
+    pub solver: SolverChoice,
 }
 
 impl Default for AnalysisOptions {
@@ -28,6 +32,7 @@ impl Default for AnalysisOptions {
         AnalysisOptions {
             limits: EventGraphLimits::default(),
             max_iterations: 256,
+            solver: SolverChoice::Auto,
         }
     }
 }
@@ -141,8 +146,22 @@ pub fn evaluate_with_repetition(
     periodicity: &PeriodicityVector,
     options: &AnalysisOptions,
 ) -> Result<KPeriodicEvaluation, AnalysisError> {
+    let mut solver = Solver::new(options.solver);
+    evaluate_with_solver(graph, repetition, periodicity, options, &mut solver)
+}
+
+/// Same as [`evaluate_with_repetition`] but reuses a caller-provided
+/// [`Solver`], so its scratch buffers survive across evaluations — the K-Iter
+/// loop keeps a single solver for its whole run.
+pub fn evaluate_with_solver(
+    graph: &CsdfGraph,
+    repetition: &RepetitionVector,
+    periodicity: &PeriodicityVector,
+    options: &AnalysisOptions,
+    solver: &mut Solver,
+) -> Result<KPeriodicEvaluation, AnalysisError> {
     let event_graph = EventGraph::build(graph, repetition, periodicity, &options.limits)?;
-    let outcome = match maximum_cycle_ratio(event_graph.ratio_graph())? {
+    let outcome = match solver.solve(event_graph.ratio_graph())? {
         CycleRatioOutcome::Acyclic | CycleRatioOutcome::NonPositive => {
             EvaluationOutcome::Unconstrained
         }

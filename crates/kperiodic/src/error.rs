@@ -80,7 +80,7 @@ mod tests {
         let model: AnalysisError = CsdfError::EmptyGraph.into();
         assert!(model.to_string().contains("no tasks"));
         let solver: AnalysisError = McrError::IterationLimit.into();
-        assert!(solver.to_string().contains("iteration"));
+        assert!(solver.to_string().contains("progress"));
         let rational: AnalysisError = RationalError::Overflow.into();
         assert!(matches!(rational, AnalysisError::Model(_)));
         let limit = AnalysisError::IterationLimitReached { iterations: 3 };

@@ -5,7 +5,7 @@ use csdf::{
     gcd_u64, lcm_u64, CsdfError, CsdfGraph, Rational, RepetitionVector, TaskId, Throughput,
 };
 
-use crate::analysis::{evaluate_with_repetition, AnalysisOptions, EvaluationOutcome};
+use crate::analysis::{evaluate_with_solver, AnalysisOptions, EvaluationOutcome};
 use crate::error::AnalysisError;
 use crate::periodicity::PeriodicityVector;
 
@@ -121,10 +121,18 @@ pub fn kiter_with_options(
     let mut periodicity = PeriodicityVector::unitary(graph);
     let mut history = Vec::new();
     let max_iterations = options.analysis.max_iterations.max(1);
+    // One solver for the whole run: its scratch buffers are reused by every
+    // iteration's maximum cycle ratio solve (the hot path).
+    let mut solver = mcr::Solver::new(options.analysis.solver);
 
     for iteration in 1..=max_iterations {
-        let evaluation =
-            evaluate_with_repetition(graph, &repetition, &periodicity, &options.analysis)?;
+        let evaluation = evaluate_with_solver(
+            graph,
+            &repetition,
+            &periodicity,
+            &options.analysis,
+            &mut solver,
+        )?;
 
         let (critical_tasks, period) = match &evaluation.outcome {
             EvaluationOutcome::Unconstrained => {

@@ -50,8 +50,8 @@ mod periodicity;
 mod schedule;
 
 pub use analysis::{
-    evaluate_k_periodic, evaluate_periodic, evaluate_with_repetition, AnalysisOptions,
-    EvaluationOutcome, KPeriodicEvaluation,
+    evaluate_k_periodic, evaluate_periodic, evaluate_with_repetition, evaluate_with_solver,
+    AnalysisOptions, EvaluationOutcome, KPeriodicEvaluation,
 };
 pub use constraints::{
     ceil_to_multiple, duplicate_rates, floor_to_multiple, phase_constraints, PhaseConstraint,

@@ -76,43 +76,72 @@ fn component_cycle_mean(
         })
         .collect();
 
-    // progression[k][v] = maximum weight of a walk of exactly k arcs ending at
-    // v, starting anywhere in the component (classical Karp table with a
-    // virtual source).
-    let mut progression: Vec<Vec<Option<Rational>>> = vec![vec![None; n]; n + 1];
-    for value in progression[0].iter_mut() {
-        *value = Some(Rational::ZERO);
-    }
-    for k in 1..=n {
-        for &(from, to, cost) in &arcs {
-            if let Some(previous) = progression[k - 1][from] {
-                let candidate = previous.checked_add(&cost)?;
-                let entry = &mut progression[k][to];
-                if entry.map(|current| candidate > current).unwrap_or(true) {
-                    *entry = Some(candidate);
+    rolling_cycle_mean(n, &arcs)
+}
+
+/// Rolling-row Karp recurrence over a dense arc list (`(from, to, cost)` with
+/// local indices `< n`). Shared by [`maximum_cycle_mean`] and the
+/// `SolverChoice::Karp` path of the ratio solver.
+///
+/// D_k(v) = maximum weight of a walk of exactly k arcs ending at v, starting
+/// anywhere in the component (classical Karp table with a virtual source).
+/// Materialising the full (n+1)×n table is quadratic memory and blows up on
+/// the 10k-task components the scalability work targets, so only two rolling
+/// rows are kept and the recurrence runs twice: pass one computes the final
+/// row D_n, pass two recomputes each D_k and folds
+/// λ = max_v min_{0 ≤ k < n} (D_n(v) − D_k(v)) / (n − k) incrementally.
+pub(crate) fn rolling_cycle_mean(
+    n: usize,
+    arcs: &[(usize, usize, Rational)],
+) -> Result<Option<Rational>, McrError> {
+    let relax =
+        |prev: &[Option<Rational>], curr: &mut [Option<Rational>]| -> Result<(), McrError> {
+            curr.fill(None);
+            for &(from, to, cost) in arcs {
+                if let Some(previous) = prev[from] {
+                    let candidate = previous.checked_add(&cost)?;
+                    if curr[to].map(|current| candidate > current).unwrap_or(true) {
+                        curr[to] = Some(candidate);
+                    }
                 }
             }
-        }
-    }
-
-    // λ = max_v min_{0 ≤ k < n} (D_n(v) − D_k(v)) / (n − k)
-    let mut best: Option<Rational> = None;
-    for (v, &final_entry) in progression[n].iter().enumerate() {
-        let Some(final_value) = final_entry else {
-            continue;
+            Ok(())
         };
-        let mut minimum: Option<Rational> = None;
-        for (k, row) in progression.iter().enumerate().take(n) {
-            let Some(intermediate) = row[v] else {
+
+    let mut prev: Vec<Option<Rational>> = vec![Some(Rational::ZERO); n];
+    let mut curr: Vec<Option<Rational>> = vec![None; n];
+    for _ in 1..=n {
+        relax(&prev, &mut curr)?;
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    let final_row = prev;
+
+    let mut minima: Vec<Option<Rational>> = vec![None; n];
+    let mut prev: Vec<Option<Rational>> = vec![Some(Rational::ZERO); n];
+    let mut curr: Vec<Option<Rational>> = vec![None; n];
+    for k in 0..n {
+        for v in 0..n {
+            let (Some(final_value), Some(intermediate)) = (final_row[v], prev[v]) else {
                 continue;
             };
             let numerator = final_value.checked_sub(&intermediate)?;
             let mean = numerator.checked_div(&Rational::from_integer((n - k) as i128))?;
-            if minimum.map(|m| mean < m).unwrap_or(true) {
-                minimum = Some(mean);
+            if minima[v].map(|m| mean < m).unwrap_or(true) {
+                minima[v] = Some(mean);
             }
         }
-        if let Some(minimum) = minimum {
+        if k + 1 < n {
+            relax(&prev, &mut curr)?;
+            std::mem::swap(&mut prev, &mut curr);
+        }
+    }
+
+    let mut best: Option<Rational> = None;
+    for v in 0..n {
+        if final_row[v].is_none() {
+            continue;
+        }
+        if let Some(minimum) = minima[v] {
             if best.map(|b| minimum > b).unwrap_or(true) {
                 best = Some(minimum);
             }
@@ -168,6 +197,27 @@ mod tests {
             CycleRatioOutcome::Finite { ratio, .. } => assert_eq!(ratio, karp),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    /// With the old (n+1)×n table this allocated ~34M `Option<Rational>`
+    /// entries (gigabytes); the rolling-row recurrence keeps it at O(n).
+    #[test]
+    fn large_scc_stays_in_linear_memory() {
+        let n = 2048usize;
+        let mut g = RatioGraph::new(n);
+        // A single ring whose costs cycle 1, 2, 3, 4: mean = 10/4 = 5/2.
+        for i in 0..n {
+            g.add_arc(
+                g.node(i),
+                g.node((i + 1) % n),
+                int(1 + (i as i128 % 4)),
+                Rational::ONE,
+            );
+        }
+        assert_eq!(
+            maximum_cycle_mean(&g).unwrap(),
+            Some(Rational::new(5, 2).unwrap())
+        );
     }
 
     #[test]

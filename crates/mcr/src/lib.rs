@@ -6,13 +6,24 @@
 //!
 //! * [`RatioGraph`] — a directed graph whose arcs carry a cost `L(e)` and a
 //!   time `H(e)`;
-//! * [`maximum_cycle_ratio`] — an exact parametric solver returning the
+//! * [`Solver`] / [`SolverChoice`] — the solver-selection layer with
+//!   reusable scratch buffers: Howard's policy iteration (the fast solver on
+//!   large event graphs), the exact parametric method, and Karp's dynamic
+//!   program for the unit-time special case. `SolverChoice::Auto` picks per
+//!   strongly connected component and is what K-Iter uses;
+//! * [`maximum_cycle_ratio`] — one-shot parametric solve returning the
 //!   maximum ratio and a critical circuit ([`CycleRatioOutcome`]);
+//! * [`maximum_cycle_ratio_with`] — one-shot solve with an explicit
+//!   [`SolverChoice`];
 //! * [`maximum_cycle_mean`] — Karp's algorithm for the unit-time special
-//!   case;
+//!   case (`O(n)` memory, two rolling-row passes);
 //! * [`maximum_cycle_ratio_brute_force`] / [`enumerate_elementary_cycles`] —
 //!   an exhaustive oracle for tests;
 //! * [`SccDecomposition`] — Tarjan's strongly connected components.
+//!
+//! Every solver choice returns identical outcomes on every input: Howard's
+//! iteration certifies its result or defers to the parametric method, which
+//! is the reference semantics.
 //!
 //! # Examples
 //!
@@ -34,6 +45,7 @@
 
 mod brute;
 mod graph;
+mod howard;
 mod karp;
 mod scc;
 mod solve;
@@ -42,7 +54,10 @@ pub use brute::{enumerate_elementary_cycles, maximum_cycle_ratio_brute_force};
 pub use graph::{Arc, ArcId, NodeId, RatioGraph};
 pub use karp::maximum_cycle_mean;
 pub use scc::SccDecomposition;
-pub use solve::{maximum_cycle_ratio, CriticalCycle, CycleRatioOutcome, McrError};
+pub use solve::{
+    maximum_cycle_ratio, maximum_cycle_ratio_with, CriticalCycle, CycleRatioOutcome, McrError,
+    Solver, SolverChoice, AUTO_HOWARD_MIN_NODES,
+};
 
 #[cfg(test)]
 mod tests {
@@ -56,5 +71,7 @@ mod tests {
         assert_send_sync::<CriticalCycle>();
         assert_send_sync::<McrError>();
         assert_send_sync::<SccDecomposition>();
+        assert_send_sync::<Solver>();
+        assert_send_sync::<SolverChoice>();
     }
 }

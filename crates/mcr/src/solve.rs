@@ -1,23 +1,33 @@
-//! Maximum cost-to-time ratio solver.
+//! Maximum cost-to-time ratio solvers and the solver-selection layer.
 //!
 //! Solves the Maximum Cost-to-time Ratio Problem (MCRP) of Dasdan, Irani and
 //! Gupta (reference [5] of the paper): given a directed graph whose arcs carry
 //! a cost `L(e)` and a time `H(e)`, compute
 //! `λ = max_{c ∈ C(G)} ΣL(c) / ΣH(c)` together with a critical circuit.
 //!
-//! The solver is an exact parametric method: starting from `λ = 0` it
-//! repeatedly searches, with a Bellman–Ford longest-walk pass over
-//! lexicographic weights `(L(e) − λ·H(e), −H(e))`, for a circuit whose reduced
-//! weight is positive. Every circuit found strictly increases `λ` (or proves
-//! the instance infeasible when its total time is not positive), so the
-//! iteration terminates on the exact maximum ratio over the finite set of
-//! simple circuits. All arithmetic is exact rational arithmetic.
+//! Two exact algorithms are provided, selectable through [`SolverChoice`]:
+//!
+//! * the **parametric** method: starting from `λ = 0` it repeatedly searches,
+//!   with a Bellman–Ford longest-walk pass over lexicographic weights
+//!   `(L(e) − λ·H(e), −H(e))`, for a circuit whose reduced weight is positive.
+//!   Every circuit found strictly increases `λ` (or proves the instance
+//!   infeasible when its total time is not positive), so the iteration
+//!   terminates on the exact maximum ratio over the finite set of simple
+//!   circuits.
+//! * **Howard's policy iteration** ([`crate::howard`]): the practical fast
+//!   solver for large event graphs. It converges in a handful of policy
+//!   improvements and hands its estimate to the parametric certifier whenever
+//!   its cheap optimality certificate does not apply, so its results are
+//!   always identical to the parametric method's.
+//!
+//! All arithmetic is exact rational arithmetic; `f64` is never consulted.
 
 use std::fmt;
 
 use csdf::{Rational, RationalError};
 
 use crate::graph::{ArcId, NodeId, RatioGraph};
+use crate::howard::{self, HowardOutcome};
 use crate::scc::SccDecomposition;
 
 /// Errors raised by the MCRP solver.
@@ -25,8 +35,9 @@ use crate::scc::SccDecomposition;
 pub enum McrError {
     /// Exact rational arithmetic overflowed.
     Rational(RationalError),
-    /// The solver exceeded its iteration budget (defensive bound; should not
-    /// happen on well-formed inputs).
+    /// Internal invariant violation (a found circuit failed to strictly
+    /// increase `λ`). This cannot happen for well-formed inputs; the variant
+    /// is kept so that the defensive check fails loudly instead of looping.
     IterationLimit,
 }
 
@@ -34,7 +45,7 @@ impl fmt::Display for McrError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             McrError::Rational(err) => write!(f, "{err}"),
-            McrError::IterationLimit => write!(f, "cycle ratio iteration limit exceeded"),
+            McrError::IterationLimit => write!(f, "cycle ratio solver failed to make progress"),
         }
     }
 }
@@ -134,7 +145,167 @@ impl CycleRatioOutcome {
     }
 }
 
-/// Computes the maximum cost-to-time ratio of `graph` and a critical circuit.
+/// Which algorithm a [`Solver`] runs on each strongly connected component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SolverChoice {
+    /// Pick per component: Howard's policy iteration for components with at
+    /// least [`AUTO_HOWARD_MIN_NODES`] nodes, the parametric method below.
+    /// This is the recommended default and what K-Iter uses.
+    #[default]
+    Auto,
+    /// The parametric Bellman–Ford method, unconditionally.
+    Parametric,
+    /// Howard's policy iteration, unconditionally (falls back to the
+    /// parametric certifier in situations its optimality certificate does not
+    /// cover; results are always identical to [`SolverChoice::Parametric`]).
+    Howard,
+    /// Karp's dynamic program. Only applicable to components in which every
+    /// arc time equals one (the cycle-*mean* special case); other components
+    /// silently use the parametric method.
+    Karp,
+}
+
+/// Component size at which [`SolverChoice::Auto`] switches from the
+/// parametric method to Howard's policy iteration.
+///
+/// Head-to-head benchmarks (`benches/mcr_solvers`) show Howard ahead from a
+/// handful of nodes already — each λ-round of the parametric method costs
+/// `Θ(n)` Bellman–Ford relaxation sweeps while Howard converges in a few
+/// policy improvements — so only trivial components stay parametric.
+pub const AUTO_HOWARD_MIN_NODES: usize = 4;
+
+/// A reusable maximum cycle ratio solver.
+///
+/// The solver owns scratch buffers (component views, Bellman–Ford state,
+/// policy-iteration state) that are reused across [`Solver::solve`] calls, so
+/// repeated solves — the K-Iter hot path performs one per iteration — do not
+/// reallocate.
+///
+/// # Examples
+///
+/// ```
+/// use mcr::{RatioGraph, Solver, SolverChoice, CycleRatioOutcome};
+/// use csdf::Rational;
+///
+/// let mut graph = RatioGraph::new(2);
+/// let (a, b) = (graph.node(0), graph.node(1));
+/// graph.add_arc(a, b, Rational::from_integer(3), Rational::from_integer(1));
+/// graph.add_arc(b, a, Rational::from_integer(1), Rational::from_integer(1));
+///
+/// let mut solver = Solver::new(SolverChoice::Howard);
+/// let outcome = solver.solve(&graph)?;
+/// assert_eq!(outcome.ratio(), Some(Rational::from_integer(2)));
+/// # Ok::<(), mcr::McrError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Solver {
+    choice: SolverChoice,
+    scratch: Scratch,
+}
+
+impl Solver {
+    /// Creates a solver running the given algorithm.
+    pub fn new(choice: SolverChoice) -> Self {
+        Solver {
+            choice,
+            scratch: Scratch::default(),
+        }
+    }
+
+    /// The configured algorithm choice.
+    pub fn choice(&self) -> SolverChoice {
+        self.choice
+    }
+
+    /// Computes the maximum cost-to-time ratio of `graph` and a critical
+    /// circuit. Identical results for every [`SolverChoice`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`McrError::Rational`] if the exact arithmetic overflows
+    /// `i128`.
+    pub fn solve(&mut self, graph: &RatioGraph) -> Result<CycleRatioOutcome, McrError> {
+        let scc = SccDecomposition::compute(graph);
+        let mut best: Option<(Rational, CriticalCycle)> = None;
+        let mut saw_cycle = false;
+        self.scratch.prepare(graph.node_count());
+
+        for component_index in 0..scc.component_count() {
+            if !scc.is_cyclic_component(graph, component_index) {
+                continue;
+            }
+            saw_cycle = true;
+            let members = scc.component(component_index);
+            self.scratch.begin_component(graph, members);
+            let outcome = self.solve_component(graph, members.len());
+            self.scratch.end_component(members);
+            match outcome? {
+                ComponentOutcome::NonPositive => {}
+                ComponentOutcome::Finite { ratio, cycle } => {
+                    if best.as_ref().map(|(r, _)| ratio > *r).unwrap_or(true) {
+                        best = Some((ratio, cycle));
+                    }
+                }
+                ComponentOutcome::Infinite { cycle } => {
+                    return Ok(CycleRatioOutcome::Infinite { cycle });
+                }
+            }
+        }
+
+        Ok(match best {
+            Some((ratio, cycle)) => CycleRatioOutcome::Finite { ratio, cycle },
+            None if saw_cycle => CycleRatioOutcome::NonPositive,
+            None => CycleRatioOutcome::Acyclic,
+        })
+    }
+
+    /// Dispatches one strongly connected component to the selected algorithm.
+    fn solve_component(
+        &mut self,
+        graph: &RatioGraph,
+        n: usize,
+    ) -> Result<ComponentOutcome, McrError> {
+        let choice = match self.choice {
+            SolverChoice::Auto => {
+                if n >= AUTO_HOWARD_MIN_NODES {
+                    SolverChoice::Howard
+                } else {
+                    SolverChoice::Parametric
+                }
+            }
+            other => other,
+        };
+        match choice {
+            SolverChoice::Parametric | SolverChoice::Auto => {
+                parametric_component(graph, &mut self.scratch, n, Rational::ZERO, None)
+            }
+            SolverChoice::Howard => match howard::howard_component(&mut self.scratch, n) {
+                HowardOutcome::Infinite { positions } => {
+                    let cycle = materialize_cycle(graph, &self.scratch, &positions)?;
+                    Ok(ComponentOutcome::Infinite { cycle })
+                }
+                HowardOutcome::Certified { lambda, positions } => {
+                    let cycle = materialize_cycle(graph, &self.scratch, &positions)?;
+                    Ok(ComponentOutcome::Finite {
+                        ratio: lambda,
+                        cycle,
+                    })
+                }
+                HowardOutcome::Estimate { lambda, positions } => {
+                    parametric_component(graph, &mut self.scratch, n, lambda, Some(positions))
+                }
+                HowardOutcome::Bail => {
+                    parametric_component(graph, &mut self.scratch, n, Rational::ZERO, None)
+                }
+            },
+            SolverChoice::Karp => karp_component(graph, &mut self.scratch, n),
+        }
+    }
+}
+
+/// Computes the maximum cost-to-time ratio of `graph` and a critical circuit
+/// with the parametric method (see [`Solver`] / [`SolverChoice`] for the
+/// algorithm selection layer and Howard's policy iteration).
 ///
 /// # Errors
 ///
@@ -159,37 +330,23 @@ impl CycleRatioOutcome {
 /// # Ok::<(), mcr::McrError>(())
 /// ```
 pub fn maximum_cycle_ratio(graph: &RatioGraph) -> Result<CycleRatioOutcome, McrError> {
-    let scc = SccDecomposition::compute(graph);
-    let mut best: Option<(Rational, CriticalCycle)> = None;
-    let mut saw_cycle = false;
-
-    for component_index in 0..scc.component_count() {
-        if !scc.is_cyclic_component(graph, component_index) {
-            continue;
-        }
-        saw_cycle = true;
-        let members = scc.component(component_index);
-        match component_max_ratio(graph, members)? {
-            ComponentOutcome::NonPositive => {}
-            ComponentOutcome::Finite { ratio, cycle } => {
-                if best.as_ref().map(|(r, _)| ratio > *r).unwrap_or(true) {
-                    best = Some((ratio, cycle));
-                }
-            }
-            ComponentOutcome::Infinite { cycle } => {
-                return Ok(CycleRatioOutcome::Infinite { cycle });
-            }
-        }
-    }
-
-    Ok(match best {
-        Some((ratio, cycle)) => CycleRatioOutcome::Finite { ratio, cycle },
-        None if saw_cycle => CycleRatioOutcome::NonPositive,
-        None => CycleRatioOutcome::Acyclic,
-    })
+    Solver::new(SolverChoice::Parametric).solve(graph)
 }
 
-enum ComponentOutcome {
+/// One-shot solve with an explicit [`SolverChoice`] (allocates fresh scratch
+/// buffers; prefer a long-lived [`Solver`] for repeated solves).
+///
+/// # Errors
+///
+/// Returns [`McrError::Rational`] if the exact arithmetic overflows `i128`.
+pub fn maximum_cycle_ratio_with(
+    graph: &RatioGraph,
+    choice: SolverChoice,
+) -> Result<CycleRatioOutcome, McrError> {
+    Solver::new(choice).solve(graph)
+}
+
+pub(crate) enum ComponentOutcome {
     NonPositive,
     Finite {
         ratio: Rational,
@@ -200,126 +357,245 @@ enum ComponentOutcome {
     },
 }
 
-/// Parametric iteration restricted to one strongly connected component.
-fn component_max_ratio(
-    graph: &RatioGraph,
-    members: &[NodeId],
-) -> Result<ComponentOutcome, McrError> {
-    // Dense renumbering of the component's nodes.
-    let mut local_of = vec![usize::MAX; graph.node_count()];
-    for (local, node) in members.iter().enumerate() {
-        local_of[node.index()] = local;
-    }
-    let arcs: Vec<ArcId> = members
-        .iter()
-        .flat_map(|&node| graph.outgoing(node).iter().copied())
-        .filter(|&arc| local_of[graph.arc(arc).to.index()] != usize::MAX)
-        .collect();
+/// Reusable per-solve state shared by the parametric method and Howard's
+/// policy iteration. One strongly connected component at a time is loaded
+/// into the dense "component view" (`arc_*`, `first`); stamp-based marker
+/// arrays avoid `O(n)` clears between uses.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Scratch {
+    // Component view: arcs grouped by (local) source node, CSR layout.
+    local_of: Vec<usize>,
+    pub(crate) arc_from: Vec<u32>,
+    pub(crate) arc_to: Vec<u32>,
+    pub(crate) arc_cost: Vec<Rational>,
+    pub(crate) arc_time: Vec<Rational>,
+    pub(crate) arc_id: Vec<ArcId>,
+    pub(crate) first: Vec<usize>,
+    // Parametric Bellman–Ford state.
+    reduced: Vec<(Rational, Rational)>,
+    distance: Vec<(Rational, Rational)>,
+    predecessor: Vec<usize>,
+    active: Vec<usize>,
+    next_active: Vec<usize>,
+    in_next: Vec<bool>,
+    // Howard policy-iteration state.
+    pub(crate) policy: Vec<usize>,
+    pub(crate) gain: Vec<Rational>,
+    pub(crate) value: Vec<Rational>,
+    // Stamped marker arrays shared by cycle walks/scans (valid when the entry
+    // equals the current `epoch`).
+    pub(crate) mark: Vec<u64>,
+    pub(crate) mark_pos: Vec<usize>,
+    pub(crate) resolved: Vec<u64>,
+    pub(crate) walk: Vec<usize>,
+    pub(crate) epoch: u64,
+}
 
-    let mut lambda = Rational::ZERO;
-    let mut best: Option<CriticalCycle> = None;
-    // Defensive bound: each round strictly increases lambda towards the
-    // maximum over simple circuits; the number of rounds observed in practice
-    // is tiny, but protect against pathological inputs anyway.
-    let iteration_limit = 16 * members.len().max(4) + arcs.len();
-
-    for _ in 0..iteration_limit {
-        match find_violating_cycle(graph, members, &local_of, &arcs, lambda)? {
-            None => {
-                return Ok(match best {
-                    Some(cycle) => ComponentOutcome::Finite {
-                        ratio: lambda,
-                        cycle,
-                    },
-                    None => ComponentOutcome::NonPositive,
-                });
-            }
-            Some(cycle) => {
-                if !cycle.time.is_positive() {
-                    return Ok(ComponentOutcome::Infinite { cycle });
-                }
-                lambda = cycle.cost.checked_div(&cycle.time)?;
-                best = Some(cycle);
-            }
+impl Scratch {
+    /// Prepares the graph-sized renumbering table for a new solve.
+    fn prepare(&mut self, node_count: usize) {
+        if self.local_of.len() < node_count {
+            self.local_of.resize(node_count, usize::MAX);
         }
     }
-    Err(McrError::IterationLimit)
+
+    /// Loads one component into the dense view. Arcs are grouped by source
+    /// node simply by scanning members in order.
+    fn begin_component(&mut self, graph: &RatioGraph, members: &[NodeId]) {
+        let n = members.len();
+        for (local, node) in members.iter().enumerate() {
+            self.local_of[node.index()] = local;
+        }
+        self.arc_from.clear();
+        self.arc_to.clear();
+        self.arc_cost.clear();
+        self.arc_time.clear();
+        self.arc_id.clear();
+        self.first.clear();
+        self.first.reserve(n + 1);
+        for (local, &node) in members.iter().enumerate() {
+            self.first.push(self.arc_to.len());
+            for &arc_id in graph.outgoing(node) {
+                let arc = graph.arc(arc_id);
+                let to = self.local_of[arc.to.index()];
+                if to == usize::MAX {
+                    continue;
+                }
+                self.arc_from.push(local as u32);
+                self.arc_to.push(to as u32);
+                self.arc_cost.push(arc.cost);
+                self.arc_time.push(arc.time);
+                self.arc_id.push(arc_id);
+            }
+        }
+        self.first.push(self.arc_to.len());
+        // Node-sized state used by both algorithms.
+        grow_stamped(&mut self.mark, n);
+        grow_stamped(&mut self.resolved, n);
+        if self.mark_pos.len() < n {
+            self.mark_pos.resize(n, 0);
+        }
+    }
+
+    /// Restores the renumbering table after a component is done.
+    fn end_component(&mut self, members: &[NodeId]) {
+        for &node in members {
+            self.local_of[node.index()] = usize::MAX;
+        }
+    }
+
+    /// Number of arcs in the current component view.
+    pub(crate) fn arc_len(&self) -> usize {
+        self.arc_to.len()
+    }
+}
+
+fn grow_stamped(buffer: &mut Vec<u64>, n: usize) {
+    if buffer.len() < n {
+        buffer.resize(n, 0);
+    }
+}
+
+/// Builds a [`CriticalCycle`] from arc positions of the current component
+/// view, recomputing the exact cost and time sums.
+pub(crate) fn materialize_cycle(
+    graph: &RatioGraph,
+    scratch: &Scratch,
+    positions: &[usize],
+) -> Result<CriticalCycle, McrError> {
+    let arcs: Vec<ArcId> = positions.iter().map(|&p| scratch.arc_id[p]).collect();
+    let nodes: Vec<NodeId> = arcs.iter().map(|&arc| graph.arc(arc).from).collect();
+    let (cost, time) = graph.path_weight(&arcs)?;
+    Ok(CriticalCycle {
+        arcs,
+        nodes,
+        cost,
+        time,
+    })
+}
+
+/// Parametric iteration restricted to one strongly connected component,
+/// seeded with a lower bound `λ` and (optionally) a circuit attaining it.
+///
+/// The iteration needs no a-priori bound: every violating circuit found has
+/// strictly larger ratio than the current `λ` (or non-positive time, which
+/// settles the component as `Infinite`), and `λ` ranges over the finite set
+/// of simple-circuit ratios, so the loop terminates on the exact maximum.
+/// The strict-increase invariant is checked defensively on every round.
+pub(crate) fn parametric_component(
+    graph: &RatioGraph,
+    scratch: &mut Scratch,
+    n: usize,
+    start: Rational,
+    start_cycle: Option<Vec<usize>>,
+) -> Result<ComponentOutcome, McrError> {
+    let mut lambda = start;
+    let mut best = start_cycle;
+    loop {
+        let Some(positions) = find_violating_cycle(scratch, n, lambda)? else {
+            return Ok(match best {
+                Some(positions) => ComponentOutcome::Finite {
+                    ratio: lambda,
+                    cycle: materialize_cycle(graph, scratch, &positions)?,
+                },
+                None => ComponentOutcome::NonPositive,
+            });
+        };
+        let cycle = materialize_cycle(graph, scratch, &positions)?;
+        if !cycle.time.is_positive() {
+            return Ok(ComponentOutcome::Infinite { cycle });
+        }
+        let ratio = cycle.cost.checked_div(&cycle.time)?;
+        if ratio <= lambda {
+            // A violating circuit with positive time always has ratio > λ;
+            // failing this invariant would mean a bug in the cycle search,
+            // so fail loudly rather than looping forever.
+            return Err(McrError::IterationLimit);
+        }
+        lambda = ratio;
+        best = Some(positions);
+    }
 }
 
 /// Searches the component for a circuit whose reduced weight
-/// `(ΣL − λΣH, −ΣH)` is lexicographically positive. Returns `None` when no
-/// such circuit exists (λ is an upper bound of all finite circuit ratios).
+/// `(ΣL − λΣH, −ΣH)` is lexicographically positive, as arc positions of the
+/// component view. Returns `None` when no such circuit exists (λ is an upper
+/// bound of all finite circuit ratios); the Bellman–Ford distances are left
+/// converged in `scratch.distance` in that case.
 fn find_violating_cycle(
-    graph: &RatioGraph,
-    members: &[NodeId],
-    local_of: &[usize],
-    arcs: &[ArcId],
+    scratch: &mut Scratch,
+    n: usize,
     lambda: Rational,
-) -> Result<Option<CriticalCycle>, McrError> {
-    let n = members.len();
-    // Reduced lexicographic arc weights, grouped by source node so that each
-    // round only relaxes arcs leaving nodes improved in the previous round
-    // (level-synchronous Bellman–Ford with an active set).
-    let mut weights: Vec<(Rational, Rational)> = Vec::with_capacity(arcs.len());
-    let mut outgoing: Vec<Vec<usize>> = vec![Vec::new(); n];
-    for (position, &arc_id) in arcs.iter().enumerate() {
-        let arc = graph.arc(arc_id);
-        let reduced = arc.cost.checked_sub(&lambda.checked_mul(&arc.time)?)?;
-        let negative_time = arc.time.checked_neg()?;
-        weights.push((reduced, negative_time));
-        outgoing[local_of[arc.from.index()]].push(position);
+) -> Result<Option<Vec<usize>>, McrError> {
+    let m = scratch.arc_len();
+    scratch.reduced.clear();
+    scratch.reduced.reserve(m);
+    for position in 0..m {
+        let reduced = scratch.arc_cost[position]
+            .checked_sub(&lambda.checked_mul(&scratch.arc_time[position])?)?;
+        let negative_time = scratch.arc_time[position].checked_neg()?;
+        scratch.reduced.push((reduced, negative_time));
     }
 
-    let mut distance: Vec<(Rational, Rational)> = vec![(Rational::ZERO, Rational::ZERO); n];
-    let mut predecessor: Vec<Option<usize>> = vec![None; n]; // index into `arcs`
-    let mut active: Vec<usize> = (0..n).collect();
-    let mut in_next = vec![false; n];
+    scratch.distance.clear();
+    scratch.distance.resize(n, (Rational::ZERO, Rational::ZERO));
+    scratch.predecessor.clear();
+    scratch.predecessor.resize(n, usize::MAX);
+    if scratch.in_next.len() < n {
+        scratch.in_next.resize(n, false);
+    }
+    scratch.active.clear();
+    scratch.active.extend(0..n);
+    scratch.next_active.clear();
 
-    // After n rounds any further improvement proves a positive circuit; the
-    // extra rounds (up to 4n in total) only serve the defensive fallback in
-    // case a predecessor chain does not expose the circuit immediately.
-    for round in 0..=4 * n.max(1) {
-        let mut next_active: Vec<usize> = Vec::new();
-        for &node in &active {
-            for &position in &outgoing[node] {
-                let arc = graph.arc(arcs[position]);
-                let to = local_of[arc.to.index()];
+    // Level-synchronous Bellman–Ford with an active set: after round `k` the
+    // distances are the maximum reduced weights over walks of at most `k`
+    // arcs. If no circuit has positive reduced weight, walks longer than `n`
+    // arcs cannot improve on shorter ones and the active set empties by round
+    // `n + 1`. If improvements continue past round `n`, a positive circuit
+    // exists and the predecessor graph acquires a circuit (distances are
+    // bounded by the maximum simple-walk weight while it is acyclic), which
+    // the full predecessor scan then extracts.
+    let mut round = 0usize;
+    loop {
+        for active_index in 0..scratch.active.len() {
+            let node = scratch.active[active_index];
+            for position in scratch.first[node]..scratch.first[node + 1] {
+                let to = scratch.arc_to[position] as usize;
                 let candidate = (
-                    distance[node].0.checked_add(&weights[position].0)?,
-                    distance[node].1.checked_add(&weights[position].1)?,
+                    scratch.distance[node]
+                        .0
+                        .checked_add(&scratch.reduced[position].0)?,
+                    scratch.distance[node]
+                        .1
+                        .checked_add(&scratch.reduced[position].1)?,
                 );
-                if lex_greater(&candidate, &distance[to]) {
-                    distance[to] = candidate;
-                    predecessor[to] = Some(position);
-                    if !in_next[to] {
-                        in_next[to] = true;
-                        next_active.push(to);
+                if lex_greater(&candidate, &scratch.distance[to]) {
+                    scratch.distance[to] = candidate;
+                    scratch.predecessor[to] = position;
+                    if !scratch.in_next[to] {
+                        scratch.in_next[to] = true;
+                        scratch.next_active.push(to);
                     }
                 }
             }
         }
-        if next_active.is_empty() {
+        for &node in &scratch.next_active {
+            scratch.in_next[node] = false;
+        }
+        if scratch.next_active.is_empty() {
             return Ok(None);
         }
+        round += 1;
         if round >= n {
-            // A walk longer than n arcs still improves: a positive circuit
-            // exists. Extract it from the predecessor graph.
-            for &start in &next_active {
-                if let Some(cycle) =
-                    extract_cycle(graph, members, local_of, arcs, &predecessor, start)
-                {
-                    return Ok(Some(cycle));
-                }
+            if let Some(positions) = scan_predecessor_cycle(scratch, n) {
+                scratch.next_active.clear();
+                return Ok(Some(positions));
             }
-            // Extremely unlikely: the circuit is not yet visible from the
-            // improved nodes' predecessor chains; keep relaxing.
         }
-        for &node in &next_active {
-            in_next[node] = false;
-        }
-        active = next_active;
+        std::mem::swap(&mut scratch.active, &mut scratch.next_active);
+        scratch.next_active.clear();
     }
-    Err(McrError::IterationLimit)
 }
 
 fn lex_greater(a: &(Rational, Rational), b: &(Rational, Rational)) -> bool {
@@ -330,44 +606,168 @@ fn lex_greater(a: &(Rational, Rational), b: &(Rational, Rational)) -> bool {
     }
 }
 
-fn extract_cycle(
-    graph: &RatioGraph,
-    members: &[NodeId],
-    local_of: &[usize],
-    arcs: &[ArcId],
-    predecessor: &[Option<usize>],
-    start: usize,
-) -> Option<CriticalCycle> {
-    // Walk the predecessor chain from `start` until a node repeats (a circuit
-    // of the predecessor graph) or the chain ends (no circuit visible from
-    // this node yet).
-    let n = members.len();
-    let mut visit_order = vec![usize::MAX; n];
-    let mut chain = Vec::new();
-    let mut current = start;
-    let cycle_entry = loop {
-        if visit_order[current] != usize::MAX {
-            break current;
+/// Scans the whole predecessor graph for a circuit, in `O(n)` via stamped
+/// three-state marking. Returns the circuit's arc positions in traversal
+/// order, or `None` while the predecessor graph is still a forest.
+fn scan_predecessor_cycle(scratch: &mut Scratch, n: usize) -> Option<Vec<usize>> {
+    scratch.epoch += 2;
+    let on_chain = scratch.epoch - 1;
+    let done = scratch.epoch;
+    for start in 0..n {
+        if scratch.mark[start] == done || scratch.mark[start] == on_chain {
+            continue;
         }
-        visit_order[current] = chain.len();
-        let arc_position = predecessor[current]?;
-        chain.push(arcs[arc_position]);
-        current = local_of[graph.arc(arcs[arc_position]).from.index()];
+        scratch.walk.clear();
+        let mut current = start;
+        let found = loop {
+            if scratch.mark[current] == on_chain {
+                break true; // the chain bit its own tail
+            }
+            if scratch.mark[current] == done || scratch.predecessor[current] == usize::MAX {
+                break false;
+            }
+            scratch.mark[current] = on_chain;
+            scratch.mark_pos[current] = scratch.walk.len();
+            scratch.walk.push(current);
+            current = predecessor_source(scratch, current);
+        };
+        if found {
+            // The chain was collected walking *backwards*: the circuit is the
+            // suffix from `current`'s first visit, reversed into traversal
+            // order.
+            let first = scratch.mark_pos[current];
+            let mut positions: Vec<usize> = scratch.walk[first..]
+                .iter()
+                .map(|&node| scratch.predecessor[node])
+                .collect();
+            positions.reverse();
+            for &node in &scratch.walk {
+                scratch.mark[node] = done;
+            }
+            return Some(positions);
+        }
+        for &node in &scratch.walk {
+            scratch.mark[node] = done;
+        }
+    }
+    None
+}
+
+/// Local source node of the predecessor arc of `node`.
+fn predecessor_source(scratch: &Scratch, node: usize) -> usize {
+    scratch.arc_from[scratch.predecessor[node]] as usize
+}
+
+/// Karp's choice: applicable when every arc time is one (cycle mean); other
+/// components silently fall back to the parametric method.
+fn karp_component(
+    graph: &RatioGraph,
+    scratch: &mut Scratch,
+    n: usize,
+) -> Result<ComponentOutcome, McrError> {
+    if !scratch.arc_time.iter().all(|time| *time == Rational::ONE) {
+        return parametric_component(graph, scratch, n, Rational::ZERO, None);
+    }
+    let lambda = karp_component_mean(scratch, n)?;
+    let Some(lambda) = lambda else {
+        return parametric_component(graph, scratch, n, Rational::ZERO, None);
     };
-    // The chain was collected walking *backwards*: chain[i] is the arc whose
-    // head is the i-th visited node. The circuit consists of the arcs visited
-    // from the first occurrence of `cycle_entry` onwards.
-    let first_index = visit_order[cycle_entry];
-    let mut cycle_arcs: Vec<ArcId> = chain[first_index..].to_vec();
-    cycle_arcs.reverse();
-    let nodes: Vec<NodeId> = cycle_arcs.iter().map(|&arc| graph.arc(arc).from).collect();
-    let (cost, time) = graph.path_weight(&cycle_arcs).ok()?;
-    Some(CriticalCycle {
-        arcs: cycle_arcs,
-        nodes,
-        cost,
-        time,
-    })
+    if !lambda.is_positive() {
+        // All circuit times are positive here, so there is no infinite
+        // outcome and no positive ratio: the component does not constrain.
+        return Ok(ComponentOutcome::NonPositive);
+    }
+    // One certification pass: converged distances double as potentials for
+    // the tight-arc circuit extraction below.
+    if let Some(positions) = find_violating_cycle(scratch, n, lambda)? {
+        // Defensive: the Karp value should already be the maximum. Restart
+        // the parametric iteration from scratch rather than trusting it.
+        let _ = positions;
+        return parametric_component(graph, scratch, n, Rational::ZERO, None);
+    }
+    match tight_cycle(scratch, n, lambda)? {
+        Some(positions) => Ok(ComponentOutcome::Finite {
+            ratio: lambda,
+            cycle: materialize_cycle(graph, scratch, &positions)?,
+        }),
+        None => parametric_component(graph, scratch, n, Rational::ZERO, None),
+    }
+}
+
+/// Maximum cycle mean of the component view (all arc times are one), using
+/// the shared rolling-row Karp recurrence (`O(n)` memory, two passes).
+fn karp_component_mean(scratch: &Scratch, n: usize) -> Result<Option<Rational>, McrError> {
+    let arcs: Vec<(usize, usize, Rational)> = (0..scratch.arc_len())
+        .map(|position| {
+            (
+                scratch.arc_from[position] as usize,
+                scratch.arc_to[position] as usize,
+                scratch.arc_cost[position],
+            )
+        })
+        .collect();
+    crate::karp::rolling_cycle_mean(n, &arcs)
+}
+
+/// After a converged [`find_violating_cycle`] pass at the exact maximum `λ`,
+/// extracts a circuit among the arcs that are tight in the first distance
+/// component; every such circuit has ratio exactly `λ` when all arc times
+/// are positive (which [`karp_component`] guarantees).
+fn tight_cycle(
+    scratch: &mut Scratch,
+    n: usize,
+    lambda: Rational,
+) -> Result<Option<Vec<usize>>, McrError> {
+    // Iterative DFS over tight arcs with stamped colors. Each stack frame is
+    // `(node, cursor, entry_arc)` where `entry_arc` is the tight arc through
+    // which the frame was entered (`usize::MAX` for the root).
+    scratch.epoch += 2;
+    let on_stack = scratch.epoch - 1;
+    let done = scratch.epoch;
+    let mut stack: Vec<(usize, usize, usize)> = Vec::new();
+    for root in 0..n {
+        if scratch.mark[root] == done {
+            continue;
+        }
+        scratch.mark[root] = on_stack;
+        stack.clear();
+        stack.push((root, scratch.first[root], usize::MAX));
+        'dfs: while let Some(&mut (node, ref mut cursor, _)) = stack.last_mut() {
+            while *cursor < scratch.first[node + 1] {
+                let position = *cursor;
+                *cursor += 1;
+                let to = scratch.arc_to[position] as usize;
+                if scratch.mark[to] == done {
+                    continue;
+                }
+                let reduced = scratch.arc_cost[position]
+                    .checked_sub(&lambda.checked_mul(&scratch.arc_time[position])?)?;
+                if scratch.distance[to].0 != scratch.distance[node].0.checked_add(&reduced)? {
+                    continue; // not tight
+                }
+                if scratch.mark[to] == on_stack {
+                    // Tight circuit: entry arcs of the frames after `to`,
+                    // plus the closing arc.
+                    let from_frame = stack
+                        .iter()
+                        .position(|&(frame, _, _)| frame == to)
+                        .expect("on-stack node has a frame");
+                    let mut positions: Vec<usize> = stack[from_frame + 1..]
+                        .iter()
+                        .map(|&(_, _, entry)| entry)
+                        .collect();
+                    positions.push(position);
+                    return Ok(Some(positions));
+                }
+                scratch.mark[to] = on_stack;
+                stack.push((to, scratch.first[to], position));
+                continue 'dfs;
+            }
+            scratch.mark[node] = done;
+            stack.pop();
+        }
+    }
+    Ok(None)
 }
 
 #[cfg(test)]
@@ -378,18 +778,29 @@ mod tests {
         Rational::from_integer(v)
     }
 
+    fn all_choices() -> [SolverChoice; 4] {
+        [
+            SolverChoice::Auto,
+            SolverChoice::Parametric,
+            SolverChoice::Howard,
+            SolverChoice::Karp,
+        ]
+    }
+
     #[test]
     fn single_self_loop() {
         let mut g = RatioGraph::new(1);
         g.add_arc(g.node(0), g.node(0), int(7), int(2));
-        match maximum_cycle_ratio(&g).unwrap() {
-            CycleRatioOutcome::Finite { ratio, cycle } => {
-                assert_eq!(ratio, Rational::new(7, 2).unwrap());
-                assert_eq!(cycle.len(), 1);
-                assert_eq!(cycle.ratio().unwrap(), ratio);
-                assert!(!cycle.is_empty());
+        for choice in all_choices() {
+            match maximum_cycle_ratio_with(&g, choice).unwrap() {
+                CycleRatioOutcome::Finite { ratio, cycle } => {
+                    assert_eq!(ratio, Rational::new(7, 2).unwrap(), "{choice:?}");
+                    assert_eq!(cycle.len(), 1);
+                    assert_eq!(cycle.ratio().unwrap(), ratio);
+                    assert!(!cycle.is_empty());
+                }
+                other => panic!("unexpected {other:?} for {choice:?}"),
             }
-            other => panic!("unexpected {other:?}"),
         }
     }
 
@@ -402,12 +813,14 @@ mod tests {
         // Cycle 2: 2 -> 3 -> 2 with ratio (9+1)/(1+1) = 5.
         g.add_arc(g.node(2), g.node(3), int(9), int(1));
         g.add_arc(g.node(3), g.node(2), int(1), int(1));
-        match maximum_cycle_ratio(&g).unwrap() {
-            CycleRatioOutcome::Finite { ratio, cycle } => {
-                assert_eq!(ratio, int(5));
-                assert_eq!(cycle.len(), 2);
+        for choice in all_choices() {
+            match maximum_cycle_ratio_with(&g, choice).unwrap() {
+                CycleRatioOutcome::Finite { ratio, cycle } => {
+                    assert_eq!(ratio, int(5), "{choice:?}");
+                    assert_eq!(cycle.len(), 2);
+                }
+                other => panic!("unexpected {other:?} for {choice:?}"),
             }
-            other => panic!("unexpected {other:?}"),
         }
     }
 
@@ -416,7 +829,12 @@ mod tests {
         let mut g = RatioGraph::new(3);
         g.add_arc(g.node(0), g.node(1), int(1), int(1));
         g.add_arc(g.node(1), g.node(2), int(1), int(1));
-        assert_eq!(maximum_cycle_ratio(&g).unwrap(), CycleRatioOutcome::Acyclic);
+        for choice in all_choices() {
+            assert_eq!(
+                maximum_cycle_ratio_with(&g, choice).unwrap(),
+                CycleRatioOutcome::Acyclic
+            );
+        }
     }
 
     #[test]
@@ -424,10 +842,12 @@ mod tests {
         let mut g = RatioGraph::new(2);
         g.add_arc(g.node(0), g.node(1), int(0), int(1));
         g.add_arc(g.node(1), g.node(0), int(0), int(1));
-        assert_eq!(
-            maximum_cycle_ratio(&g).unwrap(),
-            CycleRatioOutcome::NonPositive
-        );
+        for choice in all_choices() {
+            assert_eq!(
+                maximum_cycle_ratio_with(&g, choice).unwrap(),
+                CycleRatioOutcome::NonPositive
+            );
+        }
     }
 
     #[test]
@@ -435,12 +855,14 @@ mod tests {
         let mut g = RatioGraph::new(2);
         g.add_arc(g.node(0), g.node(1), int(1), int(1));
         g.add_arc(g.node(1), g.node(0), int(1), int(-2));
-        match maximum_cycle_ratio(&g).unwrap() {
-            CycleRatioOutcome::Infinite { cycle } => {
-                assert!(cycle.time <= Rational::ZERO);
-                assert!(cycle.cost.is_positive());
+        for choice in all_choices() {
+            match maximum_cycle_ratio_with(&g, choice).unwrap() {
+                CycleRatioOutcome::Infinite { cycle } => {
+                    assert!(cycle.time <= Rational::ZERO);
+                    assert!(cycle.cost.is_positive());
+                }
+                other => panic!("unexpected {other:?} for {choice:?}"),
             }
-            other => panic!("unexpected {other:?}"),
         }
     }
 
@@ -449,9 +871,11 @@ mod tests {
         let mut g = RatioGraph::new(2);
         g.add_arc(g.node(0), g.node(1), int(1), int(3));
         g.add_arc(g.node(1), g.node(0), int(1), int(-3));
-        match maximum_cycle_ratio(&g).unwrap() {
-            CycleRatioOutcome::Infinite { cycle } => assert!(cycle.time.is_zero()),
-            other => panic!("unexpected {other:?}"),
+        for choice in all_choices() {
+            match maximum_cycle_ratio_with(&g, choice).unwrap() {
+                CycleRatioOutcome::Infinite { cycle } => assert!(cycle.time.is_zero()),
+                other => panic!("unexpected {other:?} for {choice:?}"),
+            }
         }
     }
 
@@ -462,12 +886,14 @@ mod tests {
         g.add_arc(g.node(0), g.node(1), int(1), int(-1));
         g.add_arc(g.node(1), g.node(2), int(1), int(3));
         g.add_arc(g.node(2), g.node(0), int(1), int(2));
-        match maximum_cycle_ratio(&g).unwrap() {
-            CycleRatioOutcome::Finite { ratio, cycle } => {
-                assert_eq!(ratio, Rational::new(3, 4).unwrap());
-                assert_eq!(cycle.len(), 3);
+        for choice in all_choices() {
+            match maximum_cycle_ratio_with(&g, choice).unwrap() {
+                CycleRatioOutcome::Finite { ratio, cycle } => {
+                    assert_eq!(ratio, Rational::new(3, 4).unwrap(), "{choice:?}");
+                    assert_eq!(cycle.len(), 3);
+                }
+                other => panic!("unexpected {other:?} for {choice:?}"),
             }
-            other => panic!("unexpected {other:?}"),
         }
     }
 
@@ -479,14 +905,16 @@ mod tests {
         g.add_arc(g.node(1), g.node(0), int(3), int(1));
         g.add_arc(g.node(0), g.node(2), int(5), int(1));
         g.add_arc(g.node(2), g.node(0), int(3), int(1));
-        match maximum_cycle_ratio(&g).unwrap() {
-            CycleRatioOutcome::Finite { ratio, cycle } => {
-                assert_eq!(ratio, int(4));
-                // The critical circuit must be 0 -> 2 -> 0.
-                assert!(cycle.nodes.contains(&g.node(2)));
-                assert!(!cycle.nodes.contains(&g.node(1)));
+        for choice in all_choices() {
+            match maximum_cycle_ratio_with(&g, choice).unwrap() {
+                CycleRatioOutcome::Finite { ratio, cycle } => {
+                    assert_eq!(ratio, int(4), "{choice:?}");
+                    // The critical circuit must be 0 -> 2 -> 0.
+                    assert!(cycle.nodes.contains(&g.node(2)));
+                    assert!(!cycle.nodes.contains(&g.node(1)));
+                }
+                other => panic!("unexpected {other:?} for {choice:?}"),
             }
-            other => panic!("unexpected {other:?}"),
         }
     }
 
@@ -509,9 +937,79 @@ mod tests {
             .unwrap()
             .checked_div(&(Rational::new(1, 7).unwrap() + Rational::new(1, 11).unwrap()).unwrap())
             .unwrap();
-        match maximum_cycle_ratio(&g).unwrap() {
-            CycleRatioOutcome::Finite { ratio, .. } => assert_eq!(ratio, expected),
-            other => panic!("unexpected {other:?}"),
+        for choice in all_choices() {
+            match maximum_cycle_ratio_with(&g, choice).unwrap() {
+                CycleRatioOutcome::Finite { ratio, .. } => {
+                    assert_eq!(ratio, expected, "{choice:?}")
+                }
+                other => panic!("unexpected {other:?} for {choice:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn solver_is_reusable_across_graphs() {
+        let mut solver = Solver::new(SolverChoice::Auto);
+        assert_eq!(solver.choice(), SolverChoice::Auto);
+        for size in [2usize, 5, 3] {
+            let mut g = RatioGraph::new(size);
+            for i in 0..size {
+                g.add_arc(g.node(i), g.node((i + 1) % size), int(2), int(1));
+            }
+            match solver.solve(&g).unwrap() {
+                CycleRatioOutcome::Finite { ratio, cycle } => {
+                    assert_eq!(ratio, int(2));
+                    assert_eq!(cycle.len(), size);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    /// A ratio-rich dense multigraph that drives the parametric iteration
+    /// through many strictly increasing λ values (the empirical worst case
+    /// of a 20k-seed random search). The old implementation capped the
+    /// iteration count with the heuristic `16·max(n,4) + m` and returned a
+    /// spurious `IterationLimit` error if a graph visited more distinct
+    /// simple-circuit ratios than that guess; the loop now relies on the
+    /// sound bound instead — λ strictly increases over the finite set of
+    /// simple-circuit ratios — and cannot fail on a valid graph.
+    #[test]
+    fn ratio_rich_multigraphs_terminate_and_agree() {
+        // Deterministic xorshift so the graph is reproducible.
+        let mut state: u64 = 11653u64.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let n = 2 + (next() % 4) as usize;
+        let m = 60 + (next() % 240) as usize;
+        let mut g = RatioGraph::new(n);
+        for _ in 0..m {
+            let a = (next() % n as u64) as usize;
+            let b = (next() % n as u64) as usize;
+            let cost_num = -40 + (next() % 441) as i128;
+            let cost_den = 1 + (next() % 6) as i128;
+            let time_num = 1 + (next() % 48) as i128;
+            let time_den = 1 + (next() % 8) as i128;
+            g.add_arc(
+                g.node(a),
+                g.node(b),
+                Rational::new(cost_num, cost_den).unwrap(),
+                Rational::new(time_num, time_den).unwrap(),
+            );
+        }
+        let parametric = maximum_cycle_ratio(&g).unwrap();
+        let ratio = parametric.ratio().expect("dense multigraph has a cycle");
+        assert!(ratio.is_positive());
+        for choice in [SolverChoice::Howard, SolverChoice::Auto, SolverChoice::Karp] {
+            assert_eq!(
+                maximum_cycle_ratio_with(&g, choice).unwrap().ratio(),
+                Some(ratio),
+                "{choice:?}"
+            );
         }
     }
 }

@@ -6,10 +6,53 @@ use kiter::analysis::{
     duplicate_phases, evaluate_k_periodic, transformed_repetition_vector, EvaluationOutcome,
 };
 use kiter::generators::{random_graph, RandomGraphConfig};
+use kiter::ratio::{
+    maximum_cycle_mean, maximum_cycle_ratio, maximum_cycle_ratio_with, CycleRatioOutcome,
+    RatioGraph, SolverChoice,
+};
 use kiter::{
     optimal_throughput, symbolic_execution_throughput, AnalysisOptions, Budget, KPeriodicSchedule,
     PeriodicityVector, Rational, Throughput,
 };
+
+/// Deterministic random bi-valued graph. `unit_times` restricts arc times to
+/// one (the cycle-mean special case); otherwise times range over small
+/// rationals *including zero and negative values*, which exercises the
+/// `Infinite` / `NonPositive` outcome classification of the solvers.
+fn random_ratio_graph(seed: u64, nodes: usize, arcs: usize, unit_times: bool) -> RatioGraph {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut graph = RatioGraph::new(nodes);
+    for _ in 0..arcs {
+        let from = (next() % nodes as u64) as usize;
+        let to = (next() % nodes as u64) as usize;
+        // Small integers keep every walk weight far away from i128 overflow.
+        let cost = Rational::from_integer(-3 + (next() % 14) as i128);
+        let time = if unit_times {
+            Rational::ONE
+        } else {
+            Rational::new(-2 + (next() % 8) as i128, 1 + (next() % 3) as i128).unwrap()
+        };
+        graph.add_arc(graph.node(from), graph.node(to), cost, time);
+    }
+    graph
+}
+
+/// The outcome parts that must be identical across solvers (the critical
+/// circuit itself may legitimately differ when several attain the maximum).
+fn outcome_signature(outcome: &CycleRatioOutcome) -> (u8, Option<Rational>) {
+    match outcome {
+        CycleRatioOutcome::Acyclic => (0, None),
+        CycleRatioOutcome::NonPositive => (1, None),
+        CycleRatioOutcome::Finite { ratio, .. } => (2, Some(*ratio)),
+        CycleRatioOutcome::Infinite { .. } => (3, None),
+    }
+}
 
 fn small_config(max_phases: usize, tasks: usize) -> RandomGraphConfig {
     RandomGraphConfig {
@@ -82,6 +125,78 @@ proptest! {
         let k = PeriodicityVector::unitary(&graph);
         if let Some(schedule) = KPeriodicSchedule::compute(&graph, &k, &options).expect("compute") {
             prop_assert!(schedule.validate(&graph, 4), "schedule violates a buffer:\n{}", graph);
+        }
+    }
+
+    /// Every MCR solver choice returns the same outcome and exact ratio on
+    /// arbitrary bi-valued graphs, including arcs with zero and negative
+    /// times (Howard's certificate either applies or it defers to the
+    /// parametric certifier, so agreement must be bit-exact).
+    #[test]
+    fn mcr_solvers_agree_on_random_ratio_graphs(base_seed in 0u64..50_000, nodes in 1usize..10, arcs in 1usize..28) {
+        for sub in 0..24u64 {
+        let seed = base_seed.wrapping_mul(131).wrapping_add(sub);
+        let graph = random_ratio_graph(seed, nodes, arcs, false);
+        let reference = maximum_cycle_ratio(&graph).expect("parametric");
+        for choice in [SolverChoice::Howard, SolverChoice::Auto, SolverChoice::Karp] {
+            let outcome = maximum_cycle_ratio_with(&graph, choice).expect("alternative solver");
+            prop_assert!(
+                outcome_signature(&reference) == outcome_signature(&outcome),
+                "solver {:?} disagrees on seed {} ({} nodes, {} arcs): {:?} vs {:?}",
+                choice, seed, nodes, arcs, reference, outcome
+            );
+            // Whatever circuit is reported must be internally consistent.
+            if let Some(cycle) = outcome.cycle() {
+                let (cost, time) = (cycle.cost, cycle.time);
+                match outcome {
+                    CycleRatioOutcome::Finite { ratio, .. } => {
+                        prop_assert!(time.is_positive());
+                        prop_assert_eq!(cost.checked_div(&time).expect("positive time"), ratio);
+                    }
+                    CycleRatioOutcome::Infinite { .. } => {
+                        prop_assert!(!time.is_positive());
+                    }
+                    _ => unreachable!("cycle() is Some only for Finite/Infinite"),
+                }
+            }
+        }
+        }
+    }
+
+    /// On unit-time graphs the maximum cycle ratio degenerates to Karp's
+    /// maximum cycle mean: `Finite(r)` iff the mean is `r > 0`, `NonPositive`
+    /// iff the mean exists but is not positive, `Acyclic` iff there is none.
+    #[test]
+    fn mcr_solvers_match_cycle_mean_on_unit_time_graphs(base_seed in 0u64..50_000, nodes in 1usize..9, arcs in 1usize..24) {
+        for sub in 0..24u64 {
+        let seed = base_seed.wrapping_mul(137).wrapping_add(sub);
+        let graph = random_ratio_graph(seed, nodes, arcs, true);
+        let mean = maximum_cycle_mean(&graph).expect("karp");
+        for choice in [
+            SolverChoice::Parametric,
+            SolverChoice::Howard,
+            SolverChoice::Auto,
+            SolverChoice::Karp,
+        ] {
+            let outcome = maximum_cycle_ratio_with(&graph, choice).expect("solver");
+            match mean {
+                None => prop_assert_eq!(&outcome, &CycleRatioOutcome::Acyclic),
+                Some(value) if value.is_positive() => {
+                    prop_assert!(
+                        outcome.ratio() == Some(value),
+                        "solver {:?} on seed {}: {:?} vs mean {:?}",
+                        choice, seed, outcome, value
+                    );
+                }
+                Some(_) => {
+                    prop_assert!(
+                        outcome == CycleRatioOutcome::NonPositive,
+                        "solver {:?} on seed {}: {:?}",
+                        choice, seed, outcome
+                    );
+                }
+            }
+        }
         }
     }
 
