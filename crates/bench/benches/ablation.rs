@@ -18,6 +18,7 @@ fn bench_ablation(c: &mut Criterion) {
         duration_range: (1, 10),
         marking_factor: 1,
         serialize: true,
+        locality: None,
     };
     for seed in [1u64, 2, 3] {
         let graph = random_graph(&config, seed).expect("generation succeeds");

@@ -32,6 +32,7 @@ fn bench_mcr(c: &mut Criterion) {
             duration_range: (1, 50),
             marking_factor: 2,
             serialize: true,
+            locality: None,
         };
         let graph = random_graph(&config, 7).expect("generation succeeds");
         let q = graph.repetition_vector().expect("consistent");

@@ -1,0 +1,76 @@
+//! Scalability smoke test: one 10k-task locality-bounded random CSDF graph
+//! through K-Iter, printing a single JSON line with the outcome and the
+//! pipeline's construction/solve time split.
+//!
+//! CI runs this under a hard `timeout` and asserts a non-vacuous (finite)
+//! throughput, mirroring the JPEG2000 sized-buffer guard: any regression of
+//! the event-graph construction path or the MCR solver at scale fails the
+//! build instead of silently slowing it down.
+//!
+//! Run with `cargo run -p kiter-bench --bin scale_smoke --release`.
+//! `KITER_SMOKE_TASKS` overrides the task count (default 10000).
+
+use std::time::Instant;
+
+use csdf::Throughput;
+use csdf_generators::{random_graph, RandomGraphConfig};
+use kiter_bench::json_escape;
+use kperiodic::{kiter_with_pipeline, AnalysisOptions, EvaluationPipeline, KIterOptions};
+
+fn main() {
+    let tasks: usize = std::env::var("KITER_SMOKE_TASKS")
+        .ok()
+        .and_then(|value| value.parse().ok())
+        .unwrap_or(10_000);
+    let graph = random_graph(&RandomGraphConfig::large(tasks), 0xD0C5)
+        .expect("large random graph generates");
+
+    let started = Instant::now();
+    let mut pipeline = EvaluationPipeline::new(AnalysisOptions::default());
+    let result = kiter_with_pipeline(&graph, &KIterOptions::default(), &mut pipeline);
+    let total_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    match result {
+        Ok(result) => {
+            let stats = pipeline.stats();
+            let (nodes, arcs) = pipeline
+                .arena()
+                .map(|arena| (arena.node_count(), arena.arc_count()))
+                .unwrap_or((0, 0));
+            println!(
+                "{{\"tasks\":{},\"buffers\":{},\"throughput\":\"{}\",\"iterations\":{},\
+                 \"event_graph\":[{},{}],\"total_ms\":{:.1},\"build_ms\":{:.1},\
+                 \"patch_ms\":{:.1},\"solve_ms\":{:.1},\"patched\":{},\
+                 \"rebuilt_buffers\":{},\"reused_buffers\":{},\"completed\":true}}",
+                graph.task_count(),
+                graph.buffer_count(),
+                json_escape(&result.throughput.to_string()),
+                result.iterations,
+                nodes,
+                arcs,
+                total_ms,
+                stats.build_time.as_secs_f64() * 1e3,
+                stats.patch_time.as_secs_f64() * 1e3,
+                stats.solve_time.as_secs_f64() * 1e3,
+                stats.patched,
+                stats.rebuilt_buffers,
+                stats.reused_buffers,
+            );
+            // Non-vacuous outcome: the generated graph is strongly connected
+            // and serialised, so its throughput must be finite.
+            if !matches!(result.throughput, Throughput::Finite(_)) {
+                eprintln!("smoke failed: expected a finite throughput");
+                std::process::exit(1);
+            }
+        }
+        Err(err) => {
+            println!(
+                "{{\"tasks\":{},\"error\":\"{}\",\"total_ms\":{:.1},\"completed\":false}}",
+                graph.task_count(),
+                json_escape(&err.to_string()),
+                total_ms,
+            );
+            std::process::exit(1);
+        }
+    }
+}

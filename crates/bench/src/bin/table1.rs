@@ -1,15 +1,19 @@
 //! Regenerates the paper's **Table 1**: average computation time of three
-//! optimal SDFG throughput evaluation methods over the four SDF3 benchmark
-//! categories.
+//! optimal throughput evaluation methods over the SDF3 benchmark categories
+//! (the paper's four SDF categories, their cyclo-static counterparts
+//! `MimicCSDF`/`LgCSDF`, and the sized-buffer variant of every category, so
+//! the expansion method can be cross-checked on true CSDF as well).
 //!
 //! Run with `cargo run -p kiter-bench --bin table1 --release`.
 //! The number of generated graphs per category defaults to 8 and can be
 //! raised with `KITER_BENCH_GRAPHS=100` to match the paper's setup.
-//! `--json` emits one JSON object per category row; `--only <name>` filters
-//! categories by name substring.
+//! `--json` emits one JSON object per category row (the committed
+//! `BENCH_TABLE1.json` reference file is produced this way); `--only <name>`
+//! filters categories by name substring (e.g. `--only sized`).
 
+use csdf::CsdfGraph;
 use csdf_baselines::Budget;
-use csdf_generators::sdf3::{generate_category, Sdf3Category};
+use csdf_generators::sdf3::{generate_category, generate_category_sized, Sdf3Category};
 use kiter_bench::{category_row, graphs_per_category, json_escape, Method, TableArgs};
 
 fn main() {
@@ -24,7 +28,7 @@ fn main() {
         );
         println!("(synthetic reproduction of the SDF3 benchmark categories; see DESIGN.md §5)\n");
         println!(
-            "{:<12} {:>7} {:>16} {:>16} {:>24} | {:>14} {:>14} {:>14}",
+            "{:<18} {:>7} {:>16} {:>16} {:>24} | {:>14} {:>14} {:>14}",
             "Category",
             "graphs",
             "tasks min/avg/max",
@@ -36,16 +40,29 @@ fn main() {
         );
     }
 
+    let mut rows: Vec<(String, Vec<CsdfGraph>)> = Vec::new();
     for category in Sdf3Category::all() {
-        if !args.wants(category.name()) {
-            continue;
-        }
         let count = match category {
             Sdf3Category::ActualDsp => 5,
             _ => per_category,
         };
-        let graphs = generate_category(category, count, 0xDAC1).expect("generation succeeds");
-        let row = category_row(category.name(), &graphs, &methods, &budget);
+        if args.wants(category.name()) {
+            rows.push((
+                category.name().to_string(),
+                generate_category(category, count, 0xDAC1).expect("generation succeeds"),
+            ));
+        }
+        let sized_name = format!("{}+sized", category.name());
+        if args.wants(&sized_name) {
+            rows.push((
+                sized_name,
+                generate_category_sized(category, count, 0xDAC1).expect("generation succeeds"),
+            ));
+        }
+    }
+
+    for (name, graphs) in rows {
+        let row = category_row(&name, &graphs, &methods, &budget);
         if args.json {
             let methods_json: Vec<String> = row
                 .averages
@@ -88,7 +105,7 @@ fn main() {
             })
             .collect();
         println!(
-            "{:<12} {:>7} {:>16} {:>16} {:>24} | {:>14} {:>14} {:>14}",
+            "{:<18} {:>7} {:>16} {:>16} {:>24} | {:>14} {:>14} {:>14}",
             row.name,
             row.graphs,
             format!("{}/{}/{}", row.tasks.0, row.tasks.1, row.tasks.2),

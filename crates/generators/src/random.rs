@@ -31,6 +31,13 @@ pub struct RandomGraphConfig {
     pub marking_factor: u64,
     /// Whether to add one-token self-loops to every task.
     pub serialize: bool,
+    /// When set, extra forward edges and non-closing feedback edges only span
+    /// at most this many tasks. Bounded locality keeps the per-task buffer
+    /// fan-out constant as `tasks` grows — without it, random long-range
+    /// edges concentrate on few tasks and the constraint count per buffer
+    /// pair stops being O(1) — which is what lets the generator emit
+    /// 10k+-task graphs whose event graphs stay linear in the task count.
+    pub locality: Option<usize>,
 }
 
 impl Default for RandomGraphConfig {
@@ -44,6 +51,7 @@ impl Default for RandomGraphConfig {
             duration_range: (1, 10),
             marking_factor: 2,
             serialize: true,
+            locality: None,
         }
     }
 }
@@ -70,6 +78,25 @@ impl RandomGraphConfig {
             duration_range: (1, 4),
             marking_factor: 2,
             serialize: true,
+            locality: None,
+        }
+    }
+
+    /// A configuration for very large (10k+-task) CSDF graphs: bounded edge
+    /// locality, mostly small repetition counts and a sparse feedback
+    /// structure keep both the generator and the event graph linear in the
+    /// task count.
+    pub fn large(tasks: usize) -> Self {
+        RandomGraphConfig {
+            tasks,
+            extra_edges: tasks / 4,
+            feedback_edges: (tasks / 64).max(2),
+            repetition_choices: vec![1, 1, 1, 2, 2, 3, 4],
+            max_phases: 2,
+            duration_range: (1, 20),
+            marking_factor: 2,
+            serialize: true,
+            locality: Some(16),
         }
     }
 }
@@ -134,22 +161,25 @@ pub fn random_graph(config: &RandomGraphConfig, seed: u64) -> Result<CsdfGraph, 
     for index in 1..config.tasks {
         add_edge(&mut builder, &mut rng, index - 1, index, 0)?;
     }
-    // Extra forward edges.
+    // Extra forward edges, optionally locality-bounded.
+    let window = config.locality.unwrap_or(config.tasks).max(1);
     for _ in 0..config.extra_edges {
         let from = rng.gen_range(0..config.tasks - 1);
-        let to = rng.gen_range(from + 1..config.tasks);
+        let to = rng.gen_range(from + 1..(from + 1 + window).min(config.tasks));
         add_edge(&mut builder, &mut rng, from, to, 0)?;
     }
     // Feedback edges close cycles and carry ample tokens to stay live. The
     // first one always closes the pipeline (last task back to the first), so
     // every generated graph is strongly connected and self-timed execution
-    // has back-pressure; additional feedback edges are placed randomly.
+    // has back-pressure; additional feedback edges are placed randomly
+    // (within the locality window, when one is set).
     for feedback in 0..config.feedback_edges.max(1) {
         let (from, to) = if feedback == 0 {
             (config.tasks - 1, 0)
         } else {
             let to = rng.gen_range(0..config.tasks - 1);
-            (rng.gen_range(to + 1..config.tasks), to)
+            let from = rng.gen_range(to + 1..(to + 1 + window).min(config.tasks));
+            (from, to)
         };
         add_edge(
             &mut builder,
@@ -234,6 +264,47 @@ mod tests {
             ..RandomGraphConfig::default()
         };
         assert!(random_graph(&config, 0).is_err());
+    }
+
+    #[test]
+    fn large_configuration_scales_to_ten_thousand_tasks() {
+        let config = RandomGraphConfig::large(10_000);
+        let g = random_graph(&config, 1).unwrap();
+        assert_eq!(g.task_count(), 10_000);
+        assert!(g.is_consistent());
+        // Bounded locality keeps the buffer fan-out per task constant: no
+        // quadratic concentration of buffers on few tasks.
+        let max_degree = g
+            .task_ids()
+            .map(|t| g.outgoing(t).len() + g.incoming(t).len())
+            .max()
+            .unwrap();
+        assert!(
+            max_degree <= 64,
+            "locality bound violated: max degree {max_degree}"
+        );
+    }
+
+    #[test]
+    fn locality_bounds_edge_span() {
+        let config = RandomGraphConfig {
+            tasks: 200,
+            extra_edges: 300,
+            feedback_edges: 20,
+            locality: Some(8),
+            ..RandomGraphConfig::default()
+        };
+        let g = random_graph(&config, 3).unwrap();
+        let mut closing_edges = 0;
+        for (_, buffer) in g.buffers() {
+            let span = buffer.source().index().abs_diff(buffer.target().index());
+            if span > 8 {
+                closing_edges += 1;
+                // Only the pipeline-closing feedback edge may span the graph.
+                assert_eq!((buffer.source().index(), buffer.target().index()), (199, 0));
+            }
+        }
+        assert!(closing_edges <= 1);
     }
 
     #[test]

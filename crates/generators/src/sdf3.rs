@@ -1,21 +1,25 @@
 //! Synthetic reproduction of the SDF3 benchmark categories of Table 1.
 //!
-//! The paper evaluates its algorithm over four categories of the SDF3
-//! benchmark generator: `ActualDSP` (real applications), `MimicDSP`
-//! (synthetic graphs that mimic DSP statistics), `LgHSDF` (large homogeneous
-//! graphs) and `LgTransient` (large graphs with long transient phases and a
-//! repetition vector equal to the task count). The original graph files are
-//! not available here, so each category is synthesised to land inside the
-//! size ranges Table 1 reports (task count, channel count and `Σq`).
+//! The paper evaluates its algorithm over categories of the SDF3 benchmark
+//! generator: `ActualDSP` (real applications), `MimicDSP` (synthetic graphs
+//! that mimic DSP statistics), `LgHSDF` (large homogeneous graphs) and
+//! `LgTransient` (large graphs with long transient phases and a repetition
+//! vector equal to the task count), plus cyclo-static counterparts
+//! (`MimicCSDF`, `LgCSDF`) and *sized-buffer* variants of every category
+//! (each buffer bounded by a backward channel, the situation of Table 2's
+//! middle section). The original graph files are not available here, so each
+//! category is synthesised to land inside the size ranges Table 1 reports
+//! (task count, channel count and `Σq`).
 
 use csdf::{CsdfError, CsdfGraph};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::buffer_sized;
 use crate::dsp::actual_dsp_suite;
 use crate::random::{random_graph, RandomGraphConfig};
 
-/// The four SDFG categories of the paper's Table 1.
+/// The SDFG/CSDFG categories of the paper's Table 1.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Sdf3Category {
     /// Five real DSP applications (4–22 tasks, multirate).
@@ -27,17 +31,41 @@ pub enum Sdf3Category {
     /// Large graphs (≈200–300 tasks) whose repetition vector is unitary, so
     /// the difficulty is the long transient, not the rates.
     LgTransient,
+    /// Cyclo-static DSP-like graphs (2–4 phases per task): the CSDF
+    /// counterpart of [`Sdf3Category::MimicDsp`], used to cross-check the
+    /// expansion method on true CSDF.
+    MimicCsdf,
+    /// Large cyclo-static graphs (40–80 tasks, multirate, several phases).
+    LgCsdf,
 }
 
 impl Sdf3Category {
-    /// All categories in the order of Table 1.
-    pub fn all() -> [Sdf3Category; 4] {
+    /// All categories in the order of Table 1 (SDF rows first, then the CSDF
+    /// rows).
+    pub fn all() -> [Sdf3Category; 6] {
+        [
+            Sdf3Category::ActualDsp,
+            Sdf3Category::MimicDsp,
+            Sdf3Category::LgHsdf,
+            Sdf3Category::LgTransient,
+            Sdf3Category::MimicCsdf,
+            Sdf3Category::LgCsdf,
+        ]
+    }
+
+    /// The four SDF categories of the paper's original Table 1.
+    pub fn sdf() -> [Sdf3Category; 4] {
         [
             Sdf3Category::ActualDsp,
             Sdf3Category::MimicDsp,
             Sdf3Category::LgHsdf,
             Sdf3Category::LgTransient,
         ]
+    }
+
+    /// The cyclo-static categories.
+    pub fn csdf() -> [Sdf3Category; 2] {
+        [Sdf3Category::MimicCsdf, Sdf3Category::LgCsdf]
     }
 
     /// The category name as printed in Table 1.
@@ -47,6 +75,8 @@ impl Sdf3Category {
             Sdf3Category::MimicDsp => "MimicDSP",
             Sdf3Category::LgHsdf => "LgHSDF",
             Sdf3Category::LgTransient => "LgTransient",
+            Sdf3Category::MimicCsdf => "MimicCSDF",
+            Sdf3Category::LgCsdf => "LgCSDF",
         }
     }
 
@@ -89,6 +119,7 @@ pub fn generate_category(
                     duration_range: (1, 20),
                     marking_factor: 2,
                     serialize: true,
+                    locality: None,
                 };
                 random_graph(&config, seed.wrapping_add(index as u64))
             })
@@ -105,6 +136,7 @@ pub fn generate_category(
                     duration_range: (1, 50),
                     marking_factor: 2,
                     serialize: true,
+                    locality: None,
                 };
                 random_graph(&config, seed.wrapping_add(index as u64))
             })
@@ -124,11 +156,65 @@ pub fn generate_category(
                     duration_range: (1, 100),
                     marking_factor: 3,
                     serialize: true,
+                    locality: None,
+                };
+                random_graph(&config, seed.wrapping_add(index as u64))
+            })
+            .collect(),
+        Sdf3Category::MimicCsdf => (0..count)
+            .map(|index| {
+                let mut rng = StdRng::seed_from_u64(seed ^ (index as u64).wrapping_mul(0x6b43));
+                let config = RandomGraphConfig {
+                    tasks: rng.gen_range(3..=25),
+                    extra_edges: rng.gen_range(0..=6),
+                    feedback_edges: rng.gen_range(1..=3),
+                    repetition_choices: vec![1, 2, 3, 4, 6],
+                    max_phases: 4,
+                    duration_range: (1, 20),
+                    marking_factor: 2,
+                    serialize: true,
+                    locality: None,
+                };
+                random_graph(&config, seed.wrapping_add(index as u64))
+            })
+            .collect(),
+        Sdf3Category::LgCsdf => (0..count)
+            .map(|index| {
+                let mut rng = StdRng::seed_from_u64(seed ^ (index as u64).wrapping_mul(0x7f31));
+                let config = RandomGraphConfig {
+                    tasks: rng.gen_range(40..=80),
+                    extra_edges: rng.gen_range(10..=30),
+                    feedback_edges: rng.gen_range(2..=5),
+                    repetition_choices: vec![1, 2, 3, 4],
+                    max_phases: 3,
+                    duration_range: (1, 30),
+                    marking_factor: 2,
+                    serialize: true,
+                    locality: None,
                 };
                 random_graph(&config, seed.wrapping_add(index as u64))
             })
             .collect(),
     }
+}
+
+/// Generates the *sized-buffer* variant of a category: every buffer of every
+/// generated graph is bounded by a backward channel with `slack = 2` (the
+/// paper's fixed-buffer-size setting), which typically lowers the throughput
+/// and makes the event graphs markedly harder to solve.
+///
+/// # Errors
+///
+/// Same as [`generate_category`].
+pub fn generate_category_sized(
+    category: Sdf3Category,
+    count: usize,
+    seed: u64,
+) -> Result<Vec<CsdfGraph>, CsdfError> {
+    generate_category(category, count, seed)?
+        .iter()
+        .map(|graph| buffer_sized(graph, 2))
+        .collect()
 }
 
 #[cfg(test)]
@@ -140,10 +226,19 @@ mod tests {
         let names: Vec<&str> = Sdf3Category::all().iter().map(|c| c.name()).collect();
         assert_eq!(
             names,
-            vec!["ActualDSP", "MimicDSP", "LgHSDF", "LgTransient"]
+            vec![
+                "ActualDSP",
+                "MimicDSP",
+                "LgHSDF",
+                "LgTransient",
+                "MimicCSDF",
+                "LgCSDF"
+            ]
         );
         assert_eq!(Sdf3Category::ActualDsp.paper_graph_count(), 5);
         assert_eq!(Sdf3Category::MimicDsp.paper_graph_count(), 100);
+        assert_eq!(Sdf3Category::sdf().len(), 4);
+        assert_eq!(Sdf3Category::csdf().len(), 2);
     }
 
     #[test]
@@ -153,6 +248,32 @@ mod tests {
                 assert!(graph.is_sdf(), "{} must be SDF", category.name());
                 assert!(graph.is_consistent());
             }
+        }
+    }
+
+    #[test]
+    fn csdf_categories_contain_multi_phase_tasks() {
+        for category in Sdf3Category::csdf() {
+            let graphs = generate_category(category, 3, 17).unwrap();
+            assert!(
+                graphs.iter().any(|graph| !graph.is_sdf()),
+                "{} should produce cyclo-static graphs",
+                category.name()
+            );
+            for graph in &graphs {
+                assert!(graph.is_consistent());
+            }
+        }
+    }
+
+    #[test]
+    fn sized_variants_bound_every_data_buffer() {
+        let plain = generate_category(Sdf3Category::MimicDsp, 2, 5).unwrap();
+        let sized = generate_category_sized(Sdf3Category::MimicDsp, 2, 5).unwrap();
+        for (p, s) in plain.iter().zip(&sized) {
+            let data_buffers = p.buffers().filter(|(_, b)| !b.is_self_loop()).count();
+            assert_eq!(s.buffer_count(), p.buffer_count() + data_buffers);
+            assert_eq!(s.task_count(), p.task_count());
         }
     }
 

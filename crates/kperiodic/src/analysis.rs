@@ -2,14 +2,25 @@
 //!
 //! Given a periodicity vector `K`, the minimum period of a K-periodic
 //! schedule is the maximum cost-to-time ratio of the event graph (Sections
-//! 3.2–3.3 of the paper). This module wraps that pipeline — event-graph
-//! construction, MCRP resolution, Theorem-3 normalisation — into
-//! [`evaluate_k_periodic`] and the 1-periodic convenience
-//! [`evaluate_periodic`].
+//! 3.2–3.3 of the paper). Two paths are provided:
+//!
+//! * the stable one-shot functions [`evaluate_k_periodic`] /
+//!   [`evaluate_periodic`] / [`evaluate_with_solver`], which build a fresh
+//!   event graph per call;
+//! * [`EvaluationPipeline`], the mutable pipeline the K-Iter loop threads
+//!   through its iterations: it owns the [`EventGraphArena`] and the MCR
+//!   [`Solver`], builds the event graph once, and patches it in place for
+//!   every subsequent periodicity vector (only the dirty tasks' blocks and
+//!   their incident buffers' arcs are re-derived).
+//!
+//! Both paths produce bit-identical ratio graphs and identical outcomes.
+
+use std::time::{Duration, Instant};
 
 use csdf::{CsdfGraph, Rational, RepetitionVector, TaskId, Throughput};
 use mcr::{CycleRatioOutcome, Solver, SolverChoice};
 
+use crate::arena::EventGraphArena;
 use crate::error::AnalysisError;
 use crate::event_graph::{EventGraph, EventGraphLimits};
 use crate::periodicity::PeriodicityVector;
@@ -42,10 +53,10 @@ impl Default for AnalysisOptions {
 pub enum EvaluationOutcome {
     /// A K-periodic schedule exists; the fields give its minimum period.
     Feasible {
-        /// Minimum period of the transformed graph `G̃` (the raw maximum
-        /// cost-to-time ratio `Ω*_{G̃}`).
+        /// Minimum period of the transformed graph `G̃` (the paper's raw
+        /// maximum cost-to-time ratio `Ω*_{G̃} = Ω_G · lcm(K)`).
         transformed_period: Rational,
-        /// Normalised period `Ω_G = Ω*_{G̃} / lcm(K)` of the original graph.
+        /// Normalised period `Ω_G` of the original graph.
         period: Rational,
         /// The throughput `1 / Ω_G` this schedule guarantees (a lower bound
         /// of the maximum throughput, tight when the optimality test passes).
@@ -99,6 +110,170 @@ impl KPeriodicEvaluation {
     }
 }
 
+/// One evaluation produced by an [`EvaluationPipeline`]: the outcome plus the
+/// size of the event graph that was solved. Unlike [`KPeriodicEvaluation`] it
+/// does not clone the periodicity vector — the K-Iter hot loop discards most
+/// evaluations immediately.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineEvaluation {
+    /// Size of the event graph that was solved (nodes, arcs).
+    pub event_graph_size: (usize, usize),
+    /// The conclusion.
+    pub outcome: EvaluationOutcome,
+}
+
+/// Cumulative counters and timings of an [`EvaluationPipeline`], split into
+/// event-graph construction work and MCR solve work (the construction/solve
+/// split reported by `benches/scalability` and the `scale_smoke` binary).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PipelineStats {
+    /// Total number of evaluations performed.
+    pub evaluations: usize,
+    /// Evaluations that built the event graph from scratch (the first one,
+    /// plus any rebuild after an error).
+    pub full_builds: usize,
+    /// Evaluations that patched the arena in place.
+    pub patched: usize,
+    /// Buffers whose constraint arcs were re-derived across all patches.
+    pub rebuilt_buffers: usize,
+    /// Buffers whose cached arcs were reused across all patches.
+    pub reused_buffers: usize,
+    /// Wall-clock time spent building event graphs from scratch.
+    pub build_time: Duration,
+    /// Wall-clock time spent patching the arena in place.
+    pub patch_time: Duration,
+    /// Wall-clock time spent in the MCR solver.
+    pub solve_time: Duration,
+}
+
+/// A reusable fixed-K evaluation pipeline: periodicity update → dirty set →
+/// arena patch → MCR solve.
+///
+/// The pipeline owns the [`EventGraphArena`] and the [`Solver`]; the K-Iter
+/// loop drives one pipeline for its whole run so that each iteration only
+/// re-derives the event-graph pieces its periodicity update dirtied and the
+/// solver scratch buffers are resized, never recreated. The arena is reused
+/// only while the same graph (by structural fingerprint,
+/// [`EventGraphArena::matches_graph`]) is evaluated; switching graphs
+/// triggers a from-scratch rebuild, so one pipeline can safely serve a sweep
+/// over many graphs.
+#[derive(Debug)]
+pub struct EvaluationPipeline {
+    options: AnalysisOptions,
+    solver: Solver,
+    arena: Option<EventGraphArena>,
+    stats: PipelineStats,
+}
+
+impl EvaluationPipeline {
+    /// Creates an empty pipeline; the first evaluation builds the arena.
+    pub fn new(options: AnalysisOptions) -> Self {
+        EvaluationPipeline {
+            options,
+            solver: Solver::new(options.solver),
+            arena: None,
+            stats: PipelineStats::default(),
+        }
+    }
+
+    /// The analysis options the pipeline was created with.
+    pub fn options(&self) -> &AnalysisOptions {
+        &self.options
+    }
+
+    /// Cumulative statistics over all evaluations so far.
+    pub fn stats(&self) -> &PipelineStats {
+        &self.stats
+    }
+
+    /// The current arena, if at least one evaluation succeeded.
+    pub fn arena(&self) -> Option<&EventGraphArena> {
+        self.arena.as_ref()
+    }
+
+    /// Evaluates the minimum period of a K-periodic schedule for `periodicity`,
+    /// patching the arena in place when one exists.
+    ///
+    /// `dirty_hint` may name the tasks whose periodicity changed since the
+    /// previous evaluation (as returned by the K-Iter update rule); pass
+    /// `None` to let the arena detect changes by comparison.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`evaluate_k_periodic`]. After an error the arena is dropped;
+    /// the next evaluation rebuilds it from scratch.
+    pub fn evaluate(
+        &mut self,
+        graph: &CsdfGraph,
+        repetition: &RepetitionVector,
+        periodicity: &PeriodicityVector,
+        dirty_hint: Option<&[TaskId]>,
+    ) -> Result<PipelineEvaluation, AnalysisError> {
+        self.stats.evaluations += 1;
+        // Take the arena out so an error cannot leave a half-patched arena
+        // installed. If the caller switched graphs — detected by structural
+        // fingerprint, so even same-shape different graphs are caught — fall
+        // back to a from-scratch build.
+        let reusable = self.arena.take().filter(|arena| arena.matches_graph(graph));
+        let arena = match reusable {
+            Some(mut arena) => {
+                let started = Instant::now();
+                let update = arena.apply_update(graph, periodicity, dirty_hint)?;
+                self.stats.patch_time += started.elapsed();
+                self.stats.patched += 1;
+                self.stats.rebuilt_buffers += update.rebuilt_buffers;
+                self.stats.reused_buffers += update.reused_buffers;
+                arena
+            }
+            None => {
+                let started = Instant::now();
+                let arena =
+                    EventGraphArena::build(graph, repetition, periodicity, &self.options.limits)?;
+                self.stats.build_time += started.elapsed();
+                self.stats.full_builds += 1;
+                arena
+            }
+        };
+
+        let started = Instant::now();
+        let solved = self.solver.solve(arena.ratio_graph())?;
+        self.stats.solve_time += started.elapsed();
+
+        let evaluation = PipelineEvaluation {
+            event_graph_size: (arena.node_count(), arena.arc_count()),
+            outcome: classify(solved, &arena)?,
+        };
+        self.arena = Some(arena);
+        Ok(evaluation)
+    }
+}
+
+/// Maps a solver outcome on the (lcm-free) event graph to an evaluation
+/// outcome: the maximum cycle ratio is the normalised period `Ω_G` directly.
+fn classify(
+    solved: CycleRatioOutcome,
+    arena: &EventGraphArena,
+) -> Result<EvaluationOutcome, AnalysisError> {
+    Ok(match solved {
+        CycleRatioOutcome::Acyclic | CycleRatioOutcome::NonPositive => {
+            EvaluationOutcome::Unconstrained
+        }
+        CycleRatioOutcome::Infinite { cycle } => EvaluationOutcome::Infeasible {
+            critical_tasks: arena.tasks_on_cycle(&cycle).into_iter().collect(),
+        },
+        CycleRatioOutcome::Finite { ratio, cycle } => {
+            let period = ratio;
+            let lcm = Rational::from_integer(arena.lcm_k() as i128);
+            EvaluationOutcome::Feasible {
+                transformed_period: period.checked_mul(&lcm)?,
+                period,
+                throughput: Throughput::from_period(period)?,
+                critical_tasks: arena.tasks_on_cycle(&cycle).into_iter().collect(),
+            }
+        }
+    })
+}
+
 /// Evaluates the minimum period of a K-periodic schedule for a fixed `K`.
 ///
 /// # Errors
@@ -139,7 +314,7 @@ pub fn evaluate_k_periodic(
 }
 
 /// Same as [`evaluate_k_periodic`] but reuses an already computed repetition
-/// vector (the K-Iter loop calls this on every iteration).
+/// vector.
 pub fn evaluate_with_repetition(
     graph: &CsdfGraph,
     repetition: &RepetitionVector,
@@ -151,8 +326,7 @@ pub fn evaluate_with_repetition(
 }
 
 /// Same as [`evaluate_with_repetition`] but reuses a caller-provided
-/// [`Solver`], so its scratch buffers survive across evaluations — the K-Iter
-/// loop keeps a single solver for its whole run.
+/// [`Solver`], so its scratch buffers survive across evaluations.
 pub fn evaluate_with_solver(
     graph: &CsdfGraph,
     repetition: &RepetitionVector,
@@ -161,28 +335,11 @@ pub fn evaluate_with_solver(
     solver: &mut Solver,
 ) -> Result<KPeriodicEvaluation, AnalysisError> {
     let event_graph = EventGraph::build(graph, repetition, periodicity, &options.limits)?;
-    let outcome = match solver.solve(event_graph.ratio_graph())? {
-        CycleRatioOutcome::Acyclic | CycleRatioOutcome::NonPositive => {
-            EvaluationOutcome::Unconstrained
-        }
-        CycleRatioOutcome::Infinite { cycle } => EvaluationOutcome::Infeasible {
-            critical_tasks: event_graph.tasks_on_cycle(&cycle).into_iter().collect(),
-        },
-        CycleRatioOutcome::Finite { ratio, cycle } => {
-            let lcm = Rational::from_integer(event_graph.lcm_k() as i128);
-            let period = ratio.checked_div(&lcm)?;
-            EvaluationOutcome::Feasible {
-                transformed_period: ratio,
-                period,
-                throughput: Throughput::from_period(period)?,
-                critical_tasks: event_graph.tasks_on_cycle(&cycle).into_iter().collect(),
-            }
-        }
-    };
+    let solved = solver.solve(event_graph.ratio_graph())?;
     Ok(KPeriodicEvaluation {
         periodicity: periodicity.clone(),
         event_graph_size: (event_graph.node_count(), event_graph.arc_count()),
-        outcome,
+        outcome: classify(solved, event_graph.arena())?,
     })
 }
 
@@ -267,6 +424,110 @@ mod tests {
         let q = g.repetition_vector().unwrap();
         let full = evaluate_k_periodic(&g, &PeriodicityVector::full(&q), &options).unwrap();
         assert!(full.throughput() >= unitary.throughput());
+    }
+
+    #[test]
+    fn transformed_period_is_the_scaled_normalised_period() {
+        let g = ring_with_tokens(1);
+        let k = PeriodicityVector::from_entries(&g, vec![1, 2]).unwrap();
+        let evaluation = evaluate_k_periodic(&g, &k, &AnalysisOptions::default()).unwrap();
+        match evaluation.outcome {
+            EvaluationOutcome::Feasible {
+                transformed_period,
+                period,
+                ..
+            } => {
+                assert_eq!(
+                    transformed_period,
+                    period.checked_mul(&Rational::from_integer(2)).unwrap()
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pipeline_matches_the_one_shot_evaluation() {
+        // Three-task ring so some buffers are untouched by each update.
+        let mut b = CsdfGraphBuilder::new();
+        let x = b.add_sdf_task("x", 2);
+        let y = b.add_sdf_task("y", 3);
+        let z = b.add_sdf_task("z", 1);
+        b.add_sdf_buffer(x, y, 1, 1, 0);
+        b.add_sdf_buffer(y, z, 1, 1, 0);
+        b.add_sdf_buffer(z, x, 1, 1, 2);
+        let g = b.build().unwrap();
+        let q = g.repetition_vector().unwrap();
+        let options = AnalysisOptions::default();
+        let mut pipeline = EvaluationPipeline::new(options);
+        for entries in [vec![1, 1, 1], vec![2, 1, 1], vec![2, 3, 1]] {
+            let k = PeriodicityVector::from_entries(&g, entries).unwrap();
+            let piped = pipeline.evaluate(&g, &q, &k, None).unwrap();
+            let fresh = evaluate_with_repetition(&g, &q, &k, &options).unwrap();
+            assert_eq!(piped.outcome, fresh.outcome);
+            assert_eq!(piped.event_graph_size, fresh.event_graph_size);
+        }
+        let stats = pipeline.stats();
+        assert_eq!(stats.evaluations, 3);
+        assert_eq!(stats.full_builds, 1);
+        assert_eq!(stats.patched, 2);
+        assert!(stats.reused_buffers > 0);
+    }
+
+    #[test]
+    fn pipeline_rebuilds_when_the_graph_shape_changes() {
+        let small = ring_with_tokens(1);
+        let mut b = CsdfGraphBuilder::new();
+        let x = b.add_sdf_task("x", 1);
+        let y = b.add_sdf_task("y", 1);
+        let z = b.add_sdf_task("z", 1);
+        b.add_sdf_buffer(x, y, 1, 1, 0);
+        b.add_sdf_buffer(y, z, 1, 1, 0);
+        b.add_sdf_buffer(z, x, 1, 1, 1);
+        let large = b.build().unwrap();
+
+        // `same_shape` has the small ring's task/buffer counts but a
+        // different marking: only the structural fingerprint tells it apart.
+        let same_shape = ring_with_tokens(2);
+
+        let mut pipeline = EvaluationPipeline::new(AnalysisOptions::default());
+        for graph in [&small, &large, &small, &same_shape] {
+            let q = graph.repetition_vector().unwrap();
+            let k = PeriodicityVector::unitary(graph);
+            let piped = pipeline.evaluate(graph, &q, &k, None).unwrap();
+            let fresh =
+                evaluate_with_repetition(graph, &q, &k, &AnalysisOptions::default()).unwrap();
+            assert_eq!(piped.outcome, fresh.outcome);
+        }
+        // Every graph switch discards the arena and rebuilds from scratch.
+        assert_eq!(pipeline.stats().full_builds, 4);
+        assert_eq!(pipeline.stats().patched, 0);
+    }
+
+    #[test]
+    fn pipeline_recovers_after_an_error() {
+        let g = ring_with_tokens(1);
+        let q = g.repetition_vector().unwrap();
+        let options = AnalysisOptions {
+            limits: EventGraphLimits {
+                max_nodes: 4,
+                max_arcs: 100,
+            },
+            ..AnalysisOptions::default()
+        };
+        let mut pipeline = EvaluationPipeline::new(options);
+        let unitary = PeriodicityVector::unitary(&g);
+        pipeline.evaluate(&g, &q, &unitary, None).unwrap();
+        let too_big = PeriodicityVector::from_entries(&g, vec![8, 8]).unwrap();
+        assert!(pipeline.evaluate(&g, &q, &too_big, None).is_err());
+        assert!(pipeline.arena().is_none());
+        // The next evaluation rebuilds from scratch and succeeds again.
+        let evaluation = pipeline.evaluate(&g, &q, &unitary, None).unwrap();
+        assert!(matches!(
+            evaluation.outcome,
+            EvaluationOutcome::Feasible { .. }
+        ));
+        assert_eq!(pipeline.stats().full_builds, 2);
     }
 
     #[test]

@@ -1,0 +1,575 @@
+//! The event-graph arena: one long-lived bi-valued event graph that is
+//! patched in place as the periodicity vector grows across K-Iter iterations.
+//!
+//! A K-Iter run evaluates a sequence of periodicity vectors that differ only
+//! on the tasks of the latest critical circuit (Algorithm 1 raises `K_t` for
+//! those tasks alone). Rebuilding the whole event graph per iteration
+//! re-derives every Theorem-2 constraint — the dominant cost on large graphs
+//! now that the MCR solve itself is fast. The arena instead keeps:
+//!
+//! * one [`TaskBlock`](crate::block::TaskBlock) per task (its expanded
+//!   duration slice), re-derived only when that task's `K_t` changes;
+//! * one cached arc list per buffer (block-local endpoints plus exact `L`/`H`
+//!   values), re-derived only when the buffer's producer or consumer changed
+//!   periodicity;
+//! * the assembled [`RatioGraph`], re-emitted from the caches through the
+//!   [`RatioGraph::reset`] grow/patch API so no per-node allocation happens.
+//!
+//! # Time scaling
+//!
+//! The paper bi-values arcs with `H(e) = −β̃ / (ĩ_a · q̃_t)` where
+//! `ĩ_a · q̃_t = i_b · q_t · lcm(K)`. The `lcm(K)` factor is common to every
+//! arc, so it scales all circuit ratios uniformly by `1/lcm(K)` — and it
+//! changes whenever *any* task's periodicity changes, which would invalidate
+//! every cached arc. The arena therefore stores the **lcm-free** time
+//! `H(e) = −β̃ / (i_b · q_t)`: the denominator is K-invariant (consistency
+//! gives `i_b · q_t = o_b · q_{t'}`), cached arcs of untouched buffers stay
+//! bit-identical across updates, and the maximum cycle ratio of the stored
+//! graph is directly the *normalised* period `Ω_G` of Theorem 3 (the
+//! transformed period is recovered as `Ω*_{G̃} = Ω_G · lcm(K)`). Circuit-time
+//! signs, and hence the feasible/infeasible/unconstrained classification, are
+//! unchanged by the positive scaling. All arithmetic stays exact.
+
+use std::collections::BTreeSet;
+
+use csdf::{CsdfGraph, RepetitionVector, TaskId};
+use mcr::{CriticalCycle, NodeId, RatioGraph};
+
+use crate::block::TaskBlock;
+use crate::constraints::{duplicate_rates_into, emit_buffer_arcs, BufferArc};
+use crate::error::AnalysisError;
+use crate::event_graph::{EventGraphLimits, EventNode};
+use crate::periodicity::PeriodicityVector;
+
+/// Statistics of one [`EventGraphArena::apply_update`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ArenaUpdate {
+    /// Tasks whose periodicity changed and whose node blocks were re-derived.
+    pub dirty_tasks: usize,
+    /// Buffers whose constraint arcs were re-derived.
+    pub rebuilt_buffers: usize,
+    /// Buffers whose cached arcs were kept.
+    pub reused_buffers: usize,
+}
+
+/// A bi-valued event graph that lives across periodicity updates.
+///
+/// Built once with [`EventGraphArena::build`], then patched with
+/// [`EventGraphArena::apply_update`] whenever the periodicity vector changes;
+/// the patched graph is bit-identical (node numbering, arc order, `L`/`H`
+/// values) to a from-scratch build at the same vector.
+///
+/// An arena is bound to the graph it was built from; driving it with a
+/// different [`CsdfGraph`] is a contract violation (task/buffer-count
+/// mismatches are detected, other mismatches are not).
+///
+/// If `build` or `apply_update` returns an error, the arena may be left
+/// partially updated and must be discarded (it stays memory-safe, but its
+/// accessors no longer describe a consistent event graph).
+#[derive(Debug, Clone)]
+pub struct EventGraphArena {
+    limits: EventGraphLimits,
+    /// Structural fingerprint of the graph this arena was built from, so a
+    /// caller switching graphs (even to one with the same task/buffer
+    /// counts) is detected instead of silently reusing stale caches.
+    fingerprint: u64,
+    lcm_k: u64,
+    blocks: Vec<TaskBlock>,
+    nodes: Vec<EventNode>,
+    ratio: RatioGraph,
+    /// Cached constraint arcs, indexed by buffer id.
+    buffer_arcs: Vec<Vec<BufferArc>>,
+    /// K-invariant time denominators `i_b · q_t`, indexed by buffer id.
+    buffer_denominator: Vec<i128>,
+    // Scratch reused across updates (expanded rate vectors of one buffer).
+    expanded_production: Vec<u64>,
+    expanded_consumption: Vec<u64>,
+}
+
+impl EventGraphArena {
+    /// Builds the event graph of `graph` for the periodicity vector `k`,
+    /// from scratch.
+    ///
+    /// # Errors
+    ///
+    /// * [`AnalysisError::Model`] for inconsistent graphs, invalid `K`, or
+    ///   arithmetic overflow;
+    /// * [`AnalysisError::EventGraphTooLarge`] when the limits are exceeded.
+    pub fn build(
+        graph: &CsdfGraph,
+        repetition: &RepetitionVector,
+        k: &PeriodicityVector,
+        limits: &EventGraphLimits,
+    ) -> Result<Self, AnalysisError> {
+        validate_periodicity(graph, k)?;
+        let lcm_k = k.lcm()?;
+
+        // Enforce the cumulative node limit *while* expanding, so a graph
+        // over the limit errors out before allocating every duration slice.
+        let mut blocks = Vec::with_capacity(graph.task_count());
+        let mut total_nodes = 0usize;
+        for (task_id, task) in graph.tasks() {
+            total_nodes =
+                check_node_total(total_nodes, task.phase_count(), k.get(task_id), limits)?;
+            blocks.push(TaskBlock::build(task.durations(), k.get(task_id)));
+        }
+
+        let mut buffer_denominator = Vec::with_capacity(graph.buffer_count());
+        for (_, buffer) in graph.buffers() {
+            // i_b · q_t (= o_b · q_{t'} by consistency): the K-invariant part
+            // of the paper's denominator; see the module docs for the scaling.
+            let denominator = (buffer.total_production() as i128)
+                .checked_mul(repetition.get(buffer.source()) as i128)
+                .ok_or(AnalysisError::Model(csdf::CsdfError::Overflow))?;
+            buffer_denominator.push(denominator);
+        }
+
+        let mut arena = EventGraphArena {
+            limits: *limits,
+            fingerprint: graph_fingerprint(graph),
+            lcm_k,
+            blocks,
+            nodes: Vec::new(),
+            ratio: RatioGraph::default(),
+            buffer_arcs: vec![Vec::new(); graph.buffer_count()],
+            buffer_denominator,
+            expanded_production: Vec::new(),
+            expanded_consumption: Vec::new(),
+        };
+        let mut total_arcs = 0usize;
+        for (buffer_id, _) in graph.buffers() {
+            arena.rebuild_buffer(graph, buffer_id.index(), k)?;
+            total_arcs += arena.buffer_arcs[buffer_id.index()].len();
+            check_arc_total(total_arcs, limits)?;
+        }
+        arena.assemble(graph)?;
+        Ok(arena)
+    }
+
+    /// Patches the arena for a new periodicity vector: only the node blocks
+    /// of tasks whose `K_t` changed and the constraint arcs of their incident
+    /// buffers are re-derived; every other block, arc, and duration slice is
+    /// kept, and the ratio graph is re-assembled in place from the caches.
+    ///
+    /// The dirty set is always detected by comparing the new vector against
+    /// the blocks' current periodicities — an O(tasks) scan that cannot be
+    /// fooled. `dirty_hint` (the tasks the K-Iter update rule reports as
+    /// raised) is advisory: it is cross-checked against the detected set in
+    /// debug builds and never trusted for correctness.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`EventGraphArena::build`], plus
+    /// [`AnalysisError::ArenaGraphMismatch`] when `graph` is not the graph
+    /// this arena was built from. After an error the arena must be discarded.
+    pub fn apply_update(
+        &mut self,
+        graph: &CsdfGraph,
+        k: &PeriodicityVector,
+        dirty_hint: Option<&[TaskId]>,
+    ) -> Result<ArenaUpdate, AnalysisError> {
+        validate_periodicity(graph, k)?;
+        if !self.matches_graph(graph) {
+            return Err(AnalysisError::ArenaGraphMismatch);
+        }
+        self.lcm_k = k.lcm()?;
+
+        // Collect the dirty tasks by comparison (sorted and unique by
+        // construction).
+        let mut dirty_tasks: Vec<TaskId> = Vec::new();
+        for task in graph.task_ids() {
+            if self.blocks[task.index()].k != k.get(task) {
+                dirty_tasks.push(task);
+            }
+        }
+        if let Some(hint) = dirty_hint {
+            debug_assert!(
+                dirty_tasks.iter().all(|task| hint.contains(task)),
+                "dirty hint misses a task whose periodicity changed"
+            );
+        }
+
+        // Enforce the cumulative node limit on the *prospective* sizes before
+        // any block is re-expanded (and before its memory is allocated).
+        let kept: usize = self.nodes.len()
+            - dirty_tasks
+                .iter()
+                .map(|task| self.blocks[task.index()].len())
+                .sum::<usize>();
+        let mut total_nodes = kept;
+        for &task in &dirty_tasks {
+            total_nodes = check_node_total(
+                total_nodes,
+                graph.task(task).phase_count(),
+                k.get(task),
+                &self.limits,
+            )?;
+        }
+
+        let mut dirty_buffers: BTreeSet<usize> = BTreeSet::new();
+        for &task in &dirty_tasks {
+            self.blocks[task.index()].rebuild(graph.task(task).durations(), k.get(task));
+            for &buffer in graph.outgoing(task) {
+                dirty_buffers.insert(buffer.index());
+            }
+            for &buffer in graph.incoming(task) {
+                dirty_buffers.insert(buffer.index());
+            }
+        }
+
+        for &buffer_index in &dirty_buffers {
+            self.rebuild_buffer(graph, buffer_index, k)?;
+        }
+        let total_arcs: usize = self.buffer_arcs.iter().map(Vec::len).sum();
+        check_arc_total(total_arcs, &self.limits)?;
+        self.assemble(graph)?;
+
+        Ok(ArenaUpdate {
+            dirty_tasks: dirty_tasks.len(),
+            rebuilt_buffers: dirty_buffers.len(),
+            reused_buffers: self.buffer_arcs.len() - dirty_buffers.len(),
+        })
+    }
+
+    /// Re-derives the cached constraint arcs of one buffer at the current
+    /// periodicity (expanded rate vectors, Theorem-2 constraints, bi-values).
+    fn rebuild_buffer(
+        &mut self,
+        graph: &CsdfGraph,
+        buffer_index: usize,
+        k: &PeriodicityVector,
+    ) -> Result<(), AnalysisError> {
+        let buffer = graph.buffer(csdf::BufferId::new(buffer_index));
+        duplicate_rates_into(
+            &mut self.expanded_production,
+            buffer.production(),
+            k.get(buffer.source()),
+        );
+        duplicate_rates_into(
+            &mut self.expanded_consumption,
+            buffer.consumption(),
+            k.get(buffer.target()),
+        );
+        emit_buffer_arcs(
+            &self.expanded_production,
+            &self.expanded_consumption,
+            buffer.initial_tokens(),
+            &self.blocks[buffer.source().index()].durations,
+            self.buffer_denominator[buffer_index],
+            &mut self.buffer_arcs[buffer_index],
+        )
+        .map_err(AnalysisError::Model)
+    }
+
+    /// Recomputes block offsets, the node list and the ratio graph from the
+    /// per-task and per-buffer caches. The ratio graph is reset in place
+    /// (allocations kept) and arcs are re-emitted in buffer order, which is
+    /// exactly the order of a from-scratch build.
+    fn assemble(&mut self, graph: &CsdfGraph) -> Result<(), AnalysisError> {
+        let mut total_nodes = 0usize;
+        for block in &mut self.blocks {
+            block.offset = total_nodes;
+            total_nodes += block.len();
+            if total_nodes > self.limits.max_nodes {
+                return Err(AnalysisError::EventGraphTooLarge {
+                    nodes: total_nodes,
+                    limit: self.limits.max_nodes,
+                });
+            }
+        }
+        self.nodes.clear();
+        self.nodes.reserve(total_nodes);
+        for (index, block) in self.blocks.iter().enumerate() {
+            let task = TaskId::new(index);
+            for phase in 0..block.len() {
+                self.nodes.push(EventNode { task, phase });
+            }
+        }
+
+        let total_arcs: usize = self.buffer_arcs.iter().map(Vec::len).sum();
+        self.ratio.reset(total_nodes);
+        self.ratio.reserve_arcs(total_arcs);
+        for (buffer_id, buffer) in graph.buffers() {
+            let from_base = self.blocks[buffer.source().index()].offset;
+            let to_base = self.blocks[buffer.target().index()].offset;
+            for arc in &self.buffer_arcs[buffer_id.index()] {
+                self.ratio.add_arc(
+                    NodeId::new(from_base + arc.producer_phase as usize),
+                    NodeId::new(to_base + arc.consumer_phase as usize),
+                    arc.cost,
+                    arc.time,
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// The underlying bi-valued ratio graph (lcm-free time scaling: its
+    /// maximum cycle ratio is the normalised period `Ω_G`).
+    pub fn ratio_graph(&self) -> &RatioGraph {
+        &self.ratio
+    }
+
+    /// Number of execution nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of tasks of the CSDF graph this arena was built from.
+    pub fn task_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Number of buffers of the CSDF graph this arena was built from.
+    pub fn buffer_count(&self) -> usize {
+        self.buffer_arcs.len()
+    }
+
+    /// Whether `graph` is (structurally identical to) the graph this arena
+    /// was built from: same tasks, durations, buffers, rates and markings.
+    /// [`EventGraphArena::apply_update`] refuses any other graph; the
+    /// [`EvaluationPipeline`](crate::EvaluationPipeline) uses this to fall
+    /// back to a from-scratch build when its caller switches graphs.
+    pub fn matches_graph(&self, graph: &CsdfGraph) -> bool {
+        self.blocks.len() == graph.task_count()
+            && self.buffer_arcs.len() == graph.buffer_count()
+            && self.fingerprint == graph_fingerprint(graph)
+    }
+
+    /// Number of constraint arcs.
+    pub fn arc_count(&self) -> usize {
+        self.ratio.arc_count()
+    }
+
+    /// `lcm(K)` of the periodicity vector of the current event graph.
+    pub fn lcm_k(&self) -> u64 {
+        self.lcm_k
+    }
+
+    /// The execution represented by an event-graph node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` does not belong to this event graph.
+    pub fn event(&self, node: NodeId) -> EventNode {
+        self.nodes[node.index()]
+    }
+
+    /// Event-graph node of the `phase`-th transformed execution of `task`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` or `phase` is out of range.
+    pub fn node_of(&self, task: TaskId, phase: usize) -> NodeId {
+        let block = &self.blocks[task.index()];
+        assert!(phase < block.len());
+        NodeId::new(block.offset + phase)
+    }
+
+    /// Duration of the `phase`-th transformed execution of `task`.
+    pub fn duration_of(&self, task: TaskId, phase: usize) -> u64 {
+        self.blocks[task.index()].durations[phase]
+    }
+
+    /// Number of transformed phases (`K_t · ϕ(t)`) of `task`.
+    pub fn phase_count_of(&self, task: TaskId) -> usize {
+        self.blocks[task.index()].len()
+    }
+
+    /// The periodicity `K_t` the current event graph uses for `task`.
+    pub fn periodicity_of(&self, task: TaskId) -> u64 {
+        self.blocks[task.index()].k
+    }
+
+    /// The set of tasks whose executions appear on a critical circuit.
+    pub fn tasks_on_cycle(&self, cycle: &CriticalCycle) -> BTreeSet<TaskId> {
+        cycle
+            .nodes
+            .iter()
+            .map(|&node| self.event(node).task)
+            .collect()
+    }
+}
+
+/// FNV-1a hash over the structure the arena caches depend on: task durations
+/// and, per buffer, endpoints, rates and initial marking. Collisions are
+/// astronomically unlikely and the check is advisory hardening (passing a
+/// *different but colliding* graph is outside the API contract anyway).
+fn graph_fingerprint(graph: &CsdfGraph) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    let mix = |hash: &mut u64, value: u64| {
+        *hash ^= value;
+        *hash = hash.wrapping_mul(PRIME);
+    };
+    mix(&mut hash, graph.task_count() as u64);
+    for (_, task) in graph.tasks() {
+        mix(&mut hash, task.phase_count() as u64);
+        for &duration in task.durations() {
+            mix(&mut hash, duration);
+        }
+    }
+    mix(&mut hash, graph.buffer_count() as u64);
+    for (_, buffer) in graph.buffers() {
+        mix(&mut hash, buffer.source().index() as u64);
+        mix(&mut hash, buffer.target().index() as u64);
+        mix(&mut hash, buffer.initial_tokens());
+        for &rate in buffer.production() {
+            mix(&mut hash, rate);
+        }
+        for &rate in buffer.consumption() {
+            mix(&mut hash, rate);
+        }
+    }
+    hash
+}
+
+fn validate_periodicity(graph: &CsdfGraph, k: &PeriodicityVector) -> Result<(), AnalysisError> {
+    if k.len() != graph.task_count() {
+        return Err(AnalysisError::Model(
+            csdf::CsdfError::InvalidPeriodicityVector {
+                expected: graph.task_count(),
+                actual: k.len(),
+            },
+        ));
+    }
+    Ok(())
+}
+
+/// Adds one task's prospective block size (`K_t · ϕ(t)`) to a running node
+/// total, rejecting it against the limit *before* the block's duration slice
+/// is allocated. Returns the new total.
+fn check_node_total(
+    total_nodes: usize,
+    phase_count: usize,
+    k: u64,
+    limits: &EventGraphLimits,
+) -> Result<usize, AnalysisError> {
+    let total = (total_nodes as u128) + (phase_count as u128) * (k as u128);
+    if total > limits.max_nodes as u128 {
+        return Err(AnalysisError::EventGraphTooLarge {
+            nodes: total.min(usize::MAX as u128) as usize,
+            limit: limits.max_nodes,
+        });
+    }
+    Ok(total as usize)
+}
+
+fn check_arc_total(total_arcs: usize, limits: &EventGraphLimits) -> Result<(), AnalysisError> {
+    if total_arcs > limits.max_arcs {
+        return Err(AnalysisError::EventGraphTooLarge {
+            nodes: total_arcs,
+            limit: limits.max_arcs,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csdf::CsdfGraphBuilder;
+
+    fn multirate() -> CsdfGraph {
+        let mut b = CsdfGraphBuilder::new();
+        let x = b.add_task("x", vec![1, 2]);
+        let y = b.add_sdf_task("y", 1);
+        b.add_buffer(x, y, vec![2, 1], vec![1], 0);
+        b.add_buffer(y, x, vec![1], vec![2, 1], 6);
+        b.add_serializing_self_loop(x);
+        b.add_serializing_self_loop(y);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn patched_arena_is_bit_identical_to_a_fresh_build() {
+        let g = multirate();
+        let q = g.repetition_vector().unwrap();
+        let limits = EventGraphLimits::default();
+        let mut k = PeriodicityVector::unitary(&g);
+        let mut arena = EventGraphArena::build(&g, &q, &k, &limits).unwrap();
+
+        // Raise K for one task, patch, and compare against a scratch build.
+        k.set(TaskId::new(1), 3).unwrap();
+        let update = arena.apply_update(&g, &k, Some(&[TaskId::new(1)])).unwrap();
+        assert_eq!(update.dirty_tasks, 1);
+        assert!(update.rebuilt_buffers >= 1);
+        assert!(update.reused_buffers >= 1);
+
+        let fresh = EventGraphArena::build(&g, &q, &k, &limits).unwrap();
+        assert_eq!(arena.ratio_graph(), fresh.ratio_graph());
+        assert_eq!(arena.node_count(), fresh.node_count());
+        assert_eq!(arena.lcm_k(), fresh.lcm_k());
+    }
+
+    #[test]
+    fn update_without_hint_detects_changes_by_comparison() {
+        let g = multirate();
+        let q = g.repetition_vector().unwrap();
+        let limits = EventGraphLimits::default();
+        let mut arena =
+            EventGraphArena::build(&g, &q, &PeriodicityVector::unitary(&g), &limits).unwrap();
+        let k = PeriodicityVector::from_entries(&g, vec![2, 2]).unwrap();
+        let update = arena.apply_update(&g, &k, None).unwrap();
+        assert_eq!(update.dirty_tasks, 2);
+        assert_eq!(update.reused_buffers, 0);
+        let fresh = EventGraphArena::build(&g, &q, &k, &limits).unwrap();
+        assert_eq!(arena.ratio_graph(), fresh.ratio_graph());
+    }
+
+    #[test]
+    fn noop_update_reuses_everything() {
+        let g = multirate();
+        let q = g.repetition_vector().unwrap();
+        let k = PeriodicityVector::unitary(&g);
+        let mut arena = EventGraphArena::build(&g, &q, &k, &EventGraphLimits::default()).unwrap();
+        let before = arena.ratio_graph().clone();
+        let update = arena.apply_update(&g, &k, None).unwrap();
+        assert_eq!(update.dirty_tasks, 0);
+        assert_eq!(update.rebuilt_buffers, 0);
+        assert_eq!(arena.ratio_graph(), &before);
+    }
+
+    #[test]
+    fn update_against_a_different_graph_is_refused() {
+        let g = multirate();
+        let q = g.repetition_vector().unwrap();
+        let k = PeriodicityVector::unitary(&g);
+        let mut arena = EventGraphArena::build(&g, &q, &k, &EventGraphLimits::default()).unwrap();
+
+        // Same shape, different marking: caught by the fingerprint.
+        let mut b = CsdfGraphBuilder::new();
+        let x = b.add_task("x", vec![1, 2]);
+        let y = b.add_sdf_task("y", 1);
+        b.add_buffer(x, y, vec![2, 1], vec![1], 0);
+        b.add_buffer(y, x, vec![1], vec![2, 1], 9);
+        b.add_serializing_self_loop(x);
+        b.add_serializing_self_loop(y);
+        let other = b.build().unwrap();
+        assert!(arena.matches_graph(&g));
+        assert!(!arena.matches_graph(&other));
+        let k_other = PeriodicityVector::unitary(&other);
+        assert!(matches!(
+            arena.apply_update(&other, &k_other, None),
+            Err(AnalysisError::ArenaGraphMismatch)
+        ));
+    }
+
+    #[test]
+    fn update_enforces_the_node_limit() {
+        let g = multirate();
+        let q = g.repetition_vector().unwrap();
+        let limits = EventGraphLimits {
+            max_nodes: 4,
+            max_arcs: 1000,
+        };
+        let mut arena =
+            EventGraphArena::build(&g, &q, &PeriodicityVector::unitary(&g), &limits).unwrap();
+        let k = PeriodicityVector::from_entries(&g, vec![4, 4]).unwrap();
+        assert!(matches!(
+            arena.apply_update(&g, &k, None),
+            Err(AnalysisError::EventGraphTooLarge { .. })
+        ));
+    }
+}

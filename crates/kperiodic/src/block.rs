@@ -1,0 +1,68 @@
+//! Per-task node blocks of the event-graph arena.
+//!
+//! The event graph has one contiguous block of `K_t · ϕ(t)` nodes per task
+//! (the executions of the transformed graph `G̃`). A [`TaskBlock`] owns the
+//! expanded duration slice of one task together with its current periodicity
+//! and its first node index; the arena re-derives a block only when the
+//! task's periodicity changes and re-bases offsets when earlier blocks grow.
+
+/// The node block of one task: its periodicity, the index of its first event
+/// node, and the expanded per-phase durations (`[d(t)]^{K_t}`, Section 3.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct TaskBlock {
+    /// The periodicity `K_t` this block was expanded for.
+    pub k: u64,
+    /// Index of the block's first node in the event graph.
+    pub offset: usize,
+    /// Expanded durations, one per transformed phase (`K_t · ϕ(t)` entries).
+    pub durations: Vec<u64>,
+}
+
+impl TaskBlock {
+    /// Builds the block of a task from its base durations and periodicity.
+    pub fn build(base_durations: &[u64], k: u64) -> TaskBlock {
+        let mut block = TaskBlock {
+            k,
+            offset: 0,
+            durations: Vec::new(),
+        };
+        block.rebuild(base_durations, k);
+        block
+    }
+
+    /// Re-expands the block for a new periodicity, reusing the allocation.
+    pub fn rebuild(&mut self, base_durations: &[u64], k: u64) {
+        self.k = k;
+        crate::constraints::duplicate_rates_into(&mut self.durations, base_durations, k);
+    }
+
+    /// Number of event nodes in this block (`K_t · ϕ(t)`).
+    pub fn len(&self) -> usize {
+        self.durations.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_expands_durations_k_times() {
+        let block = TaskBlock::build(&[2, 5], 3);
+        assert_eq!(block.k, 3);
+        assert_eq!(block.durations, vec![2, 5, 2, 5, 2, 5]);
+        assert_eq!(block.len(), 6);
+    }
+
+    #[test]
+    fn rebuild_reuses_the_allocation() {
+        let mut block = TaskBlock::build(&[1, 2, 3], 4);
+        let capacity = block.durations.capacity();
+        block.rebuild(&[1, 2, 3], 2);
+        assert_eq!(block.durations, vec![1, 2, 3, 1, 2, 3]);
+        assert!(block.durations.capacity() >= capacity.min(6));
+        block.rebuild(&[7], 1);
+        assert_eq!(block.durations, vec![7]);
+        assert_eq!(block.k, 1);
+    }
+}

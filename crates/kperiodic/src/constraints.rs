@@ -21,6 +21,15 @@
 //! This module computes these quantities on *expanded* rate vectors, so the
 //! same code serves the 1-periodic case and the K-periodic case (where every
 //! vector is duplicated `K_t` times, Section 3.2).
+//!
+//! Constraints are emitted **per buffer**: [`phase_constraints`] returns the
+//! raw `(α, β)` pairs of one buffer, and [`emit_buffer_arcs`] turns them
+//! directly into the bi-valued event-graph arcs of that buffer (block-local
+//! endpoints plus `L`/`H` values). The event-graph arena caches the result of
+//! `emit_buffer_arcs` per buffer and only re-derives it for buffers whose
+//! producer or consumer changed periodicity.
+
+use csdf::{CsdfError, Rational};
 
 /// One useful (non-redundant) precedence constraint between a producer phase
 /// and a consumer phase of a buffer.
@@ -52,56 +61,141 @@ pub fn phase_constraints(
     consumption: &[u64],
     initial_tokens: u64,
 ) -> Vec<PhaseConstraint> {
+    let mut constraints = Vec::new();
+    let emitted: Result<(), CsdfError> =
+        for_each_constraint(production, consumption, initial_tokens, |constraint| {
+            constraints.push(constraint);
+            Ok(())
+        });
+    emitted.expect("collecting constraints is infallible");
+    constraints
+}
+
+/// Visits every useful phase-pair constraint of one buffer in row-major order
+/// (producer phase outermost), without allocating the constraint list.
+///
+/// # Panics
+///
+/// Panics if either rate vector is empty or sums to zero (the
+/// [`csdf::CsdfGraphBuilder`] never produces such buffers).
+///
+/// # Errors
+///
+/// Propagates the first error returned by `visit`.
+pub(crate) fn for_each_constraint(
+    production: &[u64],
+    consumption: &[u64],
+    initial_tokens: u64,
+    mut visit: impl FnMut(PhaseConstraint) -> Result<(), CsdfError>,
+) -> Result<(), CsdfError> {
     assert!(!production.is_empty() && !consumption.is_empty());
     let total_production: u64 = production.iter().sum();
     let total_consumption: u64 = consumption.iter().sum();
     assert!(total_production > 0 && total_consumption > 0);
     let gcd = csdf::gcd_u64(total_production, total_consumption) as i128;
 
-    // 1-based cumulative sums.
-    let mut cumulative_production = Vec::with_capacity(production.len());
-    let mut running = 0i128;
-    for &rate in production {
-        running += rate as i128;
-        cumulative_production.push(running);
-    }
+    // 1-based cumulative consumption (the inner loop reuses it per producer
+    // phase; the cumulative production is carried by the outer loop).
     let mut cumulative_consumption = Vec::with_capacity(consumption.len());
-    running = 0;
+    let mut running = 0i128;
     for &rate in consumption {
         running += rate as i128;
         cumulative_consumption.push(running);
     }
 
     let marking = initial_tokens as i128;
-    let mut constraints = Vec::new();
+    let mut produced_before = 0i128;
     for (p, &produced_here) in production.iter().enumerate() {
-        let produced_before = cumulative_production[p];
+        produced_before += produced_here as i128;
         for (p_prime, &consumed_here) in consumption.iter().enumerate() {
             let consumed_before = cumulative_consumption[p_prime];
             let q_value = consumed_before - produced_before - marking + produced_here as i128;
             let alpha = ceil_to_multiple(q_value - (produced_here.min(consumed_here)) as i128, gcd);
             let beta = floor_to_multiple(q_value - 1, gcd);
             if alpha <= beta {
-                constraints.push(PhaseConstraint {
+                visit(PhaseConstraint {
                     producer_phase: p,
                     consumer_phase: p_prime,
                     alpha,
                     beta,
-                });
+                })?;
             }
         }
     }
-    constraints
+    Ok(())
+}
+
+/// One cached bi-valued arc of a buffer's constraint set. Endpoints are
+/// *block-local* phase indices; the arena re-bases them on the producer's and
+/// consumer's node-block offsets when assembling the ratio graph, so a cached
+/// arc stays valid when other tasks' blocks move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct BufferArc {
+    /// Producer phase in `0 .. K_t·ϕ(t)` of the source task.
+    pub producer_phase: u32,
+    /// Consumer phase in `0 .. K_{t'}·ϕ(t')` of the target task.
+    pub consumer_phase: u32,
+    /// `L(e)`: the duration of the producer phase.
+    pub cost: Rational,
+    /// `H(e)`: `−β_a(p, p') / (i_b · q_t)` — see the arena docs for why the
+    /// `lcm(K)` factor of the paper's formula is deliberately left out.
+    pub time: Rational,
+}
+
+/// Derives the bi-valued arcs of one buffer under the current periodicity:
+/// Theorem-2 constraints over the expanded rate vectors, bi-valued with the
+/// producer-phase duration as cost and `−β / denominator` as time.
+///
+/// `producer_durations` is the producer's expanded duration slice and
+/// `denominator` the K-invariant `i_b · q_t` of the buffer. The result is
+/// written into `out` (cleared first) so the arena reuses its allocation.
+///
+/// # Errors
+///
+/// Returns [`CsdfError::Rational`] when a time value overflows `i128`.
+pub(crate) fn emit_buffer_arcs(
+    production: &[u64],
+    consumption: &[u64],
+    initial_tokens: u64,
+    producer_durations: &[u64],
+    denominator: i128,
+    out: &mut Vec<BufferArc>,
+) -> Result<(), CsdfError> {
+    out.clear();
+    for_each_constraint(production, consumption, initial_tokens, |constraint| {
+        out.push(BufferArc {
+            producer_phase: u32::try_from(constraint.producer_phase)
+                .map_err(|_| CsdfError::Overflow)?,
+            consumer_phase: u32::try_from(constraint.consumer_phase)
+                .map_err(|_| CsdfError::Overflow)?,
+            cost: Rational::from_integer(producer_durations[constraint.producer_phase] as i128),
+            time: Rational::new(-constraint.beta, denominator).map_err(CsdfError::Rational)?,
+        });
+        Ok(())
+    })
 }
 
 /// Duplicates a rate vector `factor` times (the `[v]^P` notation of the
 /// paper's Section 3.2).
 pub fn duplicate_rates(rates: &[u64], factor: u64) -> Vec<u64> {
-    let mut duplicated = Vec::with_capacity(rates.len() * factor as usize);
-    for _ in 0..factor {
-        duplicated.extend_from_slice(rates);
-    }
+    let mut duplicated = Vec::new();
+    duplicate_rates_into(&mut duplicated, rates, factor);
     duplicated
+}
+
+/// [`duplicate_rates`] into a reused buffer (cleared first): the single
+/// implementation of the `[v]^P` tiling behind the task blocks and the
+/// arena's rate-expansion scratch.
+pub(crate) fn duplicate_rates_into(out: &mut Vec<u64>, rates: &[u64], factor: u64) {
+    out.clear();
+    out.reserve(
+        rates
+            .len()
+            .saturating_mul(usize::try_from(factor).unwrap_or(usize::MAX)),
+    );
+    for _ in 0..factor {
+        out.extend_from_slice(rates);
+    }
 }
 
 /// Rounds `value` down to a multiple of `step` (`⌊value⌋^step`).

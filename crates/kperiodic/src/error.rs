@@ -26,6 +26,10 @@ pub enum AnalysisError {
         /// The configured limit.
         limit: usize,
     },
+    /// An [`EventGraphArena`](crate::EventGraphArena) was asked to update
+    /// against a graph it was not built from (its cached blocks and arcs
+    /// would silently be wrong); build a fresh arena instead.
+    ArenaGraphMismatch,
 }
 
 impl fmt::Display for AnalysisError {
@@ -38,6 +42,12 @@ impl fmt::Display for AnalysisError {
             }
             AnalysisError::EventGraphTooLarge { nodes, limit } => {
                 write!(f, "event graph needs {nodes} nodes, limit is {limit}")
+            }
+            AnalysisError::ArenaGraphMismatch => {
+                write!(
+                    f,
+                    "event-graph arena updated against a graph it was not built from"
+                )
             }
         }
     }

@@ -6,19 +6,26 @@
 //! constraint, bi-valued by
 //!
 //! ```text
-//! L(e) = d̃(t_p̃)           H(e) = −β̃_a(p̃, p̃') / (ĩ_a · q̃_t)
+//! L(e) = d̃(t_p̃)           H(e) = −β̃_a(p̃, p̃') / (i_b · q_t)
 //! ```
 //!
-//! The maximum cost-to-time ratio of this graph is the minimum period
-//! `Ω*_{G̃}` of a 1-periodic schedule of `G̃`, i.e. of a K-periodic schedule of
-//! `G` (up to the `lcm(K)` normalisation of Theorem 3).
+//! Compared to the paper's formula the stored `H(e)` omits the uniform
+//! `lcm(K)` factor (see [`EventGraphArena`](crate::EventGraphArena) for the
+//! argument): the maximum cost-to-time ratio of this graph is therefore
+//! directly the normalised minimum period `Ω_G` of a K-periodic schedule of
+//! `G` (Theorem 3), and the transformed period is `Ω*_{G̃} = Ω_G · lcm(K)`.
+//!
+//! [`EventGraph`] is the one-shot, from-scratch construction; the incremental
+//! path that K-Iter drives lives in [`crate::arena`]. Both produce
+//! bit-identical ratio graphs — [`EventGraph::build`] is a thin wrapper over
+//! [`EventGraphArena::build`](crate::EventGraphArena::build).
 
 use std::collections::BTreeSet;
 
-use csdf::{CsdfGraph, Rational, RepetitionVector, TaskId};
+use csdf::{CsdfGraph, RepetitionVector, TaskId};
 use mcr::{CriticalCycle, NodeId, RatioGraph};
 
-use crate::constraints::{duplicate_rates, phase_constraints};
+use crate::arena::EventGraphArena;
 use crate::error::AnalysisError;
 use crate::periodicity::PeriodicityVector;
 
@@ -36,11 +43,7 @@ pub struct EventNode {
 /// The bi-valued event graph of a CSDF graph under a periodicity vector.
 #[derive(Debug, Clone)]
 pub struct EventGraph {
-    ratio: RatioGraph,
-    nodes: Vec<EventNode>,
-    node_offset: Vec<usize>,
-    durations: Vec<Vec<u64>>,
-    lcm_k: u64,
+    arena: EventGraphArena,
 }
 
 /// Limits applied while building event graphs (guards against accidental
@@ -76,99 +79,41 @@ impl EventGraph {
         k: &PeriodicityVector,
         limits: &EventGraphLimits,
     ) -> Result<Self, AnalysisError> {
-        if k.len() != graph.task_count() {
-            return Err(AnalysisError::Model(
-                csdf::CsdfError::InvalidPeriodicityVector {
-                    expected: graph.task_count(),
-                    actual: k.len(),
-                },
-            ));
-        }
-        let lcm_k = k.lcm()?;
-
-        // Node numbering: contiguous blocks per task.
-        let mut node_offset = Vec::with_capacity(graph.task_count());
-        let mut nodes = Vec::new();
-        let mut durations = Vec::with_capacity(graph.task_count());
-        for (task_id, task) in graph.tasks() {
-            node_offset.push(nodes.len());
-            let expanded = duplicate_rates(task.durations(), k.get(task_id));
-            for phase in 0..expanded.len() {
-                nodes.push(EventNode {
-                    task: task_id,
-                    phase,
-                });
-            }
-            durations.push(expanded);
-            if nodes.len() > limits.max_nodes {
-                return Err(AnalysisError::EventGraphTooLarge {
-                    nodes: nodes.len(),
-                    limit: limits.max_nodes,
-                });
-            }
-        }
-
-        let mut ratio = RatioGraph::new(nodes.len());
-        for (_, buffer) in graph.buffers() {
-            let producer = buffer.source();
-            let consumer = buffer.target();
-            let k_producer = k.get(producer);
-            let k_consumer = k.get(consumer);
-            let production = duplicate_rates(buffer.production(), k_producer);
-            let consumption = duplicate_rates(buffer.consumption(), k_consumer);
-
-            // ĩ_a · q̃_t = K_t·i_b · q_t·lcm(K)/K_t = i_b · q_t · lcm(K).
-            let denominator = (buffer.total_production() as i128)
-                .checked_mul(repetition.get(producer) as i128)
-                .and_then(|v| v.checked_mul(lcm_k as i128))
-                .ok_or(AnalysisError::Model(csdf::CsdfError::Overflow))?;
-
-            for constraint in phase_constraints(&production, &consumption, buffer.initial_tokens())
-            {
-                let from = node_offset[producer.index()] + constraint.producer_phase;
-                let to = node_offset[consumer.index()] + constraint.consumer_phase;
-                let cost = Rational::from_integer(
-                    durations[producer.index()][constraint.producer_phase] as i128,
-                );
-                let time = Rational::new(-constraint.beta, denominator)
-                    .map_err(csdf::CsdfError::Rational)?;
-                ratio.add_arc(NodeId::new(from), NodeId::new(to), cost, time);
-                if ratio.arc_count() > limits.max_arcs {
-                    return Err(AnalysisError::EventGraphTooLarge {
-                        nodes: ratio.arc_count(),
-                        limit: limits.max_arcs,
-                    });
-                }
-            }
-        }
-
         Ok(EventGraph {
-            ratio,
-            nodes,
-            node_offset,
-            durations,
-            lcm_k,
+            arena: EventGraphArena::build(graph, repetition, k, limits)?,
         })
     }
 
-    /// The underlying bi-valued ratio graph.
+    /// The arena backing this event graph.
+    pub fn arena(&self) -> &EventGraphArena {
+        &self.arena
+    }
+
+    /// Converts into the backing arena, e.g. to continue with in-place
+    /// updates via [`EventGraphArena::apply_update`].
+    pub fn into_arena(self) -> EventGraphArena {
+        self.arena
+    }
+
+    /// The underlying bi-valued ratio graph (lcm-free time scaling: its
+    /// maximum cycle ratio is the normalised period `Ω_G`).
     pub fn ratio_graph(&self) -> &RatioGraph {
-        &self.ratio
+        self.arena.ratio_graph()
     }
 
     /// Number of execution nodes.
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.arena.node_count()
     }
 
     /// Number of constraint arcs.
     pub fn arc_count(&self) -> usize {
-        self.ratio.arc_count()
+        self.arena.arc_count()
     }
 
     /// `lcm(K)` of the periodicity vector used to build this event graph.
     pub fn lcm_k(&self) -> u64 {
-        self.lcm_k
+        self.arena.lcm_k()
     }
 
     /// The execution represented by an event-graph node.
@@ -177,7 +122,7 @@ impl EventGraph {
     ///
     /// Panics if `node` does not belong to this event graph.
     pub fn event(&self, node: NodeId) -> EventNode {
-        self.nodes[node.index()]
+        self.arena.event(node)
     }
 
     /// Event-graph node of the `phase`-th transformed execution of `task`.
@@ -186,34 +131,29 @@ impl EventGraph {
     ///
     /// Panics if `task` or `phase` is out of range.
     pub fn node_of(&self, task: TaskId, phase: usize) -> NodeId {
-        assert!(phase < self.durations[task.index()].len());
-        NodeId::new(self.node_offset[task.index()] + phase)
+        self.arena.node_of(task, phase)
     }
 
     /// Duration of the `phase`-th transformed execution of `task`.
     pub fn duration_of(&self, task: TaskId, phase: usize) -> u64 {
-        self.durations[task.index()][phase]
+        self.arena.duration_of(task, phase)
     }
 
     /// Number of transformed phases (`K_t · ϕ(t)`) of `task`.
     pub fn phase_count_of(&self, task: TaskId) -> usize {
-        self.durations[task.index()].len()
+        self.arena.phase_count_of(task)
     }
 
     /// The set of tasks whose executions appear on a critical circuit.
     pub fn tasks_on_cycle(&self, cycle: &CriticalCycle) -> BTreeSet<TaskId> {
-        cycle
-            .nodes
-            .iter()
-            .map(|&node| self.event(node).task)
-            .collect()
+        self.arena.tasks_on_cycle(cycle)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use csdf::CsdfGraphBuilder;
+    use csdf::{CsdfGraphBuilder, Rational};
     use mcr::{maximum_cycle_ratio, CycleRatioOutcome};
 
     /// Two unit-rate tasks in a loop with one token: the classic period-2
@@ -265,6 +205,7 @@ mod tests {
             }
         );
         assert_eq!(eg.duration_of(TaskId::new(0), 2), 1);
+        assert_eq!(eg.arena().periodicity_of(TaskId::new(0)), 3);
     }
 
     #[test]
@@ -288,6 +229,25 @@ mod tests {
         match maximum_cycle_ratio(eg.ratio_graph()).unwrap() {
             CycleRatioOutcome::Finite { ratio, .. } => {
                 assert_eq!(ratio, Rational::from_integer(6));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    /// At `K ≠ 1` the stored ratio graph is scaled by `lcm(K)` relative to
+    /// the paper's formula: the maximum cycle ratio *is* the normalised
+    /// period, not the transformed one.
+    #[test]
+    fn scaled_times_make_the_ratio_the_normalised_period() {
+        let g = ring();
+        let q = g.repetition_vector().unwrap();
+        let k = PeriodicityVector::from_entries(&g, vec![2, 2]).unwrap();
+        let eg = EventGraph::build(&g, &q, &k, &EventGraphLimits::default()).unwrap();
+        assert_eq!(eg.lcm_k(), 2);
+        match maximum_cycle_ratio(eg.ratio_graph()).unwrap() {
+            // The ring's normalised period stays 2 whatever K is.
+            CycleRatioOutcome::Finite { ratio, .. } => {
+                assert_eq!(ratio, Rational::from_integer(2));
             }
             other => panic!("unexpected {other:?}"),
         }

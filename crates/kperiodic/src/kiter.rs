@@ -5,7 +5,7 @@ use csdf::{
     gcd_u64, lcm_u64, CsdfError, CsdfGraph, Rational, RepetitionVector, TaskId, Throughput,
 };
 
-use crate::analysis::{evaluate_with_solver, AnalysisOptions, EvaluationOutcome};
+use crate::analysis::{AnalysisOptions, EvaluationOutcome, EvaluationPipeline};
 use crate::error::AnalysisError;
 use crate::periodicity::PeriodicityVector;
 
@@ -117,24 +117,41 @@ pub fn kiter_with_options(
     graph: &CsdfGraph,
     options: &KIterOptions,
 ) -> Result<KIterResult, AnalysisError> {
+    let mut pipeline = EvaluationPipeline::new(options.analysis);
+    kiter_with_pipeline(graph, options, &mut pipeline)
+}
+
+/// Computes the maximum reachable throughput of `graph`, driving a
+/// caller-provided [`EvaluationPipeline`].
+///
+/// The pipeline keeps the event-graph arena and the MCR solver alive across
+/// the whole run — each iteration patches the arena in place instead of
+/// rebuilding it — and its [`stats`](EvaluationPipeline::stats) expose the
+/// construction/solve time split afterwards. The pipeline's own
+/// [`AnalysisOptions`] govern limits and solver choice;
+/// `options.analysis.max_iterations` is ignored in favour of the pipeline's.
+///
+/// # Errors
+///
+/// See [`optimal_throughput`].
+pub fn kiter_with_pipeline(
+    graph: &CsdfGraph,
+    options: &KIterOptions,
+    pipeline: &mut EvaluationPipeline,
+) -> Result<KIterResult, AnalysisError> {
     let repetition = graph.repetition_vector()?;
     let mut periodicity = PeriodicityVector::unitary(graph);
     let mut history = Vec::new();
-    let max_iterations = options.analysis.max_iterations.max(1);
-    // One solver for the whole run: its scratch buffers are reused by every
-    // iteration's maximum cycle ratio solve (the hot path).
-    let mut solver = mcr::Solver::new(options.analysis.solver);
+    let max_iterations = pipeline.options().max_iterations.max(1);
+    // Tasks raised by the previous `apply_update`: the dirty set the arena
+    // patch is told about (empty on the first iteration, which builds).
+    let mut dirty: Vec<TaskId> = Vec::new();
 
     for iteration in 1..=max_iterations {
-        let evaluation = evaluate_with_solver(
-            graph,
-            &repetition,
-            &periodicity,
-            &options.analysis,
-            &mut solver,
-        )?;
+        let hint = (iteration > 1).then_some(dirty.as_slice());
+        let evaluation = pipeline.evaluate(graph, &repetition, &periodicity, hint)?;
 
-        let (critical_tasks, period) = match &evaluation.outcome {
+        let (critical_tasks, period) = match evaluation.outcome {
             EvaluationOutcome::Unconstrained => {
                 // No circuit constrains the schedule; enlarging K cannot
                 // create new circuits, so the throughput is unbounded.
@@ -159,8 +176,8 @@ pub fn kiter_with_options(
                 period,
                 critical_tasks,
                 ..
-            } => (critical_tasks.clone(), Some(*period)),
-            EvaluationOutcome::Infeasible { critical_tasks } => (critical_tasks.clone(), None),
+            } => (critical_tasks, Some(period)),
+            EvaluationOutcome::Infeasible { critical_tasks } => (critical_tasks, None),
         };
 
         let normalized = normalized_repetition(&repetition, &critical_tasks);
@@ -192,7 +209,7 @@ pub fn kiter_with_options(
             });
         }
 
-        apply_update(
+        dirty = apply_update(
             options.update_policy,
             &mut periodicity,
             &repetition,
@@ -230,18 +247,24 @@ fn optimality_test(periodicity: &PeriodicityVector, normalized: &[(TaskId, u64)]
         .all(|&(task, q_bar)| periodicity.get(task) % q_bar == 0)
 }
 
+/// Enlarges the periodicity vector after a failed optimality test and
+/// reports the dirty set: the tasks whose `K_t` actually changed (the arena
+/// patch only re-derives their node blocks and incident buffers).
 fn apply_update(
     policy: KUpdatePolicy,
     periodicity: &mut PeriodicityVector,
     repetition: &RepetitionVector,
     normalized: &[(TaskId, u64)],
-) -> Result<(), AnalysisError> {
+) -> Result<Vec<TaskId>, AnalysisError> {
+    let mut dirty = Vec::new();
     match policy {
         KUpdatePolicy::CriticalCircuitLcm => {
             for &(task, q_bar) in normalized {
                 let updated =
                     lcm_u64(periodicity.get(task), q_bar).map_err(|_| CsdfError::Overflow)?;
-                periodicity.set(task, updated)?;
+                if periodicity.raise(task, updated)? {
+                    dirty.push(task);
+                }
             }
         }
         KUpdatePolicy::FullRepetition => {
@@ -252,11 +275,13 @@ fn apply_update(
                 .max(1);
             for index in 0..periodicity.len() {
                 let task = TaskId::new(index);
-                periodicity.set(task, repetition.get(task) / gcd)?;
+                if periodicity.raise(task, repetition.get(task) / gcd)? {
+                    dirty.push(task);
+                }
             }
         }
     }
-    Ok(())
+    Ok(dirty)
 }
 
 #[cfg(test)]

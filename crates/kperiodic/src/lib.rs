@@ -8,14 +8,40 @@
 //!   (Section 2.4);
 //! * [`duplicate_phases`] / [`transformed_repetition_vector`] — the `G → G̃`
 //!   transformation of Section 3.2 (Theorem 3);
-//! * [`EventGraph`] — the bi-valued graph whose maximum cost-to-time ratio is
-//!   the minimum period (Section 3.3);
+//! * [`EventGraph`] / [`EventGraphArena`] — the bi-valued graph whose maximum
+//!   cost-to-time ratio is the minimum period (Section 3.3), as a one-shot
+//!   build and as a long-lived arena patched across iterations;
 //! * [`evaluate_k_periodic`] / [`evaluate_periodic`] — fixed-K evaluation;
+//! * [`EvaluationPipeline`] — the reusable fixed-K pipeline K-Iter drives;
 //! * [`optimal_throughput`] / [`kiter_with_options`] — the K-Iter algorithm
 //!   with its Theorem-4 optimality test (Sections 3.4–3.5);
 //! * [`KPeriodicSchedule`] — explicit starting times, validation and ASCII
 //!   Gantt rendering;
 //! * [`paper_example`] — the reconstructed running example of the paper.
+//!
+//! # The incremental evaluation pipeline
+//!
+//! K-Iter (Algorithm 1) evaluates a sequence of periodicity vectors that
+//! differ only on the tasks of the latest critical circuit. The crate
+//! therefore runs each iteration through a four-stage pipeline instead of
+//! rebuilding the event graph from scratch:
+//!
+//! 1. **periodicity update** — the update rule raises `K_t` for the critical
+//!    tasks ([`PeriodicityVector::raise`]) and reports which entries actually
+//!    changed;
+//! 2. **dirty set** — those tasks form the dirty set; everything else is
+//!    untouched by construction;
+//! 3. **arena patch** — [`EventGraphArena::apply_update`] re-derives only the
+//!    dirty tasks' node blocks and the constraint arcs of their incident
+//!    buffers, then re-assembles the ratio graph in place (allocations kept,
+//!    arc order identical to a from-scratch build);
+//! 4. **MCR solve** — the shared [`mcr::Solver`] resolves the patched graph,
+//!    resizing (never recreating) its scratch buffers.
+//!
+//! The patched graph is bit-identical to a from-scratch [`EventGraph::build`]
+//! at the same vector, so all outcomes are exact and path-independent; the
+//! arena stores lcm-free arc times (see [`EventGraphArena`]) so that cached
+//! arcs stay valid when `lcm(K)` changes.
 //!
 //! # Examples
 //!
@@ -40,6 +66,8 @@
 #![warn(missing_docs)]
 
 mod analysis;
+mod arena;
+mod block;
 mod constraints;
 mod duplication;
 mod error;
@@ -51,8 +79,10 @@ mod schedule;
 
 pub use analysis::{
     evaluate_k_periodic, evaluate_periodic, evaluate_with_repetition, evaluate_with_solver,
-    AnalysisOptions, EvaluationOutcome, KPeriodicEvaluation,
+    AnalysisOptions, EvaluationOutcome, EvaluationPipeline, KPeriodicEvaluation,
+    PipelineEvaluation, PipelineStats,
 };
+pub use arena::{ArenaUpdate, EventGraphArena};
 pub use constraints::{
     ceil_to_multiple, duplicate_rates, floor_to_multiple, phase_constraints, PhaseConstraint,
 };
@@ -60,8 +90,8 @@ pub use duplication::{duplicate_phases, transformed_repetition_vector};
 pub use error::AnalysisError;
 pub use event_graph::{EventGraph, EventGraphLimits, EventNode};
 pub use kiter::{
-    kiter_with_options, optimal_throughput, KIterIteration, KIterOptions, KIterResult,
-    KUpdatePolicy,
+    kiter_with_options, kiter_with_pipeline, optimal_throughput, KIterIteration, KIterOptions,
+    KIterResult, KUpdatePolicy,
 };
 pub use paper_example::{paper_example, PaperExampleTasks};
 pub use periodicity::PeriodicityVector;

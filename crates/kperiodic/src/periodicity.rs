@@ -100,6 +100,32 @@ impl PeriodicityVector {
         Ok(())
     }
 
+    /// Raises the periodicity of a task to `value` if that is larger,
+    /// reporting whether the entry changed — this is how the K-Iter update
+    /// rule builds the *dirty set* handed to the event-graph arena (only
+    /// tasks for which `raise` returned `true` need their node blocks and
+    /// incident buffer arcs re-derived).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CsdfError::ZeroPeriodicity`] when `value` is zero and
+    /// [`CsdfError::TaskIndexOutOfRange`] when the task is unknown.
+    pub fn raise(&mut self, task: TaskId, value: u64) -> Result<bool, CsdfError> {
+        if value == 0 {
+            return Err(CsdfError::ZeroPeriodicity(task));
+        }
+        let entry = self
+            .entries
+            .get_mut(task.index())
+            .ok_or(CsdfError::TaskIndexOutOfRange(task.index()))?;
+        if value > *entry {
+            *entry = value;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
     /// Number of entries.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -208,6 +234,18 @@ mod tests {
         ));
         let k = PeriodicityVector::from_entries(&g, vec![2, 3]).unwrap();
         assert_eq!(k.lcm().unwrap(), 6);
+    }
+
+    #[test]
+    fn raise_reports_dirty_entries() {
+        let g = graph();
+        let mut k = PeriodicityVector::unitary(&g);
+        assert!(k.raise(TaskId::new(0), 3).unwrap());
+        assert!(!k.raise(TaskId::new(0), 2).unwrap());
+        assert!(!k.raise(TaskId::new(0), 3).unwrap());
+        assert_eq!(k.get(TaskId::new(0)), 3);
+        assert!(k.raise(TaskId::new(0), 0).is_err());
+        assert!(k.raise(TaskId::new(9), 1).is_err());
     }
 
     #[test]

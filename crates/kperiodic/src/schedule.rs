@@ -45,17 +45,16 @@ impl KPeriodicSchedule {
         let repetition = graph.repetition_vector()?;
         let evaluation =
             crate::analysis::evaluate_with_repetition(graph, &repetition, periodicity, options)?;
-        let (transformed_period, period) = match evaluation.outcome {
-            EvaluationOutcome::Feasible {
-                transformed_period,
-                period,
-                ..
-            } => (transformed_period, period),
+        let period = match evaluation.outcome {
+            EvaluationOutcome::Feasible { period, .. } => period,
             _ => return Ok(None),
         };
 
         let event_graph = EventGraph::build(graph, &repetition, periodicity, &options.limits)?;
-        let starts_flat = longest_path_starts(&event_graph, transformed_period)?;
+        // The event graph stores lcm-free times, so the matching period for
+        // the longest-path weights is the *normalised* one (Ω·H is invariant
+        // under the common rescaling).
+        let starts_flat = longest_path_starts(&event_graph, period)?;
 
         let mut starts = Vec::with_capacity(graph.task_count());
         let mut durations = Vec::with_capacity(graph.task_count());

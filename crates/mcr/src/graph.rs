@@ -62,6 +62,20 @@ pub struct Arc {
 /// This is the "bi-valued graph" of Section 3.3 of the paper; the solver
 /// lives in [`crate::maximum_cycle_ratio`].
 ///
+/// # Growing and patching
+///
+/// Besides one-shot construction ([`RatioGraph::new`] + [`RatioGraph::add_arc`]),
+/// the graph supports in-place reuse for callers that repeatedly rebuild
+/// almost-identical graphs (the K-Iter event-graph arena): [`RatioGraph::add_node`]
+/// appends node blocks, [`RatioGraph::reserve_arcs`] pre-sizes the arc storage,
+/// and [`RatioGraph::reset`] clears the arc set while keeping every allocation
+/// (the arc vector and each node's adjacency list capacity), so re-emitting
+/// the arcs of an updated graph performs no per-node reallocation.
+///
+/// Two graphs compare equal ([`PartialEq`]) when they have the same node
+/// count and the same arcs, in the same insertion order, with bit-identical
+/// cost and time values.
+///
 /// # Examples
 ///
 /// ```
@@ -80,7 +94,7 @@ pub struct Arc {
 /// }
 /// # Ok::<(), mcr::McrError>(())
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RatioGraph {
     node_count: usize,
     arcs: Vec<Arc>,
@@ -113,6 +127,27 @@ impl RatioGraph {
         self.node_count += 1;
         self.outgoing.push(Vec::new());
         id
+    }
+
+    /// Clears the graph down to `node_count` isolated nodes while keeping
+    /// every allocation: the arc storage and the per-node adjacency vectors
+    /// retain their capacity, so arcs can be re-emitted without reallocating.
+    ///
+    /// Shrinking drops the adjacency vectors of removed nodes; growing
+    /// appends empty ones.
+    pub fn reset(&mut self, node_count: usize) {
+        self.arcs.clear();
+        self.outgoing.truncate(node_count);
+        for adjacency in &mut self.outgoing {
+            adjacency.clear();
+        }
+        self.outgoing.resize_with(node_count, Vec::new);
+        self.node_count = node_count;
+    }
+
+    /// Reserves capacity for at least `additional` more arcs.
+    pub fn reserve_arcs(&mut self, additional: usize) {
+        self.arcs.reserve(additional);
     }
 
     /// Adds an arc and returns its id.
@@ -229,5 +264,24 @@ mod tests {
     fn out_of_range_node_panics() {
         let g = RatioGraph::new(1);
         let _ = g.node(5);
+    }
+
+    #[test]
+    fn reset_keeps_capacity_and_restores_equality() {
+        let mut g = RatioGraph::new(2);
+        g.add_arc(g.node(0), g.node(1), Rational::ONE, Rational::ONE);
+        g.add_arc(g.node(1), g.node(0), Rational::ONE, Rational::ONE);
+        let reference = g.clone();
+
+        g.reset(3);
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.arc_count(), 0);
+        assert!(g.outgoing(g.node(0)).is_empty());
+
+        g.reset(2);
+        g.reserve_arcs(2);
+        g.add_arc(g.node(0), g.node(1), Rational::ONE, Rational::ONE);
+        g.add_arc(g.node(1), g.node(0), Rational::ONE, Rational::ONE);
+        assert_eq!(g, reference);
     }
 }

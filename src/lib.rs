@@ -61,9 +61,10 @@ pub use csdf_baselines::{
     EvaluationStatus, MethodResult,
 };
 pub use kperiodic::{
-    evaluate_k_periodic, evaluate_periodic, kiter_with_options, optimal_throughput, paper_example,
-    AnalysisError, AnalysisOptions, KIterOptions, KIterResult, KPeriodicSchedule, KUpdatePolicy,
-    PeriodicityVector,
+    evaluate_k_periodic, evaluate_periodic, kiter_with_options, kiter_with_pipeline,
+    optimal_throughput, paper_example, AnalysisError, AnalysisOptions, EvaluationPipeline,
+    EventGraphArena, KIterOptions, KIterResult, KPeriodicSchedule, KUpdatePolicy,
+    PeriodicityVector, PipelineStats,
 };
 
 #[cfg(test)]

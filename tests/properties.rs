@@ -4,6 +4,7 @@ use proptest::prelude::*;
 
 use kiter::analysis::{
     duplicate_phases, evaluate_k_periodic, transformed_repetition_vector, EvaluationOutcome,
+    EventGraph, EventGraphLimits,
 };
 use kiter::generators::{random_graph, RandomGraphConfig};
 use kiter::ratio::{
@@ -11,8 +12,8 @@ use kiter::ratio::{
     RatioGraph, SolverChoice,
 };
 use kiter::{
-    optimal_throughput, symbolic_execution_throughput, AnalysisOptions, Budget, KPeriodicSchedule,
-    PeriodicityVector, Rational, Throughput,
+    optimal_throughput, symbolic_execution_throughput, AnalysisOptions, Budget, EventGraphArena,
+    KPeriodicSchedule, PeriodicityVector, Rational, TaskId, Throughput,
 };
 
 /// Deterministic random bi-valued graph. `unit_times` restricts arc times to
@@ -64,6 +65,7 @@ fn small_config(max_phases: usize, tasks: usize) -> RandomGraphConfig {
         duration_range: (1, 4),
         marking_factor: 2,
         serialize: true,
+        locality: None,
     }
 }
 
@@ -197,6 +199,61 @@ proptest! {
                 }
             }
         }
+        }
+    }
+
+    /// Tentpole invariant of the incremental event-graph pipeline: patching
+    /// one arena through a random sequence of K-updates yields a
+    /// [`RatioGraph`](kiter::ratio::RatioGraph) *bit-identical* (node count,
+    /// arc order, exact `L`/`H` values) to a from-scratch
+    /// [`EventGraph::build`] at every intermediate vector — including on CSDF
+    /// graphs with zero-duration phases, and both with and without the dirty
+    /// hint the K-Iter update rule provides.
+    #[test]
+    fn incremental_arena_matches_from_scratch(seed in 0u64..50_000, tasks in 3usize..7, phases in 1usize..4) {
+        let config = RandomGraphConfig {
+            // Zero durations exercise zero-cost arcs.
+            duration_range: (0, 4),
+            ..small_config(phases, tasks)
+        };
+        let graph = random_graph(&config, seed).expect("generator");
+        let q = graph.repetition_vector().expect("consistent");
+        let limits = EventGraphLimits::default();
+        let mut k = PeriodicityVector::unitary(&graph);
+        let mut arena = EventGraphArena::build(&graph, &q, &k, &limits).expect("base build");
+
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for step in 0..5u64 {
+            let mut raised = Vec::new();
+            for _ in 0..1 + next() % 2 {
+                let task = TaskId::new((next() % tasks as u64) as usize);
+                let value = k.get(task) * (1 + next() % 3);
+                if k.raise(task, value).expect("valid periodicity") {
+                    raised.push(task);
+                }
+            }
+            // Alternate between the hinted dirty set and full detection.
+            let hint = (step % 2 == 0).then_some(raised.as_slice());
+            arena.apply_update(&graph, &k, hint).expect("patch");
+
+            let fresh = EventGraph::build(&graph, &q, &k, &limits).expect("scratch build");
+            prop_assert_eq!(arena.ratio_graph(), fresh.ratio_graph());
+            prop_assert_eq!(arena.node_count(), fresh.node_count());
+            prop_assert_eq!(arena.arc_count(), fresh.arc_count());
+            prop_assert_eq!(arena.lcm_k(), fresh.lcm_k());
+            for task in graph.task_ids() {
+                prop_assert_eq!(arena.phase_count_of(task), fresh.phase_count_of(task));
+                for phase in 0..arena.phase_count_of(task) {
+                    prop_assert_eq!(arena.duration_of(task, phase), fresh.duration_of(task, phase));
+                    prop_assert_eq!(arena.node_of(task, phase), fresh.node_of(task, phase));
+                }
+            }
         }
     }
 
