@@ -48,6 +48,16 @@ fn bench_mcr(c: &mut Criterion) {
                 },
             );
         }
+        // Integer vs scalar Howard kernel, on a long-lived solver (the
+        // K-Iter-shaped usage): same results, different inner loops.
+        for (label, integer) in [("howard_int_kernel", true), ("howard_scalar_kernel", false)] {
+            let mut solver = mcr::Solver::new(SolverChoice::Howard).with_integer_kernel(integer);
+            group.bench_with_input(
+                BenchmarkId::new(label, tasks),
+                event_graph.ratio_graph(),
+                |b, ratio_graph| b.iter(|| solver.solve(ratio_graph).expect("solve")),
+            );
+        }
         group.bench_with_input(
             BenchmarkId::new("karp_cycle_mean", tasks),
             event_graph.ratio_graph(),

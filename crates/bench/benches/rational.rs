@@ -1,0 +1,159 @@
+//! Micro-benchmarks for the exact-arithmetic kernels behind the MCR solvers,
+//! on *solver-shaped* operand distributions — the numbers the K-Iter hot
+//! path actually reduces are products of small event-graph denominators
+//! (`i_b · q_t`, phase counts, durations) times the running numerators of
+//! Bellman–Ford / policy-iteration sums, not uniform random bit patterns.
+//!
+//! Three GCD kernels run head-to-head on a narrow (u64-range) and a wide
+//! (> 64-bit) distribution:
+//!
+//! * `width` — the shipped `csdf::gcd_u128`: Euclid that drops from 128-bit
+//!   library division to hardware 64-bit division as soon as operands fit;
+//! * `euclid128` — the pre-PR-4 schoolbook loop, all divisions 128-bit;
+//! * `stein` — a binary GCD, kept as the reference that motivated the
+//!   experiment: on x86-64 its one-iteration-per-bit loop *loses* to
+//!   hardware division on these distributions, which is why the shipped
+//!   kernel is width-specialised Euclid rather than Stein.
+//!
+//! The second group measures the `Rational` fast lane: the i64 add/mul lane
+//! and the unreduced accumulation helper against the reduce-per-step fold.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use csdf::{gcd_u128, Rational};
+
+/// The pre-PR-4 schoolbook loop: every division 128-bit.
+fn euclid_u128(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    a
+}
+
+/// Binary (Stein) GCD — the division-free alternative.
+fn stein_u128(mut a: u128, mut b: u128) -> u128 {
+    if a == 0 {
+        return b;
+    }
+    if b == 0 {
+        return a;
+    }
+    let shift = (a | b).trailing_zeros();
+    a >>= a.trailing_zeros();
+    loop {
+        b >>= b.trailing_zeros();
+        if a > b {
+            core::mem::swap(&mut a, &mut b);
+        }
+        b -= a;
+        if b == 0 {
+            return a << shift;
+        }
+    }
+}
+
+/// Solver-shaped operand pairs: smooth denominators (products of small
+/// primes, like `i_b·q_t` and lcm-of-K values) scaled by pseudo-random
+/// numerators of the magnitude Bellman–Ford distances reach. All pairs fit
+/// `u64`; `widen` shifts them past 64 bits (integer-kernel circuit sums).
+fn solver_shaped_operands(count: usize, widen: bool) -> Vec<(u128, u128)> {
+    const SMOOTH: [u128; 12] = [1, 2, 3, 4, 6, 8, 12, 16, 24, 36, 60, 120];
+    let mut state = 0x5EED_CAFE_F00Du64 | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    (0..count)
+        .map(|_| {
+            let numerator = (next() % 1_000_000) as u128;
+            let denominator = SMOOTH[(next() % SMOOTH.len() as u64) as usize]
+                * SMOOTH[(next() % SMOOTH.len() as u64) as usize];
+            let pair = (
+                numerator * denominator,
+                denominator * SMOOTH[(next() % 12) as usize],
+            );
+            if widen {
+                (pair.0 << 40 | 0xabcdef, pair.1 << 40 | 0x12345)
+            } else {
+                pair
+            }
+        })
+        .collect()
+}
+
+type GcdKernel = fn(u128, u128) -> u128;
+
+fn bench_gcd(c: &mut Criterion) {
+    for (label, widen) in [("narrow", false), ("wide", true)] {
+        let operands = solver_shaped_operands(4096, widen);
+        let mut group = c.benchmark_group(format!("gcd_{label}"));
+        let kernels: [(&str, GcdKernel); 3] = [
+            ("width", gcd_u128),
+            ("euclid128", euclid_u128),
+            ("stein", stein_u128),
+        ];
+        for (name, kernel) in kernels {
+            // Sanity: all kernels agree before being timed.
+            for &(x, y) in &operands {
+                assert_eq!(kernel(x, y), euclid_u128(x, y));
+            }
+            group.bench_function(name, |b| {
+                b.iter(|| {
+                    let mut acc = 0u128;
+                    for &(x, y) in &operands {
+                        acc ^= kernel(black_box(x), black_box(y));
+                    }
+                    acc
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+/// The rational operations the scalar solver path leans on: additions and
+/// multiplications of solver-shaped fractions (i64 fast lane), plus the
+/// unreduced accumulation helper against the reduce-per-step fold.
+fn bench_rational_ops(c: &mut Criterion) {
+    let operands = solver_shaped_operands(512, false);
+    let fractions: Vec<Rational> = operands
+        .iter()
+        .map(|&(n, d)| {
+            Rational::new((n % 100_000) as i128, (d as i128).max(1)).expect("nonzero denominator")
+        })
+        .collect();
+    let mut group = c.benchmark_group("rational");
+    group.bench_function("add_chain", |b| {
+        b.iter(|| {
+            let mut acc = Rational::ZERO;
+            for f in &fractions {
+                acc = acc.checked_add(black_box(f)).expect("no overflow");
+            }
+            acc
+        })
+    });
+    group.bench_function("sum_unreduced", |b| {
+        b.iter(|| Rational::sum_unreduced(black_box(&fractions)).expect("no overflow"))
+    });
+    group.bench_function("mul_chain", |b| {
+        b.iter(|| {
+            let mut acc = Rational::ONE;
+            for f in &fractions {
+                if !f.is_zero() {
+                    acc = Rational::new(f.numer().signum(), 1)
+                        .unwrap()
+                        .checked_mul(black_box(f))
+                        .expect("no overflow");
+                }
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gcd, bench_rational_ops);
+criterion_main!(benches);

@@ -53,7 +53,7 @@ pub use buffer::{Buffer, BufferId};
 pub use builder::CsdfGraphBuilder;
 pub use error::CsdfError;
 pub use graph::CsdfGraph;
-pub use rational::{gcd_i128, gcd_u64, lcm_u64, Rational, RationalError};
+pub use rational::{gcd_i128, gcd_u128, gcd_u64, lcm_u64, Rational, RationalError, RationalSum};
 pub use repetition::RepetitionVector;
 pub use task::{Task, TaskId};
 pub use throughput::Throughput;

@@ -36,6 +36,11 @@ pub struct AnalysisOptions {
     /// ([`SolverChoice::Auto`] picks Howard's policy iteration for large
     /// components, which is what makes buffer-sized instances tractable).
     pub solver: SolverChoice,
+    /// Number of worker threads the MCR solver may use to solve independent
+    /// cyclic strongly connected components in parallel (`std::thread::scope`
+    /// workers; `0` is treated as `1`). Results are byte-identical for every
+    /// value — the per-component outcomes are merged deterministically.
+    pub threads: usize,
 }
 
 impl Default for AnalysisOptions {
@@ -44,6 +49,7 @@ impl Default for AnalysisOptions {
             limits: EventGraphLimits::default(),
             max_iterations: 256,
             solver: SolverChoice::Auto,
+            threads: 1,
         }
     }
 }
@@ -144,6 +150,12 @@ pub struct PipelineStats {
     pub patch_time: Duration,
     /// Wall-clock time spent in the MCR solver.
     pub solve_time: Duration,
+    /// Construction time (build or patch) of the most recent evaluation —
+    /// together with [`PipelineStats::last_solve_time`] this is the
+    /// per-iteration construction/solve split of the K-Iter loop.
+    pub last_construction_time: Duration,
+    /// MCR solve time of the most recent evaluation.
+    pub last_solve_time: Duration,
 }
 
 /// A reusable fixed-K evaluation pipeline: periodicity update → dirty set →
@@ -170,7 +182,7 @@ impl EvaluationPipeline {
     pub fn new(options: AnalysisOptions) -> Self {
         EvaluationPipeline {
             options,
-            solver: Solver::new(options.solver),
+            solver: Solver::new(options.solver).with_threads(options.threads),
             arena: None,
             stats: PipelineStats::default(),
         }
@@ -219,7 +231,8 @@ impl EvaluationPipeline {
             Some(mut arena) => {
                 let started = Instant::now();
                 let update = arena.apply_update(graph, periodicity, dirty_hint)?;
-                self.stats.patch_time += started.elapsed();
+                self.stats.last_construction_time = started.elapsed();
+                self.stats.patch_time += self.stats.last_construction_time;
                 self.stats.patched += 1;
                 self.stats.rebuilt_buffers += update.rebuilt_buffers;
                 self.stats.reused_buffers += update.reused_buffers;
@@ -229,7 +242,8 @@ impl EvaluationPipeline {
                 let started = Instant::now();
                 let arena =
                     EventGraphArena::build(graph, repetition, periodicity, &self.options.limits)?;
-                self.stats.build_time += started.elapsed();
+                self.stats.last_construction_time = started.elapsed();
+                self.stats.build_time += self.stats.last_construction_time;
                 self.stats.full_builds += 1;
                 arena
             }
@@ -237,7 +251,8 @@ impl EvaluationPipeline {
 
         let started = Instant::now();
         let solved = self.solver.solve(arena.ratio_graph())?;
-        self.stats.solve_time += started.elapsed();
+        self.stats.last_solve_time = started.elapsed();
+        self.stats.solve_time += self.stats.last_solve_time;
 
         let evaluation = PipelineEvaluation {
             event_graph_size: (arena.node_count(), arena.arc_count()),
@@ -321,7 +336,7 @@ pub fn evaluate_with_repetition(
     periodicity: &PeriodicityVector,
     options: &AnalysisOptions,
 ) -> Result<KPeriodicEvaluation, AnalysisError> {
-    let mut solver = Solver::new(options.solver);
+    let mut solver = Solver::new(options.solver).with_threads(options.threads);
     evaluate_with_solver(graph, repetition, periodicity, options, &mut solver)
 }
 

@@ -301,6 +301,10 @@ impl EventGraphArena {
                 );
             }
         }
+        // One counting-sort pass refreshes the CSR adjacency in place (both
+        // index arrays keep their allocation across resets), so the MCR
+        // solver can borrow it instead of building its own.
+        self.ratio.rebuild_adjacency();
         Ok(())
     }
 

@@ -16,12 +16,19 @@ use crate::solve::{CriticalCycle, CycleRatioOutcome, McrError};
 pub fn enumerate_elementary_cycles(graph: &RatioGraph) -> Vec<Vec<ArcId>> {
     let mut cycles = Vec::new();
     let n = graph.node_count();
+    // Local adjacency so the oracle works on graphs whose CSR index was
+    // never rebuilt (it is a test helper; the allocation is irrelevant).
+    let mut outgoing: Vec<Vec<ArcId>> = vec![Vec::new(); n];
+    for (arc_id, arc) in graph.arcs() {
+        outgoing[arc.from.index()].push(arc_id);
+    }
     for start in 0..n {
         let start_node = NodeId::new(start);
         let mut path_arcs: Vec<ArcId> = Vec::new();
         let mut on_path = vec![false; n];
         dfs(
             graph,
+            &outgoing,
             start_node,
             start_node,
             &mut path_arcs,
@@ -32,8 +39,10 @@ pub fn enumerate_elementary_cycles(graph: &RatioGraph) -> Vec<Vec<ArcId>> {
     cycles
 }
 
+#[allow(clippy::too_many_arguments)]
 fn dfs(
     graph: &RatioGraph,
+    outgoing: &[Vec<ArcId>],
     start: NodeId,
     current: NodeId,
     path_arcs: &mut Vec<ArcId>,
@@ -41,7 +50,7 @@ fn dfs(
     cycles: &mut Vec<Vec<ArcId>>,
 ) {
     on_path[current.index()] = true;
-    for &arc_id in graph.outgoing(current) {
+    for &arc_id in &outgoing[current.index()] {
         let next = graph.arc(arc_id).to;
         if next == start {
             let mut cycle = path_arcs.clone();
@@ -49,7 +58,7 @@ fn dfs(
             cycles.push(cycle);
         } else if next.index() > start.index() && !on_path[next.index()] {
             path_arcs.push(arc_id);
-            dfs(graph, start, next, path_arcs, on_path, cycles);
+            dfs(graph, outgoing, start, next, path_arcs, on_path, cycles);
             path_arcs.pop();
         }
     }

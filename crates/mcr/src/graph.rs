@@ -62,6 +62,19 @@ pub struct Arc {
 /// This is the "bi-valued graph" of Section 3.3 of the paper; the solver
 /// lives in [`crate::maximum_cycle_ratio`].
 ///
+/// # Adjacency layout
+///
+/// Arcs are stored in one flat insertion-ordered vector; the per-node
+/// adjacency is a CSR (compressed sparse row) index over it — two flat
+/// arrays `arc_offsets`/`arc_index` instead of the pointer-chasing
+/// `Vec<Vec<ArcId>>` of earlier revisions. The CSR is rebuilt by a stable
+/// counting sort in [`RatioGraph::rebuild_adjacency`]; mutations
+/// ([`RatioGraph::add_arc`], [`RatioGraph::reset`]) mark it stale, and
+/// [`RatioGraph::outgoing`] panics on a stale index (call
+/// `rebuild_adjacency` after the last mutation). The MCR [`crate::Solver`]
+/// does not require a rebuilt adjacency — it keeps its own CSR scratch for
+/// graphs handed to it mid-construction.
+///
 /// # Growing and patching
 ///
 /// Besides one-shot construction ([`RatioGraph::new`] + [`RatioGraph::add_arc`]),
@@ -69,12 +82,12 @@ pub struct Arc {
 /// almost-identical graphs (the K-Iter event-graph arena): [`RatioGraph::add_node`]
 /// appends node blocks, [`RatioGraph::reserve_arcs`] pre-sizes the arc storage,
 /// and [`RatioGraph::reset`] clears the arc set while keeping every allocation
-/// (the arc vector and each node's adjacency list capacity), so re-emitting
+/// (the arc vector and both CSR arrays keep their capacity), so re-emitting
 /// the arcs of an updated graph performs no per-node reallocation.
 ///
 /// Two graphs compare equal ([`PartialEq`]) when they have the same node
 /// count and the same arcs, in the same insertion order, with bit-identical
-/// cost and time values.
+/// cost and time values (the CSR index is derived state and not compared).
 ///
 /// # Examples
 ///
@@ -94,12 +107,29 @@ pub struct Arc {
 /// }
 /// # Ok::<(), mcr::McrError>(())
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct RatioGraph {
     node_count: usize,
     arcs: Vec<Arc>,
-    outgoing: Vec<Vec<ArcId>>,
+    /// CSR adjacency: `arc_index[arc_offsets[v] .. arc_offsets[v + 1]]` are
+    /// the arcs leaving node `v`, in insertion order. Valid only while
+    /// `adjacency_version == version` (any mutation since the last rebuild
+    /// makes it stale).
+    arc_offsets: Vec<u32>,
+    arc_index: Vec<ArcId>,
+    /// Mutation counter; `adjacency_version` snapshots it at rebuild time.
+    version: u64,
+    adjacency_version: u64,
 }
+
+impl PartialEq for RatioGraph {
+    fn eq(&self, other: &Self) -> bool {
+        // The CSR index and version counters are derived state.
+        self.node_count == other.node_count && self.arcs == other.arcs
+    }
+}
+
+impl Eq for RatioGraph {}
 
 impl RatioGraph {
     /// Creates a graph with `node_count` nodes and no arcs.
@@ -107,7 +137,10 @@ impl RatioGraph {
         RatioGraph {
             node_count,
             arcs: Vec::new(),
-            outgoing: vec![Vec::new(); node_count],
+            arc_offsets: Vec::new(),
+            arc_index: Vec::new(),
+            version: 1,
+            adjacency_version: 0,
         }
     }
 
@@ -125,24 +158,17 @@ impl RatioGraph {
     pub fn add_node(&mut self) -> NodeId {
         let id = NodeId(self.node_count);
         self.node_count += 1;
-        self.outgoing.push(Vec::new());
+        self.version += 1;
         id
     }
 
     /// Clears the graph down to `node_count` isolated nodes while keeping
-    /// every allocation: the arc storage and the per-node adjacency vectors
+    /// every allocation: the arc storage and both CSR adjacency arrays
     /// retain their capacity, so arcs can be re-emitted without reallocating.
-    ///
-    /// Shrinking drops the adjacency vectors of removed nodes; growing
-    /// appends empty ones.
     pub fn reset(&mut self, node_count: usize) {
         self.arcs.clear();
-        self.outgoing.truncate(node_count);
-        for adjacency in &mut self.outgoing {
-            adjacency.clear();
-        }
-        self.outgoing.resize_with(node_count, Vec::new);
         self.node_count = node_count;
+        self.version += 1;
     }
 
     /// Reserves capacity for at least `additional` more arcs.
@@ -150,7 +176,9 @@ impl RatioGraph {
         self.arcs.reserve(additional);
     }
 
-    /// Adds an arc and returns its id.
+    /// Adds an arc and returns its id. O(1): the arc is appended to the flat
+    /// arc vector; the CSR adjacency goes stale and is rebuilt in one pass by
+    /// [`RatioGraph::rebuild_adjacency`].
     ///
     /// # Panics
     ///
@@ -164,8 +192,44 @@ impl RatioGraph {
             cost,
             time,
         });
-        self.outgoing[from.0].push(id);
+        self.version += 1;
         id
+    }
+
+    /// Rebuilds the CSR adjacency index (`arc_offsets`/`arc_index`) with a
+    /// stable counting sort over the flat arc vector: arcs leaving the same
+    /// node keep their insertion order, matching the `Vec<Vec<ArcId>>`
+    /// adjacency of earlier revisions bit for bit. Both arrays keep their
+    /// allocation across [`RatioGraph::reset`], so the event-graph arena's
+    /// grow/patch cycle performs no adjacency allocation after warm-up.
+    ///
+    /// No-op when the index is already current.
+    pub fn rebuild_adjacency(&mut self) {
+        if self.adjacency_current() {
+            return;
+        }
+        build_csr(
+            self.node_count,
+            &self.arcs,
+            &mut self.arc_offsets,
+            &mut self.arc_index,
+        );
+        self.adjacency_version = self.version;
+    }
+
+    /// Whether the CSR adjacency reflects the current arc set.
+    pub fn adjacency_current(&self) -> bool {
+        self.adjacency_version == self.version
+    }
+
+    /// The CSR adjacency as flat `(arc_offsets, arc_index)` slices, when
+    /// current (see [`RatioGraph::rebuild_adjacency`]).
+    pub fn adjacency(&self) -> Option<(&[u32], &[ArcId])> {
+        if self.adjacency_current() {
+            Some((&self.arc_offsets, &self.arc_index))
+        } else {
+            None
+        }
     }
 
     /// Number of nodes.
@@ -192,31 +256,94 @@ impl RatioGraph {
         self.arcs.iter().enumerate().map(|(i, a)| (ArcId(i), a))
     }
 
+    /// The flat arc storage, indexed by [`ArcId`].
+    pub(crate) fn raw_arcs(&self) -> &[Arc] {
+        &self.arcs
+    }
+
     /// Iterator over all node ids.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
         (0..self.node_count).map(NodeId)
     }
 
-    /// Arcs leaving `node`.
+    /// Arcs leaving `node`, in insertion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range or if the CSR adjacency is stale —
+    /// call [`RatioGraph::rebuild_adjacency`] after the last mutation.
     pub fn outgoing(&self, node: NodeId) -> &[ArcId] {
-        &self.outgoing[node.0]
+        assert!(node.0 < self.node_count, "node index out of range");
+        if self.arcs.is_empty() {
+            return &[];
+        }
+        assert!(
+            self.adjacency_current(),
+            "CSR adjacency is stale; call rebuild_adjacency() after mutating the graph"
+        );
+        let lo = self.arc_offsets[node.0] as usize;
+        let hi = self.arc_offsets[node.0 + 1] as usize;
+        &self.arc_index[lo..hi]
     }
 
-    /// Sum of the costs and times along a sequence of arcs.
+    /// Sum of the costs and times along a sequence of arcs, accumulated
+    /// unreduced ([`csdf::RationalSum`]: no GCD per step, one reduction per
+    /// sum at the end) — this is the path every critical-circuit
+    /// materialization takes.
     ///
     /// # Errors
     ///
     /// Returns [`csdf::RationalError`] on overflow.
     pub fn path_weight(&self, arcs: &[ArcId]) -> Result<(Rational, Rational), csdf::RationalError> {
-        let mut cost = Rational::ZERO;
-        let mut time = Rational::ZERO;
+        let mut cost = csdf::RationalSum::new();
+        let mut time = csdf::RationalSum::new();
         for &arc_id in arcs {
             let arc = self.arc(arc_id);
-            cost = cost.checked_add(&arc.cost)?;
-            time = time.checked_add(&arc.time)?;
+            cost.add(&arc.cost)?;
+            time.add(&arc.time)?;
         }
-        Ok((cost, time))
+        Ok((cost.finish(), time.finish()))
     }
+}
+
+/// Builds a CSR adjacency index over `arcs` into the two reusable arrays:
+/// `offsets` gets `node_count + 1` entries and `index` one `ArcId` per arc,
+/// grouped by source node in insertion order (stable counting sort). Shared
+/// by [`RatioGraph::rebuild_adjacency`] and the solver's scratch CSR (which
+/// serves graphs whose own index is stale).
+pub(crate) fn build_csr(
+    node_count: usize,
+    arcs: &[Arc],
+    offsets: &mut Vec<u32>,
+    index: &mut Vec<ArcId>,
+) {
+    assert!(
+        arcs.len() <= u32::MAX as usize,
+        "arc count exceeds u32 range"
+    );
+    offsets.clear();
+    offsets.resize(node_count + 1, 0);
+    for arc in arcs {
+        offsets[arc.from.0 + 1] += 1;
+    }
+    for node in 0..node_count {
+        offsets[node + 1] += offsets[node];
+    }
+    index.clear();
+    index.resize(arcs.len(), ArcId(0));
+    // Place each arc at its node's running cursor, using `offsets[from]`
+    // itself as the cursor; a reverse shift afterwards restores the starts.
+    for (position, arc) in arcs.iter().enumerate() {
+        let slot = offsets[arc.from.0] as usize;
+        index[slot] = ArcId(position);
+        offsets[arc.from.0] += 1;
+    }
+    // `offsets[v]` now holds the *end* of v's range; shift right to restore
+    // the starts.
+    for node in (1..=node_count).rev() {
+        offsets[node] = offsets[node - 1];
+    }
+    offsets[0] = 0;
 }
 
 #[cfg(test)]
@@ -233,8 +360,12 @@ mod tests {
         let e1 = g.add_arc(a, b, Rational::ONE, Rational::ONE);
         let e2 = g.add_arc(b, extra, Rational::from_integer(2), Rational::ZERO);
         assert_eq!(g.arc_count(), 2);
+        assert!(!g.adjacency_current());
+        g.rebuild_adjacency();
+        assert!(g.adjacency_current());
         assert_eq!(g.outgoing(a), &[e1]);
         assert_eq!(g.outgoing(b), &[e2]);
+        assert!(g.outgoing(extra).is_empty());
         assert_eq!(g.arc(e2).cost, Rational::from_integer(2));
         assert_eq!(g.nodes().count(), 3);
     }
@@ -283,5 +414,21 @@ mod tests {
         g.add_arc(g.node(0), g.node(1), Rational::ONE, Rational::ONE);
         g.add_arc(g.node(1), g.node(0), Rational::ONE, Rational::ONE);
         assert_eq!(g, reference);
+    }
+
+    #[test]
+    fn adjacency_tracks_resets_even_at_equal_arc_counts() {
+        // A reset followed by re-adding the same number of arcs must not be
+        // mistaken for a current index (regression guard for the version
+        // counter: plain arc-count comparison would be fooled here).
+        let mut g = RatioGraph::new(2);
+        g.add_arc(g.node(0), g.node(1), Rational::ONE, Rational::ONE);
+        g.rebuild_adjacency();
+        g.reset(2);
+        g.add_arc(g.node(1), g.node(0), Rational::ONE, Rational::ONE);
+        assert!(!g.adjacency_current());
+        g.rebuild_adjacency();
+        assert_eq!(g.outgoing(g.node(1)).len(), 1);
+        assert!(g.outgoing(g.node(0)).is_empty());
     }
 }

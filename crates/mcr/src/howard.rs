@@ -157,21 +157,21 @@ fn evaluate(scratch: &mut Scratch, n: usize) -> Evaluation {
         let tree_top = if scratch.resolved[current] == resolved {
             scratch.walk.len()
         } else {
-            // New circuit: walk[p..] in traversal order.
+            // New circuit: walk[p..] in traversal order. Sums accumulate
+            // unreduced (no GCD per arc, one reduction per circuit).
             let p = scratch.mark_pos[current];
-            let mut cost = Rational::ZERO;
-            let mut time = Rational::ZERO;
+            let mut cost_sum = csdf::RationalSum::new();
+            let mut time_sum = csdf::RationalSum::new();
             for &node in &scratch.walk[p..] {
                 let position = scratch.policy[node];
-                let Ok(c) = cost.checked_add(&scratch.arc_cost[position]) else {
+                if cost_sum.add(&scratch.arc_cost[position]).is_err()
+                    || time_sum.add(&scratch.arc_time[position]).is_err()
+                {
                     return Evaluation::Bail;
-                };
-                let Ok(t) = time.checked_add(&scratch.arc_time[position]) else {
-                    return Evaluation::Bail;
-                };
-                cost = c;
-                time = t;
+                }
             }
+            let cost = cost_sum.finish();
+            let time = time_sum.finish();
             if !time.is_positive() {
                 // A real circuit with non-positive time. Lexicographically
                 // positive weight (cost > 0, or cost = 0 with time < 0) makes
@@ -290,8 +290,10 @@ fn improve(scratch: &mut Scratch, n: usize) -> Option<bool> {
 }
 
 /// Collects the policy circuit reached from `start`, as arc positions in
-/// traversal order.
-fn policy_cycle_from(scratch: &mut Scratch, start: usize) -> Vec<usize> {
+/// traversal order. Shared with the integer kernel ([`crate::kernel`]): it
+/// only reads the policy and the arc targets, which both kernels maintain
+/// identically.
+pub(crate) fn policy_cycle_from(scratch: &mut Scratch, start: usize) -> Vec<usize> {
     scratch.epoch += 1;
     let seen = scratch.epoch;
     let mut current = start;

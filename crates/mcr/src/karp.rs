@@ -8,7 +8,7 @@
 
 use csdf::Rational;
 
-use crate::graph::{NodeId, RatioGraph};
+use crate::graph::RatioGraph;
 use crate::scc::SccDecomposition;
 use crate::solve::McrError;
 
@@ -37,13 +37,38 @@ use crate::solve::McrError;
 /// ```
 pub fn maximum_cycle_mean(graph: &RatioGraph) -> Result<Option<Rational>, McrError> {
     let scc = SccDecomposition::compute(graph);
+    // Group the intra-component arcs (local endpoints) in ONE pass over the
+    // flat arc storage — every node has exactly one component, so a single
+    // global local-index table serves all components at once. Works without
+    // a rebuilt CSR index and stays linear however many components exist.
+    let mut local_of = vec![usize::MAX; graph.node_count()];
+    for component in 0..scc.component_count() {
+        for (local, node) in scc.component(component).iter().enumerate() {
+            local_of[node.index()] = local;
+        }
+    }
+    let mut arcs_by_component: Vec<Vec<(usize, usize, Rational)>> =
+        vec![Vec::new(); scc.component_count()];
+    for (_, arc) in graph.arcs() {
+        let component = scc.component_of(arc.from);
+        if component == scc.component_of(arc.to) {
+            arcs_by_component[component].push((
+                local_of[arc.from.index()],
+                local_of[arc.to.index()],
+                arc.cost,
+            ));
+        }
+    }
+
     let mut best: Option<Rational> = None;
-    for component_index in 0..scc.component_count() {
-        if !scc.is_cyclic_component(graph, component_index) {
+    for (component, arcs) in arcs_by_component.iter().enumerate() {
+        // A component is cyclic iff it has more than one node or its single
+        // node carries a self-arc — i.e. iff it has any intra-component arc.
+        let n = scc.component(component).len();
+        if n == 1 && arcs.is_empty() {
             continue;
         }
-        let members = scc.component(component_index);
-        let mean = component_cycle_mean(graph, members)?;
+        let mean = rolling_cycle_mean(n, arcs)?;
         if let Some(mean) = mean {
             if best.map(|b| mean > b).unwrap_or(true) {
                 best = Some(mean);
@@ -51,32 +76,6 @@ pub fn maximum_cycle_mean(graph: &RatioGraph) -> Result<Option<Rational>, McrErr
         }
     }
     Ok(best)
-}
-
-fn component_cycle_mean(
-    graph: &RatioGraph,
-    members: &[NodeId],
-) -> Result<Option<Rational>, McrError> {
-    let n = members.len();
-    let mut local_of = vec![usize::MAX; graph.node_count()];
-    for (local, node) in members.iter().enumerate() {
-        local_of[node.index()] = local;
-    }
-    let arcs: Vec<(usize, usize, Rational)> = members
-        .iter()
-        .flat_map(|&node| graph.outgoing(node).iter().copied())
-        .filter_map(|arc_id| {
-            let arc = graph.arc(arc_id);
-            let to = local_of[arc.to.index()];
-            if to == usize::MAX {
-                None
-            } else {
-                Some((local_of[arc.from.index()], to, arc.cost))
-            }
-        })
-        .collect();
-
-    rolling_cycle_mean(n, &arcs)
 }
 
 /// Rolling-row Karp recurrence over a dense arc list (`(from, to, cost)` with

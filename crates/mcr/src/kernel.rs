@@ -1,0 +1,337 @@
+//! Integer-numerator Howard kernel.
+//!
+//! The scalar policy iteration in [`crate::howard`] performs a GCD-reducing
+//! exact [`Rational`] operation per arc per sweep — on K-Iter event graphs
+//! that is the dominant cost of the whole throughput evaluation. This module
+//! exploits the arena's time-scaling invariant (every `H(e)` of an event
+//! graph is `−β/(i_b·q_t)` with a K-invariant denominator, and every `L(e)`
+//! is an integer duration): after rescaling all arc costs and times of one
+//! strongly connected component onto *common denominators* `Dc` / `Dt`, the
+//! entire value/bias iteration runs on `i128` numerators —
+//!
+//! * a policy-circuit gain is the unreduced pair `(ΣL̂, ΣĤ)` of scaled sums,
+//!   reduced **once per circuit** (a single GCD) to a canonical
+//!   fraction, instead of one GCD per arithmetic operation;
+//! * node values within a gain class share the class denominator, so bias
+//!   comparisons are plain integer comparisons;
+//! * gain comparisons across classes are one cross-multiplication.
+//!
+//! Rationals reappear only at the very end: the maximum ratio is
+//! `λ = (g_n · Dt) / (g_d · Dc)`, built (and canonically reduced) once, and
+//! the critical circuit is re-materialised through the exact rational
+//! [`crate::solve::materialize_cycle`] path.
+//!
+//! # Exactness and fallback
+//!
+//! Every decision the kernel takes (gain/bias comparisons, the circuit
+//! classification, the convergence test, the certificate condition) is the
+//! scalar decision multiplied through by positive common denominators, so the
+//! policy trajectory — and therefore the returned circuit and ratio — is
+//! **bit-identical** to the scalar path's. All arithmetic is checked: if a
+//! scaled numerator, a product, or a common denominator does not fit `i128`,
+//! [`howard_component_int`] returns `None` and the caller runs the scalar
+//! kernel instead, which has no such limits. The equivalence is pinned by
+//! `tests/properties.rs` across random graphs with negative/zero times.
+
+use csdf::{gcd_i128, Rational};
+
+use crate::howard::{policy_cycle_from, HowardOutcome};
+use crate::solve::Scratch;
+
+/// Runs Howard's policy iteration on the component currently loaded in
+/// `scratch` (`n` nodes) using the integer kernel. Returns `None` when the
+/// component cannot be scaled into `i128` range (the caller falls back to the
+/// scalar kernel).
+pub(crate) fn howard_component_int(scratch: &mut Scratch, n: usize) -> Option<HowardOutcome> {
+    let m = scratch.arc_len();
+    if m == 0 {
+        return Some(HowardOutcome::Bail);
+    }
+    let (den_cost, den_time) = common_denominators(scratch)?;
+    scale_arcs(scratch, den_cost, den_time)?;
+
+    if scratch.int_gain_num.len() < n {
+        scratch.int_gain_num.resize(n, 0);
+        scratch.int_gain_den.resize(n, 1);
+        scratch.int_value.resize(n, 0);
+    }
+    if scratch.policy.len() < n {
+        scratch.policy.resize(n, 0);
+    }
+    // Initial policy: the first outgoing arc of each node (single-node
+    // components owe their membership to a self-arc).
+    for node in 0..n {
+        if scratch.first[node] == scratch.first[node + 1] {
+            return Some(HowardOutcome::Bail);
+        }
+        scratch.policy[node] = scratch.first[node];
+    }
+    let costs_nonneg = scratch.int_cost.iter().take(m).all(|&cost| cost >= 0);
+
+    // Same round budget as the scalar kernel: a guard against pathological
+    // same-gain oscillation, after which the parametric method takes over.
+    let budget = 2 * n + 64;
+    let mut converged = false;
+    for _ in 0..budget {
+        match evaluate_int(scratch, n)? {
+            Evaluation::Done => {}
+            Evaluation::Infinite(positions) => return Some(HowardOutcome::Infinite { positions }),
+            Evaluation::Bail => return Some(HowardOutcome::Bail),
+        }
+        match improve_int(scratch, n)? {
+            true => {}
+            false => {
+                converged = true;
+                break;
+            }
+        }
+    }
+    if !converged {
+        return Some(HowardOutcome::Bail);
+    }
+
+    // Keep the *last* maximum, exactly like the scalar kernel's `max_by`
+    // over reduced rationals (canonical pairs compare `Equal` iff the
+    // rationals are equal).
+    let mut best_node = 0usize;
+    for node in 1..n {
+        if cmp_gain_checked(scratch, node, best_node)? != std::cmp::Ordering::Less {
+            best_node = node;
+        }
+    }
+    if scratch.int_gain_num[best_node] <= 0 {
+        // Not a positive ratio: the parametric method decides between
+        // NonPositive and the lexicographic Infinite edge cases from scratch.
+        return Some(HowardOutcome::Bail);
+    }
+    // λ = (g_n / g_d) · (Dt / Dc), reduced once; identical to the scalar
+    // circuit ratio because both are the same rational number in canonical
+    // form. Overflow here is as good as overflow anywhere: fall back.
+    let gain = Rational::new(
+        scratch.int_gain_num[best_node],
+        scratch.int_gain_den[best_node],
+    )
+    .expect("gain denominator is positive");
+    let scaling = Rational::new(den_time, den_cost).expect("common denominators are positive");
+    let lambda = gain.checked_mul(&scaling).ok()?;
+    let positions = policy_cycle_from(scratch, best_node);
+    if costs_nonneg && (0..n).all(|node| scratch.int_gain_num[node] > 0) {
+        Some(HowardOutcome::Certified { lambda, positions })
+    } else {
+        Some(HowardOutcome::Estimate { lambda, positions })
+    }
+}
+
+enum Evaluation {
+    Done,
+    Infinite(Vec<usize>),
+    Bail,
+}
+
+/// Least common multiples of the cost and time denominators of the component
+/// view, or `None` on overflow. One pass, with an equality fast path: on
+/// event graphs most arcs already share their buffer's K-invariant
+/// denominator, so the GCD rarely runs.
+fn common_denominators(scratch: &Scratch) -> Option<(i128, i128)> {
+    let mut den_cost: i128 = 1;
+    let mut den_time: i128 = 1;
+    for position in 0..scratch.arc_len() {
+        let cost_den = scratch.arc_cost[position].denom();
+        if cost_den != den_cost {
+            den_cost = lcm_i128(den_cost, cost_den)?;
+        }
+        let time_den = scratch.arc_time[position].denom();
+        if time_den != den_time {
+            den_time = lcm_i128(den_time, time_den)?;
+        }
+    }
+    Some((den_cost, den_time))
+}
+
+fn lcm_i128(a: i128, b: i128) -> Option<i128> {
+    debug_assert!(a > 0 && b > 0);
+    let g = gcd_i128(a, b);
+    (a / g).checked_mul(b)
+}
+
+/// Rescales the component's arc costs and times onto the common denominators
+/// (`L̂ = L·Dc/den(L)`, `Ĥ = H·Dt/den(H)`), or `None` on overflow.
+fn scale_arcs(scratch: &mut Scratch, den_cost: i128, den_time: i128) -> Option<()> {
+    let m = scratch.arc_len();
+    scratch.int_cost.clear();
+    scratch.int_time.clear();
+    scratch.int_cost.reserve(m);
+    scratch.int_time.reserve(m);
+    for position in 0..m {
+        let cost = scratch.arc_cost[position];
+        let time = scratch.arc_time[position];
+        scratch
+            .int_cost
+            .push(cost.numer().checked_mul(den_cost / cost.denom())?);
+        scratch
+            .int_time
+            .push(time.numer().checked_mul(den_time / time.denom())?);
+    }
+    Some(())
+}
+
+/// Compares the gains of two local nodes: canonical pairs with positive
+/// denominators, so one cross-multiplication decides. `None` on overflow
+/// (the caller abandons the integer kernel — a wrong ordering must never be
+/// returned silently).
+fn cmp_gain_checked(scratch: &Scratch, a: usize, b: usize) -> Option<std::cmp::Ordering> {
+    let lhs = scratch.int_gain_num[a].checked_mul(scratch.int_gain_den[b])?;
+    let rhs = scratch.int_gain_num[b].checked_mul(scratch.int_gain_den[a])?;
+    Some(lhs.cmp(&rhs))
+}
+
+/// `L̂(e)·g_d − g_n·Ĥ(e)`: the reduced weight of an arc under gain
+/// `g_n / g_d`, scaled by the (positive) class denominator `g_d`.
+fn reduced_weight_int(scratch: &Scratch, position: usize, num: i128, den: i128) -> Option<i128> {
+    scratch.int_cost[position]
+        .checked_mul(den)?
+        .checked_sub(num.checked_mul(scratch.int_time[position])?)
+}
+
+/// Integer policy evaluation: mirrors `howard::evaluate` decision for
+/// decision. Outer `None` means arithmetic overflow (caller falls back to
+/// the scalar kernel); the inner [`Evaluation`] values have the scalar
+/// meanings.
+fn evaluate_int(scratch: &mut Scratch, n: usize) -> Option<Evaluation> {
+    scratch.epoch += 2;
+    let on_walk = scratch.epoch - 1;
+    let resolved = scratch.epoch;
+    for start in 0..n {
+        if scratch.resolved[start] == resolved {
+            continue;
+        }
+        scratch.walk.clear();
+        let mut current = start;
+        while scratch.resolved[current] != resolved && scratch.mark[current] != on_walk {
+            scratch.mark[current] = on_walk;
+            scratch.mark_pos[current] = scratch.walk.len();
+            scratch.walk.push(current);
+            current = scratch.arc_to[scratch.policy[current]] as usize;
+        }
+        let tree_top = if scratch.resolved[current] == resolved {
+            scratch.walk.len()
+        } else {
+            // New policy circuit: walk[p..] in traversal order. Sum the
+            // scaled costs and times — plain checked integer adds.
+            let p = scratch.mark_pos[current];
+            let mut cost: i128 = 0;
+            let mut time: i128 = 0;
+            for &node in &scratch.walk[p..] {
+                let position = scratch.policy[node];
+                cost = cost.checked_add(scratch.int_cost[position])?;
+                time = time.checked_add(scratch.int_time[position])?;
+            }
+            if time <= 0 {
+                // Same classification as the scalar kernel (the positive
+                // scaling preserves every sign).
+                if cost > 0 || (cost == 0 && time < 0) {
+                    let positions = scratch.walk[p..]
+                        .iter()
+                        .map(|&node| scratch.policy[node])
+                        .collect();
+                    return Some(Evaluation::Infinite(positions));
+                }
+                return Some(Evaluation::Bail);
+            }
+            // One GCD per circuit: the canonical gain pair.
+            let g = gcd_i128(cost, time);
+            let (num, den) = if g > 1 {
+                (cost / g, time / g)
+            } else {
+                (cost, time)
+            };
+            let anchor = scratch.walk[p];
+            scratch.int_gain_num[anchor] = num;
+            scratch.int_gain_den[anchor] = den;
+            scratch.int_value[anchor] = 0;
+            scratch.resolved[anchor] = resolved;
+            let mut next_value: i128 = 0;
+            for walk_index in (p + 1..scratch.walk.len()).rev() {
+                let node = scratch.walk[walk_index];
+                let weight = reduced_weight_int(scratch, scratch.policy[node], num, den)?;
+                let value = weight.checked_add(next_value)?;
+                scratch.int_gain_num[node] = num;
+                scratch.int_gain_den[node] = den;
+                scratch.int_value[node] = value;
+                scratch.resolved[node] = resolved;
+                next_value = value;
+            }
+            p
+        };
+        // Tree part of the walk: propagate gain class and value backwards
+        // from the (now resolved) junction.
+        for walk_index in (0..tree_top).rev() {
+            let node = scratch.walk[walk_index];
+            let position = scratch.policy[node];
+            let successor = scratch.arc_to[position] as usize;
+            debug_assert_eq!(scratch.resolved[successor], resolved);
+            let num = scratch.int_gain_num[successor];
+            let den = scratch.int_gain_den[successor];
+            let weight = reduced_weight_int(scratch, position, num, den)?;
+            let value = weight.checked_add(scratch.int_value[successor])?;
+            scratch.int_gain_num[node] = num;
+            scratch.int_gain_den[node] = den;
+            scratch.int_value[node] = value;
+            scratch.resolved[node] = resolved;
+        }
+    }
+    Some(Evaluation::Done)
+}
+
+/// Integer policy improvement, mirroring `howard::improve`: gain
+/// improvements first (multichain rule), then bias improvements between
+/// equal-gain nodes — where "equal gain" is equality of canonical pairs, so
+/// the bias comparison is a plain integer comparison over the shared class
+/// denominator. Returns `Some(changed)`, or `None` on overflow.
+fn improve_int(scratch: &mut Scratch, n: usize) -> Option<bool> {
+    let mut changed = false;
+    for node in 0..n {
+        let mut best_position = scratch.policy[node];
+        let mut best = node;
+        for position in scratch.first[node]..scratch.first[node + 1] {
+            let target = scratch.arc_to[position] as usize;
+            if cmp_gain_checked(scratch, target, best)? == std::cmp::Ordering::Greater {
+                best = target;
+                best_position = position;
+            }
+        }
+        if cmp_gain_checked(scratch, best, node)? == std::cmp::Ordering::Greater {
+            scratch.policy[node] = best_position;
+            scratch.int_gain_num[node] = scratch.int_gain_num[best];
+            scratch.int_gain_den[node] = scratch.int_gain_den[best];
+            changed = true;
+        }
+    }
+    if changed {
+        return Some(true);
+    }
+    for node in 0..n {
+        let num = scratch.int_gain_num[node];
+        let den = scratch.int_gain_den[node];
+        let mut best_position = usize::MAX;
+        let mut best_value = scratch.int_value[node];
+        for position in scratch.first[node]..scratch.first[node + 1] {
+            let target = scratch.arc_to[position] as usize;
+            // Canonical pairs: different representation ⇔ different gain.
+            if scratch.int_gain_num[target] != num || scratch.int_gain_den[target] != den {
+                continue;
+            }
+            let weight = reduced_weight_int(scratch, position, num, den)?;
+            let candidate = weight.checked_add(scratch.int_value[target])?;
+            if candidate > best_value {
+                best_value = candidate;
+                best_position = position;
+            }
+        }
+        if best_position != usize::MAX {
+            scratch.policy[node] = best_position;
+            changed = true;
+        }
+    }
+    Some(changed)
+}

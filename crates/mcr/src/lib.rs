@@ -7,10 +7,16 @@
 //! * [`RatioGraph`] — a directed graph whose arcs carry a cost `L(e)` and a
 //!   time `H(e)`;
 //! * [`Solver`] / [`SolverChoice`] — the solver-selection layer with
-//!   reusable scratch buffers: Howard's policy iteration (the fast solver on
-//!   large event graphs), the exact parametric method, and Karp's dynamic
-//!   program for the unit-time special case. `SolverChoice::Auto` picks per
-//!   strongly connected component and is what K-Iter uses;
+//!   reusable scratch buffers (CSR adjacency, SCC decomposition, component
+//!   views — nothing is allocated per solve after warm-up): Howard's policy
+//!   iteration (the fast solver on large event graphs, with an
+//!   integer-numerator inner loop over per-component common denominators —
+//!   see the `kernel` module — and a scalar fallback), the exact parametric
+//!   method, and Karp's dynamic program for the unit-time special case.
+//!   `SolverChoice::Auto` picks per strongly connected component and is what
+//!   K-Iter uses; [`Solver::with_threads`] solves independent cyclic
+//!   components on a `std::thread::scope` worker pool with a deterministic
+//!   component-order merge, so results are byte-identical at any width;
 //! * [`maximum_cycle_ratio`] — one-shot parametric solve returning the
 //!   maximum ratio and a critical circuit ([`CycleRatioOutcome`]);
 //! * [`maximum_cycle_ratio_with`] — one-shot solve with an explicit
@@ -47,6 +53,7 @@ mod brute;
 mod graph;
 mod howard;
 mod karp;
+mod kernel;
 mod scc;
 mod solve;
 

@@ -1,11 +1,154 @@
 //! Strongly connected components (iterative Tarjan).
+//!
+//! Two entry points share one implementation:
+//!
+//! * [`SccDecomposition`] — the public, self-contained API (allocates its
+//!   result vectors);
+//! * [`SccBuffers`] — the solver-internal reusable state: flat member /
+//!   offset arrays plus the Tarjan work stacks, all of which keep their
+//!   allocation across [`SccBuffers::compute`] calls, so the K-Iter hot loop
+//!   (one solve per iteration) performs no SCC allocation after warm-up.
 
-use crate::graph::{NodeId, RatioGraph};
+use crate::graph::{Arc, ArcId, NodeId, RatioGraph};
+
+/// Reusable strongly-connected-component state (see module docs). Components
+/// are numbered in reverse topological order (Tarjan's output order) and the
+/// member order matches the historical `Vec<Vec<NodeId>>` layout bit for bit,
+/// which keeps every solver tie-break — and therefore every reported critical
+/// circuit — identical to the pre-CSR implementation.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SccBuffers {
+    /// Component id per node.
+    pub component_of: Vec<u32>,
+    /// Flat member storage: `members[offsets[c] .. offsets[c + 1]]` are the
+    /// nodes of component `c`.
+    pub members: Vec<u32>,
+    /// Component boundaries into `members` (`component_count + 1` entries).
+    pub offsets: Vec<u32>,
+    // Tarjan work state.
+    index: Vec<u32>,
+    low: Vec<u32>,
+    on_stack: Vec<bool>,
+    stack: Vec<u32>,
+    call_stack: Vec<(u32, u32)>,
+}
+
+impl SccBuffers {
+    /// Number of components found by the last [`SccBuffers::compute`].
+    pub fn component_count(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Members of component `component` (global node indices).
+    pub fn component(&self, component: usize) -> &[u32] {
+        let lo = self.offsets[component] as usize;
+        let hi = self.offsets[component + 1] as usize;
+        &self.members[lo..hi]
+    }
+
+    /// Returns `true` when component `component` can hold a cycle: more than
+    /// one node, or a single node with a self-arc (checked on the CSR view).
+    pub fn is_cyclic_component(
+        &self,
+        component: usize,
+        csr_offsets: &[u32],
+        csr_index: &[ArcId],
+        arcs: &[Arc],
+    ) -> bool {
+        let members = self.component(component);
+        if members.len() > 1 {
+            return true;
+        }
+        let node = members[0] as usize;
+        csr_index[csr_offsets[node] as usize..csr_offsets[node + 1] as usize]
+            .iter()
+            .any(|&arc| arcs[arc.index()].to.index() == node)
+    }
+
+    /// Computes the strongly connected components of the graph described by
+    /// the CSR adjacency (`csr_offsets`/`csr_index` over `arcs`), reusing
+    /// every buffer.
+    pub fn compute(
+        &mut self,
+        node_count: usize,
+        csr_offsets: &[u32],
+        csr_index: &[ArcId],
+        arcs: &[Arc],
+    ) {
+        const UNVISITED: u32 = u32::MAX;
+        self.index.clear();
+        self.index.resize(node_count, UNVISITED);
+        self.low.clear();
+        self.low.resize(node_count, 0);
+        self.on_stack.clear();
+        self.on_stack.resize(node_count, false);
+        self.stack.clear();
+        self.call_stack.clear();
+        self.component_of.clear();
+        self.component_of.resize(node_count, UNVISITED);
+        self.members.clear();
+        self.offsets.clear();
+        self.offsets.push(0);
+
+        let mut next_index = 0u32;
+        for start in 0..node_count {
+            if self.index[start] != UNVISITED {
+                continue;
+            }
+            self.call_stack.push((start as u32, csr_offsets[start]));
+            self.index[start] = next_index;
+            self.low[start] = next_index;
+            next_index += 1;
+            self.stack.push(start as u32);
+            self.on_stack[start] = true;
+
+            while let Some(&mut (node, ref mut arc_cursor)) = self.call_stack.last_mut() {
+                let node = node as usize;
+                if *arc_cursor < csr_offsets[node + 1] {
+                    let arc_id = csr_index[*arc_cursor as usize];
+                    *arc_cursor += 1;
+                    let successor = arcs[arc_id.index()].to.index();
+                    if self.index[successor] == UNVISITED {
+                        self.index[successor] = next_index;
+                        self.low[successor] = next_index;
+                        next_index += 1;
+                        self.stack.push(successor as u32);
+                        self.on_stack[successor] = true;
+                        self.call_stack
+                            .push((successor as u32, csr_offsets[successor]));
+                    } else if self.on_stack[successor] {
+                        self.low[node] = self.low[node].min(self.index[successor]);
+                    }
+                } else {
+                    self.call_stack.pop();
+                    if let Some(&mut (parent, _)) = self.call_stack.last_mut() {
+                        let parent = parent as usize;
+                        self.low[parent] = self.low[parent].min(self.low[node]);
+                    }
+                    if self.low[node] == self.index[node] {
+                        let component_id = self.component_count() as u32;
+                        loop {
+                            let member = self.stack.pop().expect("tarjan stack underflow");
+                            self.on_stack[member as usize] = false;
+                            self.component_of[member as usize] = component_id;
+                            self.members.push(member);
+                            if member as usize == node {
+                                break;
+                            }
+                        }
+                        self.offsets.push(self.members.len() as u32);
+                    }
+                }
+            }
+        }
+    }
+}
 
 /// The strongly connected components of a [`RatioGraph`].
 ///
 /// Components are numbered in reverse topological order (Tarjan's output
-/// order); every node belongs to exactly one component.
+/// order); every node belongs to exactly one component. This is the public
+/// convenience API; the solver uses the reusable [`SccBuffers`] internally.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SccDecomposition {
     component_of: Vec<usize>,
@@ -13,71 +156,41 @@ pub struct SccDecomposition {
 }
 
 impl SccDecomposition {
-    /// Computes the strongly connected components of `graph`.
+    /// Computes the strongly connected components of `graph`. Works whether
+    /// or not the graph's own CSR adjacency is current (a temporary index is
+    /// built when it is not).
     pub fn compute(graph: &RatioGraph) -> Self {
-        let n = graph.node_count();
-        let mut index = vec![usize::MAX; n];
-        let mut low = vec![0usize; n];
-        let mut on_stack = vec![false; n];
-        let mut stack: Vec<usize> = Vec::new();
-        let mut component_of = vec![usize::MAX; n];
-        let mut components: Vec<Vec<NodeId>> = Vec::new();
-        let mut next_index = 0usize;
-
-        // Iterative Tarjan: (node, next outgoing-arc position) call frames.
-        let mut call_stack: Vec<(usize, usize)> = Vec::new();
-        for start in 0..n {
-            if index[start] != usize::MAX {
-                continue;
+        let mut buffers = SccBuffers::default();
+        let mut offsets = Vec::new();
+        let mut index = Vec::new();
+        let (csr_offsets, csr_index) = match graph.adjacency() {
+            Some(adjacency) => adjacency,
+            None => {
+                crate::graph::build_csr(
+                    graph.node_count(),
+                    graph.raw_arcs(),
+                    &mut offsets,
+                    &mut index,
+                );
+                (offsets.as_slice(), index.as_slice())
             }
-            call_stack.push((start, 0));
-            index[start] = next_index;
-            low[start] = next_index;
-            next_index += 1;
-            stack.push(start);
-            on_stack[start] = true;
-
-            while let Some(&mut (node, ref mut arc_position)) = call_stack.last_mut() {
-                let outgoing = graph.outgoing(NodeId::new(node));
-                if *arc_position < outgoing.len() {
-                    let arc = graph.arc(outgoing[*arc_position]);
-                    *arc_position += 1;
-                    let successor = arc.to.index();
-                    if index[successor] == usize::MAX {
-                        index[successor] = next_index;
-                        low[successor] = next_index;
-                        next_index += 1;
-                        stack.push(successor);
-                        on_stack[successor] = true;
-                        call_stack.push((successor, 0));
-                    } else if on_stack[successor] {
-                        low[node] = low[node].min(index[successor]);
-                    }
-                } else {
-                    call_stack.pop();
-                    if let Some(&mut (parent, _)) = call_stack.last_mut() {
-                        low[parent] = low[parent].min(low[node]);
-                    }
-                    if low[node] == index[node] {
-                        let component_id = components.len();
-                        let mut members = Vec::new();
-                        loop {
-                            let member = stack.pop().expect("tarjan stack underflow");
-                            on_stack[member] = false;
-                            component_of[member] = component_id;
-                            members.push(NodeId::new(member));
-                            if member == node {
-                                break;
-                            }
-                        }
-                        components.push(members);
-                    }
-                }
-            }
-        }
-
+        };
+        buffers.compute(graph.node_count(), csr_offsets, csr_index, graph.raw_arcs());
+        let components = (0..buffers.component_count())
+            .map(|component| {
+                buffers
+                    .component(component)
+                    .iter()
+                    .map(|&node| NodeId::new(node as usize))
+                    .collect()
+            })
+            .collect();
         SccDecomposition {
-            component_of,
+            component_of: buffers
+                .component_of
+                .iter()
+                .map(|&component| component as usize)
+                .collect(),
             components,
         }
     }
@@ -110,10 +223,16 @@ impl SccDecomposition {
             return true;
         }
         let node = members[0];
+        // Use the CSR index when current (O(out-degree)); fall back to the
+        // flat-arc scan only on a stale index.
+        if let Some((offsets, arc_index)) = graph.adjacency() {
+            return arc_index[offsets[node.index()] as usize..offsets[node.index() + 1] as usize]
+                .iter()
+                .any(|&arc| graph.arc(arc).to == node);
+        }
         graph
-            .outgoing(node)
-            .iter()
-            .any(|&arc| graph.arc(arc).to == node)
+            .arcs()
+            .any(|(_, arc)| arc.from == node && arc.to == node)
     }
 }
 
@@ -182,5 +301,46 @@ mod tests {
         let total: usize = scc.components().map(<[NodeId]>::len).sum();
         assert_eq!(total, 3);
         assert_eq!(scc.component_count(), 1);
+    }
+
+    /// The reusable buffers and the public decomposition agree on component
+    /// numbering and member order (the solver's tie-breaks depend on it).
+    #[test]
+    fn buffers_match_public_decomposition() {
+        let mut state = 0xDEC0DEu64 | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..50 {
+            let nodes = 1 + (next() % 12) as usize;
+            let arcs_count = (next() % 30) as usize;
+            let mut g = RatioGraph::new(nodes);
+            for _ in 0..arcs_count {
+                let from = (next() % nodes as u64) as usize;
+                let to = (next() % nodes as u64) as usize;
+                arc(&mut g, from, to);
+            }
+            let public = SccDecomposition::compute(&g);
+            g.rebuild_adjacency();
+            let (offsets, index) = g.adjacency().expect("just rebuilt");
+            let mut buffers = SccBuffers::default();
+            buffers.compute(g.node_count(), offsets, index, g.raw_arcs());
+            assert_eq!(buffers.component_count(), public.component_count());
+            for component in 0..public.component_count() {
+                let expected: Vec<u32> = public
+                    .component(component)
+                    .iter()
+                    .map(|node| node.index() as u32)
+                    .collect();
+                assert_eq!(buffers.component(component), expected.as_slice());
+                assert_eq!(
+                    buffers.is_cyclic_component(component, offsets, index, g.raw_arcs()),
+                    public.is_cyclic_component(&g, component)
+                );
+            }
+        }
     }
 }

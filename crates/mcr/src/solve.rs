@@ -23,12 +23,14 @@
 //! All arithmetic is exact rational arithmetic; `f64` is never consulted.
 
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use csdf::{Rational, RationalError};
 
-use crate::graph::{ArcId, NodeId, RatioGraph};
+use crate::graph::{build_csr, ArcId, NodeId, RatioGraph};
 use crate::howard::{self, HowardOutcome};
-use crate::scc::SccDecomposition;
+use crate::kernel;
+use crate::scc::SccBuffers;
 
 /// Errors raised by the MCRP solver.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -176,10 +178,16 @@ pub const AUTO_HOWARD_MIN_NODES: usize = 4;
 
 /// A reusable maximum cycle ratio solver.
 ///
-/// The solver owns scratch buffers (component views, Bellman–Ford state,
-/// policy-iteration state) that are reused across [`Solver::solve`] calls, so
-/// repeated solves — the K-Iter hot path performs one per iteration — do not
-/// reallocate.
+/// The solver owns scratch buffers (CSR adjacency, SCC decomposition,
+/// component views, Bellman–Ford state, policy-iteration state) that are
+/// reused across [`Solver::solve`] calls, so repeated solves — the K-Iter hot
+/// path performs one per iteration — do not reallocate.
+///
+/// With [`Solver::with_threads`] (or [`Solver::set_threads`]) greater than
+/// one, independent cyclic strongly connected components are solved in
+/// parallel on a `std::thread::scope` worker pool, one long-lived scratch per
+/// worker; the per-component results are merged in component order, so the
+/// outcome is byte-for-byte identical to the sequential solve.
 ///
 /// # Examples
 ///
@@ -200,16 +208,65 @@ pub const AUTO_HOWARD_MIN_NODES: usize = 4;
 #[derive(Debug, Clone, Default)]
 pub struct Solver {
     choice: SolverChoice,
+    threads: usize,
+    integer_kernel: bool,
     scratch: Scratch,
+    /// One extra scratch per additional worker thread (lazily grown, kept
+    /// warm across solves).
+    worker_scratches: Vec<Scratch>,
+    /// Reusable SCC state and CSR adjacency for graphs whose own index is
+    /// stale.
+    scc: SccBuffers,
+    csr_offsets: Vec<u32>,
+    csr_index: Vec<ArcId>,
+    /// Indices of the cyclic components of the current solve.
+    cyclic: Vec<u32>,
 }
 
 impl Solver {
-    /// Creates a solver running the given algorithm.
+    /// Creates a solver running the given algorithm, single-threaded, with
+    /// the integer Howard kernel enabled.
     pub fn new(choice: SolverChoice) -> Self {
         Solver {
             choice,
+            threads: 1,
+            integer_kernel: true,
             scratch: Scratch::default(),
+            worker_scratches: Vec::new(),
+            scc: SccBuffers::default(),
+            csr_offsets: Vec::new(),
+            csr_index: Vec::new(),
+            cyclic: Vec::new(),
         }
+    }
+
+    /// Sets the number of worker threads used to solve independent cyclic
+    /// strongly connected components in parallel (builder form). `0` is
+    /// treated as `1`; results are identical for every value.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.set_threads(threads);
+        self
+    }
+
+    /// Sets the number of worker threads (see [`Solver::with_threads`]).
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// The configured number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Enables or disables the integer-numerator Howard kernel (builder
+    /// form). On by default; disabling forces the scalar [`Rational`] path.
+    /// Results are bit-identical either way — the knob exists for the
+    /// property tests that pin that equivalence and for benchmarking.
+    #[must_use]
+    pub fn with_integer_kernel(mut self, enabled: bool) -> Self {
+        self.integer_kernel = enabled;
+        self
     }
 
     /// The configured algorithm choice.
@@ -218,28 +275,124 @@ impl Solver {
     }
 
     /// Computes the maximum cost-to-time ratio of `graph` and a critical
-    /// circuit. Identical results for every [`SolverChoice`].
+    /// circuit. Identical results for every [`SolverChoice`] and thread
+    /// count.
     ///
     /// # Errors
     ///
     /// Returns [`McrError::Rational`] if the exact arithmetic overflows
     /// `i128`.
     pub fn solve(&mut self, graph: &RatioGraph) -> Result<CycleRatioOutcome, McrError> {
-        let scc = SccDecomposition::compute(graph);
-        let mut best: Option<(Rational, CriticalCycle)> = None;
-        let mut saw_cycle = false;
-        self.scratch.prepare(graph.node_count());
-
-        for component_index in 0..scc.component_count() {
-            if !scc.is_cyclic_component(graph, component_index) {
-                continue;
+        let arcs = graph.raw_arcs();
+        // Adjacency: borrow the graph's CSR index when current (the arena
+        // rebuilds it after every patch), otherwise build one into the
+        // solver-owned arrays (kept warm across solves).
+        let (offsets, index): (&[u32], &[ArcId]) = match graph.adjacency() {
+            Some(adjacency) => adjacency,
+            None => {
+                build_csr(
+                    graph.node_count(),
+                    arcs,
+                    &mut self.csr_offsets,
+                    &mut self.csr_index,
+                );
+                (&self.csr_offsets, &self.csr_index)
             }
-            saw_cycle = true;
-            let members = scc.component(component_index);
-            self.scratch.begin_component(graph, members);
-            let outcome = self.solve_component(graph, members.len());
-            self.scratch.end_component(members);
-            match outcome? {
+        };
+        self.scc.compute(graph.node_count(), offsets, index, arcs);
+        self.cyclic.clear();
+        for component in 0..self.scc.component_count() {
+            if self
+                .scc
+                .is_cyclic_component(component, offsets, index, arcs)
+            {
+                self.cyclic.push(component as u32);
+            }
+        }
+        if self.cyclic.is_empty() {
+            return Ok(CycleRatioOutcome::Acyclic);
+        }
+
+        let worker_count = self.threads.min(self.cyclic.len());
+        if worker_count <= 1 {
+            return solve_sequential(
+                graph,
+                offsets,
+                index,
+                &self.scc,
+                &self.cyclic,
+                &mut self.scratch,
+                self.choice,
+                self.integer_kernel,
+            );
+        }
+
+        // Parallel path: one scoped worker per extra thread plus the calling
+        // thread, pulling cyclic components off a shared atomic cursor. Each
+        // worker keeps its own long-lived scratch; results are merged in
+        // component order below, so scheduling cannot affect the outcome.
+        // Grow-only: a solve with fewer cyclic components must not drop the
+        // warm scratches a wider earlier solve built up.
+        if self.worker_scratches.len() < worker_count - 1 {
+            self.worker_scratches
+                .resize_with(worker_count - 1, Scratch::default);
+        }
+        let scc = &self.scc;
+        let cyclic = &self.cyclic;
+        let choice = self.choice;
+        let integer_kernel = self.integer_kernel;
+        let next = AtomicUsize::new(0);
+        let main_scratch = &mut self.scratch;
+        let mut outcomes: Vec<Vec<(usize, Result<ComponentOutcome, McrError>)>> =
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(worker_count - 1);
+                for scratch in self.worker_scratches.iter_mut().take(worker_count - 1) {
+                    let next = &next;
+                    handles.push(scope.spawn(move || {
+                        worker_loop(
+                            graph,
+                            offsets,
+                            index,
+                            scc,
+                            cyclic,
+                            next,
+                            choice,
+                            integer_kernel,
+                            scratch,
+                        )
+                    }));
+                }
+                let mut collected = vec![worker_loop(
+                    graph,
+                    offsets,
+                    index,
+                    scc,
+                    cyclic,
+                    &next,
+                    choice,
+                    integer_kernel,
+                    main_scratch,
+                )];
+                for handle in handles {
+                    collected.push(handle.join().expect("solver worker panicked"));
+                }
+                collected
+            });
+
+        // Deterministic merge: place every per-component outcome in its slot,
+        // then replay them in component order with exactly the sequential
+        // rules (first error or Infinite in component order wins; ties on the
+        // maximum ratio keep the earliest component).
+        let mut slots: Vec<Option<Result<ComponentOutcome, McrError>>> =
+            (0..cyclic.len()).map(|_| None).collect();
+        for outcomes in outcomes.iter_mut() {
+            for (slot, outcome) in outcomes.drain(..) {
+                slots[slot] = Some(outcome);
+            }
+        }
+        let mut best: Option<(Rational, CriticalCycle)> = None;
+        for slot in slots.iter_mut() {
+            match slot.take().expect("every cyclic component is solved")? {
                 ComponentOutcome::NonPositive => {}
                 ComponentOutcome::Finite { ratio, cycle } => {
                     if best.as_ref().map(|(r, _)| ratio > *r).unwrap_or(true) {
@@ -251,55 +404,138 @@ impl Solver {
                 }
             }
         }
-
         Ok(match best {
             Some((ratio, cycle)) => CycleRatioOutcome::Finite { ratio, cycle },
-            None if saw_cycle => CycleRatioOutcome::NonPositive,
-            None => CycleRatioOutcome::Acyclic,
+            None => CycleRatioOutcome::NonPositive,
         })
     }
+}
 
-    /// Dispatches one strongly connected component to the selected algorithm.
-    fn solve_component(
-        &mut self,
-        graph: &RatioGraph,
-        n: usize,
-    ) -> Result<ComponentOutcome, McrError> {
-        let choice = match self.choice {
-            SolverChoice::Auto => {
-                if n >= AUTO_HOWARD_MIN_NODES {
-                    SolverChoice::Howard
-                } else {
-                    SolverChoice::Parametric
+/// The sequential solve loop over the cyclic components (also the
+/// single-worker fast path of the parallel solver).
+#[allow(clippy::too_many_arguments)]
+fn solve_sequential(
+    graph: &RatioGraph,
+    offsets: &[u32],
+    index: &[ArcId],
+    scc: &SccBuffers,
+    cyclic: &[u32],
+    scratch: &mut Scratch,
+    choice: SolverChoice,
+    integer_kernel: bool,
+) -> Result<CycleRatioOutcome, McrError> {
+    scratch.prepare(graph.node_count());
+    let mut best: Option<(Rational, CriticalCycle)> = None;
+    for &component in cyclic {
+        let members = scc.component(component as usize);
+        scratch.begin_component(graph, members, offsets, index);
+        let outcome = solve_component(graph, scratch, choice, integer_kernel, members.len());
+        scratch.end_component(members);
+        match outcome? {
+            ComponentOutcome::NonPositive => {}
+            ComponentOutcome::Finite { ratio, cycle } => {
+                if best.as_ref().map(|(r, _)| ratio > *r).unwrap_or(true) {
+                    best = Some((ratio, cycle));
                 }
             }
-            other => other,
-        };
-        match choice {
-            SolverChoice::Parametric | SolverChoice::Auto => {
-                parametric_component(graph, &mut self.scratch, n, Rational::ZERO, None)
+            ComponentOutcome::Infinite { cycle } => {
+                return Ok(CycleRatioOutcome::Infinite { cycle });
             }
-            SolverChoice::Howard => match howard::howard_component(&mut self.scratch, n) {
+        }
+    }
+    Ok(match best {
+        Some((ratio, cycle)) => CycleRatioOutcome::Finite { ratio, cycle },
+        None => CycleRatioOutcome::NonPositive,
+    })
+}
+
+/// One parallel worker: pulls cyclic-component slots off the shared cursor
+/// until none remain, solving each on its own scratch. Every component is
+/// always solved — there is no early abort — so the merge sees a complete,
+/// scheduling-independent result set.
+#[allow(clippy::too_many_arguments)]
+fn worker_loop(
+    graph: &RatioGraph,
+    offsets: &[u32],
+    index: &[ArcId],
+    scc: &SccBuffers,
+    cyclic: &[u32],
+    next: &AtomicUsize,
+    choice: SolverChoice,
+    integer_kernel: bool,
+    scratch: &mut Scratch,
+) -> Vec<(usize, Result<ComponentOutcome, McrError>)> {
+    let mut outcomes = Vec::new();
+    scratch.prepare(graph.node_count());
+    loop {
+        let slot = next.fetch_add(1, Ordering::Relaxed);
+        if slot >= cyclic.len() {
+            break;
+        }
+        let members = scc.component(cyclic[slot] as usize);
+        scratch.begin_component(graph, members, offsets, index);
+        let outcome = solve_component(graph, scratch, choice, integer_kernel, members.len());
+        scratch.end_component(members);
+        outcomes.push((slot, outcome));
+    }
+    outcomes
+}
+
+/// Dispatches one strongly connected component (loaded in `scratch`) to the
+/// selected algorithm.
+fn solve_component(
+    graph: &RatioGraph,
+    scratch: &mut Scratch,
+    choice: SolverChoice,
+    integer_kernel: bool,
+    n: usize,
+) -> Result<ComponentOutcome, McrError> {
+    let choice = match choice {
+        SolverChoice::Auto => {
+            if n >= AUTO_HOWARD_MIN_NODES {
+                SolverChoice::Howard
+            } else {
+                SolverChoice::Parametric
+            }
+        }
+        other => other,
+    };
+    match choice {
+        SolverChoice::Parametric | SolverChoice::Auto => {
+            parametric_component(graph, scratch, n, Rational::ZERO, None)
+        }
+        SolverChoice::Howard => {
+            // The integer kernel handles the common case (component-wide
+            // common denominators that keep every product inside i128) and
+            // declines otherwise; the scalar path is the universal fallback.
+            // Outcomes are bit-identical — see `kernel` module docs.
+            let outcome = if integer_kernel {
+                kernel::howard_component_int(scratch, n)
+                    .unwrap_or_else(|| howard::howard_component(scratch, n))
+            } else {
+                howard::howard_component(scratch, n)
+            };
+            match outcome {
                 HowardOutcome::Infinite { positions } => {
-                    let cycle = materialize_cycle(graph, &self.scratch, &positions)?;
+                    let cycle = materialize_cycle(graph, scratch, &positions)?;
                     Ok(ComponentOutcome::Infinite { cycle })
                 }
                 HowardOutcome::Certified { lambda, positions } => {
-                    let cycle = materialize_cycle(graph, &self.scratch, &positions)?;
+                    let cycle = materialize_cycle(graph, scratch, &positions)?;
                     Ok(ComponentOutcome::Finite {
                         ratio: lambda,
                         cycle,
                     })
                 }
                 HowardOutcome::Estimate { lambda, positions } => {
-                    parametric_component(graph, &mut self.scratch, n, lambda, Some(positions))
+                    parametric_component(graph, scratch, n, lambda, Some(positions))
                 }
                 HowardOutcome::Bail => {
-                    parametric_component(graph, &mut self.scratch, n, Rational::ZERO, None)
+                    parametric_component(graph, scratch, n, Rational::ZERO, None)
                 }
-            },
-            SolverChoice::Karp => karp_component(graph, &mut self.scratch, n),
+            }
         }
+        SolverChoice::Karp => karp_component(graph, scratch, n),
     }
 }
 
@@ -382,6 +618,15 @@ pub(crate) struct Scratch {
     pub(crate) policy: Vec<usize>,
     pub(crate) gain: Vec<Rational>,
     pub(crate) value: Vec<Rational>,
+    // Integer Howard kernel state (see `crate::kernel`): arc costs/times as
+    // integer numerators over component-wide common denominators, gains as
+    // canonical reduced fractions, values as numerators over the gain
+    // denominator.
+    pub(crate) int_cost: Vec<i128>,
+    pub(crate) int_time: Vec<i128>,
+    pub(crate) int_gain_num: Vec<i128>,
+    pub(crate) int_gain_den: Vec<i128>,
+    pub(crate) int_value: Vec<i128>,
     // Stamped marker arrays shared by cycle walks/scans (valid when the entry
     // equals the current `epoch`).
     pub(crate) mark: Vec<u64>,
@@ -399,12 +644,19 @@ impl Scratch {
         }
     }
 
-    /// Loads one component into the dense view. Arcs are grouped by source
-    /// node simply by scanning members in order.
-    fn begin_component(&mut self, graph: &RatioGraph, members: &[NodeId]) {
+    /// Loads one component into the dense view, reading adjacency from the
+    /// CSR slices (`offsets`/`index`). Arcs are grouped by source node simply
+    /// by scanning members in order.
+    fn begin_component(
+        &mut self,
+        graph: &RatioGraph,
+        members: &[u32],
+        offsets: &[u32],
+        index: &[ArcId],
+    ) {
         let n = members.len();
-        for (local, node) in members.iter().enumerate() {
-            self.local_of[node.index()] = local;
+        for (local, &node) in members.iter().enumerate() {
+            self.local_of[node as usize] = local;
         }
         self.arc_from.clear();
         self.arc_to.clear();
@@ -414,8 +666,9 @@ impl Scratch {
         self.first.clear();
         self.first.reserve(n + 1);
         for (local, &node) in members.iter().enumerate() {
+            let node = node as usize;
             self.first.push(self.arc_to.len());
-            for &arc_id in graph.outgoing(node) {
+            for &arc_id in &index[offsets[node] as usize..offsets[node + 1] as usize] {
                 let arc = graph.arc(arc_id);
                 let to = self.local_of[arc.to.index()];
                 if to == usize::MAX {
@@ -438,9 +691,9 @@ impl Scratch {
     }
 
     /// Restores the renumbering table after a component is done.
-    fn end_component(&mut self, members: &[NodeId]) {
+    fn end_component(&mut self, members: &[u32]) {
         for &node in members {
-            self.local_of[node.index()] = usize::MAX;
+            self.local_of[node as usize] = usize::MAX;
         }
     }
 
@@ -944,6 +1197,86 @@ mod tests {
                 }
                 other => panic!("unexpected {other:?} for {choice:?}"),
             }
+        }
+    }
+
+    #[test]
+    fn parallel_solve_is_byte_identical_to_sequential() {
+        // Many independent cyclic components with distinct ratios, plus
+        // acyclic filler, solved at several thread counts: outcomes must be
+        // identical (including which critical circuit is reported).
+        let mut state = 0xBEEFu64 | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for trial in 0..20 {
+            let rings = 2 + (trial % 5) as usize;
+            let ring_len = 1 + (next() % 5) as usize;
+            let n = rings * ring_len + 3;
+            let mut g = RatioGraph::new(n);
+            for ring in 0..rings {
+                let base = ring * ring_len;
+                for i in 0..ring_len {
+                    g.add_arc(
+                        g.node(base + i),
+                        g.node(base + (i + 1) % ring_len),
+                        int(-2 + (next() % 9) as i128),
+                        Rational::new(1 + (next() % 5) as i128, 1 + (next() % 3) as i128).unwrap(),
+                    );
+                }
+            }
+            // Acyclic tail.
+            g.add_arc(g.node(n - 3), g.node(n - 2), int(5), int(1));
+            g.add_arc(g.node(n - 2), g.node(n - 1), int(5), int(1));
+            for choice in all_choices() {
+                let sequential = Solver::new(choice).solve(&g).unwrap();
+                for threads in [2usize, 4, 8] {
+                    let parallel = Solver::new(choice).with_threads(threads).solve(&g).unwrap();
+                    assert_eq!(sequential, parallel, "{choice:?} x{threads} trial {trial}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn threads_knob_roundtrips() {
+        let mut solver = Solver::new(SolverChoice::Auto).with_threads(4);
+        assert_eq!(solver.threads(), 4);
+        solver.set_threads(0);
+        assert_eq!(solver.threads(), 1);
+    }
+
+    #[test]
+    fn integer_kernel_toggle_matches_scalar_path() {
+        for seed in 0..40u64 {
+            let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+            let mut next = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            let n = 1 + (next() % 8) as usize;
+            let mut g = RatioGraph::new(n);
+            for _ in 0..(2 + next() % 20) {
+                let a = (next() % n as u64) as usize;
+                let b = (next() % n as u64) as usize;
+                g.add_arc(
+                    g.node(a),
+                    g.node(b),
+                    Rational::new(-3 + (next() % 12) as i128, 1 + (next() % 4) as i128).unwrap(),
+                    Rational::new(-2 + (next() % 8) as i128, 1 + (next() % 3) as i128).unwrap(),
+                );
+            }
+            let integer = Solver::new(SolverChoice::Howard).solve(&g).unwrap();
+            let scalar = Solver::new(SolverChoice::Howard)
+                .with_integer_kernel(false)
+                .solve(&g)
+                .unwrap();
+            assert_eq!(integer, scalar, "seed {seed}");
         }
     }
 

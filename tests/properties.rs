@@ -9,7 +9,7 @@ use kiter::analysis::{
 use kiter::generators::{random_graph, RandomGraphConfig};
 use kiter::ratio::{
     maximum_cycle_mean, maximum_cycle_ratio, maximum_cycle_ratio_with, CycleRatioOutcome,
-    RatioGraph, SolverChoice,
+    RatioGraph, Solver, SolverChoice,
 };
 use kiter::{
     optimal_throughput, symbolic_execution_throughput, AnalysisOptions, Budget, EventGraphArena,
@@ -165,6 +165,50 @@ proptest! {
         }
     }
 
+    /// The integer-numerator Howard kernel and the parallel per-SCC solver
+    /// are *bit-identical* — not just same-ratio — to the scalar sequential
+    /// `Rational` path: same `CycleRatioOutcome` variant, same λ, same
+    /// critical circuit (arcs, nodes, cost, time), for every solver choice,
+    /// at 1/2/4 worker threads, on random graphs with negative and zero arc
+    /// times. (The parallel merge replays outcomes in component order and
+    /// the integer kernel mirrors every scalar tie-break, so full structural
+    /// equality must hold.)
+    #[test]
+    fn integer_kernel_and_parallel_solvers_are_bit_identical(base_seed in 0u64..50_000, nodes in 1usize..11, arcs in 1usize..30) {
+        for sub in 0..12u64 {
+            let seed = base_seed.wrapping_mul(193).wrapping_add(sub);
+            let graph = random_ratio_graph(seed, nodes, arcs, false);
+            for choice in [
+                SolverChoice::Auto,
+                SolverChoice::Parametric,
+                SolverChoice::Howard,
+                SolverChoice::Karp,
+            ] {
+                let scalar = Solver::new(choice)
+                    .with_integer_kernel(false)
+                    .solve(&graph)
+                    .expect("scalar sequential solve");
+                let integer = Solver::new(choice).solve(&graph).expect("integer solve");
+                prop_assert!(
+                    scalar == integer,
+                    "integer kernel diverges for {:?} on seed {}: {:?} vs {:?}",
+                    choice, seed, scalar, integer
+                );
+                for threads in [2usize, 4] {
+                    let parallel = Solver::new(choice)
+                        .with_threads(threads)
+                        .solve(&graph)
+                        .expect("parallel solve");
+                    prop_assert!(
+                        scalar == parallel,
+                        "parallel x{} diverges for {:?} on seed {}: {:?} vs {:?}",
+                        threads, choice, seed, scalar, parallel
+                    );
+                }
+            }
+        }
+    }
+
     /// On unit-time graphs the maximum cycle ratio degenerates to Karp's
     /// maximum cycle mean: `Finite(r)` iff the mean is `r > 0`, `NonPositive`
     /// iff the mean exists but is not positive, `Acyclic` iff there is none.
@@ -253,6 +297,51 @@ proptest! {
                     prop_assert_eq!(arena.duration_of(task, phase), fresh.duration_of(task, phase));
                     prop_assert_eq!(arena.node_of(task, phase), fresh.node_of(task, phase));
                 }
+            }
+        }
+    }
+
+    /// Single-node self-loop components — the smallest cyclic SCCs — stay
+    /// bit-identical across kernels and thread counts too, including loops
+    /// with zero and negative times (the `Infinite` classification) and a
+    /// multi-component mix where the merge order matters.
+    #[test]
+    fn self_loop_components_are_bit_identical(seed in 0u64..20_000, loops in 1usize..7) {
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        // `loops` isolated self-loops plus an acyclic chain threading them.
+        let mut graph = RatioGraph::new(loops + 1);
+        for node in 0..loops {
+            let cost = Rational::from_integer(-2 + (next() % 9) as i128);
+            let time = Rational::new(-1 + (next() % 5) as i128, 1 + (next() % 3) as i128).unwrap();
+            graph.add_arc(graph.node(node), graph.node(node), cost, time);
+            graph.add_arc(graph.node(node), graph.node(loops), Rational::ONE, Rational::ONE);
+        }
+        for choice in [
+            SolverChoice::Auto,
+            SolverChoice::Parametric,
+            SolverChoice::Howard,
+            SolverChoice::Karp,
+        ] {
+            let scalar = Solver::new(choice)
+                .with_integer_kernel(false)
+                .solve(&graph)
+                .expect("scalar solve");
+            for threads in [1usize, 2, 4] {
+                let solved = Solver::new(choice)
+                    .with_threads(threads)
+                    .solve(&graph)
+                    .expect("solve");
+                prop_assert!(
+                    scalar == solved,
+                    "{:?} x{} seed {}: {:?} vs {:?}",
+                    choice, threads, seed, scalar, solved
+                );
             }
         }
     }
