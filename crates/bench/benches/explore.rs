@@ -1,0 +1,78 @@
+//! Design-space-exploration benchmark: an 8-point uniform-slack capacity
+//! sweep evaluated as 8 independent cold `optimal_throughput` calls versus
+//! one `explore::ParetoSweep` over worker-owned `AnalysisSession`s (arena,
+//! caches and solver scratch reused across the points; results bit-identical
+//! by construction, asserted here once per graph).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csdf::transform::bound_all_buffers;
+use csdf::CsdfGraph;
+use csdf_explore::{uniform_slack_capacity, ExploreOptions, ParetoSweep};
+use csdf_generators::{apps, dsp};
+use kperiodic::optimal_throughput;
+
+const SLACKS: [u64; 8] = [1, 2, 3, 4, 5, 6, 7, 8];
+
+fn cold_sweep(graph: &CsdfGraph) -> usize {
+    SLACKS
+        .iter()
+        .map(|&slack| {
+            let bounded =
+                bound_all_buffers(graph, |_, buffer| uniform_slack_capacity(buffer, slack))
+                    .expect("bounding succeeds");
+            optimal_throughput(&bounded)
+                .expect("evaluation succeeds")
+                .iterations
+        })
+        .sum()
+}
+
+fn bench_explore(c: &mut Criterion) {
+    let mut group = c.benchmark_group("explore");
+    group.sample_size(10);
+    let applications: Vec<(&str, CsdfGraph)> = vec![
+        ("modem", dsp::modem().expect("modem generates")),
+        (
+            "JPEG2000",
+            apps::industrial_app(&apps::jpeg2000()).expect("JPEG2000 generates"),
+        ),
+    ];
+    for (name, graph) in &applications {
+        let sweep = ParetoSweep::uniform_slack(graph, &SLACKS).expect("sweep builds");
+        // Pin bit-identity once per graph before timing anything.
+        let outcome = sweep.run(&ExploreOptions::default()).expect("sweep runs");
+        let cold: Vec<_> = SLACKS
+            .iter()
+            .map(|&slack| {
+                let bounded =
+                    bound_all_buffers(graph, |_, buffer| uniform_slack_capacity(buffer, slack))
+                        .expect("bounding succeeds");
+                optimal_throughput(&bounded).expect("evaluation succeeds")
+            })
+            .collect();
+        assert!(outcome
+            .points
+            .iter()
+            .zip(&cold)
+            .all(|(point, cold)| &point.result == cold));
+
+        group.bench_with_input(BenchmarkId::new("cold", name), graph, |b, graph| {
+            b.iter(|| cold_sweep(graph))
+        });
+        for workers in [1usize, 4] {
+            let options = ExploreOptions {
+                workers,
+                ..ExploreOptions::default()
+            };
+            group.bench_with_input(
+                BenchmarkId::new(format!("session_x{workers}"), name),
+                &sweep,
+                |b, sweep| b.iter(|| sweep.run(&options).expect("sweep runs").points.len()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_explore);
+criterion_main!(benches);

@@ -113,6 +113,24 @@ impl Buffer {
         self.initial_tokens
     }
 
+    /// Replaces the initial marking `M0(b)` — the mutation primitive behind
+    /// [`crate::CsdfGraph::set_initial_tokens`].
+    pub(crate) fn set_initial_tokens(&mut self, tokens: u64) {
+        self.initial_tokens = tokens;
+    }
+
+    /// Returns `true` when `other` is the *reverse* of this buffer: the
+    /// endpoints swapped and the rate vectors mirrored. This is the shape of
+    /// the back-pressure buffer that models a bounded capacity (see
+    /// [`crate::transform::bound_buffers`]); the initial markings are
+    /// unconstrained, since the reverse marking encodes the capacity slack.
+    pub fn is_reverse_of(&self, other: &Buffer) -> bool {
+        self.source == other.target
+            && self.target == other.source
+            && self.production == other.consumption
+            && self.consumption == other.production
+    }
+
     /// Total tokens `i_b` written during one full iteration of the producer.
     pub fn total_production(&self) -> u64 {
         self.production.iter().sum()

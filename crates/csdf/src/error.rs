@@ -57,6 +57,23 @@ pub enum CsdfError {
         /// Index of the buffer that appeared more than once.
         buffer: usize,
     },
+    /// A capacity assignment over a bounded design did not line up with the
+    /// design's forward/reverse pairing: the named buffer either has no
+    /// reverse (back-pressure) buffer, or is bounded but was missing from
+    /// the assignment.
+    MissingBufferCapacity {
+        /// Index of the buffer without a usable capacity assignment.
+        buffer: usize,
+    },
+    /// A capacity mutation named a buffer pair that is not a
+    /// forward/reverse pair (the reverse buffer must have the endpoints
+    /// swapped and the rate vectors mirrored).
+    NotAReverseBuffer {
+        /// Index of the buffer whose capacity was being set.
+        forward: usize,
+        /// Index of the buffer that was claimed to be its reverse.
+        reverse: usize,
+    },
     /// The requested periodicity vector has the wrong length or a zero entry.
     InvalidPeriodicityVector {
         /// Number of tasks in the graph.
@@ -114,6 +131,14 @@ impl fmt::Display for CsdfError {
             CsdfError::DuplicateBufferCapacity { buffer } => {
                 write!(f, "buffer {buffer} was assigned more than one capacity")
             }
+            CsdfError::MissingBufferCapacity { buffer } => write!(
+                f,
+                "buffer {buffer} has no usable capacity assignment (unbounded, or bounded but missing from the list)"
+            ),
+            CsdfError::NotAReverseBuffer { forward, reverse } => write!(
+                f,
+                "buffer {reverse} is not the reverse of buffer {forward} (endpoints swapped, rates mirrored)"
+            ),
             CsdfError::InvalidPeriodicityVector { expected, actual } => write!(
                 f,
                 "periodicity vector has length {actual}, expected {expected}"

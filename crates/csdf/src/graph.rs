@@ -156,6 +156,81 @@ impl CsdfGraph {
                 .all(|b| b.total_production() == 1 && b.total_consumption() == 1)
     }
 
+    /// Replaces the initial marking `M0(b)` of one buffer in place, returning
+    /// the previous value.
+    ///
+    /// This is the mutation primitive of design-space exploration: a marking
+    /// change never alters the graph's *structure* (tasks, phases, rates,
+    /// endpoints), so consumers that cache structure-derived data — the
+    /// repetition vector, or the `kperiodic` event-graph arena — only have to
+    /// re-derive what actually depends on the mutated buffer's token count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CsdfError::BufferIndexOutOfRange`] when `buffer` does not
+    /// belong to this graph.
+    pub fn set_initial_tokens(&mut self, buffer: BufferId, tokens: u64) -> Result<u64, CsdfError> {
+        let buffer = self
+            .buffers
+            .get_mut(buffer.index())
+            .ok_or(CsdfError::BufferIndexOutOfRange(buffer.index()))?;
+        let previous = buffer.initial_tokens();
+        buffer.set_initial_tokens(tokens);
+        Ok(previous)
+    }
+
+    /// Sets the capacity of a bounded buffer in place, returning the previous
+    /// capacity.
+    ///
+    /// `reverse` must be the back-pressure buffer modelling `forward`'s
+    /// capacity (endpoints swapped, rates mirrored — the shape produced by
+    /// [`crate::transform::bound_buffers`]). The capacity `C` is realised as
+    /// `C − M0(forward)` initial tokens of free space on the reverse buffer,
+    /// so this reduces to a marking mutation and inherits its
+    /// cheap-invalidation property.
+    ///
+    /// The validation is *structural*: the graph itself does not remember
+    /// which reverse buffer was created for which forward buffer, so if two
+    /// identical parallel channels are both bounded, either reverse buffer
+    /// mirrors either forward buffer and a crossed pair cannot be detected
+    /// here. The authoritative pairing is the one recorded by
+    /// [`crate::transform::bound_buffers_tracked`]
+    /// ([`BoundedGraph::reverse_of`](crate::transform::BoundedGraph::reverse_of));
+    /// always take `reverse` from it.
+    ///
+    /// # Errors
+    ///
+    /// * [`CsdfError::BufferIndexOutOfRange`] for an unknown buffer id;
+    /// * [`CsdfError::NotAReverseBuffer`] when `reverse` does not mirror
+    ///   `forward` (mutating it would silently corrupt the model);
+    /// * [`CsdfError::CapacityBelowMarking`] when `capacity` cannot hold the
+    ///   forward buffer's initial tokens.
+    pub fn set_capacity(
+        &mut self,
+        forward: BufferId,
+        reverse: BufferId,
+        capacity: u64,
+    ) -> Result<u64, CsdfError> {
+        let forward_buffer = self.try_buffer(forward)?;
+        let reverse_buffer = self.try_buffer(reverse)?;
+        if forward == reverse || !reverse_buffer.is_reverse_of(forward_buffer) {
+            return Err(CsdfError::NotAReverseBuffer {
+                forward: forward.index(),
+                reverse: reverse.index(),
+            });
+        }
+        let marking = forward_buffer.initial_tokens();
+        if capacity < marking {
+            return Err(CsdfError::CapacityBelowMarking {
+                buffer: forward.index(),
+                capacity,
+                marking,
+            });
+        }
+        let previous_slack = self.set_initial_tokens(reverse, capacity - marking)?;
+        Ok(marking + previous_slack)
+    }
+
     /// Computes the (smallest, component-wise) repetition vector of the graph.
     ///
     /// # Errors
@@ -253,6 +328,29 @@ mod tests {
         assert!(g.try_task(crate::TaskId::new(5)).is_err());
         assert!(g.try_buffer(crate::BufferId::new(0)).is_err());
         assert!(g.try_task(crate::TaskId::new(0)).is_ok());
+    }
+
+    #[test]
+    fn marking_mutation_is_in_place_and_structure_preserving() {
+        let mut b = CsdfGraphBuilder::new();
+        let a = b.add_task("a", vec![1, 2]);
+        let c = b.add_sdf_task("c", 1);
+        let chan = b.add_buffer(a, c, vec![1, 2], vec![3], 4);
+        let mut g = b.build().unwrap();
+        let q_before = g.repetition_vector().unwrap();
+
+        assert_eq!(g.set_initial_tokens(chan, 9).unwrap(), 4);
+        assert_eq!(g.buffer(chan).initial_tokens(), 9);
+        assert_eq!(g.total_initial_tokens(), 9);
+        // Marking mutations never change the repetition vector.
+        assert_eq!(
+            g.repetition_vector().unwrap().as_slice(),
+            q_before.as_slice()
+        );
+        assert!(matches!(
+            g.set_initial_tokens(crate::BufferId::new(7), 1),
+            Err(crate::CsdfError::BufferIndexOutOfRange(7))
+        ));
     }
 
     #[test]

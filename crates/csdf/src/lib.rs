@@ -42,6 +42,7 @@ mod error;
 mod graph;
 mod rational;
 mod repetition;
+mod sdf3;
 mod task;
 mod throughput;
 

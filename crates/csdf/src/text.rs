@@ -1,8 +1,9 @@
-//! A small line-oriented text format for CSDF graphs.
+//! A small line-oriented text format for CSDF graphs, plus the SDF3 XML
+//! importer.
 //!
-//! The format is meant for fixtures, examples and debugging; it is not the
-//! SDF3 XML format (which the paper's benchmark ships in) but carries exactly
-//! the same information:
+//! The line format is meant for fixtures, examples and debugging; it is not
+//! the SDF3 XML format (which the paper's benchmark ships in) but carries
+//! exactly the same information:
 //!
 //! ```text
 //! # comment
@@ -11,10 +12,15 @@
 //! task B durations=1
 //! buffer A -> B prod=2,3 cons=5 tokens=4
 //! ```
+//!
+//! Real benchmark files in the SDF3 `<sdf>`/`<csdf>` XML format are imported
+//! with [`parse_sdf3_xml`].
 
 use crate::builder::CsdfGraphBuilder;
 use crate::error::CsdfError;
 use crate::graph::CsdfGraph;
+
+pub use crate::sdf3::parse_sdf3_xml;
 
 /// Serialises a graph into the textual format parsed by [`parse`].
 ///

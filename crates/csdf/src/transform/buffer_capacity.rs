@@ -23,6 +23,78 @@ pub struct BufferCapacity {
     pub capacity: u64,
 }
 
+/// A bounded graph together with the forward → reverse buffer pairing the
+/// bounding introduced, as produced by [`bound_buffers_tracked`].
+///
+/// The pairing is what makes capacities *mutable in place*: a capacity `C`
+/// for forward buffer `b` is realised as `C − M0(b)` initial tokens on its
+/// reverse buffer, so re-sizing a buffer is a marking mutation
+/// ([`CsdfGraph::set_capacity`]) instead of a graph rebuild — the entry point
+/// of the `kperiodic` analysis-session / `explore` design-space machinery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoundedGraph {
+    graph: CsdfGraph,
+    /// Reverse buffer id per original buffer id (`None` for self-loops and
+    /// buffers left unbounded).
+    reverse_of: Vec<Option<BufferId>>,
+}
+
+impl BoundedGraph {
+    /// The bounded graph (original buffers first, reverse buffers appended in
+    /// the order the capacities were listed).
+    pub fn graph(&self) -> &CsdfGraph {
+        &self.graph
+    }
+
+    /// Mutable access to the bounded graph, e.g. to re-size capacities via
+    /// [`CsdfGraph::set_capacity`] with the pairing from
+    /// [`BoundedGraph::reverse_of`].
+    pub fn graph_mut(&mut self) -> &mut CsdfGraph {
+        &mut self.graph
+    }
+
+    /// Consumes the wrapper and returns the bounded graph.
+    pub fn into_graph(self) -> CsdfGraph {
+        self.graph
+    }
+
+    /// The reverse (back-pressure) buffer modelling `buffer`'s capacity, when
+    /// the buffer was bounded.
+    pub fn reverse_of(&self, buffer: BufferId) -> Option<BufferId> {
+        self.reverse_of.get(buffer.index()).copied().flatten()
+    }
+
+    /// Iterator over all `(forward, reverse)` buffer pairs, in forward-buffer
+    /// order.
+    pub fn bounded_pairs(&self) -> impl Iterator<Item = (BufferId, BufferId)> + '_ {
+        self.reverse_of
+            .iter()
+            .enumerate()
+            .filter_map(|(index, reverse)| reverse.map(|reverse| (BufferId::new(index), reverse)))
+    }
+
+    /// The current capacity of a bounded buffer: its initial tokens plus the
+    /// free space on its reverse buffer. `None` for unbounded buffers.
+    pub fn capacity_of(&self, buffer: BufferId) -> Option<u64> {
+        let reverse = self.reverse_of(buffer)?;
+        Some(
+            self.graph.buffer(buffer).initial_tokens()
+                + self.graph.buffer(reverse).initial_tokens(),
+        )
+    }
+
+    /// Sum of the capacities of all bounded buffers — the storage axis of a
+    /// throughput/storage trade-off.
+    pub fn total_storage(&self) -> u64 {
+        self.bounded_pairs()
+            .map(|(forward, reverse)| {
+                self.graph.buffer(forward).initial_tokens()
+                    + self.graph.buffer(reverse).initial_tokens()
+            })
+            .sum()
+    }
+}
+
 /// Returns a graph in which the listed buffers are bounded to the given
 /// capacities; unlisted buffers stay unbounded.
 ///
@@ -60,6 +132,38 @@ pub fn bound_buffers(
     graph: &CsdfGraph,
     capacities: &[BufferCapacity],
 ) -> Result<CsdfGraph, CsdfError> {
+    bound_buffers_tracked(graph, capacities).map(BoundedGraph::into_graph)
+}
+
+/// Same as [`bound_buffers`], but also records which reverse buffer models
+/// each capacity so capacities can later be re-sized in place with
+/// [`CsdfGraph::set_capacity`].
+///
+/// # Errors
+///
+/// Same as [`bound_buffers`].
+///
+/// # Examples
+///
+/// ```
+/// use csdf::{CsdfGraphBuilder, transform::{bound_buffers_tracked, BufferCapacity}};
+///
+/// let mut builder = CsdfGraphBuilder::new();
+/// let a = builder.add_sdf_task("a", 1);
+/// let b = builder.add_sdf_task("b", 1);
+/// let channel = builder.add_sdf_buffer(a, b, 1, 1, 0);
+/// let graph = builder.build()?;
+/// let mut bounded =
+///     bound_buffers_tracked(&graph, &[BufferCapacity { buffer: channel, capacity: 2 }])?;
+/// let reverse = bounded.reverse_of(channel).expect("tracked");
+/// bounded.graph_mut().set_capacity(channel, reverse, 5)?;
+/// assert_eq!(bounded.capacity_of(channel), Some(5));
+/// # Ok::<(), csdf::CsdfError>(())
+/// ```
+pub fn bound_buffers_tracked(
+    graph: &CsdfGraph,
+    capacities: &[BufferCapacity],
+) -> Result<BoundedGraph, CsdfError> {
     let mut builder = CsdfGraphBuilder::named(format!("{}_bounded", graph.name()));
     for (_, task) in graph.tasks() {
         builder.add_task(task.name().to_string(), task.durations().to_vec());
@@ -73,6 +177,7 @@ pub fn bound_buffers(
             buffer.initial_tokens(),
         );
     }
+    let mut reverse_of: Vec<Option<BufferId>> = vec![None; graph.buffer_count()];
     let mut bounded = vec![false; graph.buffer_count()];
     for assignment in capacities {
         let buffer = graph.try_buffer(assignment.buffer)?;
@@ -92,15 +197,18 @@ pub fn bound_buffers(
                 marking: buffer.initial_tokens(),
             });
         }
-        builder.add_buffer(
+        reverse_of[assignment.buffer.index()] = Some(builder.add_buffer(
             buffer.target(),
             buffer.source(),
             buffer.consumption().to_vec(),
             buffer.production().to_vec(),
             assignment.capacity - buffer.initial_tokens(),
-        );
+        ));
     }
-    builder.build()
+    Ok(BoundedGraph {
+        graph: builder.build()?,
+        reverse_of,
+    })
 }
 
 /// Bounds every non-self-loop buffer of the graph to the capacity returned by
@@ -113,7 +221,23 @@ pub fn bound_buffers(
 /// # Errors
 ///
 /// Same as [`bound_buffers`].
-pub fn bound_all_buffers<F>(graph: &CsdfGraph, mut capacity_of: F) -> Result<CsdfGraph, CsdfError>
+pub fn bound_all_buffers<F>(graph: &CsdfGraph, capacity_of: F) -> Result<CsdfGraph, CsdfError>
+where
+    F: FnMut(BufferId, &crate::Buffer) -> u64,
+{
+    bound_all_buffers_tracked(graph, capacity_of).map(BoundedGraph::into_graph)
+}
+
+/// Same as [`bound_all_buffers`] but returns the [`BoundedGraph`] with the
+/// forward → reverse pairing, for in-place capacity re-sizing.
+///
+/// # Errors
+///
+/// Same as [`bound_buffers`].
+pub fn bound_all_buffers_tracked<F>(
+    graph: &CsdfGraph,
+    mut capacity_of: F,
+) -> Result<BoundedGraph, CsdfError>
 where
     F: FnMut(BufferId, &crate::Buffer) -> u64,
 {
@@ -125,7 +249,7 @@ where
             capacity: capacity_of(id, b).max(b.initial_tokens()),
         })
         .collect();
-    bound_buffers(graph, &capacities)
+    bound_buffers_tracked(graph, &capacities)
 }
 
 #[cfg(test)]
@@ -238,6 +362,82 @@ mod tests {
             bound_all_buffers(&g, |_, b| b.total_production() + b.total_consumption()).unwrap();
         // one forward channel + self loop + one reverse channel
         assert_eq!(bounded.buffer_count(), 3);
+    }
+
+    #[test]
+    fn tracked_bounding_records_the_pairing() {
+        let (g, chan) = two_task_graph(1);
+        let mut bounded = bound_all_buffers_tracked(&g, |_, _| 5).unwrap();
+        let reverse = bounded
+            .reverse_of(chan)
+            .expect("bounded buffer has a reverse");
+        assert_eq!(bounded.capacity_of(chan), Some(5));
+        assert_eq!(bounded.total_storage(), 5);
+        assert_eq!(
+            bounded.bounded_pairs().collect::<Vec<_>>(),
+            vec![(chan, reverse)]
+        );
+        assert!(bounded
+            .graph()
+            .buffer(reverse)
+            .is_reverse_of(bounded.graph().buffer(chan)));
+
+        // In-place re-sizing through the pairing equals re-bounding from
+        // scratch at the new capacity.
+        bounded.graph_mut().set_capacity(chan, reverse, 9).unwrap();
+        assert_eq!(bounded.capacity_of(chan), Some(9));
+        let rebuilt = bound_all_buffers(&g, |_, _| 9).unwrap();
+        assert_eq!(bounded.graph(), &rebuilt);
+    }
+
+    #[test]
+    fn set_capacity_validates_the_pair() {
+        let mut b = CsdfGraphBuilder::new();
+        let x = b.add_sdf_task("x", 1);
+        let y = b.add_sdf_task("y", 1);
+        let forward = b.add_sdf_buffer(x, y, 2, 3, 1);
+        let unrelated = b.add_sdf_buffer(x, y, 1, 1, 0);
+        let mut g = b.build().unwrap();
+        // Not a mirror of `forward`.
+        assert!(matches!(
+            g.set_capacity(forward, unrelated, 9),
+            Err(CsdfError::NotAReverseBuffer {
+                forward: 0,
+                reverse: 1
+            })
+        ));
+        // A buffer is never its own reverse.
+        assert!(matches!(
+            g.set_capacity(forward, forward, 9),
+            Err(CsdfError::NotAReverseBuffer { .. })
+        ));
+
+        let bounded = bound_buffers_tracked(
+            &g,
+            &[BufferCapacity {
+                buffer: forward,
+                capacity: 6,
+            }],
+        )
+        .unwrap();
+        let reverse = bounded.reverse_of(forward).unwrap();
+        let mut graph = bounded.into_graph();
+        // Capacity must cover the forward marking.
+        assert!(matches!(
+            graph.set_capacity(forward, reverse, 0),
+            Err(CsdfError::CapacityBelowMarking {
+                buffer: 0,
+                capacity: 0,
+                marking: 1
+            })
+        ));
+        // The previous capacity is reported.
+        assert_eq!(graph.set_capacity(forward, reverse, 8).unwrap(), 6);
+        assert_eq!(graph.buffer(reverse).initial_tokens(), 7);
+        assert!(matches!(
+            graph.set_capacity(BufferId::new(9), reverse, 8),
+            Err(CsdfError::BufferIndexOutOfRange(9))
+        ));
     }
 
     #[test]

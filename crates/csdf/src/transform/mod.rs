@@ -5,7 +5,9 @@
 //!
 //! * [`bound_buffers`] / [`bound_all_buffers`] model finite buffer capacities
 //!   by adding reverse "space" buffers (used by the fixed-buffer-size rows of
-//!   the paper's Table 2);
+//!   the paper's Table 2); the `*_tracked` variants return a [`BoundedGraph`]
+//!   that records the forward → reverse pairing so capacities can later be
+//!   re-sized *in place* via [`CsdfGraph::set_capacity`](crate::CsdfGraph::set_capacity);
 //! * [`serialize_tasks`] adds one-token self-loops so that the executions of
 //!   each task cannot overlap (auto-concurrency disabled, the convention used
 //!   by the SDF3 benchmark);
@@ -16,6 +18,9 @@ mod buffer_capacity;
 mod hsdf;
 mod serialize;
 
-pub use buffer_capacity::{bound_all_buffers, bound_buffers, BufferCapacity};
+pub use buffer_capacity::{
+    bound_all_buffers, bound_all_buffers_tracked, bound_buffers, bound_buffers_tracked,
+    BoundedGraph, BufferCapacity,
+};
 pub use hsdf::{expand_to_hsdf, HsdfExpansion};
 pub use serialize::serialize_tasks;

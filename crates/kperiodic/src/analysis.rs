@@ -158,6 +158,46 @@ pub struct PipelineStats {
     pub last_solve_time: Duration,
 }
 
+impl PipelineStats {
+    /// Cumulative wall-clock time spent constructing event graphs — the sum
+    /// of the from-scratch builds ([`PipelineStats::build_time`]) and the
+    /// in-place patches ([`PipelineStats::patch_time`]). Together with
+    /// [`PipelineStats::total_solve_time`] and
+    /// [`PipelineStats::evaluations`] this is the honest construction/solve
+    /// split of a whole sweep, not just its last evaluation.
+    pub fn total_construction_time(&self) -> Duration {
+        self.build_time + self.patch_time
+    }
+
+    /// Cumulative wall-clock time spent in the MCR solver across all
+    /// evaluations (alias of [`PipelineStats::solve_time`], named for
+    /// symmetry with [`PipelineStats::total_construction_time`]).
+    pub fn total_solve_time(&self) -> Duration {
+        self.solve_time
+    }
+
+    /// Folds the counters of another pipeline into these: cumulative
+    /// counters and times add up; the `last_*` fields keep the larger of the
+    /// two (across parallel workers "the most recent evaluation" is
+    /// ill-defined, so the merge is deterministic rather than temporal).
+    /// This is how the `explore` sweep runner aggregates the per-worker
+    /// session pipelines into one sweep-wide split.
+    pub fn merge(&mut self, other: &PipelineStats) {
+        self.evaluations += other.evaluations;
+        self.full_builds += other.full_builds;
+        self.patched += other.patched;
+        self.rebuilt_buffers += other.rebuilt_buffers;
+        self.reused_buffers += other.reused_buffers;
+        self.build_time += other.build_time;
+        self.patch_time += other.patch_time;
+        self.solve_time += other.solve_time;
+        self.last_construction_time = self
+            .last_construction_time
+            .max(other.last_construction_time);
+        self.last_solve_time = self.last_solve_time.max(other.last_solve_time);
+    }
+}
+
 /// A reusable fixed-K evaluation pipeline: periodicity update → dirty set →
 /// arena patch → MCR solve.
 ///
@@ -223,10 +263,16 @@ impl EvaluationPipeline {
     ) -> Result<PipelineEvaluation, AnalysisError> {
         self.stats.evaluations += 1;
         // Take the arena out so an error cannot leave a half-patched arena
-        // installed. If the caller switched graphs — detected by structural
+        // installed. If the caller switched graph *structures* — detected by
         // fingerprint, so even same-shape different graphs are caught — fall
-        // back to a from-scratch build.
-        let reusable = self.arena.take().filter(|arena| arena.matches_graph(graph));
+        // back to a from-scratch build. Marking-only differences (the
+        // in-place token/capacity mutations of an analysis session) stay on
+        // the patch path: `apply_update` re-derives exactly the mutated
+        // buffers' arcs.
+        let reusable = self
+            .arena
+            .take()
+            .filter(|arena| arena.matches_structure(graph));
         let arena = match reusable {
             Some(mut arena) => {
                 let started = Instant::now();
@@ -501,12 +547,13 @@ mod tests {
         b.add_sdf_buffer(z, x, 1, 1, 1);
         let large = b.build().unwrap();
 
-        // `same_shape` has the small ring's task/buffer counts but a
-        // different marking: only the structural fingerprint tells it apart.
-        let same_shape = ring_with_tokens(2);
+        // `same_structure` has the small ring's structure but a different
+        // marking: that is a *patchable* difference, not a graph switch —
+        // the pipeline keeps the arena and re-derives one buffer's arcs.
+        let same_structure = ring_with_tokens(2);
 
         let mut pipeline = EvaluationPipeline::new(AnalysisOptions::default());
-        for graph in [&small, &large, &small, &same_shape] {
+        for graph in [&small, &large, &small, &same_structure] {
             let q = graph.repetition_vector().unwrap();
             let k = PeriodicityVector::unitary(graph);
             let piped = pipeline.evaluate(graph, &q, &k, None).unwrap();
@@ -514,9 +561,11 @@ mod tests {
                 evaluate_with_repetition(graph, &q, &k, &AnalysisOptions::default()).unwrap();
             assert_eq!(piped.outcome, fresh.outcome);
         }
-        // Every graph switch discards the arena and rebuilds from scratch.
-        assert_eq!(pipeline.stats().full_builds, 4);
-        assert_eq!(pipeline.stats().patched, 0);
+        // Structure switches discard the arena and rebuild from scratch; the
+        // final marking-only switch patches in place.
+        assert_eq!(pipeline.stats().full_builds, 3);
+        assert_eq!(pipeline.stats().patched, 1);
+        assert_eq!(pipeline.stats().rebuilt_buffers, 1);
     }
 
     #[test]

@@ -36,7 +36,7 @@ use csdf::{CsdfGraph, RepetitionVector, TaskId};
 use mcr::{CriticalCycle, NodeId, RatioGraph};
 
 use crate::block::TaskBlock;
-use crate::constraints::{duplicate_rates_into, emit_buffer_arcs, BufferArc};
+use crate::constraints::{emit_buffer_arcs_tiled, BufferArc};
 use crate::error::AnalysisError;
 use crate::event_graph::{EventGraphLimits, EventNode};
 use crate::periodicity::PeriodicityVector;
@@ -50,6 +50,10 @@ pub struct ArenaUpdate {
     pub rebuilt_buffers: usize,
     /// Buffers whose cached arcs were kept.
     pub reused_buffers: usize,
+    /// Buffers re-derived (solely or additionally) because their initial
+    /// marking changed since the previous update — the in-place capacity
+    /// mutations an analysis session applies between evaluations.
+    pub marking_dirty_buffers: usize,
 }
 
 /// A bi-valued event graph that lives across periodicity updates.
@@ -69,9 +73,13 @@ pub struct ArenaUpdate {
 #[derive(Debug, Clone)]
 pub struct EventGraphArena {
     limits: EventGraphLimits,
-    /// Structural fingerprint of the graph this arena was built from, so a
-    /// caller switching graphs (even to one with the same task/buffer
-    /// counts) is detected instead of silently reusing stale caches.
+    /// *Structural* fingerprint of the graph this arena was built from
+    /// (tasks, durations, buffer endpoints and rates — everything except the
+    /// initial markings), so a caller switching graphs (even to one with the
+    /// same task/buffer counts) is detected instead of silently reusing
+    /// stale caches. Markings are tracked separately in `initial_tokens`:
+    /// they are a *patchable* input (Theorem-2 arc weights β), not part of
+    /// the structure.
     fingerprint: u64,
     lcm_k: u64,
     blocks: Vec<TaskBlock>,
@@ -81,9 +89,13 @@ pub struct EventGraphArena {
     buffer_arcs: Vec<Vec<BufferArc>>,
     /// K-invariant time denominators `i_b · q_t`, indexed by buffer id.
     buffer_denominator: Vec<i128>,
-    // Scratch reused across updates (expanded rate vectors of one buffer).
-    expanded_production: Vec<u64>,
-    expanded_consumption: Vec<u64>,
+    /// The initial markings the cached arcs were derived at, indexed by
+    /// buffer id; `apply_update` diffs the graph against this to find the
+    /// buffers dirtied by in-place token/capacity mutations.
+    initial_tokens: Vec<u64>,
+    // Scratch reused across updates (per-producer-phase consumer matches of
+    // the tiled constraint emission).
+    phase_scratch: Vec<u32>,
 }
 
 impl EventGraphArena {
@@ -133,8 +145,8 @@ impl EventGraphArena {
             ratio: RatioGraph::default(),
             buffer_arcs: vec![Vec::new(); graph.buffer_count()],
             buffer_denominator,
-            expanded_production: Vec::new(),
-            expanded_consumption: Vec::new(),
+            initial_tokens: graph.buffers().map(|(_, b)| b.initial_tokens()).collect(),
+            phase_scratch: Vec::new(),
         };
         let mut total_arcs = 0usize;
         for (buffer_id, _) in graph.buffers() {
@@ -146,13 +158,19 @@ impl EventGraphArena {
         Ok(arena)
     }
 
-    /// Patches the arena for a new periodicity vector: only the node blocks
-    /// of tasks whose `K_t` changed and the constraint arcs of their incident
-    /// buffers are re-derived; every other block, arc, and duration slice is
-    /// kept, and the ratio graph is re-assembled in place from the caches.
+    /// Patches the arena for a new periodicity vector and/or mutated initial
+    /// markings: only the node blocks of tasks whose `K_t` changed and the
+    /// constraint arcs of their incident buffers — plus the arcs of buffers
+    /// whose marking was mutated in place ([`CsdfGraph::set_initial_tokens`]
+    /// / [`CsdfGraph::set_capacity`]) — are re-derived; every other block,
+    /// arc, and duration slice is kept, and the ratio graph is re-assembled
+    /// in place from the caches. Marking changes can never dirty a node
+    /// block: tokens only enter the Theorem-2 arc weights `β`, never the
+    /// event-graph node structure.
     ///
-    /// The dirty set is always detected by comparing the new vector against
-    /// the blocks' current periodicities — an O(tasks) scan that cannot be
+    /// The dirty sets are always detected by comparing the new vector
+    /// against the blocks' current periodicities and the graph's markings
+    /// against the cached ones — O(tasks + buffers) scans that cannot be
     /// fooled. `dirty_hint` (the tasks the K-Iter update rule reports as
     /// raised) is advisory: it is cross-checked against the detected set in
     /// debug builds and never trusted for correctness.
@@ -160,8 +178,9 @@ impl EventGraphArena {
     /// # Errors
     ///
     /// Same as [`EventGraphArena::build`], plus
-    /// [`AnalysisError::ArenaGraphMismatch`] when `graph` is not the graph
-    /// this arena was built from. After an error the arena must be discarded.
+    /// [`AnalysisError::ArenaGraphMismatch`] when `graph` is not
+    /// structurally the graph this arena was built from. After an error the
+    /// arena must be discarded.
     pub fn apply_update(
         &mut self,
         graph: &CsdfGraph,
@@ -169,7 +188,7 @@ impl EventGraphArena {
         dirty_hint: Option<&[TaskId]>,
     ) -> Result<ArenaUpdate, AnalysisError> {
         validate_periodicity(graph, k)?;
-        if !self.matches_graph(graph) {
+        if !self.matches_structure(graph) {
             return Err(AnalysisError::ArenaGraphMismatch);
         }
         self.lcm_k = k.lcm()?;
@@ -216,6 +235,16 @@ impl EventGraphArena {
                 dirty_buffers.insert(buffer.index());
             }
         }
+        // Buffers whose marking was mutated in place since the cached arcs
+        // were derived: only their β values (arc weights) change, so they
+        // join the rebuild set without dirtying any node block.
+        let mut marking_dirty_buffers = 0usize;
+        for (buffer_id, buffer) in graph.buffers() {
+            if self.initial_tokens[buffer_id.index()] != buffer.initial_tokens() {
+                marking_dirty_buffers += 1;
+                dirty_buffers.insert(buffer_id.index());
+            }
+        }
 
         for &buffer_index in &dirty_buffers {
             self.rebuild_buffer(graph, buffer_index, k)?;
@@ -228,11 +257,15 @@ impl EventGraphArena {
             dirty_tasks: dirty_tasks.len(),
             rebuilt_buffers: dirty_buffers.len(),
             reused_buffers: self.buffer_arcs.len() - dirty_buffers.len(),
+            marking_dirty_buffers,
         })
     }
 
     /// Re-derives the cached constraint arcs of one buffer at the current
-    /// periodicity (expanded rate vectors, Theorem-2 constraints, bi-values).
+    /// periodicity (Theorem-2 constraints over the K-tiled rate vectors,
+    /// bi-values) through the output-sensitive tiled emission — the expanded
+    /// vectors are never materialised and only the useful phase pairs are
+    /// visited.
     fn rebuild_buffer(
         &mut self,
         graph: &CsdfGraph,
@@ -240,22 +273,16 @@ impl EventGraphArena {
         k: &PeriodicityVector,
     ) -> Result<(), AnalysisError> {
         let buffer = graph.buffer(csdf::BufferId::new(buffer_index));
-        duplicate_rates_into(
-            &mut self.expanded_production,
+        self.initial_tokens[buffer_index] = buffer.initial_tokens();
+        emit_buffer_arcs_tiled(
             buffer.production(),
             k.get(buffer.source()),
-        );
-        duplicate_rates_into(
-            &mut self.expanded_consumption,
             buffer.consumption(),
             k.get(buffer.target()),
-        );
-        emit_buffer_arcs(
-            &self.expanded_production,
-            &self.expanded_consumption,
             buffer.initial_tokens(),
             &self.blocks[buffer.source().index()].durations,
             self.buffer_denominator[buffer_index],
+            &mut self.phase_scratch,
             &mut self.buffer_arcs[buffer_index],
         )
         .map_err(AnalysisError::Model)
@@ -329,15 +356,30 @@ impl EventGraphArena {
         self.buffer_arcs.len()
     }
 
-    /// Whether `graph` is (structurally identical to) the graph this arena
-    /// was built from: same tasks, durations, buffers, rates and markings.
-    /// [`EventGraphArena::apply_update`] refuses any other graph; the
-    /// [`EvaluationPipeline`](crate::EvaluationPipeline) uses this to fall
-    /// back to a from-scratch build when its caller switches graphs.
-    pub fn matches_graph(&self, graph: &CsdfGraph) -> bool {
+    /// Whether `graph` is *structurally* the graph this arena was built
+    /// from: same tasks, durations, buffer endpoints and rates — initial
+    /// markings excluded. This is what [`EventGraphArena::apply_update`]
+    /// requires: marking differences are a patchable input (the arena
+    /// re-derives exactly the mutated buffers' arcs), so the
+    /// [`EvaluationPipeline`](crate::EvaluationPipeline) keeps reusing an
+    /// arena across the in-place token/capacity mutations of an analysis
+    /// session and only falls back to a from-scratch build when the
+    /// structure itself changes.
+    pub fn matches_structure(&self, graph: &CsdfGraph) -> bool {
         self.blocks.len() == graph.task_count()
             && self.buffer_arcs.len() == graph.buffer_count()
             && self.fingerprint == graph_fingerprint(graph)
+    }
+
+    /// Whether `graph` is identical to the graph the cached arcs were last
+    /// derived from: [`EventGraphArena::matches_structure`] *and* the same
+    /// initial markings (a patch would be a no-op for the buffers).
+    pub fn matches_graph(&self, graph: &CsdfGraph) -> bool {
+        self.matches_structure(graph)
+            && graph
+                .buffers()
+                .zip(&self.initial_tokens)
+                .all(|((_, buffer), &cached)| buffer.initial_tokens() == cached)
     }
 
     /// Number of constraint arcs.
@@ -395,10 +437,13 @@ impl EventGraphArena {
     }
 }
 
-/// FNV-1a hash over the structure the arena caches depend on: task durations
-/// and, per buffer, endpoints, rates and initial marking. Collisions are
-/// astronomically unlikely and the check is advisory hardening (passing a
-/// *different but colliding* graph is outside the API contract anyway).
+/// FNV-1a hash over the *structure* the arena caches depend on: task
+/// durations and, per buffer, endpoints and rates. Initial markings are
+/// deliberately excluded — they are diffed exactly against the arena's
+/// `initial_tokens` cache so in-place token mutations patch instead of
+/// invalidating. Collisions are astronomically unlikely and the check is
+/// advisory hardening (passing a *different but colliding* graph is outside
+/// the API contract anyway).
 fn graph_fingerprint(graph: &CsdfGraph) -> u64 {
     const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
     const PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -418,7 +463,6 @@ fn graph_fingerprint(graph: &CsdfGraph) -> u64 {
     for (_, buffer) in graph.buffers() {
         mix(&mut hash, buffer.source().index() as u64);
         mix(&mut hash, buffer.target().index() as u64);
-        mix(&mut hash, buffer.initial_tokens());
         for &rate in buffer.production() {
             mix(&mut hash, rate);
         }
@@ -542,22 +586,65 @@ mod tests {
         let k = PeriodicityVector::unitary(&g);
         let mut arena = EventGraphArena::build(&g, &q, &k, &EventGraphLimits::default()).unwrap();
 
-        // Same shape, different marking: caught by the fingerprint.
+        // Same shape, different *duration*: caught by the structural
+        // fingerprint.
         let mut b = CsdfGraphBuilder::new();
-        let x = b.add_task("x", vec![1, 2]);
+        let x = b.add_task("x", vec![1, 3]);
         let y = b.add_sdf_task("y", 1);
         b.add_buffer(x, y, vec![2, 1], vec![1], 0);
-        b.add_buffer(y, x, vec![1], vec![2, 1], 9);
+        b.add_buffer(y, x, vec![1], vec![2, 1], 6);
         b.add_serializing_self_loop(x);
         b.add_serializing_self_loop(y);
         let other = b.build().unwrap();
         assert!(arena.matches_graph(&g));
-        assert!(!arena.matches_graph(&other));
+        assert!(arena.matches_structure(&g));
+        assert!(!arena.matches_structure(&other));
         let k_other = PeriodicityVector::unitary(&other);
         assert!(matches!(
             arena.apply_update(&other, &k_other, None),
             Err(AnalysisError::ArenaGraphMismatch)
         ));
+    }
+
+    #[test]
+    fn marking_mutation_patches_only_the_mutated_buffer() {
+        let g = multirate();
+        let q = g.repetition_vector().unwrap();
+        let limits = EventGraphLimits::default();
+        let k = PeriodicityVector::unitary(&g);
+        let mut arena = EventGraphArena::build(&g, &q, &k, &limits).unwrap();
+
+        // Mutate the feedback buffer's marking in place: same structure,
+        // different marking — a patchable input, not a graph switch.
+        let mut mutated = g.clone();
+        mutated
+            .set_initial_tokens(csdf::BufferId::new(1), 9)
+            .unwrap();
+        assert!(arena.matches_structure(&mutated));
+        assert!(!arena.matches_graph(&mutated));
+
+        let update = arena.apply_update(&mutated, &k, None).unwrap();
+        assert_eq!(update.dirty_tasks, 0);
+        assert_eq!(update.marking_dirty_buffers, 1);
+        assert_eq!(update.rebuilt_buffers, 1);
+        assert_eq!(update.reused_buffers, 3);
+
+        let fresh = EventGraphArena::build(&mutated, &q, &k, &limits).unwrap();
+        assert_eq!(arena.ratio_graph(), fresh.ratio_graph());
+        assert!(arena.matches_graph(&mutated));
+
+        // A combined K + marking update re-derives the union of both dirty
+        // sets and stays bit-identical too.
+        let mut k2 = k.clone();
+        k2.set(TaskId::new(1), 2).unwrap();
+        mutated
+            .set_initial_tokens(csdf::BufferId::new(0), 5)
+            .unwrap();
+        let update = arena.apply_update(&mutated, &k2, None).unwrap();
+        assert_eq!(update.dirty_tasks, 1);
+        assert_eq!(update.marking_dirty_buffers, 1);
+        let fresh = EventGraphArena::build(&mutated, &q, &k2, &limits).unwrap();
+        assert_eq!(arena.ratio_graph(), fresh.ratio_graph());
     }
 
     #[test]

@@ -140,7 +140,27 @@ pub fn kiter_with_pipeline(
     pipeline: &mut EvaluationPipeline,
 ) -> Result<KIterResult, AnalysisError> {
     let repetition = graph.repetition_vector()?;
-    let mut periodicity = PeriodicityVector::unitary(graph);
+    let initial = PeriodicityVector::unitary(graph);
+    kiter_seeded(graph, &repetition, options, pipeline, initial)
+}
+
+/// The K-Iter loop started from an explicit initial periodicity vector.
+///
+/// Algorithm 1 is correct from *any* starting vector: each evaluation is a
+/// valid lower bound and the Theorem-4 test certifies optimality regardless
+/// of how the vector was reached. Starting above unitary trades iterations
+/// for larger event graphs — [`AnalysisSession`](crate::AnalysisSession)
+/// uses this to warm-start from the previous solution after a capacity
+/// relaxation, where the previous K remains a useful (and sound) seed.
+/// The converged `periodicity`/`iterations` generally differ from a cold
+/// run's even though the throughput is identical.
+pub(crate) fn kiter_seeded(
+    graph: &CsdfGraph,
+    repetition: &RepetitionVector,
+    options: &KIterOptions,
+    pipeline: &mut EvaluationPipeline,
+    mut periodicity: PeriodicityVector,
+) -> Result<KIterResult, AnalysisError> {
     let mut history = Vec::new();
     let max_iterations = pipeline.options().max_iterations.max(1);
     // Tasks raised by the previous `apply_update`: the dirty set the arena
@@ -149,7 +169,7 @@ pub fn kiter_with_pipeline(
 
     for iteration in 1..=max_iterations {
         let hint = (iteration > 1).then_some(dirty.as_slice());
-        let evaluation = pipeline.evaluate(graph, &repetition, &periodicity, hint)?;
+        let evaluation = pipeline.evaluate(graph, repetition, &periodicity, hint)?;
 
         let (critical_tasks, period) = match evaluation.outcome {
             EvaluationOutcome::Unconstrained => {
@@ -180,7 +200,7 @@ pub fn kiter_with_pipeline(
             EvaluationOutcome::Infeasible { critical_tasks } => (critical_tasks, None),
         };
 
-        let normalized = normalized_repetition(&repetition, &critical_tasks);
+        let normalized = normalized_repetition(repetition, &critical_tasks);
         let optimal = optimality_test(&periodicity, &normalized);
 
         if options.record_history {
@@ -212,7 +232,7 @@ pub fn kiter_with_pipeline(
         dirty = apply_update(
             options.update_policy,
             &mut periodicity,
-            &repetition,
+            repetition,
             &normalized,
         )?;
     }

@@ -13,6 +13,9 @@
 //!   build and as a long-lived arena patched across iterations;
 //! * [`evaluate_k_periodic`] / [`evaluate_periodic`] — fixed-K evaluation;
 //! * [`EvaluationPipeline`] — the reusable fixed-K pipeline K-Iter drives;
+//! * [`AnalysisSession`] — a long-lived session whose graph mutates in
+//!   place (buffer capacities / initial tokens) between evaluations, the
+//!   unit of work of the `explore` design-space crate;
 //! * [`optimal_throughput`] / [`kiter_with_options`] — the K-Iter algorithm
 //!   with its Theorem-4 optimality test (Sections 3.4–3.5);
 //! * [`KPeriodicSchedule`] — explicit starting times, validation and ASCII
@@ -76,6 +79,7 @@ mod kiter;
 mod paper_example;
 mod periodicity;
 mod schedule;
+mod session;
 
 pub use analysis::{
     evaluate_k_periodic, evaluate_periodic, evaluate_with_repetition, evaluate_with_solver,
@@ -96,6 +100,7 @@ pub use kiter::{
 pub use paper_example::{paper_example, PaperExampleTasks};
 pub use periodicity::PeriodicityVector;
 pub use schedule::KPeriodicSchedule;
+pub use session::AnalysisSession;
 
 #[cfg(test)]
 mod tests {

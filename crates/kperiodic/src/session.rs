@@ -1,0 +1,349 @@
+//! Long-lived analysis sessions: K-Iter over a graph that mutates in place.
+//!
+//! Design-space exploration — buffer sizing, marking sweeps, scenario
+//! studies — evaluates the *same* graph structure over and over with
+//! different token counts. A one-shot [`optimal_throughput`] rebuilds the
+//! event-graph arena, the MCR solver scratch and the repetition vector for
+//! every point, throwing the incremental machinery away between calls. An
+//! [`AnalysisSession`] instead owns the graph and a single
+//! [`EvaluationPipeline`] for its whole lifetime: capacity and marking
+//! mutations are applied *in place* ([`AnalysisSession::set_capacity`] /
+//! [`AnalysisSession::set_initial_tokens`]), and the next
+//! [`AnalysisSession::evaluate`] re-derives only the mutated buffers'
+//! Theorem-2 arcs (token counts enter the arc weights β, never the
+//! event-graph structure) while reusing every block, arc cache, allocation
+//! and solver scratch buffer.
+//!
+//! By default each `evaluate` restarts the periodicity vector from unitary,
+//! so its result — throughput, K, iteration count, critical tasks — is
+//! **bit-identical** to a cold [`optimal_throughput`] on a copy of the
+//! mutated graph (property-tested in `tests/session.rs`); only the work to
+//! get there shrinks. [`AnalysisSession::with_warm_start`] opts into seeding
+//! K-Iter from the previous solution when every mutation since the last
+//! evaluation was a relaxation (capacity/marking increase — the direction in
+//! which the previous K remains a sound, useful seed); the throughput is
+//! still exact and identical, but K and the iteration count may differ, so
+//! it is off by default. Any tightening mutation falls back to the
+//! bit-identical cold start automatically.
+//!
+//! [`optimal_throughput`]: crate::optimal_throughput
+
+use csdf::{BufferId, CsdfGraph, RepetitionVector};
+
+use crate::analysis::{EvaluationPipeline, PipelineStats};
+use crate::error::AnalysisError;
+use crate::kiter::{kiter_seeded, KIterOptions, KIterResult};
+use crate::periodicity::PeriodicityVector;
+
+/// A long-lived throughput-analysis session over one mutable CSDF graph.
+///
+/// See the [module docs](self) for the contract. The session is the unit of
+/// work the `explore` crate's sweep runners hand to each worker thread.
+///
+/// # Examples
+///
+/// ```
+/// use csdf::CsdfGraphBuilder;
+/// use kperiodic::{AnalysisSession, KIterOptions};
+///
+/// let mut builder = CsdfGraphBuilder::new();
+/// let ping = builder.add_sdf_task("ping", 1);
+/// let pong = builder.add_sdf_task("pong", 1);
+/// builder.add_sdf_buffer(ping, pong, 1, 1, 0);
+/// let feedback = builder.add_sdf_buffer(pong, ping, 1, 1, 1);
+/// let graph = builder.build()?;
+///
+/// let mut session = AnalysisSession::new(graph, KIterOptions::default())?;
+/// let one_token = session.evaluate()?.throughput;
+/// session.set_initial_tokens(feedback, 2)?;
+/// let two_tokens = session.evaluate()?.throughput;
+/// assert!(two_tokens > one_token);
+/// assert_eq!(session.stats().full_builds, 1); // the second run patched
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct AnalysisSession {
+    graph: CsdfGraph,
+    repetition: RepetitionVector,
+    options: KIterOptions,
+    pipeline: EvaluationPipeline,
+    warm_start: bool,
+    /// Final periodicity vector of the last successful evaluation (the
+    /// warm-start seed).
+    last_periodicity: Option<PeriodicityVector>,
+    /// Whether every mutation since the last evaluation only *relaxed* the
+    /// graph (token counts increased) — the direction in which warm-starting
+    /// from the previous K is sound.
+    relaxed_only: bool,
+    solves: usize,
+}
+
+impl AnalysisSession {
+    /// Creates a session owning `graph`. The repetition vector is computed
+    /// once here — marking mutations can never change it, since it depends
+    /// only on the rates.
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::Model`] when the graph is inconsistent or its
+    /// repetition vector overflows.
+    pub fn new(graph: CsdfGraph, options: KIterOptions) -> Result<Self, AnalysisError> {
+        let repetition = graph.repetition_vector()?;
+        Ok(AnalysisSession {
+            repetition,
+            pipeline: EvaluationPipeline::new(options.analysis),
+            graph,
+            options,
+            warm_start: false,
+            last_periodicity: None,
+            relaxed_only: true,
+            solves: 0,
+        })
+    }
+
+    /// Enables (or disables) warm-starting K-Iter from the previous
+    /// solution after relaxation-only mutation batches. Off by default: with
+    /// it on, throughput stays exact and equal to a cold run's, but the
+    /// converged K and iteration count may differ.
+    pub fn with_warm_start(mut self, warm_start: bool) -> Self {
+        self.warm_start = warm_start;
+        self
+    }
+
+    /// The graph in its current (possibly mutated) state.
+    pub fn graph(&self) -> &CsdfGraph {
+        &self.graph
+    }
+
+    /// The repetition vector (computed once at session creation).
+    pub fn repetition(&self) -> &RepetitionVector {
+        &self.repetition
+    }
+
+    /// The options every evaluation runs with.
+    pub fn options(&self) -> &KIterOptions {
+        &self.options
+    }
+
+    /// Cumulative pipeline statistics over all evaluations of this session —
+    /// the construction/solve split sweeps report.
+    pub fn stats(&self) -> &PipelineStats {
+        self.pipeline.stats()
+    }
+
+    /// Number of completed [`AnalysisSession::evaluate`] calls.
+    pub fn solves(&self) -> usize {
+        self.solves
+    }
+
+    /// Replaces the initial marking of one buffer in place, returning the
+    /// previous value. The next evaluation re-derives only this buffer's
+    /// constraint arcs.
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::Model`] for an unknown buffer id.
+    pub fn set_initial_tokens(
+        &mut self,
+        buffer: BufferId,
+        tokens: u64,
+    ) -> Result<u64, AnalysisError> {
+        let previous = self.graph.set_initial_tokens(buffer, tokens)?;
+        if tokens < previous {
+            self.relaxed_only = false;
+        }
+        Ok(previous)
+    }
+
+    /// Re-sizes a bounded buffer in place, returning the previous capacity.
+    /// `reverse` must be the back-pressure buffer modelling `forward`'s
+    /// capacity (the pairing recorded by
+    /// [`csdf::transform::bound_buffers_tracked`]); the mutation reduces to
+    /// a marking change on the reverse buffer, so the next evaluation
+    /// re-derives only that buffer's constraint arcs.
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::Model`] for unknown ids, a non-mirroring pair, or a
+    /// capacity below the forward buffer's marking.
+    pub fn set_capacity(
+        &mut self,
+        forward: BufferId,
+        reverse: BufferId,
+        capacity: u64,
+    ) -> Result<u64, AnalysisError> {
+        let previous = self.graph.set_capacity(forward, reverse, capacity)?;
+        if capacity < previous {
+            self.relaxed_only = false;
+        }
+        Ok(previous)
+    }
+
+    /// Evaluates the maximum throughput of the graph in its current state.
+    ///
+    /// Cold-start semantics by default: the result is bit-identical — same
+    /// throughput, periodicity vector, iteration count and critical tasks —
+    /// to [`optimal_throughput`](crate::optimal_throughput) on a copy of the
+    /// current graph, while the event-graph arena and solver scratch carry
+    /// over from previous evaluations. With
+    /// [`AnalysisSession::with_warm_start`] and a relaxation-only mutation
+    /// batch, K-Iter is seeded from the previous solution instead.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`optimal_throughput`](crate::optimal_throughput). After an
+    /// error the session stays usable; the next evaluation rebuilds the
+    /// arena from scratch.
+    pub fn evaluate(&mut self) -> Result<KIterResult, AnalysisError> {
+        let initial = match &self.last_periodicity {
+            Some(previous) if self.warm_start && self.relaxed_only => previous.clone(),
+            _ => PeriodicityVector::unitary(&self.graph),
+        };
+        let result = kiter_seeded(
+            &self.graph,
+            &self.repetition,
+            &self.options,
+            &mut self.pipeline,
+            initial,
+        )?;
+        self.last_periodicity = Some(result.periodicity.clone());
+        self.relaxed_only = true;
+        self.solves += 1;
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::AnalysisOptions;
+    use crate::kiter::{kiter_with_options, optimal_throughput};
+    use csdf::transform::bound_all_buffers_tracked;
+    use csdf::{CsdfGraphBuilder, Throughput};
+
+    /// A multirate ring whose optimality test fails at K = 1 when the
+    /// feedback marking is 3 (the critical circuit mixes both tasks), so
+    /// K-Iter genuinely iterates.
+    fn multirate_ring(tokens: u64) -> (CsdfGraph, BufferId) {
+        let mut b = CsdfGraphBuilder::new();
+        let x = b.add_sdf_task("x", 2);
+        let y = b.add_sdf_task("y", 1);
+        b.add_sdf_buffer(x, y, 2, 1, 0);
+        let feedback = b.add_sdf_buffer(y, x, 1, 2, tokens);
+        b.add_serializing_self_loop(x);
+        b.add_serializing_self_loop(y);
+        (b.build().unwrap(), feedback)
+    }
+
+    #[test]
+    fn session_matches_cold_evaluations_across_mutations() {
+        let (graph, feedback) = multirate_ring(3);
+        let mut session = AnalysisSession::new(graph.clone(), KIterOptions::default()).unwrap();
+        // Both directions, including a deadlocking marking.
+        for tokens in [4u64, 8, 1, 0, 3] {
+            session.set_initial_tokens(feedback, tokens).unwrap();
+            let from_session = session.evaluate().unwrap();
+            let mut cold_graph = graph.clone();
+            cold_graph.set_initial_tokens(feedback, tokens).unwrap();
+            let cold = kiter_with_options(&cold_graph, &KIterOptions::default()).unwrap();
+            assert_eq!(from_session, cold, "tokens = {tokens}");
+        }
+        assert_eq!(
+            session.stats().full_builds,
+            1,
+            "only the first evaluation builds"
+        );
+        assert_eq!(session.solves(), 5);
+    }
+
+    #[test]
+    fn warm_start_keeps_the_throughput_and_falls_back_on_tightening() {
+        let (graph, feedback) = multirate_ring(3);
+        let mut session = AnalysisSession::new(graph.clone(), KIterOptions::default())
+            .unwrap()
+            .with_warm_start(true);
+        let first = session.evaluate().unwrap();
+        assert!(first.iterations > 1, "ring needs K growth, else no warm-up");
+
+        // Relaxation: warm start may shortcut iterations, throughput exact.
+        session.set_initial_tokens(feedback, 8).unwrap();
+        let warm = session.evaluate().unwrap();
+        let mut relaxed = graph.clone();
+        relaxed.set_initial_tokens(feedback, 8).unwrap();
+        let cold = optimal_throughput(&relaxed).unwrap();
+        assert_eq!(warm.throughput, cold.throughput);
+
+        // Tightening: the session must fall back to a cold start and be
+        // bit-identical again.
+        session.set_initial_tokens(feedback, 2).unwrap();
+        let fallback = session.evaluate().unwrap();
+        let mut tightened = graph.clone();
+        tightened.set_initial_tokens(feedback, 2).unwrap();
+        assert_eq!(fallback, optimal_throughput(&tightened).unwrap());
+    }
+
+    #[test]
+    fn capacity_mutations_drive_a_bounded_design() {
+        let (graph, _) = multirate_ring(4);
+        let bounded = bound_all_buffers_tracked(&graph, |_, b| {
+            2 * (b.total_production() + b.total_consumption())
+        })
+        .unwrap();
+        let pairs: Vec<_> = bounded.bounded_pairs().collect();
+        assert!(!pairs.is_empty());
+        let mut session =
+            AnalysisSession::new(bounded.graph().clone(), KIterOptions::default()).unwrap();
+
+        let mut previous = Throughput::Deadlocked;
+        for slack in [1u64, 2, 4] {
+            for &(forward, reverse) in &pairs {
+                let buffer = session.graph().buffer(forward);
+                let capacity = slack * (buffer.total_production() + buffer.total_consumption());
+                session
+                    .set_capacity(forward, reverse, capacity.max(buffer.initial_tokens()))
+                    .unwrap();
+            }
+            let result = session.evaluate().unwrap();
+            assert!(
+                result.throughput >= previous,
+                "throughput must be monotone in capacity"
+            );
+            previous = result.throughput;
+        }
+        // Everything after the first build was an in-place patch.
+        assert_eq!(session.stats().full_builds, 1);
+        assert_eq!(session.stats().patched + 1, session.stats().evaluations);
+    }
+
+    #[test]
+    fn sessions_survive_evaluation_errors() {
+        let (graph, feedback) = multirate_ring(3);
+        let options = KIterOptions {
+            analysis: AnalysisOptions {
+                max_iterations: 1,
+                ..AnalysisOptions::default()
+            },
+            ..KIterOptions::default()
+        };
+        let mut session = AnalysisSession::new(graph.clone(), options).unwrap();
+        // One iteration is not enough for the multirate ring.
+        assert!(matches!(
+            session.evaluate(),
+            Err(AnalysisError::IterationLimitReached { .. })
+        ));
+        // Relax the marking and the session keeps working.
+        session.set_initial_tokens(feedback, 64).unwrap();
+        let mut relaxed = graph.clone();
+        relaxed.set_initial_tokens(feedback, 64).unwrap();
+        match session.evaluate() {
+            Ok(result) => {
+                assert_eq!(
+                    result,
+                    kiter_with_options(&relaxed, session.options()).unwrap()
+                );
+            }
+            Err(AnalysisError::IterationLimitReached { .. }) => {}
+            Err(other) => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,17 +1,21 @@
-//! Throughput under buffer-size constraints (the bottom half of Table 2).
+//! Throughput under buffer-size constraints (the bottom half of Table 2),
+//! driven as a design-space exploration.
 //!
-//! Buffer capacities are modelled as reverse buffers; the example sweeps the
-//! capacity slack of a DSP pipeline and shows the throughput/storage
-//! trade-off, evaluated exactly with K-Iter and compared with the 1-periodic
-//! approximation.
+//! Buffer capacities are modelled as reverse buffers; this example sweeps
+//! the capacity slack of a DSP pipeline through `explore::ParetoSweep` —
+//! every point re-sizes the same `AnalysisSession` graph in place instead of
+//! rebuilding anything — prints the throughput/storage trade-off with its
+//! Pareto frontier, and then asks `min_storage_for_throughput` for the
+//! cheapest design that still reaches the unbounded optimum.
 //!
 //! Run with `cargo run --example buffer_sizing --release`.
 
-use kiter::generators::{buffer_sized, dsp};
-use kiter::{optimal_throughput, periodic_throughput, Throughput};
+use kiter::explore::{min_storage_for_throughput, ExploreOptions, ParetoSweep};
+use kiter::generators::dsp;
+use kiter::optimal_throughput;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let graph = dsp::modem()?;
+    let graph = dsp::sample_rate_converter()?;
     println!(
         "application: {} ({} tasks, {} buffers)",
         graph.name(),
@@ -25,34 +29,55 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         unbounded.throughput, unbounded.periodicity
     );
 
+    let slacks = [1u64, 2, 3, 4, 8];
+    let sweep = ParetoSweep::uniform_slack(&graph, &slacks)?;
+    let options = ExploreOptions::default();
+    let outcome = sweep.run(&options)?;
+    let frontier: Vec<u64> = outcome
+        .pareto_frontier()
+        .iter()
+        .map(|point| point.label)
+        .collect();
+
     println!(
-        "{:>6} | {:>14} | {:>14} | {:>10}",
-        "slack", "K-Iter Th*", "periodic Th", "optimality"
+        "{:>6} | {:>9} | {:>14} | {:>10} | {:>8}",
+        "slack", "storage", "K-Iter Th*", "iterations", "frontier"
     );
-    println!("{:->6}-+-{:->14}-+-{:->14}-+-{:->10}", "", "", "", "");
-    for slack in [1u64, 2, 3, 4, 8] {
-        let bounded = buffer_sized(&graph, slack)?;
-        let optimal = optimal_throughput(&bounded)?;
-        let periodic = periodic_throughput(&bounded)?;
-        let optimality = match (periodic.throughput(), optimal.throughput) {
-            (Some(Throughput::Finite(bound)), Throughput::Finite(exact)) => {
-                format!(
-                    "{:.1}%",
-                    100.0 * bound.to_f64() / exact.to_f64().max(f64::MIN_POSITIVE)
-                )
-            }
-            (None, _) => "N/S".to_string(),
-            _ => "-".to_string(),
-        };
+    println!(
+        "{:->6}-+-{:->9}-+-{:->14}-+-{:->10}-+-{:->8}",
+        "", "", "", "", ""
+    );
+    for point in &outcome.points {
         println!(
-            "{:>6} | {:>14} | {:>14} | {:>10}",
-            slack,
-            optimal.throughput.to_string(),
-            periodic
-                .throughput()
-                .map(|t| t.to_string())
-                .unwrap_or_else(|| "N/S".to_string()),
-            optimality
+            "{:>6} | {:>9} | {:>14} | {:>10} | {:>8}",
+            point.label,
+            point.total_storage,
+            point.throughput().to_string(),
+            point.result.iterations,
+            if frontier.contains(&point.label) {
+                "*"
+            } else {
+                ""
+            }
+        );
+    }
+
+    let stats = outcome.stats;
+    println!(
+        "\nsweep work: {} evaluations, {} arena build(s) + {} in-place patches, \
+         construction {:.2} ms / solve {:.2} ms",
+        stats.evaluations,
+        stats.full_builds,
+        stats.patched,
+        stats.total_construction_time().as_secs_f64() * 1e3,
+        stats.total_solve_time().as_secs_f64() * 1e3,
+    );
+
+    if let Some(minimal) = min_storage_for_throughput(&graph, unbounded.throughput, 64, &options)? {
+        println!(
+            "cheapest design at the unbounded optimum: slack {} ({} tokens of storage, \
+             found in {} probes)",
+            minimal.slack, minimal.total_storage, minimal.evaluations
         );
     }
     println!("\nA slack of k bounds every buffer to k·(i_b + o_b) tokens.");

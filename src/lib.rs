@@ -9,7 +9,10 @@
 //!   vectors, transformations and serialisation;
 //! * [`ratio`] (`mcr`) — maximum cycle ratio / cycle mean solvers;
 //! * [`analysis`] (`kperiodic`) — K-periodic scheduling and the K-Iter
-//!   algorithm (the paper's contribution);
+//!   algorithm (the paper's contribution), plus the long-lived
+//!   [`AnalysisSession`];
+//! * [`explore`] (`csdf-explore`) — design-space exploration over analysis
+//!   sessions: Pareto sweeps, storage minimisation, scenario sets;
 //! * [`baselines`] (`csdf-baselines`) — symbolic execution, HSDF expansion
 //!   and 1-periodic baselines;
 //! * [`generators`] (`csdf-generators`) — benchmark generators for the
@@ -46,6 +49,10 @@ pub use mcr as ratio;
 /// K-periodic scheduling and K-Iter (re-export of the `kperiodic` crate).
 pub use kperiodic as analysis;
 
+/// Design-space exploration over analysis sessions (re-export of the
+/// `csdf-explore` crate).
+pub use csdf_explore as explore;
+
 /// Baseline throughput evaluators (re-export of the `csdf-baselines` crate).
 pub use csdf_baselines as baselines;
 
@@ -60,11 +67,14 @@ pub use csdf_baselines::{
     expansion_throughput, periodic_throughput, symbolic_execution_throughput, Budget,
     EvaluationStatus, MethodResult,
 };
+pub use csdf_explore::{
+    min_storage_for_throughput, ExploreOptions, ParetoSweep, ScenarioSet, SweepOutcome,
+};
 pub use kperiodic::{
     evaluate_k_periodic, evaluate_periodic, kiter_with_options, kiter_with_pipeline,
-    optimal_throughput, paper_example, AnalysisError, AnalysisOptions, EvaluationPipeline,
-    EventGraphArena, KIterOptions, KIterResult, KPeriodicSchedule, KUpdatePolicy,
-    PeriodicityVector, PipelineStats,
+    optimal_throughput, paper_example, AnalysisError, AnalysisOptions, AnalysisSession,
+    EvaluationPipeline, EventGraphArena, KIterOptions, KIterResult, KPeriodicSchedule,
+    KUpdatePolicy, PeriodicityVector, PipelineStats,
 };
 
 #[cfg(test)]

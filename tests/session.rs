@@ -1,0 +1,223 @@
+//! Integration and property tests for the long-lived analysis-session /
+//! design-space-exploration stack (ISSUE 5): a mutated-in-place session must
+//! be **bit-identical** — throughput, periodicity vector K, iteration count,
+//! critical tasks — to a from-scratch evaluation of the mutated graph, for
+//! random capacity/token edits in both directions, including deadlocking
+//! capacities.
+
+use proptest::prelude::*;
+
+use kiter::explore::{ExploreOptions, ParetoSweep, ScenarioSet};
+use kiter::generators::{random_graph, RandomGraphConfig};
+use kiter::model::transform::bound_all_buffers_tracked;
+use kiter::model::{text, BufferId};
+use kiter::{kiter_with_options, optimal_throughput, AnalysisSession, KIterOptions};
+
+/// Deterministic xorshift so edit sequences are reproducible per seed.
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 16,
+        ..ProptestConfig::default()
+    })]
+
+    /// The ISSUE-5 acceptance property: a session whose bounded graph is
+    /// mutated in place through random capacity edits (both directions,
+    /// including capacities small enough to deadlock) and random marking
+    /// edits stays bit-identical to a cold `kiter_with_options` run on a
+    /// copy of the mutated graph — same throughput, K, iteration count and
+    /// critical tasks — while only ever building its arena once.
+    #[test]
+    fn mutated_sessions_are_bit_identical_to_cold_evaluations(
+        seed in 0u64..5_000,
+        edits in 3usize..7,
+    ) {
+        let graph = random_graph(&RandomGraphConfig::small_csdf(), seed).expect("generator");
+        let bounded = bound_all_buffers_tracked(&graph, |_, b| {
+            2 * (b.total_production() + b.total_consumption()) + b.initial_tokens()
+        })
+        .expect("bounding");
+        let pairs: Vec<(BufferId, BufferId)> = bounded.bounded_pairs().collect();
+        prop_assert!(!pairs.is_empty());
+
+        let mut session =
+            AnalysisSession::new(bounded.graph().clone(), KIterOptions::default())
+                .expect("session");
+        let mut reference = bounded.graph().clone();
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+
+        for _ in 0..edits {
+            // A batch of 1–3 mutations between evaluations.
+            for _ in 0..1 + xorshift(&mut state) % 3 {
+                let (forward, reverse) = pairs[(xorshift(&mut state) % pairs.len() as u64) as usize];
+                if xorshift(&mut state) % 3 == 0 {
+                    // Marking edit on the forward buffer, both directions.
+                    let tokens = xorshift(&mut state) % 6;
+                    session.set_initial_tokens(forward, tokens).expect("marking edit");
+                    reference.set_initial_tokens(forward, tokens).expect("marking edit");
+                } else {
+                    // Capacity edit: the floor is the forward marking, so
+                    // small deltas cover deadlocking capacities.
+                    let marking = reference.buffer(forward).initial_tokens();
+                    let capacity = marking + xorshift(&mut state) % 12;
+                    session.set_capacity(forward, reverse, capacity).expect("capacity edit");
+                    reference.set_capacity(forward, reverse, capacity).expect("capacity edit");
+                }
+            }
+            let from_session = session.evaluate().expect("session evaluation");
+            let cold = kiter_with_options(&reference, &KIterOptions::default())
+                .expect("cold evaluation");
+            prop_assert_eq!(&from_session, &cold);
+        }
+        // The whole history of mutations never forced a rebuild.
+        prop_assert_eq!(session.stats().full_builds, 1);
+        prop_assert_eq!(session.solves(), edits);
+    }
+
+    /// Warm-started sessions keep the throughput exact in both directions:
+    /// after relaxations they may reuse the previous K (fewer iterations),
+    /// after tightenings they must fall back to the bit-identical cold
+    /// start on their own.
+    #[test]
+    fn warm_started_sessions_keep_the_exact_throughput(
+        seed in 0u64..5_000,
+        edits in 3usize..6,
+    ) {
+        let graph = random_graph(&RandomGraphConfig::small_csdf(), seed).expect("generator");
+        let bounded = bound_all_buffers_tracked(&graph, |_, b| {
+            2 * (b.total_production() + b.total_consumption()) + b.initial_tokens()
+        })
+        .expect("bounding");
+        let pairs: Vec<(BufferId, BufferId)> = bounded.bounded_pairs().collect();
+        prop_assert!(!pairs.is_empty());
+
+        let mut warm = AnalysisSession::new(bounded.graph().clone(), KIterOptions::default())
+            .expect("session")
+            .with_warm_start(true);
+        let mut reference = bounded.graph().clone();
+        let mut state = seed.wrapping_mul(0x2545_f491_4f6c_dd1d) | 1;
+
+        for _ in 0..edits {
+            let (forward, reverse) = pairs[(xorshift(&mut state) % pairs.len() as u64) as usize];
+            let marking = reference.buffer(forward).initial_tokens();
+            // Alternating generous and tight capacities exercises both the
+            // warm path and the cold fallback.
+            let capacity = marking + xorshift(&mut state) % 16;
+            warm.set_capacity(forward, reverse, capacity).expect("capacity edit");
+            reference.set_capacity(forward, reverse, capacity).expect("capacity edit");
+
+            let warm_result = warm.evaluate().expect("warm evaluation");
+            let cold = optimal_throughput(&reference).expect("cold evaluation");
+            prop_assert_eq!(warm_result.throughput, cold.throughput);
+        }
+    }
+
+    /// A uniform-slack Pareto sweep — the 32-point acceptance workload at
+    /// property-test scale — matches independent cold evaluations point by
+    /// point at every worker count.
+    #[test]
+    fn pareto_sweeps_match_cold_evaluations(seed in 0u64..5_000) {
+        let graph = random_graph(&RandomGraphConfig::small_csdf(), seed).expect("generator");
+        let sweep = ParetoSweep::uniform_slack(&graph, &[1, 2, 3, 4]).expect("sweep");
+        let reference = sweep.run(&ExploreOptions::default()).expect("sequential run");
+        for workers in [2usize, 4] {
+            let parallel = sweep
+                .run(&ExploreOptions { workers, ..ExploreOptions::default() })
+                .expect("parallel run");
+            prop_assert_eq!(&reference.points, &parallel.points);
+        }
+        for point in &reference.points {
+            let mut cold = sweep.bounded().clone();
+            for &(forward, capacity) in &point.capacities {
+                let reverse = cold.reverse_of(forward).expect("tracked pair");
+                cold.graph_mut().set_capacity(forward, reverse, capacity).expect("resize");
+            }
+            let cold_result = optimal_throughput(cold.graph()).expect("cold evaluation");
+            prop_assert_eq!(&point.result, &cold_result);
+        }
+    }
+}
+
+/// The committed SDF3 benchmark fixture replays end to end through the
+/// session API: import, bound, sweep, and agree with cold evaluations.
+#[test]
+fn sdf3_fixture_replays_through_the_session_api() {
+    let xml = include_str!("../crates/csdf/tests/fixtures/modem.sdf3.xml");
+    let imported = text::parse_sdf3_xml(xml).expect("fixture imports");
+    let graph = kiter::model::transform::serialize_tasks(&imported).expect("serialises");
+
+    let unbounded = optimal_throughput(&graph).expect("kiter");
+    assert!(
+        matches!(unbounded.throughput, kiter::Throughput::Finite(_)),
+        "fixture must have finite throughput, got {}",
+        unbounded.throughput
+    );
+
+    let sweep = ParetoSweep::uniform_slack(&graph, &[1, 2, 4, 8]).expect("sweep");
+    let outcome = sweep.run(&ExploreOptions::default()).expect("run");
+    for pair in outcome.points.windows(2) {
+        assert!(pair[1].throughput() >= pair[0].throughput());
+    }
+    // Generous capacities recover the unbounded optimum.
+    assert_eq!(
+        outcome.points.last().expect("points").throughput(),
+        unbounded.throughput
+    );
+    for point in &outcome.points {
+        let mut cold = sweep.bounded().clone();
+        for &(forward, capacity) in &point.capacities {
+            let reverse = cold.reverse_of(forward).expect("tracked");
+            cold.graph_mut()
+                .set_capacity(forward, reverse, capacity)
+                .expect("resize");
+        }
+        assert_eq!(
+            point.result,
+            optimal_throughput(cold.graph()).expect("cold"),
+            "slack {} diverged",
+            point.label
+        );
+    }
+}
+
+/// Scenario sets are the replay vehicle for marking studies: outcomes match
+/// cold evaluations and are order-stable across worker counts.
+#[test]
+fn scenario_sets_replay_marking_studies() {
+    let xml = include_str!("../crates/csdf/tests/fixtures/modem.sdf3.xml");
+    let imported = text::parse_sdf3_xml(xml).expect("fixture imports");
+    let graph = kiter::model::transform::serialize_tasks(&imported).expect("serialises");
+    let ctrl = BufferId::new(4); // the rate-limiting return channel
+
+    let mut scenarios = ScenarioSet::new(graph.clone());
+    for tokens in [2u64, 4, 8, 16] {
+        scenarios.add(format!("ctrl={tokens}"), vec![(ctrl, tokens)]);
+    }
+    let sequential = scenarios.run(&ExploreOptions::default()).expect("run");
+    let parallel = scenarios
+        .run(&ExploreOptions {
+            workers: 2,
+            ..ExploreOptions::default()
+        })
+        .expect("parallel run");
+    assert_eq!(sequential, parallel);
+    for (outcome, tokens) in sequential.iter().zip([2u64, 4, 8, 16]) {
+        let mut cold = graph.clone();
+        cold.set_initial_tokens(ctrl, tokens).expect("marking");
+        assert_eq!(
+            outcome.result,
+            optimal_throughput(&cold).expect("cold"),
+            "scenario {tokens}"
+        );
+    }
+    // More control tokens can only help.
+    for pair in sequential.windows(2) {
+        assert!(pair[1].result.throughput >= pair[0].result.throughput);
+    }
+}
