@@ -1,0 +1,239 @@
+//! CI smoke gate for the analysis daemon (`csdf-service`).
+//!
+//! Drives one warm daemon through a mixed batch — mostly `evaluate`
+//! requests over a handful of graph structures (so fingerprints repeat),
+//! plus `sweep`, `min_storage` and `scenario_set` requests — and compares
+//! it against the cold baseline: a fresh daemon (empty pool, empty cache)
+//! per request, which is exactly a direct library call per request.
+//!
+//! Checks, in order:
+//!
+//! 1. **Bit-identity**: every warm response equals its cold response, field
+//!    for field (only the `cache` hit/miss marker may differ);
+//! 2. **Library identity**: every unique evaluate graph's throughput string
+//!    equals a direct [`kperiodic::optimal_throughput`] call's;
+//! 3. **Warm reuse**: the pool's warm hit rate stays above a floor (0.5);
+//! 4. With `--gate`: the warm daemon is at least 2x faster than cold
+//!    per-request sessions on the whole batch.
+//!
+//! Prints one JSON summary line. `KITER_SERVICE_REQUESTS` overrides the
+//! batch size (default 200).
+//!
+//! Run with
+//! `cargo run --release -p kiter-bench --bin service_smoke -- --gate`.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use csdf::{CsdfGraph, CsdfGraphBuilder};
+use csdf_service::{throughput_to_string, Daemon, Json, ServiceConfig};
+
+/// A single-cycle multirate ring (`tasks` must be a multiple of 12): rates
+/// triple for six stages and shrink back for the next six, so the
+/// repetition vector ramps 1→729→1 around every period and the event graph
+/// carries `Σ q ≈ 120·tasks` firings from a text encoding of only `tasks`
+/// lines — evaluation genuinely dominates request parsing, which is what
+/// the warm daemon amortises. Tasks at the period boundary run three phases
+/// (CSDF). The feedback marking `tokens` sets the throughput without
+/// touching the structure fingerprint.
+fn ring(tasks: usize, tokens: u64) -> CsdfGraph {
+    assert_eq!(tasks % 12, 0, "the rate ladder closes every 12 tasks");
+    // Producer rate of task i on buffer i -> i+1; the consumer side of the
+    // same buffer is 1 (doubling half) or 2 (halving half).
+    let up = |index: usize| (index % 12) < 6;
+    let mut builder = CsdfGraphBuilder::new();
+    let ids: Vec<_> = (0..tasks)
+        .map(|index| {
+            let duration = 1 + (index as u64 * 7) % 5;
+            if index % 12 == 0 {
+                builder.add_task(
+                    format!("t{index}"),
+                    vec![duration, duration + 2, duration + 1],
+                )
+            } else {
+                builder.add_sdf_task(format!("t{index}"), duration)
+            }
+        })
+        .collect();
+    for index in 0..tasks {
+        let next = (index + 1) % tasks;
+        let initial = if next == 0 { tokens } else { 0 };
+        // Tripling buffers move 3 -> 1, shrinking buffers 1 -> 3; the
+        // boundary tasks (three phases) split their rate-3 side across the
+        // phases. Boundary consumers only ever sit on shrinking buffers
+        // (`c = 3`) and boundary producers only on tripling ones (`p = 3`),
+        // so the split never changes a total.
+        let produce = match (up(index), index % 12 == 0) {
+            (true, true) => vec![1, 1, 1],
+            (true, false) => vec![3],
+            (false, _) => vec![1],
+        };
+        let consume = match (up(index), next % 12 == 0) {
+            (true, _) => vec![1],
+            (false, true) => vec![1, 1, 1],
+            (false, false) => vec![3],
+        };
+        builder.add_buffer(ids[index], ids[next], produce, consume, initial);
+    }
+    builder.build().expect("ring is consistent")
+}
+
+fn graph_spec(graph: &CsdfGraph) -> Json {
+    Json::Object(vec![
+        ("format".to_string(), Json::Str("text".to_string())),
+        ("source".to_string(), Json::Str(csdf::text::to_text(graph))),
+    ])
+}
+
+struct Batch {
+    requests: Vec<String>,
+    /// `(request index, graph)` of every evaluate request whose graph
+    /// appears for the first time — the library-identity sample.
+    unique_evaluates: Vec<(usize, CsdfGraph)>,
+}
+
+fn build_batch(total: usize) -> Batch {
+    let sizes = [48usize, 72, 96, 120];
+    let variants_per_size = 6u64;
+    let composite = (total / 40).max(3);
+    let evaluates = total - composite;
+
+    let mut requests = Vec::with_capacity(total);
+    let mut unique_evaluates = Vec::new();
+    for slot in 0..evaluates {
+        let unique = slot % (sizes.len() * variants_per_size as usize);
+        let size = sizes[unique % sizes.len()];
+        // 3 tokens are enough to rotate the ladder; more raises throughput.
+        let tokens = 3 + 3 * (unique / sizes.len()) as u64;
+        let graph = ring(size, tokens);
+        if slot == unique {
+            unique_evaluates.push((requests.len(), graph.clone()));
+        }
+        requests.push(format!(
+            r#"{{"id":{},"type":"evaluate","graph":{}}}"#,
+            requests.len(),
+            graph_spec(&graph)
+        ));
+    }
+    for slot in 0..composite {
+        let size = sizes[slot % sizes.len()];
+        let spec = graph_spec(&ring(size, 4));
+        let id = requests.len();
+        requests.push(match slot % 3 {
+            0 => format!(r#"{{"id":{id},"type":"sweep","graph":{spec},"slacks":[1,2,4]}}"#),
+            1 => format!(
+                r#"{{"id":{id},"type":"min_storage","graph":{spec},"target":"1/100000","max_slack":8}}"#
+            ),
+            _ => {
+                let feedback = size - 1;
+                format!(
+                    r#"{{"id":{id},"type":"scenario_set","graph":{spec},"scenarios":[{{"name":"tight","markings":[[{feedback},3]]}},{{"name":"relaxed","markings":[[{feedback},6]]}}]}}"#
+                )
+            }
+        });
+    }
+    Batch {
+        requests,
+        unique_evaluates,
+    }
+}
+
+fn main() -> ExitCode {
+    let gate = std::env::args().any(|argument| argument == "--gate");
+    let total = std::env::var("KITER_SERVICE_REQUESTS")
+        .ok()
+        .and_then(|value| value.parse().ok())
+        .unwrap_or(200)
+        .max(10);
+    let batch = build_batch(total);
+
+    // Warm: one daemon for the whole batch, serial, so the measured speedup
+    // is session/cache reuse and nothing else.
+    let daemon = Daemon::new(ServiceConfig::default());
+    let warm_start = Instant::now();
+    let warm: Vec<String> = batch
+        .requests
+        .iter()
+        .map(|line| daemon.handle_line(line))
+        .collect();
+    let warm_ms = warm_start.elapsed().as_secs_f64() * 1e3;
+
+    // Cold baseline: a fresh daemon per request — per-request session
+    // construction, exactly what a library caller without the service pays.
+    let cold_start = Instant::now();
+    let cold: Vec<String> = batch
+        .requests
+        .iter()
+        .map(|line| Daemon::new(ServiceConfig::default()).handle_line(line))
+        .collect();
+    let cold_ms = cold_start.elapsed().as_secs_f64() * 1e3;
+
+    let mut failures = Vec::new();
+    let normalize = |line: &str| line.replace("\"cache\":\"hit\"", "\"cache\":\"miss\"");
+    let bit_identical =
+        warm.iter()
+            .zip(&cold)
+            .enumerate()
+            .all(|(index, (warm_line, cold_line))| {
+                let identical = normalize(warm_line) == normalize(cold_line);
+                if !identical {
+                    failures.push(format!(
+                        "response {index} differs between warm and cold daemons"
+                    ));
+                }
+                identical && warm_line.contains("\"status\":\"ok\"")
+            });
+    if !bit_identical && failures.is_empty() {
+        failures.push("a response did not report status ok".to_string());
+    }
+
+    for &(index, ref graph) in &batch.unique_evaluates {
+        let reference = kperiodic::optimal_throughput(graph).expect("reference evaluation");
+        let expected = format!(
+            "\"throughput\":\"{}\"",
+            throughput_to_string(reference.throughput)
+        );
+        if !warm[index].contains(&expected) {
+            failures.push(format!(
+                "request {index}: daemon disagrees with optimal_throughput ({expected})"
+            ));
+        }
+    }
+
+    let pool = daemon.pool_stats();
+    let cache = daemon.cache_stats();
+    let hit_rate_floor = 0.5;
+    if pool.warm_hit_rate() < hit_rate_floor {
+        failures.push(format!(
+            "warm hit rate {:.3} below floor {hit_rate_floor}",
+            pool.warm_hit_rate()
+        ));
+    }
+    let speedup = cold_ms / warm_ms.max(f64::MIN_POSITIVE);
+    if gate && speedup < 2.0 {
+        failures.push(format!("speedup {speedup:.2} below the 2x gate"));
+    }
+
+    println!(
+        "{{\"table\":\"service_smoke\",\"requests\":{},\"unique_graphs\":{},\"warm_ms\":{:.1},\"cold_ms\":{:.1},\"speedup\":{:.2},\"checkouts\":{},\"warm_hit_rate\":{:.4},\"cache_hits\":{},\"cache_misses\":{},\"bit_identical\":{},\"passed\":{}}}",
+        batch.requests.len(),
+        batch.unique_evaluates.len(),
+        warm_ms,
+        cold_ms,
+        speedup,
+        pool.checkouts,
+        pool.warm_hit_rate(),
+        cache.hits,
+        cache.misses,
+        bit_identical,
+        failures.is_empty(),
+    );
+    for failure in &failures {
+        eprintln!("service_smoke: {failure}");
+    }
+    if failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

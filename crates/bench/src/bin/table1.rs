@@ -28,12 +28,13 @@ fn main() {
         );
         println!("(synthetic reproduction of the SDF3 benchmark categories; see DESIGN.md §5)\n");
         println!(
-            "{:<18} {:>7} {:>16} {:>16} {:>24} | {:>14} {:>14} {:>14}",
+            "{:<18} {:>7} {:>16} {:>16} {:>24} {:>24} | {:>14} {:>14} {:>14}",
             "Category",
             "graphs",
             "tasks min/avg/max",
             "chans min/avg/max",
             "sum(q) min/avg/max",
+            "copies min/avg/max",
             "K-Iter",
             "[6] expansion",
             "[8] symbolic"
@@ -77,7 +78,7 @@ fn main() {
                 })
                 .collect();
             println!(
-                "{{\"table\":\"table1\",\"category\":\"{}\",\"graphs\":{},\"tasks\":[{},{},{}],\"buffers\":[{},{},{}],\"sum_q\":[{},{},{}],\"methods\":{{{}}}}}",
+                "{{\"table\":\"table1\",\"category\":\"{}\",\"graphs\":{},\"tasks\":[{},{},{}],\"buffers\":[{},{},{}],\"sum_q\":[{},{},{}],\"copies\":[{},{},{}],\"methods\":{{{}}}}}",
                 json_escape(&row.name),
                 row.graphs,
                 row.tasks.0,
@@ -89,6 +90,9 @@ fn main() {
                 row.repetition_sum.0,
                 row.repetition_sum.1,
                 row.repetition_sum.2,
+                row.expansion_copies.0,
+                row.expansion_copies.1,
+                row.expansion_copies.2,
                 methods_json.join(","),
             );
             continue;
@@ -105,7 +109,7 @@ fn main() {
             })
             .collect();
         println!(
-            "{:<18} {:>7} {:>16} {:>16} {:>24} | {:>14} {:>14} {:>14}",
+            "{:<18} {:>7} {:>16} {:>16} {:>24} {:>24} | {:>14} {:>14} {:>14}",
             row.name,
             row.graphs,
             format!("{}/{}/{}", row.tasks.0, row.tasks.1, row.tasks.2),
@@ -113,6 +117,10 @@ fn main() {
             format!(
                 "{}/{}/{}",
                 row.repetition_sum.0, row.repetition_sum.1, row.repetition_sum.2
+            ),
+            format!(
+                "{}/{}/{}",
+                row.expansion_copies.0, row.expansion_copies.1, row.expansion_copies.2
             ),
             cells[0],
             cells[1],

@@ -154,6 +154,11 @@ pub struct CategoryRow {
     pub buffers: (usize, usize, usize),
     /// min/avg/max repetition-vector sum.
     pub repetition_sum: (u128, u128, u128),
+    /// min/avg/max HSDF copy count `Σ_t q_t·φ_t` — the actor count of the
+    /// expansion method's graph (the paper's Table 1 reports this growth as
+    /// the reason the `[6]` column blows up on multi-rate categories). Equals
+    /// `repetition_sum` exactly on the plain SDF categories (`φ_t = 1`).
+    pub expansion_copies: (u128, u128, u128),
     /// Average wall-clock time per method (only over completed runs), plus
     /// the number of graphs that method failed to finish.
     pub averages: Vec<(Method, Duration, usize)>,
@@ -170,12 +175,14 @@ pub fn category_row(
     let mut tasks = Vec::new();
     let mut buffers = Vec::new();
     let mut sums = Vec::new();
+    let mut copies = Vec::new();
     let mut per_method: Vec<(Method, Vec<Duration>, usize)> =
         methods.iter().map(|&m| (m, Vec::new(), 0usize)).collect();
     for graph in graphs {
         tasks.push(graph.task_count());
         buffers.push(graph.buffer_count());
         sums.push(graph.repetition_vector().map(|q| q.sum()).unwrap_or(0));
+        copies.push(hsdf_copy_count(graph));
         for (method, times, failures) in per_method.iter_mut() {
             let outcome = run_method(graph, *method, budget);
             if outcome.completed {
@@ -191,6 +198,7 @@ pub fn category_row(
         tasks: min_avg_max(&tasks),
         buffers: min_avg_max(&buffers),
         repetition_sum: min_avg_max_u128(&sums),
+        expansion_copies: min_avg_max_u128(&copies),
         averages: per_method
             .into_iter()
             .map(|(method, times, failures)| {
@@ -203,6 +211,23 @@ pub fn category_row(
             })
             .collect(),
     }
+}
+
+/// Actor count of the HSDF expansion of `graph`, computed analytically as
+/// `Σ_t q_t·φ_t` without building the expansion (inconsistent graphs count
+/// 0). Kept in lock-step with the real expansion:
+/// [`csdf::transform::expand_to_hsdf`]'s `copy_count()` returns exactly this
+/// number (asserted in this crate's tests), so Table 1 can report the `[6]`
+/// column's graph growth even for categories where materialising the
+/// expansion would be slow.
+pub fn hsdf_copy_count(graph: &CsdfGraph) -> u128 {
+    let Ok(q) = graph.repetition_vector() else {
+        return 0;
+    };
+    graph
+        .tasks()
+        .map(|(id, task)| u128::from(q.get(id)) * task.phase_count() as u128)
+        .sum()
 }
 
 fn min_avg_max(values: &[usize]) -> (usize, usize, usize) {
@@ -373,5 +398,23 @@ mod tests {
     #[test]
     fn graphs_per_category_has_a_default() {
         assert!(graphs_per_category() >= 1);
+    }
+
+    #[test]
+    fn analytic_copy_count_matches_the_real_expansion() {
+        // Multi-rate CSDF: q = [3, 2] with 2 phases on `b` -> 3·1 + 2·2 = 7.
+        let mut b = CsdfGraphBuilder::new();
+        let x = b.add_sdf_task("a", 1);
+        let y = b.add_task("b", vec![1, 1]);
+        b.add_buffer(x, y, vec![2], vec![1, 2], 0);
+        let multirate = b.build().unwrap();
+        for graph in [ring(), multirate] {
+            let expansion = csdf::transform::expand_to_hsdf(&graph).unwrap();
+            assert_eq!(hsdf_copy_count(&graph), expansion.copy_count() as u128);
+            assert_eq!(
+                hsdf_copy_count(&graph),
+                expansion.graph.task_count() as u128
+            );
+        }
     }
 }

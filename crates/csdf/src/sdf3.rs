@@ -44,6 +44,7 @@
 use crate::builder::CsdfGraphBuilder;
 use crate::error::CsdfError;
 use crate::graph::CsdfGraph;
+use crate::BufferId;
 
 /// One scanned XML tag: `<name attr="v" ...>`, `</name>` or `<name ... />`.
 #[derive(Debug)]
@@ -216,11 +217,30 @@ impl XmlActor {
 #[derive(Debug)]
 struct XmlChannel {
     line: usize,
+    name: Option<String>,
     src_actor: String,
     src_port: String,
     dst_actor: String,
     dst_port: String,
     initial_tokens: u64,
+    buffer_size: Option<u64>,
+}
+
+/// The result of a full SDF3 import: the graph plus the side-band
+/// annotations the graph itself cannot carry.
+///
+/// Buffer capacities come from `<channelProperties channel="...">` /
+/// `<bufferSize sz="..."/>` annotations. They are *requests*, not part of
+/// the dataflow semantics: feed them to
+/// [`crate::transform::bound_buffers_tracked`] (or an explicit reverse
+/// channel) to actually constrain the graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sdf3Import {
+    /// The imported graph, ids in document order (see [`parse_sdf3_xml`]).
+    pub graph: CsdfGraph,
+    /// `(buffer, capacity)` for every channel with a `bufferSize`
+    /// annotation, in channel document order.
+    pub buffer_capacities: Vec<(BufferId, u64)>,
 }
 
 /// Parses an SDF3 `<sdf>`/`<csdf>` XML document into a [`CsdfGraph`].
@@ -255,6 +275,35 @@ struct XmlChannel {
 /// # Ok::<(), csdf::CsdfError>(())
 /// ```
 pub fn parse_sdf3_xml(input: &str) -> Result<CsdfGraph, CsdfError> {
+    parse_sdf3_xml_import(input).map(|import| import.graph)
+}
+
+/// Property elements accepted (and deliberately skipped) inside
+/// `<sdfProperties>`/`<csdfProperties>`: they describe costs and constraints
+/// orthogonal to throughput analysis. Anything else in a properties section
+/// is a line-numbered [`CsdfError::Parse`] rather than a silent skip, so a
+/// file relying on an unsupported property cannot be half-imported.
+const BENIGN_PROPERTY_ELEMENTS: [&str; 7] = [
+    "graphProperties",
+    "timeConstraints",
+    "throughput",
+    "memory",
+    "stateSize",
+    "tokenSize",
+    "units",
+];
+
+/// Parses an SDF3 `<sdf>`/`<csdf>` XML document into a [`CsdfGraph`] plus
+/// its side-band annotations — currently the per-channel `bufferSize`
+/// capacity requests. [`parse_sdf3_xml`] is this with the annotations
+/// dropped.
+///
+/// # Errors
+///
+/// Those of [`parse_sdf3_xml`], plus [`CsdfError::Parse`] for
+/// `channelProperties` referencing unknown channels, malformed `bufferSize`
+/// elements, and unsupported elements inside the properties sections.
+pub fn parse_sdf3_xml_import(input: &str) -> Result<Sdf3Import, CsdfError> {
     let mut scanner = TagScanner::new(input);
     let mut graph_name: Option<String> = None;
     let mut actors: Vec<XmlActor> = Vec::new();
@@ -264,6 +313,7 @@ pub fn parse_sdf3_xml(input: &str) -> Result<CsdfGraph, CsdfError> {
     let mut in_properties = false;
     let mut current_actor: Option<usize> = None;
     let mut properties_actor: Option<usize> = None;
+    let mut properties_channel: Option<usize> = None;
     let mut seen_processor = false;
 
     while let Some(tag) = scanner.next_tag()? {
@@ -330,11 +380,13 @@ pub fn parse_sdf3_xml(input: &str) -> Result<CsdfGraph, CsdfError> {
                 };
                 channels.push(XmlChannel {
                     line: tag.line,
+                    name: tag.attribute("name").map(str::to_string),
                     src_actor: tag.required("srcActor")?.to_string(),
                     src_port: tag.required("srcPort")?.to_string(),
                     dst_actor: tag.required("dstActor")?.to_string(),
                     dst_port: tag.required("dstPort")?.to_string(),
                     initial_tokens,
+                    buffer_size: None,
                 });
             }
             ("actorProperties", false) if in_properties => {
@@ -349,6 +401,29 @@ pub fn parse_sdf3_xml(input: &str) -> Result<CsdfGraph, CsdfError> {
                 seen_processor = false;
             }
             ("actorProperties", true) => properties_actor = None,
+            ("channelProperties", false) if in_properties => {
+                let name = tag.required("channel")?;
+                let index = channels
+                    .iter()
+                    .position(|channel| channel.name.as_deref() == Some(name))
+                    .ok_or_else(|| {
+                        parse_error(
+                            tag.line,
+                            &format!("properties for unknown channel `{name}`"),
+                        )
+                    })?;
+                properties_channel = (!tag.self_closing).then_some(index);
+            }
+            ("channelProperties", true) => properties_channel = None,
+            ("bufferSize", false) if in_properties => {
+                let Some(channel) = properties_channel else {
+                    return Err(parse_error(
+                        tag.line,
+                        "<bufferSize> outside <channelProperties>",
+                    ));
+                };
+                channels[channel].buffer_size = Some(parse_number(tag.required("sz")?, tag.line)?);
+            }
             ("processor", false) if in_properties => {
                 // Keep the first processor unless a later one is the default.
                 seen_processor = tag.attribute("default") != Some("true") && seen_processor;
@@ -365,6 +440,12 @@ pub fn parse_sdf3_xml(input: &str) -> Result<CsdfGraph, CsdfError> {
                         Some(parse_rate_list(tag.required("time")?, tag.line)?);
                     seen_processor = true;
                 }
+            }
+            (other, false) if in_properties && !BENIGN_PROPERTY_ELEMENTS.contains(&other) => {
+                return Err(parse_error(
+                    tag.line,
+                    &format!("unsupported property element <{other}>"),
+                ));
             }
             _ => {}
         }
@@ -400,7 +481,144 @@ pub fn parse_sdf3_xml(input: &str) -> Result<CsdfGraph, CsdfError> {
             channel.initial_tokens,
         );
     }
-    builder.build()
+    let buffer_capacities = channels
+        .iter()
+        .enumerate()
+        .filter_map(|(index, channel)| {
+            channel
+                .buffer_size
+                .map(|capacity| (BufferId::new(index), capacity))
+        })
+        .collect();
+    Ok(Sdf3Import {
+        graph: builder.build()?,
+        buffer_capacities,
+    })
+}
+
+/// Serialises a graph to the SDF3 XML subset read by [`parse_sdf3_xml`] —
+/// the workspace's wire format for shipping graphs between tools (and the
+/// `csdf-service` protocol). The emitted document always uses the `<csdf>`
+/// element (an SDF graph is a one-phase CSDF graph), actors in task-id
+/// order with one port per incident channel, channels in buffer-id order
+/// named `ch<id>`, and one default processor per actor carrying the phase
+/// durations — so `parse_sdf3_xml(&write_sdf3_xml(g))` reconstructs `g`
+/// exactly: same ids, names, rates, durations and markings
+/// (property-tested over random CSDF graphs in the workspace test-suite).
+///
+/// Names are attribute-escaped on output; the importer does not decode
+/// entity references, so round trips are exact for names without the XML
+/// special characters `&<>"'` (every benchmark and generated name).
+pub fn write_sdf3_xml(graph: &CsdfGraph) -> String {
+    write_sdf3_xml_with_capacities(graph, &[])
+}
+
+/// Like [`write_sdf3_xml`], but also emits a `<channelProperties>` /
+/// `<bufferSize sz="..."/>` annotation for each listed buffer, the form
+/// [`parse_sdf3_xml_import`] reads back as capacity requests. Buffers
+/// listed more than once keep the last capacity on re-import.
+///
+/// # Panics
+///
+/// Panics when a listed buffer id is not part of `graph`.
+pub fn write_sdf3_xml_with_capacities(graph: &CsdfGraph, capacities: &[(BufferId, u64)]) -> String {
+    for &(buffer, _) in capacities {
+        assert!(
+            buffer.index() < graph.buffer_count(),
+            "capacity for unknown buffer {}",
+            buffer.index()
+        );
+    }
+    let name = xml_escape(graph.name());
+    let mut out = String::new();
+    out.push_str("<?xml version=\"1.0\"?>\n");
+    out.push_str("<sdf3 type=\"csdf\" version=\"1.0\">\n");
+    out.push_str(&format!("  <applicationGraph name=\"{name}\">\n"));
+    out.push_str(&format!("    <csdf name=\"{name}\" type=\"G\">\n"));
+    for (task_id, task) in graph.tasks() {
+        out.push_str(&format!(
+            "      <actor name=\"{}\" type=\"A\">\n",
+            xml_escape(task.name())
+        ));
+        for (buffer_id, buffer) in graph.buffers() {
+            if buffer.source() == task_id {
+                out.push_str(&format!(
+                    "        <port name=\"out_ch{}\" type=\"out\" rate=\"{}\"/>\n",
+                    buffer_id.index(),
+                    join_rates(buffer.production())
+                ));
+            }
+            if buffer.target() == task_id {
+                out.push_str(&format!(
+                    "        <port name=\"in_ch{}\" type=\"in\" rate=\"{}\"/>\n",
+                    buffer_id.index(),
+                    join_rates(buffer.consumption())
+                ));
+            }
+        }
+        out.push_str("      </actor>\n");
+    }
+    for (buffer_id, buffer) in graph.buffers() {
+        out.push_str(&format!(
+            "      <channel name=\"ch{id}\" srcActor=\"{src}\" srcPort=\"out_ch{id}\" \
+             dstActor=\"{dst}\" dstPort=\"in_ch{id}\" initialTokens=\"{tokens}\"/>\n",
+            id = buffer_id.index(),
+            src = xml_escape(graph.task(buffer.source()).name()),
+            dst = xml_escape(graph.task(buffer.target()).name()),
+            tokens = buffer.initial_tokens()
+        ));
+    }
+    out.push_str("    </csdf>\n");
+    out.push_str("    <csdfProperties>\n");
+    for (_, task) in graph.tasks() {
+        out.push_str(&format!(
+            "      <actorProperties actor=\"{}\">\n",
+            xml_escape(task.name())
+        ));
+        out.push_str("        <processor type=\"cpu\" default=\"true\">\n");
+        out.push_str(&format!(
+            "          <executionTime time=\"{}\"/>\n",
+            join_rates(task.durations())
+        ));
+        out.push_str("        </processor>\n");
+        out.push_str("      </actorProperties>\n");
+    }
+    for &(buffer, capacity) in capacities {
+        out.push_str(&format!(
+            "      <channelProperties channel=\"ch{}\">\n",
+            buffer.index()
+        ));
+        out.push_str(&format!("        <bufferSize sz=\"{capacity}\"/>\n"));
+        out.push_str("      </channelProperties>\n");
+    }
+    out.push_str("    </csdfProperties>\n");
+    out.push_str("  </applicationGraph>\n");
+    out.push_str("</sdf3>\n");
+    out
+}
+
+fn join_rates(values: &[u64]) -> String {
+    values
+        .iter()
+        .map(u64::to_string)
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Escapes the five XML special characters for use in attribute values.
+fn xml_escape(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            other => out.push(other),
+        }
+    }
+    out
 }
 
 fn phase_count(actor: &XmlActor) -> usize {
@@ -637,5 +855,106 @@ mod tests {
             parse_sdf3_xml(mismatch),
             Err(CsdfError::Parse { .. })
         ));
+    }
+
+    #[test]
+    fn export_import_round_trips_the_paper_example() {
+        let g = parse_sdf3_xml(PAPER_FIGURE1).unwrap();
+        let xml = write_sdf3_xml(&g);
+        assert_eq!(parse_sdf3_xml(&xml).unwrap(), g);
+        // Exported documents carry no capacity annotations by default.
+        assert!(parse_sdf3_xml_import(&xml)
+            .unwrap()
+            .buffer_capacities
+            .is_empty());
+    }
+
+    #[test]
+    fn capacity_annotations_round_trip() {
+        let g = parse_sdf3_xml(PAPER_FIGURE1).unwrap();
+        let capacities = vec![(crate::BufferId::new(0), 9u64)];
+        let xml = write_sdf3_xml_with_capacities(&g, &capacities);
+        let import = parse_sdf3_xml_import(&xml).unwrap();
+        assert_eq!(import.graph, g);
+        assert_eq!(import.buffer_capacities, capacities);
+    }
+
+    #[test]
+    fn buffer_size_annotations_are_imported() {
+        let xml = r#"
+<sdf3><applicationGraph name="sized"><sdf name="sized">
+  <actor name="a"><port name="o" type="out" rate="1"/></actor>
+  <actor name="b"><port name="i" type="in" rate="1"/></actor>
+  <channel name="c0" srcActor="a" srcPort="o" dstActor="b" dstPort="i"/>
+</sdf>
+<sdfProperties>
+  <channelProperties channel="c0"><bufferSize sz="7"/></channelProperties>
+</sdfProperties>
+</applicationGraph></sdf3>"#;
+        let import = parse_sdf3_xml_import(xml).unwrap();
+        assert_eq!(import.buffer_capacities, vec![(crate::BufferId::new(0), 7)]);
+        // The graph itself is unchanged by the annotation.
+        assert_eq!(import.graph, parse_sdf3_xml(xml).unwrap());
+    }
+
+    #[test]
+    fn unsupported_property_elements_error_with_line_numbers() {
+        let xml = "<sdf name=\"g\">\n<actor name=\"a\"><port name=\"o\" type=\"out\" rate=\"1\"/></actor>\n<actor name=\"b\"><port name=\"i\" type=\"in\" rate=\"1\"/></actor>\n<channel name=\"c\" srcActor=\"a\" srcPort=\"o\" dstActor=\"b\" dstPort=\"i\"/>\n</sdf>\n<sdfProperties>\n<schedule kind=\"static\"/>\n</sdfProperties>";
+        match parse_sdf3_xml(xml) {
+            Err(CsdfError::Parse { line: 7, message }) => {
+                assert!(
+                    message.contains("unsupported property element"),
+                    "{message}"
+                );
+                assert!(message.contains("schedule"), "{message}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Known cost/constraint elements still import fine.
+        let benign = xml.replace(
+            "<schedule kind=\"static\"/>",
+            "<graphProperties><timeConstraints><throughput>0.1</throughput></timeConstraints></graphProperties><actorProperties actor=\"a\"><processor type=\"cpu\" default=\"true\"><executionTime time=\"2\"/><memory><stateSize max=\"1\"/></memory></processor></actorProperties>",
+        );
+        let g = parse_sdf3_xml(&benign).unwrap();
+        assert_eq!(g.task(g.find_task("a").unwrap()).durations(), &[2]);
+    }
+
+    #[test]
+    fn channel_property_errors_carry_line_numbers() {
+        let base = "<sdf name=\"g\">\n<actor name=\"a\"><port name=\"o\" type=\"out\" rate=\"1\"/></actor>\n<actor name=\"b\"><port name=\"i\" type=\"in\" rate=\"1\"/></actor>\n<channel name=\"c\" srcActor=\"a\" srcPort=\"o\" dstActor=\"b\" dstPort=\"i\"/>\n</sdf>\n<sdfProperties>\n";
+        let unknown = format!("{base}<channelProperties channel=\"nope\"/>\n</sdfProperties>");
+        match parse_sdf3_xml(&unknown) {
+            Err(CsdfError::Parse { line: 7, message }) => {
+                assert!(message.contains("unknown channel `nope`"), "{message}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let stray = format!("{base}<bufferSize sz=\"3\"/>\n</sdfProperties>");
+        assert!(matches!(
+            parse_sdf3_xml(&stray),
+            Err(CsdfError::Parse { line: 7, .. })
+        ));
+        // A self-closing channelProperties leaves no channel context open.
+        let dangling = format!(
+            "{base}<channelProperties channel=\"c\"/>\n<bufferSize sz=\"3\"/>\n</sdfProperties>"
+        );
+        assert!(matches!(
+            parse_sdf3_xml(&dangling),
+            Err(CsdfError::Parse { line: 8, .. })
+        ));
+    }
+
+    #[test]
+    fn exported_names_are_attribute_escaped() {
+        let mut b = crate::CsdfGraphBuilder::named("a&b");
+        let t = b.add_sdf_task("t<1>", 1);
+        let u = b.add_sdf_task("u\"2\"", 1);
+        b.add_sdf_buffer(t, u, 1, 1, 0);
+        b.add_sdf_buffer(u, t, 1, 1, 1);
+        let g = b.build().unwrap();
+        let xml = write_sdf3_xml(&g);
+        assert!(xml.contains("a&amp;b"));
+        assert!(xml.contains("t&lt;1&gt;"));
+        assert!(xml.contains("u&quot;2&quot;"));
     }
 }

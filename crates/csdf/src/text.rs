@@ -20,7 +20,10 @@ use crate::builder::CsdfGraphBuilder;
 use crate::error::CsdfError;
 use crate::graph::CsdfGraph;
 
-pub use crate::sdf3::parse_sdf3_xml;
+pub use crate::sdf3::{
+    parse_sdf3_xml, parse_sdf3_xml_import, write_sdf3_xml, write_sdf3_xml_with_capacities,
+    Sdf3Import,
+};
 
 /// Serialises a graph into the textual format parsed by [`parse`].
 ///

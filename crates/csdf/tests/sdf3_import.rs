@@ -44,6 +44,21 @@ fn fixture_round_trips_through_the_text_format() {
 }
 
 #[test]
+fn fixture_round_trips_through_the_xml_export() {
+    let graph = text::parse_sdf3_xml(MODEM_XML).expect("fixture parses");
+    let exported = text::write_sdf3_xml(&graph);
+    let round_trip = text::parse_sdf3_xml(&exported).expect("export re-imports");
+    assert_eq!(round_trip, graph);
+
+    // Capacity annotations survive an export/import cycle too.
+    let capacities = vec![(BufferId::new(0), 6u64), (BufferId::new(3), 2u64)];
+    let sized = text::write_sdf3_xml_with_capacities(&graph, &capacities);
+    let import = text::parse_sdf3_xml_import(&sized).expect("sized export re-imports");
+    assert_eq!(import.graph, graph);
+    assert_eq!(import.buffer_capacities, capacities);
+}
+
+#[test]
 fn import_is_deterministic() {
     // Ids must be stable across re-imports, otherwise replayed capacity
     // sweeps would target the wrong buffers.

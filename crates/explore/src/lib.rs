@@ -38,7 +38,10 @@ mod sweep;
 
 pub use runner::ExploreOptions;
 pub use scenario::{Scenario, ScenarioOutcome, ScenarioSet};
-pub use storage::{min_storage_for_throughput, tighten_capacities, MinStorageOutcome};
+pub use storage::{
+    min_storage_for_throughput, min_storage_for_throughput_on, tighten_capacities,
+    MinStorageOutcome,
+};
 pub use sweep::{uniform_slack_capacity, CapacityPoint, ParetoSweep, SweepOutcome, SweepPoint};
 
 #[cfg(test)]

@@ -127,28 +127,58 @@ impl ScenarioSet {
             self.scenarios.len(),
             options,
             || kperiodic::AnalysisSession::new(self.base.clone(), options.analysis),
-            |session, index| {
-                let scenario = &self.scenarios[index];
-                // Reset whatever the previous scenario on this worker
-                // touched, then apply this scenario's overrides. The reset
-                // walks the session graph against the base markings, so it
-                // is exact whatever ran before.
-                for (buffer_index, &base_tokens) in self.base_markings.iter().enumerate() {
-                    let buffer = BufferId::new(buffer_index);
-                    if session.graph().buffer(buffer).initial_tokens() != base_tokens {
-                        session.set_initial_tokens(buffer, base_tokens)?;
-                    }
-                }
-                for &(buffer, tokens) in &scenario.markings {
-                    session.set_initial_tokens(buffer, tokens)?;
-                }
-                let result = session.evaluate()?;
-                Ok(ScenarioOutcome {
-                    name: scenario.name.clone(),
-                    result,
-                })
-            },
+            |session, index| self.evaluate_scenario(session, index),
         )
+    }
+
+    /// Evaluates every scenario on one caller-provided session — the
+    /// single-worker path a service uses to drive a pooled
+    /// [`kperiodic::AnalysisSession`] instead of building its own. Outcomes
+    /// are bit-identical to [`ScenarioSet::run`] with cold-start options.
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::ArenaGraphMismatch`] when `session` was built for a
+    /// different structure than the base graph, otherwise the first
+    /// evaluation error aborts the run.
+    pub fn run_on_session(
+        &self,
+        session: &mut kperiodic::AnalysisSession,
+    ) -> Result<Vec<ScenarioOutcome>, AnalysisError> {
+        if session.structure_fingerprint() != kperiodic::structure_fingerprint(&self.base) {
+            return Err(AnalysisError::ArenaGraphMismatch);
+        }
+        let mut outcomes = Vec::with_capacity(self.scenarios.len());
+        for index in 0..self.scenarios.len() {
+            outcomes.push(self.evaluate_scenario(session, index)?);
+        }
+        Ok(outcomes)
+    }
+
+    /// Evaluates scenario `index` on `session`: reset whatever the previous
+    /// scenario on this session touched, then apply this scenario's
+    /// overrides. The reset walks the session graph against the base
+    /// markings, so it is exact whatever ran before.
+    fn evaluate_scenario(
+        &self,
+        session: &mut kperiodic::AnalysisSession,
+        index: usize,
+    ) -> Result<ScenarioOutcome, AnalysisError> {
+        let scenario = &self.scenarios[index];
+        for (buffer_index, &base_tokens) in self.base_markings.iter().enumerate() {
+            let buffer = BufferId::new(buffer_index);
+            if session.graph().buffer(buffer).initial_tokens() != base_tokens {
+                session.set_initial_tokens(buffer, base_tokens)?;
+            }
+        }
+        for &(buffer, tokens) in &scenario.markings {
+            session.set_initial_tokens(buffer, tokens)?;
+        }
+        let result = session.evaluate()?;
+        Ok(ScenarioOutcome {
+            name: scenario.name.clone(),
+            result,
+        })
     }
 }
 

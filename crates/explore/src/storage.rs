@@ -54,6 +54,32 @@ pub fn min_storage_for_throughput(
         bound_all_buffers_tracked(graph, |_, buffer| uniform_slack_capacity(buffer, max_slack))?;
     let mut session = AnalysisSession::new(bounded.graph().clone(), options.analysis)?
         .with_warm_start(options.warm_start);
+    min_storage_for_throughput_on(&mut session, &bounded, target, max_slack)
+}
+
+/// The session-borrowing core of [`min_storage_for_throughput`]: the same
+/// binary search, driven on a caller-owned session. `bounded` must be the
+/// design the session's graph was built from (structure checked), sized so
+/// that every capacity up to [`uniform_slack_capacity`]`(buffer, max_slack)`
+/// is reachable — which [`min_storage_for_throughput`] guarantees by
+/// bounding at `max_slack`. This is the serving-path entry point: a daemon
+/// checks the session out of a [`kperiodic::SessionPool`] keyed on the
+/// bounded structure and returns it warm afterwards.
+///
+/// # Errors
+///
+/// [`AnalysisError::ArenaGraphMismatch`] when `session` was not built for
+/// `bounded`'s structure, plus the errors of [`min_storage_for_throughput`].
+pub fn min_storage_for_throughput_on(
+    session: &mut AnalysisSession,
+    bounded: &BoundedGraph,
+    target: Throughput,
+    max_slack: u64,
+) -> Result<Option<MinStorageOutcome>, AnalysisError> {
+    let max_slack = max_slack.max(1);
+    if session.structure_fingerprint() != kperiodic::structure_fingerprint(bounded.graph()) {
+        return Err(AnalysisError::ArenaGraphMismatch);
+    }
     let mut evaluations = 0usize;
 
     let mut evaluate_at =
@@ -67,7 +93,7 @@ pub fn min_storage_for_throughput(
         };
 
     // Even the most generous slack may miss the target.
-    let at_max = evaluate_at(&mut session, max_slack)?;
+    let at_max = evaluate_at(session, max_slack)?;
     if at_max.throughput < target {
         return Ok(None);
     }
@@ -77,7 +103,7 @@ pub fn min_storage_for_throughput(
     let mut best = (max_slack, at_max);
     while low < high {
         let mid = low + (high - low) / 2;
-        let probe = evaluate_at(&mut session, mid)?;
+        let probe = evaluate_at(session, mid)?;
         if probe.throughput >= target {
             high = mid;
             best = (mid, probe);

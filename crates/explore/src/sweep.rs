@@ -189,25 +189,67 @@ impl ParetoSweep {
             self.points.len(),
             options,
             || kperiodic::AnalysisSession::new(self.bounded.graph().clone(), options.analysis),
-            |session, index| {
-                let point = &self.points[index];
-                for &(forward, capacity) in &point.capacities {
-                    let reverse = reverse_of(&self.bounded, forward)?;
-                    session.set_capacity(forward, reverse, capacity)?;
-                }
-                let result = session.evaluate()?;
-                Ok(SweepPoint {
-                    label: point.label,
-                    capacities: point.capacities.clone(),
-                    total_storage: point.capacities.iter().map(|&(_, capacity)| capacity).sum(),
-                    result,
-                })
-            },
+            |session, index| self.evaluate_point(session, index),
         )?;
         Ok(SweepOutcome {
             points,
             stats,
             sessions,
+        })
+    }
+
+    /// Evaluates every point sequentially on a **borrowed** session — the
+    /// serving-path variant of [`ParetoSweep::run`]: a daemon checks a
+    /// session out of a [`kperiodic::SessionPool`] keyed on the bounded
+    /// graph's structure, runs the sweep on it, and returns it warm for the
+    /// next request. Results are identical to [`ParetoSweep::run`]'s at any
+    /// worker count (each point is bit-identical to a cold evaluation of its
+    /// design point in the default cold-start mode).
+    ///
+    /// The reported [`SweepOutcome::stats`] are the session's *lifetime*
+    /// statistics (a pooled session carries counts from earlier requests).
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::ArenaGraphMismatch`] when `session` was not built
+    /// for this sweep's bounded graph structure, plus the evaluation errors
+    /// of [`ParetoSweep::run`].
+    pub fn run_on_session(
+        &self,
+        session: &mut kperiodic::AnalysisSession,
+    ) -> Result<SweepOutcome, AnalysisError> {
+        if session.structure_fingerprint() != kperiodic::structure_fingerprint(self.bounded.graph())
+        {
+            return Err(AnalysisError::ArenaGraphMismatch);
+        }
+        let mut points = Vec::with_capacity(self.points.len());
+        for index in 0..self.points.len() {
+            points.push(self.evaluate_point(session, index)?);
+        }
+        Ok(SweepOutcome {
+            points,
+            stats: *session.stats(),
+            sessions: 1,
+        })
+    }
+
+    /// Applies one point's capacities to `session` and evaluates it.
+    fn evaluate_point(
+        &self,
+        session: &mut kperiodic::AnalysisSession,
+        index: usize,
+    ) -> Result<SweepPoint, AnalysisError> {
+        let point = &self.points[index];
+        for &(forward, capacity) in &point.capacities {
+            let reverse = reverse_of(&self.bounded, forward)?;
+            session.set_capacity(forward, reverse, capacity)?;
+        }
+        let result = session.evaluate()?;
+        Ok(SweepPoint {
+            label: point.label,
+            capacities: point.capacities.clone(),
+            total_storage: point.capacities.iter().map(|&(_, capacity)| capacity).sum(),
+            result,
         })
     }
 }

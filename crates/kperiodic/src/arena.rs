@@ -443,8 +443,10 @@ impl EventGraphArena {
 /// `initial_tokens` cache so in-place token mutations patch instead of
 /// invalidating. Collisions are astronomically unlikely and the check is
 /// advisory hardening (passing a *different but colliding* graph is outside
-/// the API contract anyway).
-fn graph_fingerprint(graph: &CsdfGraph) -> u64 {
+/// the API contract anyway). Public as
+/// [`structure_fingerprint`](crate::structure_fingerprint): the session
+/// pool routes graphs to warm arenas by this value.
+pub(crate) fn graph_fingerprint(graph: &CsdfGraph) -> u64 {
     const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
     const PRIME: u64 = 0x0000_0100_0000_01b3;
     let mut hash = OFFSET;

@@ -78,6 +78,7 @@ mod event_graph;
 mod kiter;
 mod paper_example;
 mod periodicity;
+mod pool;
 mod schedule;
 mod session;
 
@@ -99,8 +100,22 @@ pub use kiter::{
 };
 pub use paper_example::{paper_example, PaperExampleTasks};
 pub use periodicity::PeriodicityVector;
+pub use pool::{PoolStats, SessionPool};
 pub use schedule::KPeriodicSchedule;
 pub use session::AnalysisSession;
+
+/// The structure fingerprint of a graph: an FNV-1a hash over its tasks,
+/// durations, buffer endpoints and rates — everything the event-graph arena
+/// caches depend on, with the initial markings deliberately excluded
+/// (markings are a patchable input, re-derived buffer by buffer). Two graphs
+/// with equal fingerprints can share a warm [`AnalysisSession`] via
+/// [`AnalysisSession::adopt_markings`]; a [`SessionPool`] routes checkout
+/// requests by this value. Collisions are astronomically unlikely and
+/// treated as advisory hardening, exactly like
+/// [`EventGraphArena::matches_structure`].
+pub fn structure_fingerprint(graph: &csdf::CsdfGraph) -> u64 {
+    arena::graph_fingerprint(graph)
+}
 
 #[cfg(test)]
 mod tests {

@@ -120,6 +120,47 @@ impl AnalysisSession {
         &self.repetition
     }
 
+    /// The structure fingerprint of the session's graph (see
+    /// [`structure_fingerprint`](crate::structure_fingerprint)). Marking
+    /// mutations never change it, so it is stable for the whole session
+    /// lifetime — the key a [`SessionPool`](crate::SessionPool) files this
+    /// session under.
+    pub fn structure_fingerprint(&self) -> u64 {
+        crate::arena::graph_fingerprint(&self.graph)
+    }
+
+    /// Re-targets the session at `graph`'s initial markings: every buffer
+    /// whose marking differs is mutated in place, so the next evaluation
+    /// re-derives exactly those buffers' constraint arcs and reuses
+    /// everything else. Returns the number of buffers re-marked.
+    ///
+    /// `graph` must be *structurally* identical to the session's graph (same
+    /// tasks, durations, buffer endpoints and rates — the
+    /// [`AnalysisSession::structure_fingerprint`] contract); this is how a
+    /// [`SessionPool`](crate::SessionPool) lands a client's graph on a warm
+    /// arena.
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::ArenaGraphMismatch`] when `graph` differs
+    /// structurally from the session's graph (the session is unchanged).
+    pub fn adopt_markings(&mut self, graph: &CsdfGraph) -> Result<usize, AnalysisError> {
+        if self.graph.task_count() != graph.task_count()
+            || self.graph.buffer_count() != graph.buffer_count()
+            || self.structure_fingerprint() != crate::arena::graph_fingerprint(graph)
+        {
+            return Err(AnalysisError::ArenaGraphMismatch);
+        }
+        let mut adopted = 0usize;
+        for (buffer, target) in graph.buffers() {
+            if self.graph.buffer(buffer).initial_tokens() != target.initial_tokens() {
+                self.set_initial_tokens(buffer, target.initial_tokens())?;
+                adopted += 1;
+            }
+        }
+        Ok(adopted)
+    }
+
     /// The options every evaluation runs with.
     pub fn options(&self) -> &KIterOptions {
         &self.options

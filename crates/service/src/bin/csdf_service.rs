@@ -1,0 +1,132 @@
+//! The analysis daemon.
+//!
+//! Default mode reads line-delimited JSON requests from stdin until EOF,
+//! fans them over the worker pool, and writes the responses to stdout in
+//! request order. With `--socket PATH` it serves streaming connections on a
+//! Unix socket instead (one response per request line, flushed
+//! immediately). Either way, pool and cache statistics go to stderr as one
+//! JSON line on exit.
+//!
+//! ```text
+//! csdf_service [--socket PATH] [--workers N] [--pool N] [--cache N]
+//!              [--max-connections N]
+//! ```
+
+use std::io::Write;
+use std::process::ExitCode;
+
+use csdf_service::{Daemon, ServiceConfig};
+
+struct Args {
+    socket: Option<std::path::PathBuf>,
+    max_connections: Option<usize>,
+    config: ServiceConfig,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        socket: None,
+        max_connections: None,
+        config: ServiceConfig::default(),
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value = |flag: &str| argv.next().ok_or_else(|| format!("{flag} expects a value"));
+        match flag.as_str() {
+            "--socket" => args.socket = Some(value("--socket")?.into()),
+            "--max-connections" => {
+                args.max_connections = Some(
+                    value("--max-connections")?
+                        .parse()
+                        .map_err(|_| "--max-connections expects an integer".to_string())?,
+                );
+            }
+            "--workers" => {
+                args.config.workers = value("--workers")?
+                    .parse()
+                    .map_err(|_| "--workers expects an integer".to_string())?;
+            }
+            "--pool" => {
+                args.config.pool_capacity = value("--pool")?
+                    .parse()
+                    .map_err(|_| "--pool expects an integer".to_string())?;
+            }
+            "--cache" => {
+                args.config.cache_capacity = value("--cache")?
+                    .parse()
+                    .map_err(|_| "--cache expects an integer".to_string())?;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: csdf_service [--socket PATH] [--workers N] [--pool N] [--cache N] [--max-connections N]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("csdf_service: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let daemon = Daemon::new(args.config);
+    let served = match &args.socket {
+        Some(path) => serve_socket(&daemon, path, args.max_connections),
+        None => serve_stdin(&daemon),
+    };
+    let pool = daemon.pool_stats();
+    let cache = daemon.cache_stats();
+    eprintln!(
+        "{{\"checkouts\":{},\"warm\":{},\"cold\":{},\"warm_hit_rate\":{:.4},\"cache_hits\":{},\"cache_misses\":{}}}",
+        pool.checkouts,
+        pool.warm,
+        pool.cold,
+        pool.warm_hit_rate(),
+        cache.hits,
+        cache.misses
+    );
+    match served {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(error) => {
+            eprintln!("csdf_service: {error}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn serve_stdin(daemon: &Daemon) -> std::io::Result<()> {
+    let input = std::io::read_to_string(std::io::stdin())?;
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for response in daemon.run_batch(&input) {
+        writeln!(out, "{response}")?;
+    }
+    out.flush()
+}
+
+#[cfg(unix)]
+fn serve_socket(
+    daemon: &Daemon,
+    path: &std::path::Path,
+    max_connections: Option<usize>,
+) -> std::io::Result<()> {
+    daemon.serve_unix(path, max_connections)
+}
+
+#[cfg(not(unix))]
+fn serve_socket(
+    _daemon: &Daemon,
+    _path: &std::path::Path,
+    _max_connections: Option<usize>,
+) -> std::io::Result<()> {
+    Err(std::io::Error::other(
+        "--socket requires a Unix platform; use the stdin batch mode",
+    ))
+}

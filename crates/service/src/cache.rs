@@ -1,0 +1,212 @@
+//! A bounded LRU cache of evaluate results.
+//!
+//! The cache key is exact, not heuristic: the graph's structure fingerprint
+//! ([`kperiodic::structure_fingerprint`], which covers tasks, durations,
+//! buffer endpoints and rates), the full marking vector (the one input the
+//! fingerprint deliberately excludes) and a seed derived from the daemon's
+//! analysis options. Any structural change — a task added, a rate edited, a
+//! duration tweaked — changes the fingerprint and therefore misses: a cached
+//! result can never outlive a structure change (asserted in the crate's
+//! test-suite). Collisions of the 64-bit fingerprint itself are the same
+//! astronomically-unlikely event the session pool already tolerates.
+
+use csdf::CsdfGraph;
+use kperiodic::{KIterOptions, KIterResult};
+
+/// The exact identity of an evaluate request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheKey {
+    fingerprint: u64,
+    markings: Vec<u64>,
+    options_seed: u64,
+}
+
+impl CacheKey {
+    /// Builds the key for evaluating `graph` under `options`.
+    pub fn new(graph: &CsdfGraph, options: &KIterOptions) -> CacheKey {
+        CacheKey {
+            fingerprint: kperiodic::structure_fingerprint(graph),
+            markings: graph
+                .buffers()
+                .map(|(_, buffer)| buffer.initial_tokens())
+                .collect(),
+            options_seed: options_seed(options),
+        }
+    }
+}
+
+/// FNV-1a over the debug rendering of the options: every field that changes
+/// evaluation semantics shows up in the derived `Debug` output, so two
+/// option sets hash alike only when they evaluate alike.
+fn options_seed(options: &KIterOptions) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in format!("{options:?}").bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Hit/miss counters of a [`ResultCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups that found a cached result.
+    pub hits: usize,
+    /// Lookups that found nothing.
+    pub misses: usize,
+    /// Entries evicted over capacity.
+    pub evicted: usize,
+}
+
+#[derive(Debug)]
+struct Entry {
+    key: CacheKey,
+    result: KIterResult,
+    /// Monotonic last-use stamp; the smallest stamp is evicted first.
+    stamp: u64,
+}
+
+/// A bounded least-recently-used map from [`CacheKey`] to [`KIterResult`].
+///
+/// Linear scan on lookup: the cache holds at most a few hundred entries and
+/// sits behind a mutex next to evaluations that are orders of magnitude more
+/// expensive, so simplicity wins over asymptotics.
+#[derive(Debug)]
+pub struct ResultCache {
+    capacity: usize,
+    entries: Vec<Entry>,
+    next_stamp: u64,
+    stats: CacheStats,
+}
+
+impl ResultCache {
+    /// Creates a cache keeping at most `capacity` results (`0` is `1`).
+    pub fn new(capacity: usize) -> ResultCache {
+        ResultCache {
+            capacity: capacity.max(1),
+            entries: Vec::new(),
+            next_stamp: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Looks a key up, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &CacheKey) -> Option<KIterResult> {
+        let found = self.entries.iter_mut().find(|entry| entry.key == *key);
+        match found {
+            Some(entry) => {
+                entry.stamp = self.next_stamp;
+                self.next_stamp += 1;
+                self.stats.hits += 1;
+                Some(entry.result.clone())
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores a result, evicting the least recently used entry over
+    /// capacity. An existing entry for the key is replaced.
+    pub fn insert(&mut self, key: CacheKey, result: KIterResult) {
+        if let Some(entry) = self.entries.iter_mut().find(|entry| entry.key == key) {
+            entry.result = result;
+            entry.stamp = self.next_stamp;
+            self.next_stamp += 1;
+            return;
+        }
+        self.entries.push(Entry {
+            key,
+            result,
+            stamp: self.next_stamp,
+        });
+        self.next_stamp += 1;
+        while self.entries.len() > self.capacity {
+            let oldest = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, entry)| entry.stamp)
+                .map(|(index, _)| index)
+                .expect("over-capacity cache is non-empty");
+            self.entries.swap_remove(oldest);
+            self.stats.evicted += 1;
+        }
+    }
+
+    /// Number of cached results.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Hit/miss counters.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csdf::CsdfGraphBuilder;
+    use kperiodic::optimal_throughput;
+
+    fn ring(duration: u64, tokens: u64) -> CsdfGraph {
+        let mut b = CsdfGraphBuilder::new();
+        let x = b.add_sdf_task("x", duration);
+        let y = b.add_sdf_task("y", 1);
+        b.add_sdf_buffer(x, y, 1, 1, 0);
+        b.add_sdf_buffer(y, x, 1, 1, tokens);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn hits_require_identical_structure_markings_and_options() {
+        let options = KIterOptions::default();
+        let mut cache = ResultCache::new(8);
+        let graph = ring(2, 3);
+        let result = optimal_throughput(&graph).unwrap();
+        cache.insert(CacheKey::new(&graph, &options), result.clone());
+
+        assert_eq!(cache.get(&CacheKey::new(&graph, &options)), Some(result));
+        // A marking change misses.
+        assert_eq!(cache.get(&CacheKey::new(&ring(2, 4), &options)), None);
+        // A structure change (duration) misses: the cached result did not
+        // outlive the change.
+        assert_eq!(cache.get(&CacheKey::new(&ring(3, 3), &options)), None);
+        // An options change misses.
+        let record = KIterOptions {
+            record_history: true,
+            ..KIterOptions::default()
+        };
+        assert_eq!(cache.get(&CacheKey::new(&graph, &record)), None);
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 3);
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_used() {
+        let options = KIterOptions::default();
+        let mut cache = ResultCache::new(2);
+        let result = optimal_throughput(&ring(1, 1)).unwrap();
+        let keys: Vec<CacheKey> = (1..=3u64)
+            .map(|tokens| CacheKey::new(&ring(1, tokens), &options))
+            .collect();
+        cache.insert(keys[0].clone(), result.clone());
+        cache.insert(keys[1].clone(), result.clone());
+        // Refresh key 0, then overflow: key 1 is the LRU and must go.
+        assert!(cache.get(&keys[0]).is_some());
+        cache.insert(keys[2].clone(), result.clone());
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&keys[0]).is_some());
+        assert!(cache.get(&keys[1]).is_none());
+        assert!(cache.get(&keys[2]).is_some());
+        assert_eq!(cache.stats().evicted, 1);
+    }
+}

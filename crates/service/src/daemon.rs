@@ -1,0 +1,405 @@
+//! The daemon: session pool + result cache + request scheduler.
+
+use std::io::{BufRead, BufReader, Write};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use csdf::transform::bound_all_buffers_tracked;
+use csdf::{CsdfGraph, TaskId};
+use csdf_explore::{
+    min_storage_for_throughput_on, uniform_slack_capacity, ParetoSweep, ScenarioSet,
+};
+use kperiodic::{
+    AnalysisError, AnalysisSession, KIterOptions, KIterResult, PoolStats, SessionPool,
+};
+
+use crate::cache::{CacheKey, CacheStats, ResultCache};
+use crate::json::Json;
+use crate::protocol::{parse_request, throughput_to_string, RequestBody};
+
+/// Configuration of a [`Daemon`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceConfig {
+    /// The K-Iter options every pooled session evaluates with.
+    pub options: KIterOptions,
+    /// Maximum idle sessions kept warm (see [`SessionPool`]).
+    pub pool_capacity: usize,
+    /// Maximum cached evaluate results (see [`ResultCache`]).
+    pub cache_capacity: usize,
+    /// Worker threads a batch is fanned over ([`Daemon::run_batch`];
+    /// `0` is treated as `1`). Streaming transports answer in-line and
+    /// ignore this.
+    pub workers: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            options: KIterOptions::default(),
+            pool_capacity: 16,
+            cache_capacity: 256,
+            workers: 4,
+        }
+    }
+}
+
+/// A throughput-analysis daemon.
+///
+/// One daemon owns a [`SessionPool`] (warm [`AnalysisSession`]s routed by
+/// structure fingerprint) and a [`ResultCache`] (exact-keyed evaluate
+/// results), both behind mutexes held only for checkout/return and
+/// lookup/insert — never across an evaluation — so any number of transport
+/// threads and batch workers can share one daemon. Every response is
+/// **bit-identical** to the corresponding direct library call on a cold
+/// session, whatever mix of requests ran before: warm sessions re-target
+/// markings without keeping K state, and the cache key is exact.
+///
+/// Transports: [`Daemon::run_batch`] (a batch of lines fanned over a scoped
+/// worker pool, responses in request order), [`Daemon::serve_lines`]
+/// (streaming line/response over any reader/writer pair, e.g. stdin/stdout)
+/// and [`Daemon::serve_unix`] (a Unix socket, one streaming connection per
+/// thread).
+///
+/// # Examples
+///
+/// ```
+/// use csdf_service::{Daemon, ServiceConfig};
+///
+/// let daemon = Daemon::new(ServiceConfig::default());
+/// let request = r#"{"id":1,"type":"evaluate","graph":{"format":"text","source":"graph g\ntask a durations=1\ntask b durations=1\nbuffer a -> b prod=1 cons=1 tokens=0\nbuffer b -> a prod=1 cons=1 tokens=1\n"}}"#;
+/// let response = daemon.handle_line(request);
+/// assert!(response.contains(r#""status":"ok""#));
+/// assert!(response.contains(r#""throughput":"1/2""#));
+/// ```
+#[derive(Debug)]
+pub struct Daemon {
+    config: ServiceConfig,
+    pool: Mutex<SessionPool>,
+    cache: Mutex<ResultCache>,
+}
+
+impl Daemon {
+    /// Creates a daemon with the given configuration.
+    pub fn new(config: ServiceConfig) -> Daemon {
+        Daemon {
+            pool: Mutex::new(SessionPool::new(config.options, config.pool_capacity)),
+            cache: Mutex::new(ResultCache::new(config.cache_capacity)),
+            config,
+        }
+    }
+
+    /// The daemon's configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Session-pool counters so far (checkouts, warm hit rate, evictions).
+    pub fn pool_stats(&self) -> PoolStats {
+        *self.pool.lock().expect("pool poisoned").stats()
+    }
+
+    /// Result-cache counters so far.
+    pub fn cache_stats(&self) -> CacheStats {
+        *self.cache.lock().expect("cache poisoned").stats()
+    }
+
+    /// Handles one request line and renders the one response line (without
+    /// trailing newline). Never panics on malformed input: every failure
+    /// becomes an `{"status":"error"}` response echoing the request id when
+    /// one could be read.
+    pub fn handle_line(&self, line: &str) -> String {
+        let (id, outcome) = match parse_request(line) {
+            Err((id, message)) => (id, Err((None, message))),
+            Ok(request) => (
+                request.id,
+                match self.dispatch(&request.body) {
+                    Ok(fields) => Ok((request.body.kind(), fields)),
+                    Err(message) => Err((Some(request.body.kind()), message)),
+                },
+            ),
+        };
+        let id_value = match id {
+            Some(id) => Json::Int(id),
+            None => Json::Null,
+        };
+        let mut entries = vec![("id".to_string(), id_value)];
+        match outcome {
+            Ok((kind, fields)) => {
+                entries.push(("type".to_string(), Json::Str(kind.to_string())));
+                entries.push(("status".to_string(), Json::Str("ok".to_string())));
+                entries.extend(fields);
+            }
+            Err((kind, message)) => {
+                if let Some(kind) = kind {
+                    entries.push(("type".to_string(), Json::Str(kind.to_string())));
+                }
+                entries.push(("status".to_string(), Json::Str("error".to_string())));
+                entries.push(("error".to_string(), Json::Str(message)));
+            }
+        }
+        Json::Object(entries).to_string()
+    }
+
+    /// Runs a batch of request lines (blank lines skipped) over the
+    /// configured worker pool and returns the responses **in request
+    /// order** — workers race through a shared cursor, but each tags its
+    /// responses with the request index and the batch is re-assembled
+    /// deterministically before returning.
+    pub fn run_batch(&self, input: &str) -> Vec<String> {
+        let lines: Vec<&str> = input
+            .lines()
+            .filter(|line| !line.trim().is_empty())
+            .collect();
+        let workers = self.config.workers.max(1).min(lines.len().max(1));
+        let cursor = AtomicUsize::new(0);
+        let mut responses: Vec<Option<String>> = Vec::new();
+        responses.resize_with(lines.len(), || None);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut handled = Vec::new();
+                        loop {
+                            let index = cursor.fetch_add(1, Ordering::Relaxed);
+                            if index >= lines.len() {
+                                break;
+                            }
+                            handled.push((index, self.handle_line(lines[index])));
+                        }
+                        handled
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (index, response) in handle.join().expect("batch worker panicked") {
+                    responses[index] = Some(response);
+                }
+            }
+        });
+        responses
+            .into_iter()
+            .map(|response| response.expect("every request index is handled"))
+            .collect()
+    }
+
+    /// Streams requests from `reader` to `writer`: one response line per
+    /// request line, flushed immediately, blank lines skipped. Returns when
+    /// the reader reaches end of input.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors from the reader or writer.
+    pub fn serve_lines<R: BufRead, W: Write>(
+        &self,
+        reader: R,
+        mut writer: W,
+    ) -> std::io::Result<()> {
+        for line in reader.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            writeln!(writer, "{}", self.handle_line(&line))?;
+            writer.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Serves streaming connections on a Unix socket at `path` (an existing
+    /// socket file is replaced). Each connection gets its own thread running
+    /// [`Daemon::serve_lines`]; all connections share this daemon's pool and
+    /// cache. With `max_connections`, returns after that many connections
+    /// have been **accepted** (their threads are joined before returning) —
+    /// pass `None` to serve forever.
+    ///
+    /// # Errors
+    ///
+    /// Socket bind/accept errors; per-connection I/O errors only terminate
+    /// that connection.
+    #[cfg(unix)]
+    pub fn serve_unix(
+        &self,
+        path: &std::path::Path,
+        max_connections: Option<usize>,
+    ) -> std::io::Result<()> {
+        let _ = std::fs::remove_file(path);
+        let listener = std::os::unix::net::UnixListener::bind(path)?;
+        std::thread::scope(|scope| {
+            for (accepted, stream) in listener.incoming().enumerate() {
+                let stream = stream?;
+                scope.spawn(move || {
+                    let reader = BufReader::new(&stream);
+                    let _ = self.serve_lines(reader, &stream);
+                });
+                if max_connections.is_some_and(|max| accepted + 1 >= max) {
+                    break;
+                }
+            }
+            Ok(())
+        })
+    }
+
+    /// Checks a session out of the pool for `graph`, runs `work` on it
+    /// outside any lock, and returns the session to the pool — also on
+    /// failure: a failed evaluation leaves a session usable (its next
+    /// evaluation rebuilds from scratch), and keeping it pooled preserves
+    /// the warm arena for the next request of this structure.
+    fn with_session<T>(
+        &self,
+        graph: &CsdfGraph,
+        work: impl FnOnce(&mut AnalysisSession) -> Result<T, AnalysisError>,
+    ) -> Result<T, String> {
+        let mut session = self
+            .pool
+            .lock()
+            .expect("pool poisoned")
+            .checkout(graph)
+            .map_err(|error| error.to_string())?;
+        let outcome = work(&mut session);
+        self.pool.lock().expect("pool poisoned").give_back(session);
+        outcome.map_err(|error| error.to_string())
+    }
+
+    /// Dispatches one request body to the matching handler, returning the
+    /// response's payload fields.
+    fn dispatch(&self, body: &RequestBody) -> Result<Vec<(String, Json)>, String> {
+        match body {
+            RequestBody::Evaluate { graph } => {
+                let graph = graph.load()?;
+                let key = CacheKey::new(&graph, &self.config.options);
+                if let Some(result) = self.cache.lock().expect("cache poisoned").get(&key) {
+                    return Ok(evaluate_fields(&result, "hit"));
+                }
+                let result = self.with_session(&graph, AnalysisSession::evaluate)?;
+                self.cache
+                    .lock()
+                    .expect("cache poisoned")
+                    .insert(key, result.clone());
+                Ok(evaluate_fields(&result, "miss"))
+            }
+            RequestBody::Sweep { graph, slacks } => {
+                let graph = graph.load()?;
+                let sweep = ParetoSweep::uniform_slack(&graph, slacks)
+                    .map_err(|error| error.to_string())?;
+                let outcome = self.with_session(sweep.bounded().graph(), |session| {
+                    sweep.run_on_session(session)
+                })?;
+                let points: Vec<Json> = outcome
+                    .points
+                    .iter()
+                    .map(|point| {
+                        Json::Object(vec![
+                            ("slack".to_string(), Json::Int(point.label.into())),
+                            (
+                                "total_storage".to_string(),
+                                Json::Int(point.total_storage.into()),
+                            ),
+                            (
+                                "throughput".to_string(),
+                                Json::Str(throughput_to_string(point.throughput())),
+                            ),
+                            (
+                                "iterations".to_string(),
+                                Json::Int(point.result.iterations as i128),
+                            ),
+                        ])
+                    })
+                    .collect();
+                let frontier: Vec<Json> = outcome
+                    .pareto_frontier()
+                    .iter()
+                    .map(|point| Json::Int(point.label.into()))
+                    .collect();
+                Ok(vec![
+                    ("points".to_string(), Json::Array(points)),
+                    ("frontier".to_string(), Json::Array(frontier)),
+                ])
+            }
+            RequestBody::MinStorage {
+                graph,
+                target,
+                max_slack,
+            } => {
+                let graph = graph.load()?;
+                let max_slack = (*max_slack).max(1);
+                let bounded = bound_all_buffers_tracked(&graph, |_, buffer| {
+                    uniform_slack_capacity(buffer, max_slack)
+                })
+                .map_err(|error| error.to_string())?;
+                let outcome = self.with_session(bounded.graph(), |session| {
+                    min_storage_for_throughput_on(session, &bounded, *target, max_slack)
+                })?;
+                match outcome {
+                    None => Ok(vec![("feasible".to_string(), Json::Bool(false))]),
+                    Some(outcome) => Ok(vec![
+                        ("feasible".to_string(), Json::Bool(true)),
+                        ("slack".to_string(), Json::Int(outcome.slack.into())),
+                        (
+                            "total_storage".to_string(),
+                            Json::Int(outcome.total_storage.into()),
+                        ),
+                        (
+                            "throughput".to_string(),
+                            Json::Str(throughput_to_string(outcome.result.throughput)),
+                        ),
+                        (
+                            "evaluations".to_string(),
+                            Json::Int(outcome.evaluations as i128),
+                        ),
+                    ]),
+                }
+            }
+            RequestBody::ScenarioSet { graph, scenarios } => {
+                let graph = graph.load()?;
+                let mut set = ScenarioSet::new(graph);
+                for scenario in scenarios {
+                    set.add(scenario.name.clone(), scenario.markings.clone());
+                }
+                let outcomes =
+                    self.with_session(set.base(), |session| set.run_on_session(session))?;
+                let rendered: Vec<Json> = outcomes
+                    .iter()
+                    .map(|outcome| {
+                        Json::Object(vec![
+                            ("name".to_string(), Json::Str(outcome.name.clone())),
+                            (
+                                "throughput".to_string(),
+                                Json::Str(throughput_to_string(outcome.result.throughput)),
+                            ),
+                            (
+                                "iterations".to_string(),
+                                Json::Int(outcome.result.iterations as i128),
+                            ),
+                        ])
+                    })
+                    .collect();
+                Ok(vec![("scenarios".to_string(), Json::Array(rendered))])
+            }
+        }
+    }
+}
+
+/// The payload fields of an evaluate response.
+fn evaluate_fields(result: &KIterResult, cache: &str) -> Vec<(String, Json)> {
+    let periodicity: Vec<Json> = (0..result.periodicity.len())
+        .map(|index| Json::Int(result.periodicity.get(TaskId::new(index)).into()))
+        .collect();
+    let critical: Vec<Json> = result
+        .critical_tasks
+        .iter()
+        .map(|task| Json::Int(task.index() as i128))
+        .collect();
+    vec![
+        ("cache".to_string(), Json::Str(cache.to_string())),
+        (
+            "throughput".to_string(),
+            Json::Str(throughput_to_string(result.throughput)),
+        ),
+        (
+            "iterations".to_string(),
+            Json::Int(result.iterations as i128),
+        ),
+        ("periodicity".to_string(), Json::Array(periodicity)),
+        ("critical_tasks".to_string(), Json::Array(critical)),
+    ]
+}

@@ -1,0 +1,36 @@
+//! A throughput-analysis service for CSDF graphs.
+//!
+//! The workspace's analyses — optimal throughput ([`kperiodic`]),
+//! Pareto sweeps, minimal-storage searches and scenario studies
+//! ([`csdf_explore`]) — are library calls that pay a per-graph setup cost
+//! (arena construction, solver scratch). This crate packages them as a
+//! long-running daemon so that cost is paid once per graph *structure*, not
+//! once per request:
+//!
+//! - [`protocol`]: line-delimited JSON requests/responses (hand-rolled in
+//!   [`json`], no dependencies), with SDF3 XML or the workspace text format
+//!   as inline graph encodings and exact `"num/den"` throughput strings.
+//! - [`Daemon`]: owns a [`kperiodic::SessionPool`] (warm
+//!   [`kperiodic::AnalysisSession`]s routed by structure fingerprint) and a
+//!   bounded LRU [`ResultCache`] of evaluate results, and fans batches over
+//!   a scoped worker pool with deterministic response ordering.
+//! - Transports: a stdin/stdout batch mode and a Unix-socket streaming mode
+//!   (`csdf_service` binary), both answering through the same
+//!   [`Daemon::handle_line`] so responses are bit-identical across
+//!   transports and to direct library calls.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod daemon;
+pub mod json;
+pub mod protocol;
+
+pub use cache::{CacheKey, CacheStats, ResultCache};
+pub use daemon::{Daemon, ServiceConfig};
+pub use json::Json;
+pub use protocol::{
+    parse_request, parse_throughput, throughput_to_string, GraphFormat, GraphSpec, Request,
+    RequestBody, ScenarioSpec,
+};

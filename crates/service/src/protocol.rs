@@ -1,0 +1,425 @@
+//! The request/response protocol of the analysis service.
+//!
+//! One request is one line of JSON; the matching response is one line of
+//! JSON echoing the request's `id`. Requests carry their graph inline as a
+//! string in one of the workspace's two serialisation formats, so the
+//! protocol needs no out-of-band state:
+//!
+//! ```json
+//! {"id":1,"type":"evaluate","graph":{"format":"sdf3","source":"<sdf3 ...>"}}
+//! {"id":2,"type":"sweep","graph":{...},"slacks":[1,2,4]}
+//! {"id":3,"type":"min_storage","graph":{...},"target":"2/7","max_slack":64}
+//! {"id":4,"type":"scenario_set","graph":{...},"scenarios":[
+//!     {"name":"tight","markings":[[3,1]]}]}
+//! ```
+//!
+//! Graph `format` is `"sdf3"` (the SDF3 XML wire format, see
+//! [`csdf::text::write_sdf3_xml`]) or `"text"` (the line format of
+//! [`csdf::text::parse`]). SDF3 `bufferSize` channel annotations are
+//! honoured: the graph is evaluated with those channels bounded to the
+//! annotated capacities (see [`GraphSpec::load`]).
+//!
+//! Throughputs cross the wire as exact strings — `"num/den"`, `"unbounded"`
+//! or `"deadlock"` — never floats, so responses can be compared bit-for-bit
+//! against direct library calls.
+
+use csdf::transform::{bound_buffers, BufferCapacity};
+use csdf::{BufferId, CsdfGraph, Rational, Throughput};
+
+use crate::json::Json;
+
+/// The serialisation format of an inline graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphFormat {
+    /// SDF3 XML ([`csdf::text::parse_sdf3_xml_import`]).
+    Sdf3,
+    /// The workspace line format ([`csdf::text::parse`]).
+    Text,
+}
+
+/// A graph shipped inline with a request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphSpec {
+    /// How `source` is encoded.
+    pub format: GraphFormat,
+    /// The serialised graph.
+    pub source: String,
+}
+
+impl GraphSpec {
+    /// Parses the inline source into the graph the request is about. SDF3
+    /// `bufferSize` annotations are applied on the spot: the annotated
+    /// channels are bounded to their capacities
+    /// ([`csdf::transform::bound_buffers_tracked`]), so the returned graph
+    /// is exactly what a direct library call on the bounded design would
+    /// analyse.
+    ///
+    /// # Errors
+    ///
+    /// The rendered parse/model error.
+    pub fn load(&self) -> Result<CsdfGraph, String> {
+        match self.format {
+            GraphFormat::Text => csdf::text::parse(&self.source).map_err(|error| error.to_string()),
+            GraphFormat::Sdf3 => {
+                let import = csdf::text::parse_sdf3_xml_import(&self.source)
+                    .map_err(|error| error.to_string())?;
+                if import.buffer_capacities.is_empty() {
+                    return Ok(import.graph);
+                }
+                let assignments: Vec<BufferCapacity> = import
+                    .buffer_capacities
+                    .iter()
+                    .map(|&(buffer, capacity)| BufferCapacity { buffer, capacity })
+                    .collect();
+                bound_buffers(&import.graph, &assignments).map_err(|error| error.to_string())
+            }
+        }
+    }
+
+    fn from_json(value: &Json) -> Result<GraphSpec, String> {
+        let format = match value.get("format").and_then(Json::as_str) {
+            Some("sdf3") => GraphFormat::Sdf3,
+            Some("text") => GraphFormat::Text,
+            Some(other) => return Err(format!("unknown graph format `{other}`")),
+            None => return Err("`graph.format` must be \"sdf3\" or \"text\"".to_string()),
+        };
+        let source = value
+            .get("source")
+            .and_then(Json::as_str)
+            .ok_or("`graph.source` must be a string")?
+            .to_string();
+        Ok(GraphSpec { format, source })
+    }
+}
+
+/// One named marking-override scenario of a `scenario_set` request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioSpec {
+    /// Scenario name, echoed in the response.
+    pub name: String,
+    /// `(buffer id, initial tokens)` overrides.
+    pub markings: Vec<(BufferId, u64)>,
+}
+
+/// The request types the daemon serves.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestBody {
+    /// Optimal throughput of the graph (K-Iter).
+    Evaluate {
+        /// The graph to evaluate.
+        graph: GraphSpec,
+    },
+    /// A uniform-slack Pareto sweep ([`csdf_explore::ParetoSweep`]).
+    Sweep {
+        /// The graph to bound and sweep.
+        graph: GraphSpec,
+        /// The slack values to evaluate, in response order.
+        slacks: Vec<u64>,
+    },
+    /// Smallest uniform slack reaching a target throughput
+    /// ([`csdf_explore::min_storage_for_throughput_on`]).
+    MinStorage {
+        /// The graph to bound.
+        graph: GraphSpec,
+        /// The throughput to reach.
+        target: Throughput,
+        /// Largest slack to consider.
+        max_slack: u64,
+    },
+    /// Marking scenarios over one base graph
+    /// ([`csdf_explore::ScenarioSet`]).
+    ScenarioSet {
+        /// The base graph.
+        graph: GraphSpec,
+        /// The scenarios, in response order.
+        scenarios: Vec<ScenarioSpec>,
+    },
+}
+
+impl RequestBody {
+    /// The `type` string of this request.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            RequestBody::Evaluate { .. } => "evaluate",
+            RequestBody::Sweep { .. } => "sweep",
+            RequestBody::MinStorage { .. } => "min_storage",
+            RequestBody::ScenarioSet { .. } => "scenario_set",
+        }
+    }
+}
+
+/// One parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// The client's correlation id, echoed verbatim in the response.
+    pub id: Option<i128>,
+    /// What to do.
+    pub body: RequestBody,
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// A human-readable message (the daemon wraps it in an error response). When
+/// the line carries a readable `id` despite the error, it is returned too so
+/// the error response can still be correlated.
+pub fn parse_request(line: &str) -> Result<Request, (Option<i128>, String)> {
+    let value = Json::parse(line).map_err(|error| (None, error))?;
+    let id = value.get("id").and_then(Json::as_i128);
+    let fail = |message: String| (id, message);
+    let graph = || -> Result<GraphSpec, (Option<i128>, String)> {
+        let spec = value
+            .get("graph")
+            .ok_or_else(|| fail("missing `graph`".to_string()))?;
+        GraphSpec::from_json(spec).map_err(fail)
+    };
+    let body = match value.get("type").and_then(Json::as_str) {
+        Some("evaluate") => RequestBody::Evaluate { graph: graph()? },
+        Some("sweep") => {
+            let slacks = value
+                .get("slacks")
+                .and_then(Json::as_array)
+                .ok_or_else(|| fail("`slacks` must be an array of integers".to_string()))?
+                .iter()
+                .map(|entry| entry.as_u64())
+                .collect::<Option<Vec<u64>>>()
+                .ok_or_else(|| {
+                    fail("`slacks` entries must be non-negative integers".to_string())
+                })?;
+            if slacks.is_empty() {
+                return Err(fail("`slacks` must not be empty".to_string()));
+            }
+            RequestBody::Sweep {
+                graph: graph()?,
+                slacks,
+            }
+        }
+        Some("min_storage") => {
+            let target = value
+                .get("target")
+                .and_then(Json::as_str)
+                .ok_or_else(|| fail("`target` must be a throughput string".to_string()))?;
+            let target = parse_throughput(target).map_err(fail)?;
+            let max_slack = match value.get("max_slack") {
+                None => 64,
+                Some(entry) => entry.as_u64().ok_or_else(|| {
+                    fail("`max_slack` must be a non-negative integer".to_string())
+                })?,
+            };
+            RequestBody::MinStorage {
+                graph: graph()?,
+                target,
+                max_slack,
+            }
+        }
+        Some("scenario_set") => {
+            let scenarios = value
+                .get("scenarios")
+                .and_then(Json::as_array)
+                .ok_or_else(|| fail("`scenarios` must be an array".to_string()))?
+                .iter()
+                .map(parse_scenario)
+                .collect::<Result<Vec<ScenarioSpec>, String>>()
+                .map_err(fail)?;
+            RequestBody::ScenarioSet {
+                graph: graph()?,
+                scenarios,
+            }
+        }
+        Some(other) => return Err(fail(format!("unknown request type `{other}`"))),
+        None => return Err(fail("missing `type`".to_string())),
+    };
+    Ok(Request { id, body })
+}
+
+fn parse_scenario(value: &Json) -> Result<ScenarioSpec, String> {
+    let name = value
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or("scenario `name` must be a string")?
+        .to_string();
+    let markings = value
+        .get("markings")
+        .and_then(Json::as_array)
+        .unwrap_or(&[])
+        .iter()
+        .map(|pair| {
+            let pair = pair.as_array().filter(|pair| pair.len() == 2);
+            let buffer = pair.and_then(|p| p[0].as_u64());
+            let tokens = pair.and_then(|p| p[1].as_u64());
+            match (buffer, tokens) {
+                (Some(buffer), Some(tokens)) => Ok((BufferId::new(buffer as usize), tokens)),
+                _ => Err(format!(
+                    "scenario `{name}` markings must be [buffer, tokens] integer pairs"
+                )),
+            }
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(ScenarioSpec { name, markings })
+}
+
+/// Renders a throughput as its exact wire string: `"num/den"` (always with
+/// the denominator, even when 1), `"unbounded"` or `"deadlock"`.
+pub fn throughput_to_string(value: Throughput) -> String {
+    match value {
+        Throughput::Finite(rational) => format!("{}/{}", rational.numer(), rational.denom()),
+        Throughput::Unbounded => "unbounded".to_string(),
+        Throughput::Deadlocked => "deadlock".to_string(),
+    }
+}
+
+/// Parses the wire form accepted for throughput targets: `"num/den"`, a
+/// plain integer string, `"unbounded"` or `"deadlock"`.
+///
+/// # Errors
+///
+/// A human-readable message for anything else (including zero denominators).
+pub fn parse_throughput(text: &str) -> Result<Throughput, String> {
+    match text.trim() {
+        "unbounded" => Ok(Throughput::Unbounded),
+        "deadlock" => Ok(Throughput::Deadlocked),
+        trimmed => {
+            let (numer, denom) = match trimmed.split_once('/') {
+                Some((numer, denom)) => (
+                    numer
+                        .trim()
+                        .parse::<i128>()
+                        .map_err(|_| format!("invalid throughput numerator in `{trimmed}`"))?,
+                    denom
+                        .trim()
+                        .parse::<i128>()
+                        .map_err(|_| format!("invalid throughput denominator in `{trimmed}`"))?,
+                ),
+                None => (
+                    trimmed
+                        .parse::<i128>()
+                        .map_err(|_| format!("invalid throughput `{trimmed}`"))?,
+                    1,
+                ),
+            };
+            let rational = Rational::new(numer, denom)
+                .map_err(|error| format!("invalid throughput `{trimmed}`: {error}"))?;
+            Ok(Throughput::Finite(rational))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn text_graph() -> String {
+        "graph g\ntask a durations=1\ntask b durations=2\nbuffer a -> b prod=1 cons=1 tokens=0\nbuffer b -> a prod=1 cons=1 tokens=2\n".to_string()
+    }
+
+    fn graph_json(source: &str) -> String {
+        Json::Object(vec![
+            ("format".to_string(), Json::Str("text".to_string())),
+            ("source".to_string(), Json::Str(source.to_string())),
+        ])
+        .to_string()
+    }
+
+    #[test]
+    fn parses_all_request_types() {
+        let graph = graph_json(&text_graph());
+        let evaluate =
+            parse_request(&format!(r#"{{"id":1,"type":"evaluate","graph":{graph}}}"#)).unwrap();
+        assert_eq!(evaluate.id, Some(1));
+        assert_eq!(evaluate.body.kind(), "evaluate");
+
+        let sweep = parse_request(&format!(
+            r#"{{"id":2,"type":"sweep","graph":{graph},"slacks":[1,2,4]}}"#
+        ))
+        .unwrap();
+        match sweep.body {
+            RequestBody::Sweep { slacks, .. } => assert_eq!(slacks, vec![1, 2, 4]),
+            other => panic!("unexpected {other:?}"),
+        }
+
+        let storage = parse_request(&format!(
+            r#"{{"id":3,"type":"min_storage","graph":{graph},"target":"1/4"}}"#
+        ))
+        .unwrap();
+        match storage.body {
+            RequestBody::MinStorage {
+                target, max_slack, ..
+            } => {
+                assert_eq!(target, Throughput::Finite(Rational::new(1, 4).unwrap()));
+                assert_eq!(max_slack, 64);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        let scenarios = parse_request(&format!(
+            r#"{{"id":4,"type":"scenario_set","graph":{graph},"scenarios":[{{"name":"s","markings":[[1,5]]}}]}}"#
+        ))
+        .unwrap();
+        match scenarios.body {
+            RequestBody::ScenarioSet { scenarios, .. } => {
+                assert_eq!(scenarios.len(), 1);
+                assert_eq!(scenarios[0].markings, vec![(BufferId::new(1), 5)]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn graphs_load_from_both_formats() {
+        let spec = GraphSpec {
+            format: GraphFormat::Text,
+            source: text_graph(),
+        };
+        let graph = spec.load().unwrap();
+        assert_eq!(graph.task_count(), 2);
+
+        let sdf3 = GraphSpec {
+            format: GraphFormat::Sdf3,
+            source: csdf::text::write_sdf3_xml(&graph),
+        };
+        assert_eq!(sdf3.load().unwrap(), graph);
+    }
+
+    #[test]
+    fn sdf3_buffer_sizes_bound_the_loaded_graph() {
+        let base = GraphSpec {
+            format: GraphFormat::Text,
+            source: text_graph(),
+        }
+        .load()
+        .unwrap();
+        let annotated = csdf::text::write_sdf3_xml_with_capacities(&base, &[(BufferId::new(0), 3)]);
+        let loaded = GraphSpec {
+            format: GraphFormat::Sdf3,
+            source: annotated,
+        }
+        .load()
+        .unwrap();
+        // One reverse channel was added for the annotated buffer.
+        assert_eq!(loaded.buffer_count(), base.buffer_count() + 1);
+    }
+
+    #[test]
+    fn errors_keep_the_request_id() {
+        let (id, message) = parse_request(r#"{"id":9,"type":"nope"}"#).unwrap_err();
+        assert_eq!(id, Some(9));
+        assert!(message.contains("unknown request type"));
+        let (id, _) = parse_request("not json").unwrap_err();
+        assert_eq!(id, None);
+    }
+
+    #[test]
+    fn throughput_strings_round_trip() {
+        for text in ["3/4", "unbounded", "deadlock", "5/1"] {
+            let value = parse_throughput(text).unwrap();
+            assert_eq!(throughput_to_string(value), text);
+        }
+        assert_eq!(
+            parse_throughput("7").unwrap(),
+            Throughput::Finite(Rational::from_integer(7))
+        );
+        assert!(parse_throughput("1/0").is_err());
+        assert!(parse_throughput("fast").is_err());
+    }
+}

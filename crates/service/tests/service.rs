@@ -1,0 +1,242 @@
+//! End-to-end tests of the daemon: every request type over every transport,
+//! bit-identity against direct library calls, and cache/pool interaction
+//! under concurrency and structure changes.
+
+use std::io::{BufRead, BufReader, Write};
+
+use csdf::{CsdfGraph, CsdfGraphBuilder};
+use csdf_service::{throughput_to_string, Daemon, Json, ServiceConfig};
+
+/// A three-task ring whose feedback marking (and hence throughput) is
+/// `tokens`-dependent while the structure fingerprint is not.
+fn ring(tokens: u64) -> CsdfGraph {
+    let mut b = CsdfGraphBuilder::new();
+    let x = b.add_sdf_task("x", 2);
+    let y = b.add_task("y", vec![1, 3]);
+    let z = b.add_sdf_task("z", 1);
+    b.add_buffer(x, y, vec![2], vec![1, 1], 0);
+    b.add_buffer(y, z, vec![1, 1], vec![2], 0);
+    b.add_sdf_buffer(z, x, 1, 1, tokens);
+    b.build().unwrap()
+}
+
+fn evaluate_request(id: usize, graph: &CsdfGraph) -> String {
+    let spec = Json::Object(vec![
+        ("format".to_string(), Json::Str("text".to_string())),
+        ("source".to_string(), Json::Str(csdf::text::to_text(graph))),
+    ]);
+    format!(r#"{{"id":{id},"type":"evaluate","graph":{spec}}}"#)
+}
+
+fn field<'a>(response: &'a Json, name: &str) -> &'a Json {
+    response.get(name).unwrap_or(&Json::Null)
+}
+
+#[test]
+fn batch_serves_all_request_types_in_request_order() {
+    let graph = ring(2);
+    let spec = Json::Object(vec![
+        ("format".to_string(), Json::Str("text".to_string())),
+        ("source".to_string(), Json::Str(csdf::text::to_text(&graph))),
+    ]);
+    let batch = [
+        format!(r#"{{"id":10,"type":"evaluate","graph":{spec}}}"#),
+        format!(r#"{{"id":11,"type":"sweep","graph":{spec},"slacks":[1,2,4]}}"#),
+        format!(r#"{{"id":12,"type":"min_storage","graph":{spec},"target":"1/8","max_slack":16}}"#),
+        format!(
+            r#"{{"id":13,"type":"scenario_set","graph":{spec},"scenarios":[{{"name":"tight","markings":[[2,1]]}},{{"name":"base","markings":[]}}]}}"#
+        ),
+        r#"{"id":14,"type":"evaluate"}"#.to_string(),
+    ]
+    .join("\n");
+
+    let daemon = Daemon::new(ServiceConfig {
+        workers: 3,
+        ..ServiceConfig::default()
+    });
+    let responses = daemon.run_batch(&batch);
+    assert_eq!(responses.len(), 5);
+    let parsed: Vec<Json> = responses
+        .iter()
+        .map(|line| Json::parse(line).unwrap())
+        .collect();
+    for (index, response) in parsed.iter().enumerate() {
+        assert_eq!(field(response, "id").as_i128(), Some(10 + index as i128));
+    }
+
+    let reference = kperiodic::optimal_throughput(&graph).unwrap();
+    assert_eq!(field(&parsed[0], "status").as_str(), Some("ok"));
+    assert_eq!(
+        field(&parsed[0], "throughput").as_str().unwrap(),
+        throughput_to_string(reference.throughput)
+    );
+    assert_eq!(
+        field(&parsed[0], "iterations").as_u64(),
+        Some(reference.iterations as u64)
+    );
+
+    let points = field(&parsed[1], "points").as_array().unwrap();
+    assert_eq!(points.len(), 3);
+    for (point, slack) in points.iter().zip([1u64, 2, 4]) {
+        assert_eq!(field(point, "slack").as_u64(), Some(slack));
+    }
+    assert!(!field(&parsed[1], "frontier").as_array().unwrap().is_empty());
+
+    assert_eq!(field(&parsed[2], "feasible").as_bool(), Some(true));
+    assert!(field(&parsed[2], "slack").as_u64().unwrap() >= 1);
+
+    let scenarios = field(&parsed[3], "scenarios").as_array().unwrap();
+    assert_eq!(scenarios.len(), 2);
+    assert_eq!(field(&scenarios[0], "name").as_str(), Some("tight"));
+    assert_eq!(
+        field(&scenarios[1], "throughput").as_str().unwrap(),
+        throughput_to_string(reference.throughput)
+    );
+
+    assert_eq!(field(&parsed[4], "status").as_str(), Some("error"));
+    assert_eq!(field(&parsed[4], "id").as_i128(), Some(14));
+}
+
+#[test]
+fn concurrent_same_structure_clients_match_cold_evaluations() {
+    // Many marking variants of one structure: every request routes to the
+    // same fingerprint bucket of the pool, so almost all checkouts re-target
+    // a warm session — and every response must still be bit-identical to a
+    // cold evaluation of its own graph.
+    let markings: Vec<u64> = (1..=24).collect();
+    let batch: Vec<String> = markings
+        .iter()
+        .map(|&tokens| evaluate_request(tokens as usize, &ring(tokens)))
+        .collect();
+    let daemon = Daemon::new(ServiceConfig {
+        workers: 6,
+        pool_capacity: 4,
+        cache_capacity: 4,
+        ..ServiceConfig::default()
+    });
+    let responses = daemon.run_batch(&batch.join("\n"));
+    assert_eq!(responses.len(), markings.len());
+    for (&tokens, line) in markings.iter().zip(&responses) {
+        let response = Json::parse(line).unwrap();
+        let reference = kperiodic::optimal_throughput(&ring(tokens)).unwrap();
+        assert_eq!(field(&response, "status").as_str(), Some("ok"), "{line}");
+        assert_eq!(
+            field(&response, "throughput").as_str().unwrap(),
+            throughput_to_string(reference.throughput),
+            "tokens = {tokens}"
+        );
+        assert_eq!(
+            field(&response, "iterations").as_u64(),
+            Some(reference.iterations as u64),
+            "tokens = {tokens}"
+        );
+        let periodicity: Vec<u64> = field(&response, "periodicity")
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|entry| entry.as_u64().unwrap())
+            .collect();
+        let expected: Vec<u64> = (0..reference.periodicity.len())
+            .map(|index| reference.periodicity.get(csdf::TaskId::new(index)))
+            .collect();
+        assert_eq!(periodicity, expected, "tokens = {tokens}");
+    }
+    let pool = daemon.pool_stats();
+    assert_eq!(pool.checkouts, markings.len());
+    assert!(
+        pool.warm > 0,
+        "same-structure batch must reuse warm sessions: {pool:?}"
+    );
+}
+
+#[test]
+fn cache_hits_never_outlive_a_structure_change() {
+    let daemon = Daemon::new(ServiceConfig::default());
+    let graph = ring(3);
+
+    let first = daemon.run_batch(&evaluate_request(1, &graph));
+    assert!(first[0].contains(r#""cache":"miss""#));
+    let second = daemon.run_batch(&evaluate_request(2, &graph));
+    assert!(second[0].contains(r#""cache":"hit""#));
+
+    // Same task/buffer counts, one duration changed: different structure
+    // fingerprint, so the cached result must not be served.
+    let mut changed = CsdfGraphBuilder::new();
+    let x = changed.add_sdf_task("x", 5);
+    let y = changed.add_task("y", vec![1, 3]);
+    let z = changed.add_sdf_task("z", 1);
+    changed.add_buffer(x, y, vec![2], vec![1, 1], 0);
+    changed.add_buffer(y, z, vec![1, 1], vec![2], 0);
+    changed.add_sdf_buffer(z, x, 1, 1, 3);
+    let changed = changed.build().unwrap();
+    let third = daemon.run_batch(&evaluate_request(3, &changed));
+    assert!(third[0].contains(r#""cache":"miss""#), "{}", third[0]);
+    let reference = kperiodic::optimal_throughput(&changed).unwrap();
+    assert!(third[0].contains(&format!(
+        r#""throughput":"{}""#,
+        throughput_to_string(reference.throughput)
+    )));
+
+    // A marking change on the same structure also misses.
+    let fourth = daemon.run_batch(&evaluate_request(4, &ring(4)));
+    assert!(fourth[0].contains(r#""cache":"miss""#));
+    let stats = daemon.cache_stats();
+    assert_eq!((stats.hits, stats.misses), (1, 3));
+}
+
+#[cfg(unix)]
+#[test]
+fn unix_socket_responses_are_bit_identical_to_the_batch_transport() {
+    let graph = ring(2);
+    let spec = Json::Object(vec![
+        ("format".to_string(), Json::Str("text".to_string())),
+        ("source".to_string(), Json::Str(csdf::text::to_text(&graph))),
+    ]);
+    let requests = [
+        format!(r#"{{"id":1,"type":"evaluate","graph":{spec}}}"#),
+        format!(r#"{{"id":2,"type":"sweep","graph":{spec},"slacks":[1,3]}}"#),
+        format!(
+            r#"{{"id":3,"type":"scenario_set","graph":{spec},"scenarios":[{{"name":"s","markings":[[2,5]]}}]}}"#
+        ),
+    ];
+
+    let batch_daemon = Daemon::new(ServiceConfig::default());
+    let expected = batch_daemon.run_batch(&requests.join("\n"));
+
+    let socket_daemon = Daemon::new(ServiceConfig::default());
+    let path = std::env::temp_dir().join(format!("csdf-service-test-{}.sock", std::process::id()));
+    std::thread::scope(|scope| {
+        let server = scope.spawn(|| socket_daemon.serve_unix(&path, Some(2)));
+        let connect = || {
+            for _ in 0..200 {
+                if let Ok(stream) = std::os::unix::net::UnixStream::connect(&path) {
+                    return stream;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            panic!("daemon socket never came up at {}", path.display());
+        };
+
+        // First connection: the evaluate request.
+        let stream = connect();
+        writeln!(&stream, "{}", requests[0]).unwrap();
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut lines = BufReader::new(&stream).lines();
+        assert_eq!(lines.next().unwrap().unwrap(), expected[0]);
+
+        // Second connection streams the remaining two without closing in
+        // between: one response per line, in order.
+        let stream = connect();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        for (request, expected) in requests[1..].iter().zip(&expected[1..]) {
+            writeln!(&stream, "{request}").unwrap();
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            assert_eq!(line.trim_end(), expected);
+        }
+        drop(stream);
+        drop(reader);
+        server.join().unwrap().unwrap();
+    });
+    let _ = std::fs::remove_file(&path);
+}

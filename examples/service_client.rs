@@ -1,0 +1,103 @@
+//! A round trip through the analysis daemon over its Unix socket.
+//!
+//! Starts the daemon in-process on a temporary socket (exactly what
+//! `csdf_service --socket PATH` runs), connects as a client, and drives an
+//! `evaluate` and a `sweep` request for the paper's running example —
+//! shipping the graph over the wire as SDF3 XML, the format `sdf3-kiter`
+//! tooling exchanges.
+//!
+//! Run with `cargo run --example service_client`.
+
+#[cfg(unix)]
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    use std::io::{BufRead, BufReader, Write};
+    use std::os::unix::net::UnixStream;
+
+    use kiter::service::{Daemon, Json, ServiceConfig};
+
+    let (graph, _) = kiter::paper_example();
+    let xml = kiter::model::text::write_sdf3_xml(&graph);
+    let spec = Json::Object(vec![
+        ("format".to_string(), Json::Str("sdf3".to_string())),
+        ("source".to_string(), Json::Str(xml)),
+    ]);
+
+    let daemon = Daemon::new(ServiceConfig::default());
+    let path = std::env::temp_dir().join(format!("kiter-service-{}.sock", std::process::id()));
+    let socket = path.clone();
+    std::thread::scope(|scope| -> Result<(), Box<dyn std::error::Error>> {
+        // One connection, then the daemon returns and the scope joins.
+        let server = scope.spawn(|| daemon.serve_unix(&socket, Some(1)));
+
+        let stream = loop {
+            match UnixStream::connect(&path) {
+                Ok(stream) => break stream,
+                Err(_) => std::thread::sleep(std::time::Duration::from_millis(5)),
+            }
+        };
+        let mut reader = BufReader::new(stream.try_clone()?);
+        let mut send = |request: String| -> Result<Json, Box<dyn std::error::Error>> {
+            writeln!(&stream, "{request}")?;
+            let mut line = String::new();
+            reader.read_line(&mut line)?;
+            Ok(Json::parse(line.trim_end()).map_err(std::io::Error::other)?)
+        };
+
+        let evaluated = send(format!(r#"{{"id":1,"type":"evaluate","graph":{spec}}}"#))?;
+        println!(
+            "evaluate: throughput {} after {} K-Iter iterations",
+            evaluated
+                .get("throughput")
+                .and_then(Json::as_str)
+                .unwrap_or("?"),
+            evaluated
+                .get("iterations")
+                .and_then(Json::as_u64)
+                .unwrap_or(0),
+        );
+
+        let swept = send(format!(
+            r#"{{"id":2,"type":"sweep","graph":{spec},"slacks":[1,2,4,8]}}"#
+        ))?;
+        for point in swept.get("points").and_then(Json::as_array).unwrap_or(&[]) {
+            println!(
+                "sweep: slack {} -> storage {}, throughput {}",
+                point.get("slack").and_then(Json::as_u64).unwrap_or(0),
+                point
+                    .get("total_storage")
+                    .and_then(Json::as_u64)
+                    .unwrap_or(0),
+                point
+                    .get("throughput")
+                    .and_then(Json::as_str)
+                    .unwrap_or("?"),
+            );
+        }
+        println!(
+            "pareto frontier (slacks): {}",
+            swept
+                .get("frontier")
+                .and_then(Json::as_array)
+                .map(|labels| Json::Array(labels.to_vec()).to_string())
+                .unwrap_or_default()
+        );
+
+        drop(stream);
+        drop(reader);
+        server.join().expect("server thread")?;
+        Ok(())
+    })?;
+    let _ = std::fs::remove_file(&path);
+
+    let stats = daemon.pool_stats();
+    println!(
+        "daemon served {} checkouts ({} warm)",
+        stats.checkouts, stats.warm
+    );
+    Ok(())
+}
+
+#[cfg(not(unix))]
+fn main() {
+    eprintln!("the service socket example needs a Unix platform");
+}

@@ -16,7 +16,11 @@
 //! * [`baselines`] (`csdf-baselines`) — symbolic execution, HSDF expansion
 //!   and 1-periodic baselines;
 //! * [`generators`] (`csdf-generators`) — benchmark generators for the
-//!   paper's Tables 1 and 2.
+//!   paper's Tables 1 and 2;
+//! * [`service`] (`csdf-service`) — the throughput-analysis daemon:
+//!   line-delimited JSON requests over stdin or a Unix socket, pooled
+//!   analysis sessions and a result cache (see the `csdf_service` binary
+//!   and `examples/service_client.rs`).
 //!
 //! The most common entry points are also re-exported at the crate root.
 //!
@@ -58,6 +62,9 @@ pub use csdf_baselines as baselines;
 
 /// Benchmark generators (re-export of the `csdf-generators` crate).
 pub use csdf_generators as generators;
+
+/// The throughput-analysis daemon (re-export of the `csdf-service` crate).
+pub use csdf_service as service;
 
 pub use csdf::{
     Buffer, BufferId, CsdfError, CsdfGraph, CsdfGraphBuilder, Rational, RepetitionVector, Task,

@@ -366,4 +366,27 @@ proptest! {
             );
         }
     }
+
+    /// SDF3 XML export/import is the identity on random CSDF graphs — same
+    /// ids, names, rates, durations and markings — including `bufferSize`
+    /// capacity annotations, so the XML can serve as a lossless wire format.
+    #[test]
+    fn sdf3_xml_round_trips_random_graphs(seed in 0u64..5_000, tasks in 3usize..7, phases in 1usize..4) {
+        let graph = random_graph(&small_config(phases, tasks), seed).expect("generator");
+        let round_trip = kiter::model::text::parse_sdf3_xml(
+            &kiter::model::text::write_sdf3_xml(&graph),
+        ).expect("exported XML re-imports");
+        prop_assert_eq!(&round_trip, &graph);
+
+        // Annotate every non-self-loop buffer with a pseudo-random capacity.
+        let capacities: Vec<(kiter::BufferId, u64)> = graph
+            .buffers()
+            .filter(|(_, buffer)| !buffer.is_self_loop())
+            .map(|(id, _)| (id, 1 + (seed ^ id.index() as u64) % 16))
+            .collect();
+        let xml = kiter::model::text::write_sdf3_xml_with_capacities(&graph, &capacities);
+        let import = kiter::model::text::parse_sdf3_xml_import(&xml).expect("re-imports");
+        prop_assert_eq!(&import.graph, &graph);
+        prop_assert_eq!(&import.buffer_capacities, &capacities);
+    }
 }
