@@ -38,6 +38,11 @@ use crate::{EvaluationStatus, MethodResult};
 ///
 /// Returns [`CsdfError`] when the graph is inconsistent or overflows.
 ///
+/// # Panics
+///
+/// Panics only if an internal scheduling invariant breaks (the completion
+/// heap empties while firings are pending).
+///
 /// # Examples
 ///
 /// ```

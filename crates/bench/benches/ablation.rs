@@ -31,7 +31,7 @@ fn bench_ablation(c: &mut Criterion) {
                 ..KIterOptions::default()
             };
             group.bench_with_input(BenchmarkId::new(label, seed), &graph, |b, graph| {
-                b.iter(|| kiter_with_options(graph, &options).expect("kiter"))
+                b.iter(|| kiter_with_options(graph, &options).expect("kiter"));
             });
         }
     }

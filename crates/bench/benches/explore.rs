@@ -57,7 +57,7 @@ fn bench_explore(c: &mut Criterion) {
             .all(|(point, cold)| &point.result == cold));
 
         group.bench_with_input(BenchmarkId::new("cold", name), graph, |b, graph| {
-            b.iter(|| cold_sweep(graph))
+            b.iter(|| cold_sweep(graph));
         });
         for workers in [1usize, 4] {
             let options = ExploreOptions {

@@ -44,7 +44,7 @@ fn bench_mcr(c: &mut Criterion) {
                 BenchmarkId::new(format!("{label}_ratio"), tasks),
                 event_graph.ratio_graph(),
                 |b, ratio_graph| {
-                    b.iter(|| maximum_cycle_ratio_with(ratio_graph, choice).expect("solve"))
+                    b.iter(|| maximum_cycle_ratio_with(ratio_graph, choice).expect("solve"));
                 },
             );
         }
@@ -121,7 +121,7 @@ fn bench_jpeg2000_sized(c: &mut Criterion) {
                 BenchmarkId::new(label, stage),
                 &ratio_graph,
                 |b, ratio_graph| {
-                    b.iter(|| maximum_cycle_ratio_with(ratio_graph, choice).expect("solve"))
+                    b.iter(|| maximum_cycle_ratio_with(ratio_graph, choice).expect("solve"));
                 },
             );
         }

@@ -107,7 +107,7 @@ fn bench_gcd(c: &mut Criterion) {
                         acc ^= kernel(black_box(x), black_box(y));
                     }
                     acc
-                })
+                });
             });
         }
         group.finish();
@@ -133,10 +133,10 @@ fn bench_rational_ops(c: &mut Criterion) {
                 acc = acc.checked_add(black_box(f)).expect("no overflow");
             }
             acc
-        })
+        });
     });
     group.bench_function("sum_unreduced", |b| {
-        b.iter(|| Rational::sum_unreduced(black_box(&fractions)).expect("no overflow"))
+        b.iter(|| Rational::sum_unreduced(black_box(&fractions)).expect("no overflow"));
     });
     group.bench_function("mul_chain", |b| {
         b.iter(|| {
@@ -150,7 +150,7 @@ fn bench_rational_ops(c: &mut Criterion) {
                 }
             }
             acc
-        })
+        });
     });
     group.finish();
 }

@@ -1,5 +1,5 @@
 //! Scalability sweep: K-Iter and the 1-periodic method as the task count of
-//! random SDF graphs grows (supporting figure; the paper's LgTransient
+//! random SDF graphs grows (supporting figure; the paper's `LgTransient`
 //! category probes the same axis), extended to 10k+-task locality-bounded
 //! random CSDF graphs with a construction-vs-patch split of the event-graph
 //! work:
@@ -101,7 +101,7 @@ fn bench_kiter_threads(c: &mut Criterion) {
                         kiter_with_pipeline(graph, &KIterOptions::default(), &mut pipeline)
                             .expect("k-iter completes")
                             .iterations
-                    })
+                    });
                 },
             );
         }
@@ -139,7 +139,7 @@ fn bench_event_graph_updates(c: &mut Criterion) {
         assert_eq!(patched.ratio_graph(), scratch.ratio_graph());
 
         group.bench_with_input(BenchmarkId::new("full", tasks), &graph, |b, graph| {
-            b.iter(|| EventGraph::build(graph, &q, &target, &limits).expect("builds"))
+            b.iter(|| EventGraph::build(graph, &q, &target, &limits).expect("builds"));
         });
         group.bench_with_input(BenchmarkId::new("patch", tasks), &graph, |b, graph| {
             let mut arena = arena.clone();
@@ -151,7 +151,7 @@ fn bench_event_graph_updates(c: &mut Criterion) {
                     .apply_update(graph, next, None)
                     .expect("patch succeeds");
                 arena.arc_count()
-            })
+            });
         });
     }
     group.finish();

@@ -58,11 +58,7 @@ fn main() {
     let workers: usize = std::env::var("KITER_EXPLORE_WORKERS")
         .ok()
         .and_then(|value| value.parse().ok())
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get().min(4))
-                .unwrap_or(1)
-        });
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get().min(4)));
     let slacks: Vec<u64> = (1..=points as u64).collect();
 
     let applications: Vec<(&'static str, CsdfGraph)> = vec![
@@ -88,9 +84,8 @@ fn main() {
     let sweep_total: f64 = runs.iter().map(|run| run.sweep_ms).sum();
     let ratio = sweep_total / cold_total.max(f64::MIN_POSITIVE);
     println!(
-        "{{\"table\":\"explore_smoke\",\"points\":{},\"workers\":{},\"cold_ms\":{:.1},\
-         \"sweep_ms\":{:.1},\"ratio\":{:.3},\"identical\":{},\"completed\":true}}",
-        points, workers, cold_total, sweep_total, ratio, all_identical,
+        "{{\"table\":\"explore_smoke\",\"points\":{points},\"workers\":{workers},\"cold_ms\":{cold_total:.1},\
+         \"sweep_ms\":{sweep_total:.1},\"ratio\":{ratio:.3},\"identical\":{all_identical},\"completed\":true}}",
     );
 
     if !all_identical {

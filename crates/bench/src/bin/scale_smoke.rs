@@ -58,12 +58,14 @@ fn main() {
         .unwrap_or(10_000);
     let threads: Vec<usize> = threads_arg
         .or_else(|| std::env::var("KITER_SMOKE_THREADS").ok())
-        .map(|list| {
-            list.split(',')
-                .map(|value| value.trim().parse().expect("--threads takes integers"))
-                .collect()
-        })
-        .unwrap_or_else(|| vec![1]);
+        .map_or_else(
+            || vec![1],
+            |list| {
+                list.split(',')
+                    .map(|value| value.trim().parse().expect("--threads takes integers"))
+                    .collect()
+            },
+        );
 
     let graph = random_graph(&RandomGraphConfig::large(tasks), 0xD0C5)
         .expect("large random graph generates");
@@ -84,8 +86,7 @@ fn main() {
                 let stats = pipeline.stats();
                 let (nodes, arcs) = pipeline
                     .arena()
-                    .map(|arena| (arena.node_count(), arena.arc_count()))
-                    .unwrap_or((0, 0));
+                    .map_or((0, 0), |arena| (arena.node_count(), arena.arc_count()));
                 let run = RunStats {
                     threads: thread_count,
                     total_ms,
@@ -179,7 +180,7 @@ fn check_against_baseline(path: &str, tasks: usize, runs: &[RunStats]) {
 }
 
 /// Minimal JSONL scan (the stand-in environment has no serde): finds the
-/// scale_smoke line for `tasks` and extracts its `solve_ms` number.
+/// `scale_smoke` line for `tasks` and extracts its `solve_ms` number.
 fn baseline_solve_ms(contents: &str, tasks: usize) -> Option<f64> {
     contents
         .lines()

@@ -13,7 +13,11 @@
 //! 2. **Library identity**: every unique evaluate graph's throughput string
 //!    equals a direct [`kperiodic::optimal_throughput`] call's;
 //! 3. **Warm reuse**: the pool's warm hit rate stays above a floor (0.5);
-//! 4. With `--gate`: the warm daemon is at least 2x faster than cold
+//! 4. **Transport identity** (unix): a batch of `lint` and `verify`
+//!    requests is answered bit-identically by the stdin-batch transport
+//!    (`run_batch`) and the Unix-socket transport, and the serialised
+//!    verify graphs reach an `agree` verdict;
+//! 5. With `--gate`: the warm daemon is at least 2x faster than cold
 //!    per-request sessions on the whole batch.
 //!
 //! Prints one JSON summary line. `KITER_SERVICE_REQUESTS` overrides the
@@ -138,6 +142,116 @@ fn build_batch(total: usize) -> Batch {
     }
 }
 
+/// A small fully serialised multirate ring: every task carries a one-token
+/// self-loop, which is the precondition under which lint's static bounds
+/// are sound for the solver — so `verify` must reach an `agree` verdict.
+fn serialized_ring(tokens: u64) -> CsdfGraph {
+    let mut builder = CsdfGraphBuilder::new();
+    let a = builder.add_sdf_task("a", 2);
+    let b = builder.add_task("b", vec![1, 3]);
+    let c = builder.add_sdf_task("c", 1);
+    builder.add_buffer(a, b, vec![2], vec![1, 1], 0);
+    builder.add_buffer(b, c, vec![1, 1], vec![2], 0);
+    builder.add_sdf_buffer(c, a, 1, 1, tokens);
+    for task in [a, b, c] {
+        builder.add_serializing_self_loop(task);
+    }
+    builder.build().expect("ring is consistent")
+}
+
+/// Builds the `lint`/`verify` mini-batch and answers it over the
+/// stdin-batch transport; on unix, replays it over a Unix socket and
+/// demands bit-identical responses. Returns the batch responses and any
+/// failures.
+fn lint_verify_transport_check() -> (Vec<String>, Vec<String>) {
+    let requests = vec![
+        format!(
+            r#"{{"id":0,"type":"lint","graph":{}}}"#,
+            graph_spec(&ring(48, 3))
+        ),
+        format!(
+            r#"{{"id":1,"type":"lint","graph":{}}}"#,
+            graph_spec(&serialized_ring(2))
+        ),
+        r#"{"id":2,"type":"lint","graph":{"format":"text","source":"graph g\nnonsense\n"}}"#
+            .to_string(),
+        format!(
+            r#"{{"id":3,"type":"verify","graph":{}}}"#,
+            graph_spec(&serialized_ring(2))
+        ),
+        format!(
+            r#"{{"id":4,"type":"verify","graph":{}}}"#,
+            graph_spec(&serialized_ring(0))
+        ),
+    ];
+    let mut failures = Vec::new();
+
+    let batch_daemon = Daemon::new(ServiceConfig::default());
+    let batch = batch_daemon.run_batch(&requests.join("\n"));
+    for (index, expect) in [
+        (0, r#""status":"ok""#),
+        (1, r#""errors":0"#),
+        (2, r#""code":"L000""#),
+        (3, r#""verdict":"agree""#),
+        (4, r#""verdict":"agree""#),
+    ] {
+        if !batch[index].contains(expect) {
+            failures.push(format!(
+                "lint/verify response {index} misses {expect}: {}",
+                batch[index]
+            ));
+        }
+    }
+    if !batch[4].contains(r#""throughput":"deadlock""#) {
+        failures.push("tokenless serialized ring must verify as a deadlock".to_string());
+    }
+
+    #[cfg(unix)]
+    {
+        use std::io::{BufRead, BufReader, Write};
+        let socket_daemon = Daemon::new(ServiceConfig::default());
+        let path = std::env::temp_dir().join(format!("csdf-smoke-{}.sock", std::process::id()));
+        let socket: Vec<String> = std::thread::scope(|scope| {
+            let server = scope.spawn(|| socket_daemon.serve_unix(&path, Some(1)));
+            let stream = (0..200)
+                .find_map(|_| {
+                    std::os::unix::net::UnixStream::connect(&path)
+                        .ok()
+                        .or_else(|| {
+                            std::thread::sleep(std::time::Duration::from_millis(5));
+                            None
+                        })
+                })
+                .expect("daemon socket comes up");
+            for request in &requests {
+                writeln!(&stream, "{request}").expect("socket write");
+            }
+            // Half-close so the connection handler sees EOF once it has
+            // drained the requests — otherwise the server never returns.
+            stream
+                .shutdown(std::net::Shutdown::Write)
+                .expect("socket shutdown");
+            let responses: Vec<String> = BufReader::new(&stream)
+                .lines()
+                .map(|line| line.expect("socket read"))
+                .collect();
+            drop(stream);
+            server.join().expect("server thread").expect("serve_unix");
+            responses
+        });
+        let _ = std::fs::remove_file(&path);
+        for (index, (batch_line, socket_line)) in batch.iter().zip(&socket).enumerate() {
+            if batch_line != socket_line {
+                failures.push(format!(
+                    "lint/verify response {index} differs between batch and socket transports"
+                ));
+            }
+        }
+    }
+
+    (batch, failures)
+}
+
 fn main() -> ExitCode {
     let gate = std::env::args().any(|argument| argument == "--gate");
     let total = std::env::var("KITER_SERVICE_REQUESTS")
@@ -214,8 +328,12 @@ fn main() -> ExitCode {
         failures.push(format!("speedup {speedup:.2} below the 2x gate"));
     }
 
+    let (lint_verify, transport_failures) = lint_verify_transport_check();
+    let transport_identical = transport_failures.is_empty();
+    failures.extend(transport_failures);
+
     println!(
-        "{{\"table\":\"service_smoke\",\"requests\":{},\"unique_graphs\":{},\"warm_ms\":{:.1},\"cold_ms\":{:.1},\"speedup\":{:.2},\"checkouts\":{},\"warm_hit_rate\":{:.4},\"cache_hits\":{},\"cache_misses\":{},\"bit_identical\":{},\"passed\":{}}}",
+        "{{\"table\":\"service_smoke\",\"requests\":{},\"unique_graphs\":{},\"warm_ms\":{:.1},\"cold_ms\":{:.1},\"speedup\":{:.2},\"checkouts\":{},\"warm_hit_rate\":{:.4},\"cache_hits\":{},\"cache_misses\":{},\"bit_identical\":{},\"lint_verify_requests\":{},\"transport_identical\":{},\"passed\":{}}}",
         batch.requests.len(),
         batch.unique_evaluates.len(),
         warm_ms,
@@ -226,6 +344,8 @@ fn main() -> ExitCode {
         cache.hits,
         cache.misses,
         bit_identical,
+        lint_verify.len(),
+        transport_identical,
         failures.is_empty(),
     );
     for failure in &failures {

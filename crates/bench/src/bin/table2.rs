@@ -5,7 +5,7 @@
 //!
 //! Run with `cargo run -p kiter-bench --bin table2 --release`.
 //! `KITER_TABLE2_FULL=1` additionally evaluates the largest instances
-//! (H264Encoder, graph4, graph5), which take several minutes.
+//! (`H264Encoder`, graph4, graph5), which take several minutes.
 //!
 //! Options: `--json` emits one JSON object per row (the committed
 //! `BENCH_TABLE2.json` reference file is produced this way), `--only <name>`
@@ -130,8 +130,7 @@ fn header() {
 fn row(args: &TableArgs, section: &str, name: &str, graph: &CsdfGraph, budget: &Budget) {
     let sum = graph
         .repetition_vector()
-        .map(|q| q.sum().to_string())
-        .unwrap_or_else(|_| "?".to_string());
+        .map_or_else(|_| "?".to_string(), |q| q.sum().to_string());
 
     let kiter = run_method(graph, Method::KIter, budget);
     let periodic = run_method(graph, Method::Periodic, budget);

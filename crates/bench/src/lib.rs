@@ -181,9 +181,9 @@ pub fn category_row(
     for graph in graphs {
         tasks.push(graph.task_count());
         buffers.push(graph.buffer_count());
-        sums.push(graph.repetition_vector().map(|q| q.sum()).unwrap_or(0));
+        sums.push(graph.repetition_vector().map_or(0, |q| q.sum()));
         copies.push(hsdf_copy_count(graph));
-        for (method, times, failures) in per_method.iter_mut() {
+        for (method, times, failures) in &mut per_method {
             let outcome = run_method(graph, *method, budget);
             if outcome.completed {
                 times.push(outcome.duration);
@@ -289,16 +289,14 @@ impl TableArgs {
     pub fn wants(&self, name: &str) -> bool {
         self.only
             .as_deref()
-            .map(|filter| name.to_lowercase().contains(filter))
-            .unwrap_or(true)
+            .map_or(true, |filter| name.to_lowercase().contains(filter))
     }
 
     /// Whether this section passes the `--section` filter.
     pub fn wants_section(&self, section: &str) -> bool {
         self.section
             .as_deref()
-            .map(|filter| filter == section)
-            .unwrap_or(true)
+            .map_or(true, |filter| filter == section)
     }
 }
 

@@ -128,8 +128,7 @@ impl CsdfGraphBuilder {
         let phases = self
             .tasks
             .get(task.index())
-            .map(|t| t.phase_count())
-            .unwrap_or(1);
+            .map_or(1, super::task::Task::phase_count);
         self.add_buffer(task, task, vec![1; phases], vec![1; phases], 1)
     }
 
@@ -195,7 +194,9 @@ impl CsdfGraphBuilder {
             let total_production: u64 = pending.production.iter().sum();
             let total_consumption: u64 = pending.consumption.iter().sum();
             if total_production == 0 || total_consumption == 0 {
-                return Err(CsdfError::ZeroRateBuffer { buffer: index });
+                return Err(CsdfError::ZeroRateBuffer {
+                    buffer: crate::BufferRef::new(index, source.name(), target.name()),
+                });
             }
             buffers.push(Buffer::new(
                 pending.source,
@@ -267,7 +268,12 @@ mod tests {
         let x = b.add_sdf_task("x", 1);
         let y = b.add_sdf_task("y", 1);
         b.add_sdf_buffer(x, y, 0, 1, 0);
-        assert_eq!(b.build(), Err(CsdfError::ZeroRateBuffer { buffer: 0 }));
+        assert_eq!(
+            b.build(),
+            Err(CsdfError::ZeroRateBuffer {
+                buffer: crate::BufferRef::new(0, "x", "y"),
+            })
+        );
     }
 
     #[test]

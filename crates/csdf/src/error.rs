@@ -3,7 +3,40 @@
 use std::fmt;
 
 use crate::rational::RationalError;
-use crate::task::TaskId;
+
+/// Names locating a buffer in error messages and diagnostics: the buffer
+/// index plus the *names* of its endpoint tasks, so a consumer never has to
+/// map bare indices back to the model by hand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BufferRef {
+    /// Index of the buffer in its graph.
+    pub index: usize,
+    /// Name of the producing task.
+    pub source: String,
+    /// Name of the consuming task.
+    pub target: String,
+}
+
+impl BufferRef {
+    /// Builds a reference from an index and the endpoint task names.
+    pub fn new(index: usize, source: impl Into<String>, target: impl Into<String>) -> BufferRef {
+        BufferRef {
+            index,
+            source: source.into(),
+            target: target.into(),
+        }
+    }
+}
+
+impl fmt::Display for BufferRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "buffer {} (`{}` -> `{}`)",
+            self.index, self.source, self.target
+        )
+    }
+}
 
 /// Errors raised while constructing or analysing a CSDF graph.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -25,13 +58,13 @@ pub enum CsdfError {
     },
     /// A buffer produces or consumes zero tokens over a full iteration.
     ZeroRateBuffer {
-        /// Index of the offending buffer.
-        buffer: usize,
+        /// The offending buffer.
+        buffer: BufferRef,
     },
     /// The graph is not consistent: no repetition vector exists.
     Inconsistent {
-        /// Index of the buffer whose balance equation is violated.
-        buffer: usize,
+        /// The buffer whose balance equation is violated.
+        buffer: BufferRef,
     },
     /// The graph contains no tasks.
     EmptyGraph,
@@ -43,8 +76,8 @@ pub enum CsdfError {
     BufferIndexOutOfRange(usize),
     /// A buffer capacity is too small to hold its initial tokens.
     CapacityBelowMarking {
-        /// Index of the offending buffer.
-        buffer: usize,
+        /// The offending buffer.
+        buffer: BufferRef,
         /// Requested capacity.
         capacity: u64,
         /// Initial tokens already stored.
@@ -54,25 +87,25 @@ pub enum CsdfError {
     /// `bound_buffers` call (each duplicate would add its own reverse buffer
     /// and silently over-constrain the graph).
     DuplicateBufferCapacity {
-        /// Index of the buffer that appeared more than once.
-        buffer: usize,
+        /// The buffer that appeared more than once.
+        buffer: BufferRef,
     },
     /// A capacity assignment over a bounded design did not line up with the
     /// design's forward/reverse pairing: the named buffer either has no
     /// reverse (back-pressure) buffer, or is bounded but was missing from
     /// the assignment.
     MissingBufferCapacity {
-        /// Index of the buffer without a usable capacity assignment.
-        buffer: usize,
+        /// The buffer without a usable capacity assignment.
+        buffer: BufferRef,
     },
     /// A capacity mutation named a buffer pair that is not a
     /// forward/reverse pair (the reverse buffer must have the endpoints
     /// swapped and the rate vectors mirrored).
     NotAReverseBuffer {
-        /// Index of the buffer whose capacity was being set.
-        forward: usize,
-        /// Index of the buffer that was claimed to be its reverse.
-        reverse: usize,
+        /// The buffer whose capacity was being set.
+        forward: BufferRef,
+        /// The buffer that was claimed to be its reverse.
+        reverse: BufferRef,
     },
     /// The requested periodicity vector has the wrong length or a zero entry.
     InvalidPeriodicityVector {
@@ -82,7 +115,12 @@ pub enum CsdfError {
         actual: usize,
     },
     /// A zero entry was found in a periodicity vector for the given task.
-    ZeroPeriodicity(TaskId),
+    ZeroPeriodicity {
+        /// Index of the task with the zero entry.
+        task: usize,
+        /// Name of the task, when the failing call had the graph at hand.
+        name: Option<String>,
+    },
     /// Wrapper for rational arithmetic failures.
     Rational(RationalError),
     /// A textual graph description could not be parsed.
@@ -109,10 +147,10 @@ impl fmt::Display for CsdfError {
                 "rate vector of length {rate_len} attached to task `{task}` which has {phases} phases"
             ),
             CsdfError::ZeroRateBuffer { buffer } => {
-                write!(f, "buffer {buffer} produces or consumes zero tokens per iteration")
+                write!(f, "{buffer} produces or consumes zero tokens per iteration")
             }
             CsdfError::Inconsistent { buffer } => {
-                write!(f, "graph is inconsistent: balance equation violated on buffer {buffer}")
+                write!(f, "graph is inconsistent: balance equation violated on {buffer}")
             }
             CsdfError::EmptyGraph => write!(f, "graph contains no tasks"),
             CsdfError::Overflow => write!(f, "arithmetic overflow in graph analysis"),
@@ -126,26 +164,30 @@ impl fmt::Display for CsdfError {
                 marking,
             } => write!(
                 f,
-                "buffer {buffer} capacity {capacity} is smaller than its initial marking {marking}"
+                "{buffer} capacity {capacity} is smaller than its initial marking {marking}"
             ),
             CsdfError::DuplicateBufferCapacity { buffer } => {
-                write!(f, "buffer {buffer} was assigned more than one capacity")
+                write!(f, "{buffer} was assigned more than one capacity")
             }
             CsdfError::MissingBufferCapacity { buffer } => write!(
                 f,
-                "buffer {buffer} has no usable capacity assignment (unbounded, or bounded but missing from the list)"
+                "{buffer} has no usable capacity assignment (unbounded, or bounded but missing from the list)"
             ),
             CsdfError::NotAReverseBuffer { forward, reverse } => write!(
                 f,
-                "buffer {reverse} is not the reverse of buffer {forward} (endpoints swapped, rates mirrored)"
+                "{reverse} is not the reverse of {forward} (endpoints swapped, rates mirrored)"
             ),
             CsdfError::InvalidPeriodicityVector { expected, actual } => write!(
                 f,
                 "periodicity vector has length {actual}, expected {expected}"
             ),
-            CsdfError::ZeroPeriodicity(task) => {
-                write!(f, "periodicity vector entry for task {} is zero", task.index())
-            }
+            CsdfError::ZeroPeriodicity { task, name } => match name {
+                Some(name) => write!(
+                    f,
+                    "periodicity vector entry for task `{name}` (index {task}) is zero"
+                ),
+                None => write!(f, "periodicity vector entry for task {task} is zero"),
+            },
             CsdfError::Rational(err) => write!(f, "{err}"),
             CsdfError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
         }
@@ -189,6 +231,31 @@ mod tests {
         let err: CsdfError = RationalError::Overflow.into();
         assert!(matches!(err, CsdfError::Rational(RationalError::Overflow)));
         assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn buffer_errors_name_both_endpoints() {
+        let err = CsdfError::Inconsistent {
+            buffer: BufferRef::new(3, "src", "dst"),
+        };
+        let text = err.to_string();
+        assert!(text.contains("buffer 3"));
+        assert!(text.contains("`src`"));
+        assert!(text.contains("`dst`"));
+    }
+
+    #[test]
+    fn zero_periodicity_prefers_the_task_name() {
+        let named = CsdfError::ZeroPeriodicity {
+            task: 2,
+            name: Some("fft".to_string()),
+        };
+        assert!(named.to_string().contains("`fft`"));
+        let anonymous = CsdfError::ZeroPeriodicity {
+            task: 2,
+            name: None,
+        };
+        assert!(anonymous.to_string().contains("task 2"));
     }
 
     #[test]

@@ -140,6 +140,21 @@ impl CsdfGraph {
         self.tasks.iter().position(|t| t.name() == name).map(TaskId)
     }
 
+    /// A [`BufferRef`](crate::BufferRef) — index plus endpoint task names —
+    /// for error messages and diagnostics about `buffer`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buffer` does not belong to this graph.
+    pub fn buffer_ref(&self, buffer: BufferId) -> crate::BufferRef {
+        let b = self.buffer(buffer);
+        crate::BufferRef::new(
+            buffer.index(),
+            self.task(b.source()).name(),
+            self.task(b.target()).name(),
+        )
+    }
+
     /// Returns `true` when every task has a single phase (the graph is an
     /// ordinary Synchronous Dataflow Graph).
     pub fn is_sdf(&self) -> bool {
@@ -215,14 +230,14 @@ impl CsdfGraph {
         let reverse_buffer = self.try_buffer(reverse)?;
         if forward == reverse || !reverse_buffer.is_reverse_of(forward_buffer) {
             return Err(CsdfError::NotAReverseBuffer {
-                forward: forward.index(),
-                reverse: reverse.index(),
+                forward: self.buffer_ref(forward),
+                reverse: self.buffer_ref(reverse),
             });
         }
         let marking = forward_buffer.initial_tokens();
         if capacity < marking {
             return Err(CsdfError::CapacityBelowMarking {
-                buffer: forward.index(),
+                buffer: self.buffer_ref(forward),
                 capacity,
                 marking,
             });

@@ -43,6 +43,7 @@ mod graph;
 mod rational;
 mod repetition;
 mod sdf3;
+mod source;
 mod task;
 mod throughput;
 
@@ -52,10 +53,11 @@ pub mod transform;
 
 pub use buffer::{Buffer, BufferId};
 pub use builder::CsdfGraphBuilder;
-pub use error::CsdfError;
+pub use error::{BufferRef, CsdfError};
 pub use graph::CsdfGraph;
 pub use rational::{gcd_i128, gcd_u128, gcd_u64, lcm_u64, Rational, RationalError, RationalSum};
 pub use repetition::RepetitionVector;
+pub use source::SourceMap;
 pub use task::{Task, TaskId};
 pub use throughput::Throughput;
 

@@ -44,6 +44,11 @@ impl RepetitionVector {
     /// * [`CsdfError::Inconsistent`] when the balance equations admit no
     ///   positive solution.
     /// * [`CsdfError::Overflow`] when an entry exceeds `u64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if the component traversal invariant breaks (a task is
+    /// dequeued before its fraction is assigned).
     pub fn compute(graph: &CsdfGraph) -> Result<Self, CsdfError> {
         let n = graph.task_count();
         let mut fractions: Vec<Option<Rational>> = vec![None; n];
@@ -98,7 +103,7 @@ impl RepetitionVector {
                         Some(existing) => {
                             if existing != expected {
                                 return Err(CsdfError::Inconsistent {
-                                    buffer: buffer_id.index(),
+                                    buffer: graph.buffer_ref(buffer_id),
                                 });
                             }
                         }
@@ -141,7 +146,10 @@ impl RepetitionVector {
             for (&t, &value) in members.iter().zip(&scaled) {
                 let reduced = value / overall_gcd;
                 if reduced <= 0 {
-                    return Err(CsdfError::Inconsistent { buffer: 0 });
+                    // Fractions are products of positive ratios, so a
+                    // non-positive entry can only mean sign corruption from
+                    // an undetected arithmetic failure.
+                    return Err(CsdfError::Overflow);
                 }
                 entries[t] = u64::try_from(reduced).map_err(|_| CsdfError::Overflow)?;
             }

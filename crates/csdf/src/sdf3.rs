@@ -44,6 +44,7 @@
 use crate::builder::CsdfGraphBuilder;
 use crate::error::CsdfError;
 use crate::graph::CsdfGraph;
+use crate::source::SourceMap;
 use crate::BufferId;
 
 /// One scanned XML tag: `<name attr="v" ...>`, `</name>` or `<name ... />`.
@@ -241,6 +242,9 @@ pub struct Sdf3Import {
     /// `(buffer, capacity)` for every channel with a `bufferSize`
     /// annotation, in channel document order.
     pub buffer_capacities: Vec<(BufferId, u64)>,
+    /// The `<actor>` / `<channel>` declaration lines, per task and buffer
+    /// id — the spans `csdf-lint` attaches to its diagnostics.
+    pub source_map: SourceMap,
 }
 
 /// Parses an SDF3 `<sdf>`/`<csdf>` XML document into a [`CsdfGraph`].
@@ -490,9 +494,14 @@ pub fn parse_sdf3_xml_import(input: &str) -> Result<Sdf3Import, CsdfError> {
                 .map(|capacity| (BufferId::new(index), capacity))
         })
         .collect();
+    let source_map = SourceMap::new(
+        actors.iter().map(|actor| Some(actor.line)).collect(),
+        channels.iter().map(|channel| Some(channel.line)).collect(),
+    );
     Ok(Sdf3Import {
         graph: builder.build()?,
         buffer_capacities,
+        source_map,
     })
 }
 
@@ -744,6 +753,16 @@ mod tests {
         let q = g.repetition_vector().unwrap();
         assert_eq!(q.get(t), 7);
         assert_eq!(q.get(u), 6);
+    }
+
+    #[test]
+    fn import_records_actor_and_channel_lines() {
+        let import = parse_sdf3_xml_import(PAPER_FIGURE1).unwrap();
+        let g = &import.graph;
+        let sources = &import.source_map;
+        assert_eq!(sources.task_line(g.find_task("t").unwrap()), Some(6));
+        assert_eq!(sources.task_line(g.find_task("u").unwrap()), Some(9));
+        assert_eq!(sources.buffer_line(crate::BufferId::new(0)), Some(12));
     }
 
     #[test]

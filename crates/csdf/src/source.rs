@@ -1,0 +1,66 @@
+//! Side-band source locations recorded by the importers.
+//!
+//! Both importers — the [`crate::text`] line format and the SDF3 XML scanner
+//! — already track 1-based line numbers for their error messages. A
+//! [`SourceMap`] carries those same line numbers out of a *successful* import
+//! so downstream consumers (the `csdf-lint` static analyzer in particular)
+//! can attach source spans to diagnostics about individual tasks and
+//! buffers.
+
+use crate::buffer::BufferId;
+use crate::task::TaskId;
+
+/// Per-task and per-buffer source lines of an imported graph.
+///
+/// Entries are indexed by [`TaskId`] / [`BufferId`]; lookups outside the
+/// recorded range (e.g. for reverse buffers a transform appended after the
+/// import) return `None` rather than panic, so a map taken from an importer
+/// stays usable after the graph has been enlarged.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SourceMap {
+    task_lines: Vec<Option<usize>>,
+    buffer_lines: Vec<Option<usize>>,
+}
+
+impl SourceMap {
+    /// Builds a map from per-task and per-buffer line vectors, in id order.
+    pub fn new(task_lines: Vec<Option<usize>>, buffer_lines: Vec<Option<usize>>) -> SourceMap {
+        SourceMap {
+            task_lines,
+            buffer_lines,
+        }
+    }
+
+    /// The 1-based source line the task was declared on, when recorded.
+    pub fn task_line(&self, task: TaskId) -> Option<usize> {
+        self.task_lines.get(task.index()).copied().flatten()
+    }
+
+    /// The 1-based source line the buffer (channel) was declared on, when
+    /// recorded.
+    pub fn buffer_line(&self, buffer: BufferId) -> Option<usize> {
+        self.buffer_lines.get(buffer.index()).copied().flatten()
+    }
+
+    /// Whether the map carries no locations at all.
+    pub fn is_empty(&self) -> bool {
+        self.task_lines.is_empty() && self.buffer_lines.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn out_of_range_lookups_return_none() {
+        let map = SourceMap::new(vec![Some(2), None], vec![Some(5)]);
+        assert_eq!(map.task_line(TaskId::new(0)), Some(2));
+        assert_eq!(map.task_line(TaskId::new(1)), None);
+        assert_eq!(map.task_line(TaskId::new(7)), None);
+        assert_eq!(map.buffer_line(BufferId::new(0)), Some(5));
+        assert_eq!(map.buffer_line(BufferId::new(1)), None);
+        assert!(!map.is_empty());
+        assert!(SourceMap::default().is_empty());
+    }
+}

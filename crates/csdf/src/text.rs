@@ -19,6 +19,7 @@
 use crate::builder::CsdfGraphBuilder;
 use crate::error::CsdfError;
 use crate::graph::CsdfGraph;
+use crate::source::SourceMap;
 
 pub use crate::sdf3::{
     parse_sdf3_xml, parse_sdf3_xml_import, write_sdf3_xml, write_sdf3_xml_with_capacities,
@@ -80,8 +81,20 @@ fn join(values: &[u64]) -> String {
 /// and the usual builder errors for semantic problems (unknown task names,
 /// rate-length mismatches, ...).
 pub fn parse(input: &str) -> Result<CsdfGraph, CsdfError> {
+    parse_with_sources(input).map(|(graph, _)| graph)
+}
+
+/// Like [`parse`], but also returns the [`SourceMap`] recording the 1-based
+/// line each task and buffer was declared on — the spans `csdf-lint`
+/// attaches to its diagnostics.
+///
+/// # Errors
+///
+/// Those of [`parse`].
+pub fn parse_with_sources(input: &str) -> Result<(CsdfGraph, SourceMap), CsdfError> {
     let mut name = "csdf".to_string();
     let mut builder: Option<CsdfGraphBuilder> = None;
+    let mut task_lines: Vec<Option<usize>> = Vec::new();
     // line number, source, target, production, consumption, initial tokens
     type PendingBuffer = (usize, String, String, Vec<u64>, Vec<u64>, u64);
     let mut pending_buffers: Vec<PendingBuffer> = Vec::new();
@@ -108,6 +121,7 @@ pub fn parse(input: &str) -> Result<CsdfGraph, CsdfError> {
                 builder
                     .get_or_insert_with(|| CsdfGraphBuilder::named(name.clone()))
                     .add_task(task_name, durations);
+                task_lines.push(Some(line_number));
             }
             Some("buffer") => {
                 let source = words
@@ -151,6 +165,7 @@ pub fn parse(input: &str) -> Result<CsdfGraph, CsdfError> {
     // Buffers can only be resolved once all tasks are known: build a
     // task-only skeleton graph to resolve names, then add the buffers.
     let skeleton = builder.clone().build()?;
+    let mut buffer_lines: Vec<Option<usize>> = Vec::with_capacity(pending_buffers.len());
     for (line_number, source, target, production, consumption, tokens) in pending_buffers {
         let source_id = skeleton
             .find_task(&source)
@@ -159,8 +174,10 @@ pub fn parse(input: &str) -> Result<CsdfGraph, CsdfError> {
             .find_task(&target)
             .ok_or_else(|| parse_error(line_number, &format!("unknown task `{target}`")))?;
         builder.add_buffer(source_id, target_id, production, consumption, tokens);
+        buffer_lines.push(Some(line_number));
     }
-    builder.build()
+    let graph = builder.build()?;
+    Ok((graph, SourceMap::new(task_lines, buffer_lines)))
 }
 
 fn parse_field(word: Option<&str>, key: &str, line: usize) -> Result<Vec<u64>, CsdfError> {
@@ -216,6 +233,18 @@ mod tests {
         assert_eq!(g.name(), "demo");
         assert_eq!(g.task_count(), 2);
         assert_eq!(g.buffer_count(), 1);
+    }
+
+    #[test]
+    fn source_map_records_declaration_lines() {
+        let text = "# header\ngraph demo\ntask a durations=1\n\ntask b durations=2\nbuffer a -> b prod=1 cons=1 tokens=0\n";
+        let (g, sources) = parse_with_sources(text).unwrap();
+        assert_eq!(sources.task_line(g.find_task("a").unwrap()), Some(3));
+        assert_eq!(sources.task_line(g.find_task("b").unwrap()), Some(5));
+        assert_eq!(sources.buffer_line(crate::BufferId::new(0)), Some(6));
+        // A buffer id beyond the imported range (e.g. appended by a
+        // transform) has no span.
+        assert_eq!(sources.buffer_line(crate::BufferId::new(9)), None);
     }
 
     #[test]

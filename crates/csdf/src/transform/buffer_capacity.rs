@@ -183,7 +183,7 @@ pub fn bound_buffers_tracked(
         let buffer = graph.try_buffer(assignment.buffer)?;
         if bounded[assignment.buffer.index()] {
             return Err(CsdfError::DuplicateBufferCapacity {
-                buffer: assignment.buffer.index(),
+                buffer: graph.buffer_ref(assignment.buffer),
             });
         }
         bounded[assignment.buffer.index()] = true;
@@ -192,7 +192,7 @@ pub fn bound_buffers_tracked(
         }
         if assignment.capacity < buffer.initial_tokens() {
             return Err(CsdfError::CapacityBelowMarking {
-                buffer: assignment.buffer.index(),
+                buffer: graph.buffer_ref(assignment.buffer),
                 capacity: assignment.capacity,
                 marking: buffer.initial_tokens(),
             });
@@ -336,7 +336,7 @@ mod tests {
         .unwrap_err();
         assert!(matches!(
             err,
-            CsdfError::DuplicateBufferCapacity { buffer: 0 }
+            CsdfError::DuplicateBufferCapacity { buffer } if buffer.index == 0
         ));
         // A single entry still works.
         let bounded = bound_buffers(
@@ -401,10 +401,8 @@ mod tests {
         // Not a mirror of `forward`.
         assert!(matches!(
             g.set_capacity(forward, unrelated, 9),
-            Err(CsdfError::NotAReverseBuffer {
-                forward: 0,
-                reverse: 1
-            })
+            Err(CsdfError::NotAReverseBuffer { forward, reverse })
+                if forward.index == 0 && reverse.index == 1 && forward.source == "x"
         ));
         // A buffer is never its own reverse.
         assert!(matches!(
@@ -426,10 +424,10 @@ mod tests {
         assert!(matches!(
             graph.set_capacity(forward, reverse, 0),
             Err(CsdfError::CapacityBelowMarking {
-                buffer: 0,
+                buffer,
                 capacity: 0,
                 marking: 1
-            })
+            }) if buffer.index == 0
         ));
         // The previous capacity is reported.
         assert_eq!(graph.set_capacity(forward, reverse, 8).unwrap(), 6);

@@ -60,6 +60,11 @@ impl HsdfExpansion {
 /// * [`CsdfError::Inconsistent`] / [`CsdfError::Overflow`] if the repetition
 ///   vector cannot be computed or a delay does not fit in `u64`.
 ///
+/// # Panics
+///
+/// Panics only if the token-accounting invariant breaks (a prefix sum fails
+/// to reach its cycle total).
+///
 /// # Examples
 ///
 /// ```

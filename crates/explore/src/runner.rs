@@ -13,11 +13,11 @@ pub(crate) fn reverse_of(
     bounded: &BoundedGraph,
     forward: BufferId,
 ) -> Result<BufferId, AnalysisError> {
-    bounded.reverse_of(forward).ok_or(AnalysisError::Model(
-        csdf::CsdfError::MissingBufferCapacity {
-            buffer: forward.index(),
-        },
-    ))
+    bounded.reverse_of(forward).ok_or_else(|| {
+        AnalysisError::Model(csdf::CsdfError::MissingBufferCapacity {
+            buffer: bounded.graph().buffer_ref(forward),
+        })
+    })
 }
 
 /// Options shared by every exploration runner.

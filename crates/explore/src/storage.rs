@@ -165,12 +165,12 @@ pub fn tighten_capacities(
     for &(forward, _) in start {
         if seen.get(forward.index()).copied() == Some(true) {
             return Err(AnalysisError::Model(CsdfError::DuplicateBufferCapacity {
-                buffer: forward.index(),
+                buffer: bounded.graph().buffer_ref(forward),
             }));
         }
         if pending.get(forward.index()).copied() != Some(true) {
             return Err(AnalysisError::Model(CsdfError::MissingBufferCapacity {
-                buffer: forward.index(),
+                buffer: bounded.graph().buffer_ref(forward),
             }));
         }
         seen[forward.index()] = true;
@@ -178,10 +178,10 @@ pub fn tighten_capacities(
     if let Some(missing) = pending
         .iter()
         .zip(&seen)
-        .position(|(&bounded, &covered)| bounded && !covered)
+        .position(|(&is_bounded, &covered)| is_bounded && !covered)
     {
         return Err(AnalysisError::Model(CsdfError::MissingBufferCapacity {
-            buffer: missing,
+            buffer: bounded.graph().buffer_ref(BufferId::new(missing)),
         }));
     }
 
@@ -195,7 +195,7 @@ pub fn tighten_capacities(
         session.set_capacity(forward, reverse, capacity)?;
     }
 
-    for entry in capacities.iter_mut() {
+    for entry in &mut capacities {
         let (forward, start_capacity) = *entry;
         let reverse = reverse_of(bounded, forward)?;
         // The capacity can never go below the forward marking.

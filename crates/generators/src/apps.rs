@@ -1,6 +1,6 @@
 //! Synthetic stand-ins for the industrial CSDF applications of Table 2.
 //!
-//! The paper's Table 2 evaluates five industrial applications (BlackScholes,
+//! The paper's Table 2 evaluates five industrial applications (`BlackScholes`,
 //! Echo, JPEG2000, Pdetect, H264 Encoder) from the proprietary IB+AG5CSDF
 //! benchmark, plus five synthetic graphs. The real graphs are not available,
 //! so this module synthesises applications with the published task count,
@@ -51,6 +51,11 @@ impl AppSpec {
 ///
 /// Returns [`CsdfError`] if the spec is degenerate (fewer than 2 tasks or
 /// fewer buffers than tasks − 1) or rates overflow.
+///
+/// # Panics
+///
+/// Panics only if `spec.repetition_levels` is empty — the provided
+/// constructors always populate it.
 pub fn industrial_app(spec: &AppSpec) -> Result<CsdfGraph, CsdfError> {
     if spec.tasks < 2 || spec.buffers < spec.tasks {
         return Err(CsdfError::EmptyGraph);

@@ -1,6 +1,6 @@
 //! Hand-written DSP application graphs.
 //!
-//! The paper's "ActualDSP" category contains classical signal-processing SDF
+//! The paper's "`ActualDSP`" category contains classical signal-processing SDF
 //! benchmarks (sample-rate converter, modem, satellite receiver, H.263 and
 //! MP3 decoders). The published SDF3 files are not redistributable here, so
 //! this module re-creates the well-known *shapes* of those applications:
@@ -149,7 +149,7 @@ pub fn mp3_decoder() -> Result<CsdfGraph, CsdfError> {
     b.build()
 }
 
-/// All five "actual DSP" graphs, matching the size of the paper's ActualDSP
+/// All five "actual DSP" graphs, matching the size of the paper's `ActualDSP`
 /// category (5 graphs, 4–22 tasks).
 ///
 /// # Errors

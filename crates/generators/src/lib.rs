@@ -8,7 +8,7 @@
 //!
 //! * [`random_graph`] / [`RandomGraphConfig`] — consistent, live, serialised
 //!   random (C)SDF graphs (also used by the property-based tests);
-//! * [`dsp`] — five hand-written DSP applications (the "ActualDSP" category);
+//! * [`dsp`] — five hand-written DSP applications (the "`ActualDSP`" category);
 //! * [`sdf3`] — the four Table-1 categories;
 //! * [`apps`] — the Table-2 industrial applications and synthetic graphs;
 //! * [`buffer_sized`] — the "fixed buffer size" variant of a graph used by

@@ -223,7 +223,10 @@ mod tests {
 
     #[test]
     fn categories_have_table1_names() {
-        let names: Vec<&str> = Sdf3Category::all().iter().map(|c| c.name()).collect();
+        let names: Vec<&str> = Sdf3Category::all()
+            .iter()
+            .map(super::Sdf3Category::name)
+            .collect();
         assert_eq!(
             names,
             vec![

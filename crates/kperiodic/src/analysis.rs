@@ -41,6 +41,15 @@ pub struct AnalysisOptions {
     /// workers; `0` is treated as `1`). Results are byte-identical for every
     /// value — the per-component outcomes are merged deterministically.
     pub threads: usize,
+    /// Run the `csdf-lint` static analyzer before building an event graph
+    /// and fail fast with [`AnalysisError::RejectedByLint`] on any
+    /// error-severity diagnostic (inconsistency, certain deadlock, capacity
+    /// contradiction, ...). The gate runs when the pipeline (re)builds its
+    /// arena — once per graph structure, not per K-Iter iteration. Off by
+    /// default: deadlocked graphs are a legitimate solver answer
+    /// ([`csdf::Throughput::Deadlocked`]) unless the caller opts into
+    /// rejecting them early.
+    pub pre_lint: bool,
 }
 
 impl Default for AnalysisOptions {
@@ -50,6 +59,7 @@ impl Default for AnalysisOptions {
             max_iterations: 256,
             solver: SolverChoice::Auto,
             threads: 1,
+            pre_lint: false,
         }
     }
 }
@@ -285,6 +295,9 @@ impl EvaluationPipeline {
                 arena
             }
             None => {
+                if self.options.pre_lint {
+                    pre_lint_gate(graph)?;
+                }
                 let started = Instant::now();
                 let arena =
                     EventGraphArena::build(graph, repetition, periodicity, &self.options.limits)?;
@@ -306,6 +319,23 @@ impl EvaluationPipeline {
         };
         self.arena = Some(arena);
         Ok(evaluation)
+    }
+}
+
+/// Runs the static analyzer and turns its first error-severity diagnostic
+/// into [`AnalysisError::RejectedByLint`].
+fn pre_lint_gate(graph: &CsdfGraph) -> Result<(), AnalysisError> {
+    let report = csdf_lint::analyze(graph);
+    match report
+        .diagnostics
+        .iter()
+        .find(|d| d.severity() == csdf_lint::Severity::Error)
+    {
+        Some(diagnostic) => Err(AnalysisError::RejectedByLint {
+            code: diagnostic.code.as_str().to_string(),
+            message: diagnostic.message.clone(),
+        }),
+        None => Ok(()),
     }
 }
 
@@ -395,6 +425,9 @@ pub fn evaluate_with_solver(
     options: &AnalysisOptions,
     solver: &mut Solver,
 ) -> Result<KPeriodicEvaluation, AnalysisError> {
+    if options.pre_lint {
+        pre_lint_gate(graph)?;
+    }
     let event_graph = EventGraph::build(graph, repetition, periodicity, &options.limits)?;
     let solved = solver.solve(event_graph.ratio_graph())?;
     Ok(KPeriodicEvaluation {
@@ -429,6 +462,33 @@ mod tests {
         b.add_sdf_buffer(x, y, 1, 1, 0);
         b.add_sdf_buffer(y, x, 1, 1, tokens);
         b.build().unwrap()
+    }
+
+    #[test]
+    fn pre_lint_gate_rejects_deadlocked_graphs_fast() {
+        let options = AnalysisOptions {
+            pre_lint: true,
+            ..AnalysisOptions::default()
+        };
+        // Live ring: the gate passes and evaluation proceeds normally.
+        let live = evaluate_periodic(&ring_with_tokens(1), &options).unwrap();
+        assert_eq!(live.period(), Some(Rational::from_integer(5)));
+        // Tokenless ring: rejected with the lint certificate, without
+        // building an event graph.
+        let err = evaluate_periodic(&ring_with_tokens(0), &options).unwrap_err();
+        match err {
+            AnalysisError::RejectedByLint { code, message } => {
+                // The tokenless unit-rate ring is caught by the capacity
+                // pass (the two buffers mirror each other and hold 0 tokens
+                // combined) before the liveness simulation even runs.
+                assert_eq!(code, "L003");
+                assert!(message.contains("deadlock"));
+            }
+            other => panic!("expected RejectedByLint, got {other:?}"),
+        }
+        // Default options still solve the deadlocked graph exactly.
+        let solved = evaluate_periodic(&ring_with_tokens(0), &AnalysisOptions::default()).unwrap();
+        assert_eq!(solved.throughput(), Throughput::Deadlocked);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Theorem-2 constraint generation.
 //!
 //! For a buffer `b = (t, t')` and a pair of phases `(p, p')`, the paper's
-//! Theorem 2 (recalled from the authors' ESTIMedia'13 work) states that a
+//! Theorem 2 (recalled from the authors' `ESTIMedia`'13 work) states that a
 //! periodic schedule is feasible if and only if, whenever
 //! `α_a(p,p') ≤ β_a(p,p')`,
 //!

@@ -30,6 +30,16 @@ pub enum AnalysisError {
     /// against a graph it was not built from (its cached blocks and arcs
     /// would silently be wrong); build a fresh arena instead.
     ArenaGraphMismatch,
+    /// The pre-solve lint gate ([`AnalysisOptions::pre_lint`]
+    /// (`crate::AnalysisOptions::pre_lint`)) found a structural error, so no
+    /// event graph was built. `code` is the stable `csdf-lint` code
+    /// (`"L001"`, `"L002"`, ...) of the first error diagnostic.
+    RejectedByLint {
+        /// Stable lint code of the first error-severity diagnostic.
+        code: String,
+        /// The diagnostic's message.
+        message: String,
+    },
 }
 
 impl fmt::Display for AnalysisError {
@@ -48,6 +58,9 @@ impl fmt::Display for AnalysisError {
                     f,
                     "event-graph arena updated against a graph it was not built from"
                 )
+            }
+            AnalysisError::RejectedByLint { code, message } => {
+                write!(f, "rejected by pre-solve lint [{code}]: {message}")
             }
         }
     }

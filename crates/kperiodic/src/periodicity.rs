@@ -68,7 +68,10 @@ impl PeriodicityVector {
             });
         }
         if let Some(index) = entries.iter().position(|&k| k == 0) {
-            return Err(CsdfError::ZeroPeriodicity(TaskId::new(index)));
+            return Err(CsdfError::ZeroPeriodicity {
+                task: index,
+                name: Some(graph.task(TaskId::new(index)).name().to_string()),
+            });
         }
         Ok(PeriodicityVector { entries })
     }
@@ -90,7 +93,10 @@ impl PeriodicityVector {
     /// [`CsdfError::TaskIndexOutOfRange`] when the task is unknown.
     pub fn set(&mut self, task: TaskId, value: u64) -> Result<(), CsdfError> {
         if value == 0 {
-            return Err(CsdfError::ZeroPeriodicity(task));
+            return Err(CsdfError::ZeroPeriodicity {
+                task: task.index(),
+                name: None,
+            });
         }
         let entry = self
             .entries
@@ -112,7 +118,10 @@ impl PeriodicityVector {
     /// [`CsdfError::TaskIndexOutOfRange`] when the task is unknown.
     pub fn raise(&mut self, task: TaskId, value: u64) -> Result<bool, CsdfError> {
         if value == 0 {
-            return Err(CsdfError::ZeroPeriodicity(task));
+            return Err(CsdfError::ZeroPeriodicity {
+                task: task.index(),
+                name: None,
+            });
         }
         let entry = self
             .entries
@@ -230,7 +239,10 @@ mod tests {
         ));
         assert!(matches!(
             PeriodicityVector::from_entries(&g, vec![1, 0]),
-            Err(CsdfError::ZeroPeriodicity(t)) if t.index() == 1
+            Err(CsdfError::ZeroPeriodicity {
+                task: 1,
+                name: Some(_)
+            })
         ));
         let k = PeriodicityVector::from_entries(&g, vec![2, 3]).unwrap();
         assert_eq!(k.lcm().unwrap(), 6);

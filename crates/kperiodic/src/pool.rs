@@ -181,6 +181,11 @@ impl SessionPool {
     /// idle session when the pool is over capacity. Sessions whose last
     /// evaluation failed may be returned too — they stay usable (the next
     /// evaluation rebuilds the arena from scratch).
+    ///
+    /// # Panics
+    ///
+    /// Panics only if the eviction invariant breaks (an over-capacity pool
+    /// with no idle session to evict).
     pub fn give_back(&mut self, session: AnalysisSession) {
         let fingerprint = session.structure_fingerprint();
         self.idle.push(IdleSession {

@@ -45,9 +45,8 @@ impl KPeriodicSchedule {
         let repetition = graph.repetition_vector()?;
         let evaluation =
             crate::analysis::evaluate_with_repetition(graph, &repetition, periodicity, options)?;
-        let period = match evaluation.outcome {
-            EvaluationOutcome::Feasible { period, .. } => period,
-            _ => return Ok(None),
+        let EvaluationOutcome::Feasible { period, .. } = evaluation.outcome else {
+            return Ok(None);
         };
 
         let event_graph = EventGraph::build(graph, &repetition, periodicity, &options.limits)?;
@@ -249,11 +248,10 @@ fn validate_events(
         for n in 1..=executions {
             for phase in 0..task.phase_count() {
                 let start = schedule.start_inner(task_id, phase, n);
-                let end = match start
-                    .checked_add(&Rational::from_integer(task.duration(phase) as i128))
-                {
-                    Ok(end) => end,
-                    Err(_) => return false,
+                let Ok(end) =
+                    start.checked_add(&Rational::from_integer(task.duration(phase) as i128))
+                else {
+                    return false;
                 };
                 for &buffer_id in graph.incoming(task_id) {
                     let buffer = graph.buffer(buffer_id);

@@ -1,0 +1,302 @@
+//! Graph machinery shared by the passes: the directed task adjacency over
+//! buffers, iterative strongly-connected components, witness-cycle sampling
+//! and weakly-connected components.
+//!
+//! Everything here is index-based (`Vec` keyed by task/buffer index, no hash
+//! maps), so every traversal order — and with it every certificate — is
+//! deterministic and bit-identical across runs and threads.
+
+use csdf::CsdfGraph;
+
+/// Directed adjacency over tasks; each edge remembers the buffer that
+/// induced it. Self-loop buffers are excluded (they never take part in
+/// multi-task cycles and have their own exact pass).
+#[derive(Debug)]
+pub(crate) struct TaskDigraph {
+    /// `edges[t]` = `(target_task, buffer_index)` in buffer-id order.
+    pub edges: Vec<Vec<(usize, usize)>>,
+}
+
+impl TaskDigraph {
+    pub(crate) fn build(graph: &CsdfGraph) -> TaskDigraph {
+        let mut edges = vec![Vec::new(); graph.task_count()];
+        for (id, buffer) in graph.buffers() {
+            if buffer.is_self_loop() {
+                continue;
+            }
+            edges[buffer.source().index()].push((buffer.target().index(), id.index()));
+        }
+        TaskDigraph { edges }
+    }
+}
+
+/// One strongly-connected component of the task digraph.
+#[derive(Debug)]
+pub(crate) struct Scc {
+    /// Member task indices, ascending.
+    pub members: Vec<usize>,
+    /// `true` when the component can contain a directed cycle: more than one
+    /// task, or a single task that `has_self_loop` reports cyclic.
+    pub cyclic: bool,
+}
+
+/// Computes the strongly-connected components of the task digraph with an
+/// iterative Tarjan walk (no recursion: generated graphs reach thousands of
+/// tasks). Components are returned sorted by their smallest member, members
+/// ascending.
+///
+/// `has_self_loop(t)` marks singleton components as cyclic.
+pub(crate) fn strongly_connected_components(
+    digraph: &TaskDigraph,
+    has_self_loop: impl Fn(usize) -> bool,
+) -> Vec<Scc> {
+    let n = digraph.edges.len();
+    const UNVISITED: usize = usize::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut components: Vec<Vec<usize>> = Vec::new();
+
+    // Explicit DFS frames: (task, next edge position to explore).
+    let mut frames: Vec<(usize, usize)> = Vec::new();
+    for root in 0..n {
+        if index[root] != UNVISITED {
+            continue;
+        }
+        frames.push((root, 0));
+        index[root] = next_index;
+        low[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+
+        while let Some(&mut (task, ref mut edge_pos)) = frames.last_mut() {
+            if let Some(&(target, _)) = digraph.edges[task].get(*edge_pos) {
+                *edge_pos += 1;
+                if index[target] == UNVISITED {
+                    index[target] = next_index;
+                    low[target] = next_index;
+                    next_index += 1;
+                    stack.push(target);
+                    on_stack[target] = true;
+                    frames.push((target, 0));
+                } else if on_stack[target] {
+                    low[task] = low[task].min(index[target]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    low[parent] = low[parent].min(low[task]);
+                }
+                if low[task] == index[task] {
+                    let mut members = Vec::new();
+                    loop {
+                        let member = stack.pop().expect("tarjan stack underflow");
+                        on_stack[member] = false;
+                        members.push(member);
+                        if member == task {
+                            break;
+                        }
+                    }
+                    members.sort_unstable();
+                    components.push(members);
+                }
+            }
+        }
+    }
+
+    components.sort_by_key(|members| members[0]);
+    components
+        .into_iter()
+        .map(|members| {
+            let cyclic = members.len() > 1 || has_self_loop(members[0]);
+            Scc { members, cyclic }
+        })
+        .collect()
+}
+
+/// Samples up to `cap` simple directed cycles inside one SCC, as ordered
+/// lists of buffer indices. Cycles are found as DFS back edges, so every
+/// returned cycle is simple; the traversal order (ascending roots, buffer-id
+/// edge order) makes the sample deterministic.
+pub(crate) fn sample_cycles(
+    digraph: &TaskDigraph,
+    members: &[usize],
+    cap: usize,
+) -> Vec<Vec<usize>> {
+    let n = digraph.edges.len();
+    let mut in_scc = vec![false; n];
+    for &m in members {
+        in_scc[m] = true;
+    }
+    let mut cycles: Vec<Vec<usize>> = Vec::new();
+    let mut visited = vec![false; n];
+    // Position of a task on the current DFS path, `usize::MAX` if absent.
+    let mut path_pos = vec![usize::MAX; n];
+    let mut path_tasks: Vec<usize> = Vec::new();
+    // `path_buffers[i]` is the buffer from `path_tasks[i]` to
+    // `path_tasks[i + 1]`; entry `i` exists once task `i + 1` is pushed.
+    let mut path_buffers: Vec<usize> = Vec::new();
+    let mut frames: Vec<(usize, usize)> = Vec::new();
+
+    for &root in members {
+        if visited[root] || cycles.len() >= cap {
+            continue;
+        }
+        visited[root] = true;
+        path_pos[root] = 0;
+        path_tasks.push(root);
+        frames.push((root, 0));
+
+        while let Some(&mut (task, ref mut edge_pos)) = frames.last_mut() {
+            if cycles.len() >= cap {
+                break;
+            }
+            if let Some(&(target, buffer)) = digraph.edges[task].get(*edge_pos) {
+                *edge_pos += 1;
+                if !in_scc[target] {
+                    continue;
+                }
+                if path_pos[target] != usize::MAX {
+                    // Back edge: the path from `target` to `task` plus this
+                    // buffer closes a simple cycle.
+                    let mut cycle: Vec<usize> = path_buffers[path_pos[target]..].to_vec();
+                    cycle.push(buffer);
+                    cycles.push(cycle);
+                } else if !visited[target] {
+                    visited[target] = true;
+                    path_pos[target] = path_tasks.len();
+                    path_tasks.push(target);
+                    path_buffers.push(buffer);
+                    frames.push((target, 0));
+                }
+            } else {
+                frames.pop();
+                path_pos[task] = usize::MAX;
+                path_tasks.pop();
+                path_buffers.pop();
+            }
+        }
+        frames.clear();
+        for &t in &path_tasks {
+            path_pos[t] = usize::MAX;
+        }
+        path_tasks.clear();
+        path_buffers.clear();
+    }
+    cycles
+}
+
+/// Assigns every task a weakly-connected component id (dense, in order of
+/// first discovery from task 0) over the undirected view of the buffers.
+pub(crate) fn weak_components(graph: &CsdfGraph) -> Vec<usize> {
+    let n = graph.task_count();
+    let mut undirected = vec![Vec::new(); n];
+    for (_, buffer) in graph.buffers() {
+        let (s, t) = (buffer.source().index(), buffer.target().index());
+        if s != t {
+            undirected[s].push(t);
+            undirected[t].push(s);
+        }
+    }
+    let mut component = vec![usize::MAX; n];
+    let mut next = 0usize;
+    let mut queue = Vec::new();
+    for start in 0..n {
+        if component[start] != usize::MAX {
+            continue;
+        }
+        component[start] = next;
+        queue.push(start);
+        while let Some(task) = queue.pop() {
+            for &other in &undirected[task] {
+                if component[other] == usize::MAX {
+                    component[other] = next;
+                    queue.push(other);
+                }
+            }
+        }
+        next += 1;
+    }
+    component
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csdf::CsdfGraphBuilder;
+
+    fn ring3() -> CsdfGraph {
+        let mut b = CsdfGraphBuilder::new();
+        let x = b.add_sdf_task("x", 1);
+        let y = b.add_sdf_task("y", 1);
+        let z = b.add_sdf_task("z", 1);
+        b.add_sdf_buffer(x, y, 1, 1, 0);
+        b.add_sdf_buffer(y, z, 1, 1, 0);
+        b.add_sdf_buffer(z, x, 1, 1, 1);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn ring_is_one_cyclic_scc_with_one_cycle() {
+        let g = ring3();
+        let digraph = TaskDigraph::build(&g);
+        let sccs = strongly_connected_components(&digraph, |_| false);
+        assert_eq!(sccs.len(), 1);
+        assert_eq!(sccs[0].members, vec![0, 1, 2]);
+        assert!(sccs[0].cyclic);
+        let cycles = sample_cycles(&digraph, &sccs[0].members, 8);
+        assert_eq!(cycles, vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn chain_has_singleton_acyclic_sccs() {
+        let mut b = CsdfGraphBuilder::new();
+        let x = b.add_sdf_task("x", 1);
+        let y = b.add_sdf_task("y", 1);
+        b.add_sdf_buffer(x, y, 1, 1, 0);
+        b.add_serializing_self_loop(y);
+        let g = b.build().unwrap();
+        let digraph = TaskDigraph::build(&g);
+        let self_loops = [false, true];
+        let sccs = strongly_connected_components(&digraph, |t| self_loops[t]);
+        assert_eq!(sccs.len(), 2);
+        assert!(!sccs[0].cyclic);
+        assert!(sccs[1].cyclic, "self-loop marks the singleton cyclic");
+        // Self-loops are excluded from the digraph, so no sampled cycles.
+        assert!(sample_cycles(&digraph, &sccs[1].members, 8).is_empty());
+    }
+
+    #[test]
+    fn cycle_cap_is_respected() {
+        // Two tasks with two parallel edges each way: 4 distinct 2-cycles.
+        let mut b = CsdfGraphBuilder::new();
+        let x = b.add_sdf_task("x", 1);
+        let y = b.add_sdf_task("y", 1);
+        b.add_sdf_buffer(x, y, 1, 1, 1);
+        b.add_sdf_buffer(x, y, 1, 1, 1);
+        b.add_sdf_buffer(y, x, 1, 1, 1);
+        b.add_sdf_buffer(y, x, 1, 1, 1);
+        let g = b.build().unwrap();
+        let digraph = TaskDigraph::build(&g);
+        let sccs = strongly_connected_components(&digraph, |_| false);
+        assert_eq!(sccs.len(), 1);
+        let all = sample_cycles(&digraph, &sccs[0].members, 64);
+        assert!(!all.is_empty());
+        let capped = sample_cycles(&digraph, &sccs[0].members, 1);
+        assert_eq!(capped.len(), 1);
+    }
+
+    #[test]
+    fn weak_components_ignore_direction() {
+        let mut b = CsdfGraphBuilder::new();
+        let x = b.add_sdf_task("x", 1);
+        let y = b.add_sdf_task("y", 1);
+        let _lone = b.add_sdf_task("lone", 1);
+        b.add_sdf_buffer(y, x, 1, 1, 0);
+        let g = b.build().unwrap();
+        assert_eq!(weak_components(&g), vec![0, 0, 1]);
+    }
+}

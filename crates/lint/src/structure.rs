@@ -1,0 +1,263 @@
+//! Structural passes that need no repetition vector: capacity contradictions
+//! (`L003`), self-starving tasks (`L004`), isolated components (`W002`) and
+//! zero-duration tasks (`W003`).
+
+use csdf::{BufferId, CsdfGraph, TaskId};
+
+use crate::diag::{Diagnostic, LintCode, LintReport};
+use crate::graphops;
+use crate::Spans;
+
+/// Detects forward/reverse buffer pairs whose combined marking (= the
+/// modelled channel capacity) is below the tokens some single phase firing
+/// produces or consumes: that phase can never fire.
+///
+/// Soundness: for any pair of mutually mirrored buffers `f`/`r`, every firing
+/// moves the same token count from one to the other, so
+/// `tokens(f) + tokens(r)` is invariant — whatever the pair was *meant* to
+/// model, neither side can ever hold more than `M0(f) + M0(r)` tokens.
+pub(crate) fn check_capacity_pairs(graph: &CsdfGraph, spans: &Spans<'_>, report: &mut LintReport) {
+    let buffer_count = graph.buffer_count();
+    for i in 0..buffer_count {
+        let forward = graph.buffer(BufferId::new(i));
+        if forward.is_self_loop() {
+            continue;
+        }
+        for j in (i + 1)..buffer_count {
+            let reverse = graph.buffer(BufferId::new(j));
+            if !reverse.is_reverse_of(forward) {
+                continue;
+            }
+            let capacity = forward.initial_tokens() as u128 + reverse.initial_tokens() as u128;
+            // Largest single-firing token need on either side; the mirrored
+            // rate vectors make the two sides' needs coincide pairwise.
+            let need = forward
+                .production()
+                .iter()
+                .chain(forward.consumption().iter())
+                .copied()
+                .max()
+                .unwrap_or(0) as u128;
+            if capacity >= need {
+                continue;
+            }
+            let forward_ref = graph.buffer_ref(BufferId::new(i));
+            let reverse_ref = graph.buffer_ref(BufferId::new(j));
+            let mut diagnostic = Diagnostic::new(
+                LintCode::CapacityContradiction,
+                format!(
+                    "channel capacity contradiction: {forward_ref} and its reverse \
+                     {reverse_ref} hold {capacity} token(s) combined, but a single firing \
+                     needs {need} — the graph deadlocks"
+                ),
+            );
+            diagnostic.line = spans.buffer_line(i);
+            diagnostic.tasks = vec![
+                graph.task(forward.source()).name().to_string(),
+                graph.task(forward.target()).name().to_string(),
+            ];
+            diagnostic.tasks.dedup();
+            diagnostic.buffers = vec![forward_ref, reverse_ref];
+            report.push(diagnostic);
+        }
+    }
+}
+
+/// Checks every self-loop statically: simulating the owning task's phase
+/// sequence against the loop marking is exact, because no other task touches
+/// a self-loop. Returns, per task, whether all its self-loops passed (the
+/// liveness pass treats failing tasks as already-diagnosed).
+///
+/// One iteration suffices: on rate-consistent graphs a self-loop's total
+/// production equals its total consumption, so the marking returns to `M0`
+/// after each iteration. (On inconsistent graphs `L001` already fired and
+/// this pass still reports a valid *necessary* condition.)
+pub(crate) fn check_self_loops(
+    graph: &CsdfGraph,
+    spans: &Spans<'_>,
+    report: &mut LintReport,
+) -> Vec<bool> {
+    let mut ok = vec![true; graph.task_count()];
+    for (id, buffer) in graph.buffers() {
+        if !buffer.is_self_loop() {
+            continue;
+        }
+        let task_index = buffer.source().index();
+        let task = graph.task(buffer.source());
+        let mut tokens = buffer.initial_tokens() as u128;
+        for phase in 0..task.phase_count() {
+            let need = buffer.consumption_at(phase) as u128;
+            if tokens < need {
+                ok[task_index] = false;
+                let buffer_ref = graph.buffer_ref(id);
+                let mut diagnostic = Diagnostic::new(
+                    LintCode::SelfStarvingTask,
+                    format!(
+                        "task `{}` starves on its self-loop {buffer_ref}: phase {} needs \
+                         {need} token(s) but only {tokens} can ever be available — the \
+                         task can never complete an iteration",
+                        task.name(),
+                        phase + 1,
+                    ),
+                );
+                diagnostic.line = spans
+                    .task_line(task_index)
+                    .or_else(|| spans.buffer_line(id.index()));
+                diagnostic.tasks = vec![task.name().to_string()];
+                diagnostic.buffers = vec![buffer_ref];
+                report.push(diagnostic);
+                break;
+            }
+            tokens = tokens - need + buffer.production_at(phase) as u128;
+        }
+    }
+    ok
+}
+
+/// Warns (`W002`) when the graph splits into more than one weakly-connected
+/// component: one warning per component beyond the first, naming a
+/// representative task.
+pub(crate) fn check_components(graph: &CsdfGraph, spans: &Spans<'_>, report: &mut LintReport) {
+    let component = graphops::weak_components(graph);
+    let count = component.iter().copied().max().map_or(0, |m| m + 1);
+    if count <= 1 {
+        return;
+    }
+    for extra in 1..count {
+        let members: Vec<usize> = (0..graph.task_count())
+            .filter(|&t| component[t] == extra)
+            .collect();
+        let representative = members[0];
+        let name = graph.task(TaskId::new(representative)).name().to_string();
+        let mut diagnostic = Diagnostic::new(
+            LintCode::IsolatedComponent,
+            format!(
+                "isolated component: task `{name}` and {} other task(s) are disconnected \
+                 from the rest of the graph and run independently",
+                members.len() - 1
+            ),
+        );
+        diagnostic.line = spans.task_line(representative);
+        diagnostic.tasks = members
+            .iter()
+            .map(|&t| graph.task(TaskId::new(t)).name().to_string())
+            .collect();
+        report.push(diagnostic);
+    }
+}
+
+/// Warns (`W003`) about tasks whose phases all have zero duration: they are
+/// usually modelling mistakes and every workload bound ignores them.
+pub(crate) fn check_zero_durations(graph: &CsdfGraph, spans: &Spans<'_>, report: &mut LintReport) {
+    for (id, task) in graph.tasks() {
+        if task.total_duration() != 0 {
+            continue;
+        }
+        let mut diagnostic = Diagnostic::new(
+            LintCode::ZeroDurationTask,
+            format!(
+                "task `{}` has zero total duration: it takes no time and does not \
+                 constrain throughput",
+                task.name()
+            ),
+        );
+        diagnostic.line = spans.task_line(id.index());
+        diagnostic.tasks = vec![task.name().to_string()];
+        report.push(diagnostic);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csdf::transform::{bound_buffers, BufferCapacity};
+    use csdf::CsdfGraphBuilder;
+
+    #[test]
+    fn capacity_below_single_firing_need_is_flagged() {
+        let mut b = CsdfGraphBuilder::new();
+        let x = b.add_sdf_task("x", 1);
+        let y = b.add_sdf_task("y", 1);
+        let c = b.add_sdf_buffer(x, y, 3, 3, 0);
+        let g = b.build().unwrap();
+        let bounded = bound_buffers(
+            &g,
+            &[BufferCapacity {
+                buffer: c,
+                capacity: 2,
+            }],
+        )
+        .unwrap();
+        let mut report = LintReport::new();
+        check_capacity_pairs(&bounded, &Spans::none(), &mut report);
+        assert_eq!(report.diagnostics.len(), 1);
+        let d = &report.diagnostics[0];
+        assert_eq!(d.code, LintCode::CapacityContradiction);
+        assert_eq!(d.buffers.len(), 2);
+        assert!(d.message.contains("needs 3"));
+    }
+
+    #[test]
+    fn sufficient_capacity_is_quiet() {
+        let mut b = CsdfGraphBuilder::new();
+        let x = b.add_sdf_task("x", 1);
+        let y = b.add_sdf_task("y", 1);
+        let c = b.add_sdf_buffer(x, y, 3, 3, 0);
+        let g = b.build().unwrap();
+        let bounded = bound_buffers(
+            &g,
+            &[BufferCapacity {
+                buffer: c,
+                capacity: 3,
+            }],
+        )
+        .unwrap();
+        let mut report = LintReport::new();
+        check_capacity_pairs(&bounded, &Spans::none(), &mut report);
+        assert!(report.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn self_starving_task_is_flagged_per_phase_needs() {
+        let mut b = CsdfGraphBuilder::new();
+        let t = b.add_task("t", vec![1, 1]);
+        // Phase 1 produces 2, phase 2 consumes 2 — fine with 0 tokens?
+        // No: phase 1 consumes 1 first, and the loop starts empty.
+        b.add_buffer(t, t, vec![2, 0], vec![1, 1], 0);
+        let g = b.build().unwrap();
+        let mut report = LintReport::new();
+        let ok = check_self_loops(&g, &Spans::none(), &mut report);
+        assert_eq!(ok, vec![false]);
+        assert_eq!(report.diagnostics.len(), 1);
+        assert_eq!(report.diagnostics[0].code, LintCode::SelfStarvingTask);
+    }
+
+    #[test]
+    fn serialized_task_passes_the_self_loop_check() {
+        let mut b = CsdfGraphBuilder::new();
+        let t = b.add_task("t", vec![1, 1, 1]);
+        b.add_serializing_self_loop(t);
+        let g = b.build().unwrap();
+        let mut report = LintReport::new();
+        let ok = check_self_loops(&g, &Spans::none(), &mut report);
+        assert_eq!(ok, vec![true]);
+        assert!(report.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn isolated_components_and_zero_durations_warn() {
+        let mut b = CsdfGraphBuilder::new();
+        let x = b.add_sdf_task("x", 1);
+        let y = b.add_sdf_task("y", 1);
+        let _lone = b.add_task("lone", vec![0, 0]);
+        b.add_sdf_buffer(x, y, 1, 1, 0);
+        let g = b.build().unwrap();
+        let mut report = LintReport::new();
+        check_components(&g, &Spans::none(), &mut report);
+        check_zero_durations(&g, &Spans::none(), &mut report);
+        assert_eq!(report.diagnostics.len(), 2);
+        assert_eq!(report.diagnostics[0].code, LintCode::IsolatedComponent);
+        assert!(report.diagnostics[0].tasks.contains(&"lone".to_string()));
+        assert_eq!(report.diagnostics[1].code, LintCode::ZeroDurationTask);
+    }
+}

@@ -100,7 +100,7 @@ pub fn maximum_cycle_ratio_brute_force(graph: &RatioGraph) -> Result<CycleRatioO
         if !ratio.is_positive() {
             continue;
         }
-        if best.as_ref().map(|(r, _)| ratio > *r).unwrap_or(true) {
+        if best.as_ref().map_or(true, |(r, _)| ratio > *r) {
             best = Some((ratio, cycle));
         }
     }

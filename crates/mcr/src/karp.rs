@@ -70,7 +70,7 @@ pub fn maximum_cycle_mean(graph: &RatioGraph) -> Result<Option<Rational>, McrErr
         }
         let mean = rolling_cycle_mean(n, arcs)?;
         if let Some(mean) = mean {
-            if best.map(|b| mean > b).unwrap_or(true) {
+            if best.map_or(true, |b| mean > b) {
                 best = Some(mean);
             }
         }
@@ -82,13 +82,13 @@ pub fn maximum_cycle_mean(graph: &RatioGraph) -> Result<Option<Rational>, McrErr
 /// local indices `< n`). Shared by [`maximum_cycle_mean`] and the
 /// `SolverChoice::Karp` path of the ratio solver.
 ///
-/// D_k(v) = maximum weight of a walk of exactly k arcs ending at v, starting
+/// `D_k(v)` = maximum weight of a walk of exactly k arcs ending at v, starting
 /// anywhere in the component (classical Karp table with a virtual source).
 /// Materialising the full (n+1)×n table is quadratic memory and blows up on
 /// the 10k-task components the scalability work targets, so only two rolling
 /// rows are kept and the recurrence runs twice: pass one computes the final
-/// row D_n, pass two recomputes each D_k and folds
-/// λ = max_v min_{0 ≤ k < n} (D_n(v) − D_k(v)) / (n − k) incrementally.
+/// row `D_n`, pass two recomputes each `D_k` and folds
+/// λ = `max_v` min_{0 ≤ k < n} (`D_n(v)` − `D_k(v)`) / (n − k) incrementally.
 pub(crate) fn rolling_cycle_mean(
     n: usize,
     arcs: &[(usize, usize, Rational)],
@@ -99,7 +99,7 @@ pub(crate) fn rolling_cycle_mean(
             for &(from, to, cost) in arcs {
                 if let Some(previous) = prev[from] {
                     let candidate = previous.checked_add(&cost)?;
-                    if curr[to].map(|current| candidate > current).unwrap_or(true) {
+                    if curr[to].map_or(true, |current| candidate > current) {
                         curr[to] = Some(candidate);
                     }
                 }
@@ -125,7 +125,7 @@ pub(crate) fn rolling_cycle_mean(
             };
             let numerator = final_value.checked_sub(&intermediate)?;
             let mean = numerator.checked_div(&Rational::from_integer((n - k) as i128))?;
-            if minima[v].map(|m| mean < m).unwrap_or(true) {
+            if minima[v].map_or(true, |m| mean < m) {
                 minima[v] = Some(mean);
             }
         }
@@ -141,7 +141,7 @@ pub(crate) fn rolling_cycle_mean(
             continue;
         }
         if let Some(minimum) = minima[v] {
-            if best.map(|b| minimum > b).unwrap_or(true) {
+            if best.map_or(true, |b| minimum > b) {
                 best = Some(minimum);
             }
         }

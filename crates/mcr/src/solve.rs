@@ -282,6 +282,11 @@ impl Solver {
     ///
     /// Returns [`McrError::Rational`] if the exact arithmetic overflows
     /// `i128`.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if a parallel component worker itself panicked or the
+    /// per-component bookkeeping invariant breaks.
     pub fn solve(&mut self, graph: &RatioGraph) -> Result<CycleRatioOutcome, McrError> {
         let arcs = graph.raw_arcs();
         // Adjacency: borrow the graph's CSR index when current (the arena
@@ -385,17 +390,17 @@ impl Solver {
         // maximum ratio keep the earliest component).
         let mut slots: Vec<Option<Result<ComponentOutcome, McrError>>> =
             (0..cyclic.len()).map(|_| None).collect();
-        for outcomes in outcomes.iter_mut() {
+        for outcomes in &mut outcomes {
             for (slot, outcome) in outcomes.drain(..) {
                 slots[slot] = Some(outcome);
             }
         }
         let mut best: Option<(Rational, CriticalCycle)> = None;
-        for slot in slots.iter_mut() {
+        for slot in &mut slots {
             match slot.take().expect("every cyclic component is solved")? {
                 ComponentOutcome::NonPositive => {}
                 ComponentOutcome::Finite { ratio, cycle } => {
-                    if best.as_ref().map(|(r, _)| ratio > *r).unwrap_or(true) {
+                    if best.as_ref().map_or(true, |(r, _)| ratio > *r) {
                         best = Some((ratio, cycle));
                     }
                 }
@@ -434,7 +439,7 @@ fn solve_sequential(
         match outcome? {
             ComponentOutcome::NonPositive => {}
             ComponentOutcome::Finite { ratio, cycle } => {
-                if best.as_ref().map(|(r, _)| ratio > *r).unwrap_or(true) {
+                if best.as_ref().map_or(true, |(r, _)| ratio > *r) {
                     best = Some((ratio, cycle));
                 }
             }
@@ -1193,7 +1198,7 @@ mod tests {
         for choice in all_choices() {
             match maximum_cycle_ratio_with(&g, choice).unwrap() {
                 CycleRatioOutcome::Finite { ratio, .. } => {
-                    assert_eq!(ratio, expected, "{choice:?}")
+                    assert_eq!(ratio, expected, "{choice:?}");
                 }
                 other => panic!("unexpected {other:?} for {choice:?}"),
             }

@@ -109,6 +109,11 @@ impl ResultCache {
 
     /// Stores a result, evicting the least recently used entry over
     /// capacity. An existing entry for the key is replaced.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if the eviction invariant breaks (an over-capacity cache
+    /// with no entry to evict).
     pub fn insert(&mut self, key: CacheKey, result: KIterResult) {
         if let Some(entry) = self.entries.iter_mut().find(|entry| entry.key == key) {
             entry.result = result;

@@ -5,17 +5,19 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use csdf::transform::bound_all_buffers_tracked;
-use csdf::{CsdfGraph, TaskId};
+use csdf::{CsdfGraph, TaskId, Throughput};
+use csdf_baselines::{expansion_throughput, Budget, EvaluationStatus};
 use csdf_explore::{
     min_storage_for_throughput_on, uniform_slack_capacity, ParetoSweep, ScenarioSet,
 };
+use csdf_lint::{LintOptions, LintReport};
 use kperiodic::{
     AnalysisError, AnalysisSession, KIterOptions, KIterResult, PoolStats, SessionPool,
 };
 
 use crate::cache::{CacheKey, CacheStats, ResultCache};
 use crate::json::Json;
-use crate::protocol::{parse_request, throughput_to_string, RequestBody};
+use crate::protocol::{parse_request, throughput_to_string, GraphFormat, GraphSpec, RequestBody};
 
 /// Configuration of a [`Daemon`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -94,11 +96,19 @@ impl Daemon {
     }
 
     /// Session-pool counters so far (checkouts, warm hit rate, evictions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread poisoned the pool lock by panicking.
     pub fn pool_stats(&self) -> PoolStats {
         *self.pool.lock().expect("pool poisoned").stats()
     }
 
     /// Result-cache counters so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread poisoned the cache lock by panicking.
     pub fn cache_stats(&self) -> CacheStats {
         *self.cache.lock().expect("cache poisoned").stats()
     }
@@ -145,6 +155,11 @@ impl Daemon {
     /// order** — workers race through a shared cursor, but each tags its
     /// responses with the request index and the batch is re-assembled
     /// deterministically before returning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panicked mid-batch (responses would
+    /// otherwise be lost silently).
     pub fn run_batch(&self, input: &str) -> Vec<String> {
         let lines: Vec<&str> = input
             .lines()
@@ -266,16 +281,8 @@ impl Daemon {
         match body {
             RequestBody::Evaluate { graph } => {
                 let graph = graph.load()?;
-                let key = CacheKey::new(&graph, &self.config.options);
-                if let Some(result) = self.cache.lock().expect("cache poisoned").get(&key) {
-                    return Ok(evaluate_fields(&result, "hit"));
-                }
-                let result = self.with_session(&graph, AnalysisSession::evaluate)?;
-                self.cache
-                    .lock()
-                    .expect("cache poisoned")
-                    .insert(key, result.clone());
-                Ok(evaluate_fields(&result, "miss"))
+                let (result, cache) = self.evaluate_cached(&graph)?;
+                Ok(evaluate_fields(&result, cache))
             }
             RequestBody::Sweep { graph, slacks } => {
                 let graph = graph.load()?;
@@ -375,8 +382,229 @@ impl Daemon {
                     .collect();
                 Ok(vec![("scenarios".to_string(), Json::Array(rendered))])
             }
+            RequestBody::Lint { graph } => Ok(lint_fields(&lint_spec(graph))),
+            RequestBody::Verify {
+                graph: spec,
+                max_expansion,
+            } => Ok(self.verify(spec, *max_expansion)),
         }
     }
+
+    /// The shared evaluate path: exact-keyed cache lookup, else a pooled
+    /// session run whose result is cached. Returns the result and whether it
+    /// was a cache `"hit"` or `"miss"`.
+    fn evaluate_cached(&self, graph: &CsdfGraph) -> Result<(KIterResult, &'static str), String> {
+        let key = CacheKey::new(graph, &self.config.options);
+        if let Some(result) = self.cache.lock().expect("cache poisoned").get(&key) {
+            return Ok((result, "hit"));
+        }
+        let result = self.with_session(graph, AnalysisSession::evaluate)?;
+        self.cache
+            .lock()
+            .expect("cache poisoned")
+            .insert(key, result.clone());
+        Ok((result, "miss"))
+    }
+
+    /// The `verify` handler: lint, solve, cross-check.
+    ///
+    /// Checks run only where they apply and each reports pass/fail: the lint
+    /// bounds must bracket the solver's throughput, a lint-proven deadlock
+    /// must match [`Throughput::Deadlocked`], and on graphs whose HSDF
+    /// expansion stays within `max_expansion` phase-firing copies the
+    /// expansion baseline must reproduce the solver's answer exactly. The
+    /// verdict is `"agree"` when every executed check passed, `"disagree"`
+    /// when any failed, and `"inconclusive"` when none could run (e.g. the
+    /// solver exhausted a budget on a graph lint found clean).
+    fn verify(&self, spec: &GraphSpec, max_expansion: u64) -> Vec<(String, Json)> {
+        let report = lint_spec(spec);
+        let mut fields = lint_fields(&report);
+        let mut checks: Vec<(&'static str, bool)> = Vec::new();
+        match spec.load() {
+            Err(error) => {
+                // The importer rejected the graph: lint must have an error
+                // diagnostic for the same input.
+                fields.push(("solver_error".to_string(), Json::Str(error)));
+                checks.push(("lint_flags_unloadable", report.has_errors()));
+            }
+            Ok(graph) => match self.evaluate_cached(&graph) {
+                Err(error) => {
+                    fields.push(("solver_error".to_string(), Json::Str(error)));
+                    // A solver rejection is predicted by lint only when lint
+                    // found an error; budget-type failures are unpredictable,
+                    // so no check is recorded for them and the verdict stays
+                    // inconclusive.
+                    if report.has_errors() {
+                        checks.push(("solver_rejection_predicted", true));
+                    }
+                }
+                Ok((result, _)) => {
+                    fields.push((
+                        "throughput".to_string(),
+                        Json::Str(throughput_to_string(result.throughput)),
+                    ));
+                    if let Some(bounds) = &report.bounds {
+                        checks.push(("bounds_bracket", bounds.brackets(&result.throughput)));
+                    }
+                    if report.certain_deadlock() {
+                        checks.push((
+                            "deadlock_agreement",
+                            result.throughput == Throughput::Deadlocked,
+                        ));
+                    }
+                    fields.push(baseline_check(&graph, &result, max_expansion, &mut checks));
+                }
+            },
+        }
+        let verdict = if checks.iter().any(|&(_, passed)| !passed) {
+            "disagree"
+        } else if checks.is_empty() {
+            "inconclusive"
+        } else {
+            "agree"
+        };
+        let rendered: Vec<Json> = checks
+            .iter()
+            .map(|&(name, passed)| {
+                Json::Object(vec![
+                    ("check".to_string(), Json::Str(name.to_string())),
+                    ("passed".to_string(), Json::Bool(passed)),
+                ])
+            })
+            .collect();
+        fields.push(("checks".to_string(), Json::Array(rendered)));
+        fields.push(("verdict".to_string(), Json::Str(verdict.to_string())));
+        fields
+    }
+}
+
+/// Runs the HSDF-expansion baseline when the expansion stays within
+/// `max_expansion` phase-firing copies, recording a `baseline_agreement`
+/// check; returns the `baseline` response field (`"skipped"` when too large
+/// or out of budget).
+fn baseline_check(
+    graph: &CsdfGraph,
+    result: &KIterResult,
+    max_expansion: u64,
+    checks: &mut Vec<(&'static str, bool)>,
+) -> (String, Json) {
+    let field = |value: String| ("baseline".to_string(), Json::Str(value));
+    let size = graph.repetition_vector().ok().map(|q| {
+        graph
+            .tasks()
+            .map(|(id, task)| q.get(id) as u128 * task.phase_count() as u128)
+            .sum::<u128>()
+    });
+    match size {
+        Some(size) if size <= max_expansion as u128 => {
+            let budget = Budget {
+                max_events: max_expansion,
+                max_wall_time: std::time::Duration::from_secs(30),
+            };
+            match expansion_throughput(graph, &budget) {
+                Ok(baseline) if baseline.status == EvaluationStatus::Exact => {
+                    checks.push((
+                        "baseline_agreement",
+                        baseline.throughput == Some(result.throughput),
+                    ));
+                    field(match baseline.throughput {
+                        Some(throughput) => throughput_to_string(throughput),
+                        None => "none".to_string(),
+                    })
+                }
+                _ => field("skipped".to_string()),
+            }
+        }
+        _ => field("skipped".to_string()),
+    }
+}
+
+/// Maps a [`GraphSpec`] through the static analyzer; importer failures come
+/// back as `L000`/`L003` diagnostics rather than errors.
+fn lint_spec(spec: &GraphSpec) -> LintReport {
+    let format = match spec.format {
+        GraphFormat::Sdf3 => csdf_lint::InputFormat::Sdf3,
+        GraphFormat::Text => csdf_lint::InputFormat::Text,
+    };
+    csdf_lint::lint_source(&spec.source, format, &LintOptions::default())
+}
+
+/// The payload fields shared by `lint` responses and the lint part of
+/// `verify` responses.
+fn lint_fields(report: &LintReport) -> Vec<(String, Json)> {
+    let diagnostics: Vec<Json> = report.diagnostics.iter().map(diagnostic_json).collect();
+    let mut fields = vec![
+        ("diagnostics".to_string(), Json::Array(diagnostics)),
+        (
+            "errors".to_string(),
+            Json::Int(report.error_count() as i128),
+        ),
+        (
+            "warnings".to_string(),
+            Json::Int(report.warning_count() as i128),
+        ),
+        (
+            "certain_deadlock".to_string(),
+            Json::Bool(report.certain_deadlock()),
+        ),
+    ];
+    if let Some(bounds) = &report.bounds {
+        fields.push((
+            "bounds".to_string(),
+            Json::Object(vec![
+                (
+                    "lower".to_string(),
+                    Json::Str(throughput_to_string(bounds.lower)),
+                ),
+                (
+                    "upper".to_string(),
+                    Json::Str(throughput_to_string(bounds.upper)),
+                ),
+            ]),
+        ));
+    }
+    fields
+}
+
+/// One diagnostic as a JSON object (`line`/`tasks`/`buffers` only when set).
+fn diagnostic_json(diagnostic: &csdf_lint::Diagnostic) -> Json {
+    let mut entries = vec![
+        (
+            "code".to_string(),
+            Json::Str(diagnostic.code.as_str().to_string()),
+        ),
+        (
+            "severity".to_string(),
+            Json::Str(diagnostic.severity().to_string()),
+        ),
+        ("message".to_string(), Json::Str(diagnostic.message.clone())),
+    ];
+    if let Some(line) = diagnostic.line {
+        entries.push(("line".to_string(), Json::Int(line as i128)));
+    }
+    if !diagnostic.tasks.is_empty() {
+        let tasks: Vec<Json> = diagnostic
+            .tasks
+            .iter()
+            .map(|task| Json::Str(task.clone()))
+            .collect();
+        entries.push(("tasks".to_string(), Json::Array(tasks)));
+    }
+    if !diagnostic.buffers.is_empty() {
+        let buffers: Vec<Json> = diagnostic
+            .buffers
+            .iter()
+            .map(|buffer| {
+                Json::Object(vec![
+                    ("index".to_string(), Json::Int(buffer.index as i128)),
+                    ("source".to_string(), Json::Str(buffer.source.clone())),
+                    ("target".to_string(), Json::Str(buffer.target.clone())),
+                ])
+            })
+            .collect();
+        entries.push(("buffers".to_string(), Json::Array(buffers)));
+    }
+    Json::Object(entries)
 }
 
 /// The payload fields of an evaluate response.

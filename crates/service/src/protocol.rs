@@ -11,6 +11,8 @@
 //! {"id":3,"type":"min_storage","graph":{...},"target":"2/7","max_slack":64}
 //! {"id":4,"type":"scenario_set","graph":{...},"scenarios":[
 //!     {"name":"tight","markings":[[3,1]]}]}
+//! {"id":5,"type":"lint","graph":{...}}
+//! {"id":6,"type":"verify","graph":{...},"max_expansion":10000}
 //! ```
 //!
 //! Graph `format` is `"sdf3"` (the SDF3 XML wire format, see
@@ -134,6 +136,24 @@ pub enum RequestBody {
         /// The scenarios, in response order.
         scenarios: Vec<ScenarioSpec>,
     },
+    /// Static analysis only ([`csdf_lint::analyze_with_sources`]): structured
+    /// diagnostics plus the pre-solve throughput bounds, no solver run.
+    /// Unparseable graphs are reported as an `L000` diagnostic, not a
+    /// protocol error.
+    Lint {
+        /// The graph to lint.
+        graph: GraphSpec,
+    },
+    /// Cross-check the analysis stack on one graph: lint, then K-Iter, then
+    /// (on small graphs) the HSDF-expansion baseline, and compare all
+    /// verdicts.
+    Verify {
+        /// The graph to verify.
+        graph: GraphSpec,
+        /// Largest HSDF expansion (in phase-firing copies, `Σ q_t·φ_t`) the
+        /// baseline cross-check may build; bigger graphs skip the baseline.
+        max_expansion: u64,
+    },
 }
 
 impl RequestBody {
@@ -144,6 +164,8 @@ impl RequestBody {
             RequestBody::Sweep { .. } => "sweep",
             RequestBody::MinStorage { .. } => "min_storage",
             RequestBody::ScenarioSet { .. } => "scenario_set",
+            RequestBody::Lint { .. } => "lint",
+            RequestBody::Verify { .. } => "verify",
         }
     }
 }
@@ -182,7 +204,7 @@ pub fn parse_request(line: &str) -> Result<Request, (Option<i128>, String)> {
                 .and_then(Json::as_array)
                 .ok_or_else(|| fail("`slacks` must be an array of integers".to_string()))?
                 .iter()
-                .map(|entry| entry.as_u64())
+                .map(super::json::Json::as_u64)
                 .collect::<Option<Vec<u64>>>()
                 .ok_or_else(|| {
                     fail("`slacks` entries must be non-negative integers".to_string())
@@ -225,6 +247,19 @@ pub fn parse_request(line: &str) -> Result<Request, (Option<i128>, String)> {
             RequestBody::ScenarioSet {
                 graph: graph()?,
                 scenarios,
+            }
+        }
+        Some("lint") => RequestBody::Lint { graph: graph()? },
+        Some("verify") => {
+            let max_expansion = match value.get("max_expansion") {
+                None => 10_000,
+                Some(entry) => entry.as_u64().ok_or_else(|| {
+                    fail("`max_expansion` must be a non-negative integer".to_string())
+                })?,
+            };
+            RequestBody::Verify {
+                graph: graph()?,
+                max_expansion,
             }
         }
         Some(other) => return Err(fail(format!("unknown request type `{other}`"))),
@@ -361,6 +396,24 @@ mod tests {
                 assert_eq!(scenarios.len(), 1);
                 assert_eq!(scenarios[0].markings, vec![(BufferId::new(1), 5)]);
             }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        let lint = parse_request(&format!(r#"{{"id":5,"type":"lint","graph":{graph}}}"#)).unwrap();
+        assert_eq!(lint.body.kind(), "lint");
+
+        let verify =
+            parse_request(&format!(r#"{{"id":6,"type":"verify","graph":{graph}}}"#)).unwrap();
+        match verify.body {
+            RequestBody::Verify { max_expansion, .. } => assert_eq!(max_expansion, 10_000),
+            other => panic!("unexpected {other:?}"),
+        }
+        let verify = parse_request(&format!(
+            r#"{{"id":7,"type":"verify","graph":{graph},"max_expansion":32}}"#
+        ))
+        .unwrap();
+        match verify.body {
+            RequestBody::Verify { max_expansion, .. } => assert_eq!(max_expansion, 32),
             other => panic!("unexpected {other:?}"),
         }
     }

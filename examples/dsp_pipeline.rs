@@ -1,4 +1,4 @@
-//! Evaluate the five "ActualDSP" applications with the three exact methods.
+//! Evaluate the five "`ActualDSP`" applications with the three exact methods.
 //!
 //! This reproduces, on a small scale, the comparison of the paper's Table 1:
 //! K-Iter against HSDF expansion and symbolic execution on real DSP graph

@@ -65,8 +65,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             step.event_graph_size.0,
             step.event_graph_size.1,
             step.period
-                .map(|p| p.to_string())
-                .unwrap_or_else(|| "infeasible".to_string()),
+                .map_or_else(|| "infeasible".to_string(), |p| p.to_string()),
             step.critical_tasks
                 .iter()
                 .map(|&t| graph.task(t).name())
@@ -86,8 +85,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "=== Figure 3 reference: ASAP (symbolic execution) throughput = {}",
         asap.throughput()
-            .map(|t| t.to_string())
-            .unwrap_or_else(|| "budget exhausted".to_string())
+            .map_or_else(|| "budget exhausted".to_string(), |t| t.to_string())
     );
 
     // Figure 4: the optimal K-periodic schedule.

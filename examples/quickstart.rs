@@ -44,8 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "1-periodic [4]:     Th  = {}",
         periodic
             .throughput()
-            .map(|t| t.to_string())
-            .unwrap_or_else(|| "no solution".to_string())
+            .map_or_else(|| "no solution".to_string(), |t| t.to_string())
     );
 
     // The exact baselines.
@@ -54,8 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "symbolic exec [16]: Th* = {}",
         symbolic
             .throughput()
-            .map(|t| t.to_string())
-            .unwrap_or_else(|| "budget exhausted".to_string())
+            .map_or_else(|| "budget exhausted".to_string(), |t| t.to_string())
     );
     let expansion = expansion_throughput(&graph, &Budget::default());
     match expansion {
@@ -63,8 +61,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "expansion [6]:      Th* = {}",
             result
                 .throughput()
-                .map(|t| t.to_string())
-                .unwrap_or_else(|| "budget exhausted".to_string())
+                .map_or_else(|| "budget exhausted".to_string(), |t| t.to_string())
         ),
         Err(err) => println!("expansion [6]:      not applicable ({err})"),
     }

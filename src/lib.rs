@@ -13,6 +13,9 @@
 //!   [`AnalysisSession`];
 //! * [`explore`] (`csdf-explore`) — design-space exploration over analysis
 //!   sessions: Pareto sweeps, storage minimisation, scenario sets;
+//! * [`lint`] (`csdf-lint`) — static graph analysis: structural diagnostics
+//!   with stable codes and sound pre-solve throughput bounds (see the
+//!   `csdf-lint` binary);
 //! * [`baselines`] (`csdf-baselines`) — symbolic execution, HSDF expansion
 //!   and 1-periodic baselines;
 //! * [`generators`] (`csdf-generators`) — benchmark generators for the
@@ -62,6 +65,10 @@ pub use csdf_baselines as baselines;
 
 /// Benchmark generators (re-export of the `csdf-generators` crate).
 pub use csdf_generators as generators;
+
+/// Static graph analysis and pre-solve throughput bounds (re-export of the
+/// `csdf-lint` crate).
+pub use csdf_lint as lint;
 
 /// The throughput-analysis daemon (re-export of the `csdf-service` crate).
 pub use csdf_service as service;
