@@ -18,7 +18,7 @@
 use std::time::{Duration, Instant};
 
 use csdf::{CsdfGraph, Rational, RepetitionVector, TaskId, Throughput};
-use mcr::{CycleRatioOutcome, Solver, SolverChoice};
+use mcr::{CancelToken, CycleRatioOutcome, Solver, SolverChoice};
 
 use crate::arena::EventGraphArena;
 use crate::error::AnalysisError;
@@ -225,6 +225,7 @@ pub struct EvaluationPipeline {
     solver: Solver,
     arena: Option<EventGraphArena>,
     stats: PipelineStats,
+    cancel: CancelToken,
 }
 
 impl EvaluationPipeline {
@@ -235,7 +236,22 @@ impl EvaluationPipeline {
             solver: Solver::new(options.solver).with_threads(options.threads),
             arena: None,
             stats: PipelineStats::default(),
+            cancel: CancelToken::default(),
         }
+    }
+
+    /// Installs a cancellation token checked at the start of every
+    /// evaluation, once per arena buffer rebuild and once per solver round.
+    /// A cancelled evaluation returns [`AnalysisError::DeadlineExceeded`];
+    /// the pipeline stays reusable. Pass [`CancelToken::default`] to detach.
+    pub fn set_cancel_token(&mut self, token: CancelToken) {
+        self.solver.set_cancel_token(token.clone());
+        self.cancel = token;
+    }
+
+    /// The currently installed cancellation token.
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
     }
 
     /// The analysis options the pipeline was created with.
@@ -271,6 +287,9 @@ impl EvaluationPipeline {
         periodicity: &PeriodicityVector,
         dirty_hint: Option<&[TaskId]>,
     ) -> Result<PipelineEvaluation, AnalysisError> {
+        if self.cancel.is_cancelled() {
+            return Err(AnalysisError::DeadlineExceeded);
+        }
         self.stats.evaluations += 1;
         // Take the arena out so an error cannot leave a half-patched arena
         // installed. If the caller switched graph *structures* — detected by
@@ -286,7 +305,8 @@ impl EvaluationPipeline {
         let arena = match reusable {
             Some(mut arena) => {
                 let started = Instant::now();
-                let update = arena.apply_update(graph, periodicity, dirty_hint)?;
+                let update =
+                    arena.apply_update_with_cancel(graph, periodicity, dirty_hint, &self.cancel)?;
                 self.stats.last_construction_time = started.elapsed();
                 self.stats.patch_time += self.stats.last_construction_time;
                 self.stats.patched += 1;
@@ -299,8 +319,13 @@ impl EvaluationPipeline {
                     pre_lint_gate(graph)?;
                 }
                 let started = Instant::now();
-                let arena =
-                    EventGraphArena::build(graph, repetition, periodicity, &self.options.limits)?;
+                let arena = EventGraphArena::build_with_cancel(
+                    graph,
+                    repetition,
+                    periodicity,
+                    &self.options.limits,
+                    &self.cancel,
+                )?;
                 self.stats.last_construction_time = started.elapsed();
                 self.stats.build_time += self.stats.last_construction_time;
                 self.stats.full_builds += 1;

@@ -33,7 +33,7 @@
 use std::collections::BTreeSet;
 
 use csdf::{CsdfGraph, RepetitionVector, TaskId};
-use mcr::{CriticalCycle, NodeId, RatioGraph};
+use mcr::{CancelToken, CriticalCycle, NodeId, RatioGraph};
 
 use crate::block::TaskBlock;
 use crate::constraints::{emit_buffer_arcs_tiled, BufferArc};
@@ -113,6 +113,24 @@ impl EventGraphArena {
         k: &PeriodicityVector,
         limits: &EventGraphLimits,
     ) -> Result<Self, AnalysisError> {
+        Self::build_with_cancel(graph, repetition, k, limits, &CancelToken::default())
+    }
+
+    /// [`EventGraphArena::build`] with a cancellation token polled once per
+    /// buffer rebuild; a cancelled build returns
+    /// [`AnalysisError::DeadlineExceeded`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`EventGraphArena::build`], plus
+    /// [`AnalysisError::DeadlineExceeded`] on cancellation.
+    pub fn build_with_cancel(
+        graph: &CsdfGraph,
+        repetition: &RepetitionVector,
+        k: &PeriodicityVector,
+        limits: &EventGraphLimits,
+        cancel: &CancelToken,
+    ) -> Result<Self, AnalysisError> {
         validate_periodicity(graph, k)?;
         let lcm_k = k.lcm()?;
 
@@ -150,6 +168,9 @@ impl EventGraphArena {
         };
         let mut total_arcs = 0usize;
         for (buffer_id, _) in graph.buffers() {
+            if cancel.is_cancelled() {
+                return Err(AnalysisError::DeadlineExceeded);
+            }
             arena.rebuild_buffer(graph, buffer_id.index(), k)?;
             total_arcs += arena.buffer_arcs[buffer_id.index()].len();
             check_arc_total(total_arcs, limits)?;
@@ -186,6 +207,25 @@ impl EventGraphArena {
         graph: &CsdfGraph,
         k: &PeriodicityVector,
         dirty_hint: Option<&[TaskId]>,
+    ) -> Result<ArenaUpdate, AnalysisError> {
+        self.apply_update_with_cancel(graph, k, dirty_hint, &CancelToken::default())
+    }
+
+    /// [`EventGraphArena::apply_update`] with a cancellation token polled
+    /// once per dirty-buffer rebuild; a cancelled patch returns
+    /// [`AnalysisError::DeadlineExceeded`] (and, like any other patch error,
+    /// leaves the arena to be discarded by the caller).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`EventGraphArena::apply_update`], plus
+    /// [`AnalysisError::DeadlineExceeded`] on cancellation.
+    pub fn apply_update_with_cancel(
+        &mut self,
+        graph: &CsdfGraph,
+        k: &PeriodicityVector,
+        dirty_hint: Option<&[TaskId]>,
+        cancel: &CancelToken,
     ) -> Result<ArenaUpdate, AnalysisError> {
         validate_periodicity(graph, k)?;
         if !self.matches_structure(graph) {
@@ -247,6 +287,9 @@ impl EventGraphArena {
         }
 
         for &buffer_index in &dirty_buffers {
+            if cancel.is_cancelled() {
+                return Err(AnalysisError::DeadlineExceeded);
+            }
             self.rebuild_buffer(graph, buffer_index, k)?;
         }
         let total_arcs: usize = self.buffer_arcs.iter().map(Vec::len).sum();

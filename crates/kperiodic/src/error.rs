@@ -40,6 +40,10 @@ pub enum AnalysisError {
         /// The diagnostic's message.
         message: String,
     },
+    /// The evaluation observed a cancelled [`CancelToken`](mcr::CancelToken)
+    /// — an explicit cancellation or an elapsed deadline — and bailed out
+    /// cooperatively. The session, pipeline and arena all stay reusable.
+    DeadlineExceeded,
 }
 
 impl fmt::Display for AnalysisError {
@@ -61,6 +65,9 @@ impl fmt::Display for AnalysisError {
             }
             AnalysisError::RejectedByLint { code, message } => {
                 write!(f, "rejected by pre-solve lint [{code}]: {message}")
+            }
+            AnalysisError::DeadlineExceeded => {
+                write!(f, "evaluation exceeded its deadline and was cancelled")
             }
         }
     }
@@ -84,7 +91,12 @@ impl From<CsdfError> for AnalysisError {
 
 impl From<McrError> for AnalysisError {
     fn from(err: McrError) -> Self {
-        AnalysisError::Solver(err)
+        match err {
+            // A cancelled solve is a deadline event of the whole evaluation,
+            // not a solver failure.
+            McrError::Cancelled => AnalysisError::DeadlineExceeded,
+            other => AnalysisError::Solver(other),
+        }
     }
 }
 
@@ -115,5 +127,13 @@ mod tests {
         assert!(size.to_string().contains("10"));
         assert!(std::error::Error::source(&model).is_some());
         assert!(std::error::Error::source(&limit).is_none());
+    }
+
+    #[test]
+    fn cancelled_solves_become_deadline_exceeded() {
+        let cancelled: AnalysisError = McrError::Cancelled.into();
+        assert_eq!(cancelled, AnalysisError::DeadlineExceeded);
+        assert!(cancelled.to_string().contains("deadline"));
+        assert!(std::error::Error::source(&cancelled).is_none());
     }
 }

@@ -131,6 +131,13 @@ pub fn kiter_with_options(
 /// [`AnalysisOptions`] govern limits and solver choice;
 /// `options.analysis.max_iterations` is ignored in favour of the pipeline's.
 ///
+/// A cancellation token installed on the pipeline
+/// ([`EvaluationPipeline::set_cancel_token`]) is honoured once per K-Iter
+/// iteration (at the head of each evaluation) and inside the arena patch and
+/// MCR solve loops; a cancelled run returns
+/// [`AnalysisError::DeadlineExceeded`](crate::AnalysisError::DeadlineExceeded)
+/// and leaves the pipeline reusable.
+///
 /// # Errors
 ///
 /// See [`optimal_throughput`].

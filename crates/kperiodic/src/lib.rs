@@ -98,6 +98,7 @@ pub use kiter::{
     kiter_with_options, kiter_with_pipeline, optimal_throughput, KIterIteration, KIterOptions,
     KIterResult, KUpdatePolicy,
 };
+pub use mcr::CancelToken;
 pub use paper_example::{paper_example, PaperExampleTasks};
 pub use periodicity::PeriodicityVector;
 pub use pool::{PoolStats, SessionPool};

@@ -45,6 +45,13 @@ pub struct PoolStats {
     pub cold: usize,
     /// Idle sessions evicted because the pool was over capacity.
     pub evicted: usize,
+    /// Sessions filed back by [`SessionPool::give_back`].
+    pub returned: usize,
+    /// Sessions dropped through [`SessionPool::quarantine`] because their
+    /// last use errored or panicked mid-mutation. With `returned`, this
+    /// accounts for every checkout a well-behaved server hands back:
+    /// `checkouts == returned + quarantined` means no session leaked.
+    pub quarantined: usize,
 }
 
 impl PoolStats {
@@ -178,15 +185,20 @@ impl SessionPool {
     }
 
     /// Returns a session to the pool, evicting the least recently returned
-    /// idle session when the pool is over capacity. Sessions whose last
-    /// evaluation failed may be returned too — they stay usable (the next
-    /// evaluation rebuilds the arena from scratch).
+    /// idle session when the pool is over capacity.
+    ///
+    /// Only sessions that finished their work normally belong here. A
+    /// session whose evaluation errored or panicked mid-mutation may hold a
+    /// half-applied marking batch or a stale arena; hand it to
+    /// [`SessionPool::quarantine`] instead so the damage cannot reach the
+    /// next request.
     ///
     /// # Panics
     ///
     /// Panics only if the eviction invariant breaks (an over-capacity pool
     /// with no idle session to evict).
     pub fn give_back(&mut self, session: AnalysisSession) {
+        self.stats.returned += 1;
         let fingerprint = session.structure_fingerprint();
         self.idle.push(IdleSession {
             fingerprint,
@@ -205,6 +217,16 @@ impl SessionPool {
             self.idle.swap_remove(oldest);
             self.stats.evicted += 1;
         }
+    }
+
+    /// Drops a checked-out session instead of refiling it, counting it in
+    /// [`PoolStats::quarantined`]. Use this for sessions whose evaluation
+    /// errored or panicked mid-mutation: the session is destroyed, never
+    /// handed to another request, and the next checkout of its structure
+    /// builds cold.
+    pub fn quarantine(&mut self, session: AnalysisSession) {
+        drop(session);
+        self.stats.quarantined += 1;
     }
 
     /// Drops every idle session (e.g. after a memory-pressure signal).
@@ -284,6 +306,24 @@ mod tests {
             pool.give_back(session);
         }
         assert_eq!(pool.stats().warm, 2);
+    }
+
+    #[test]
+    fn quarantined_sessions_never_rejoin_the_pool() {
+        let mut pool = SessionPool::new(KIterOptions::default(), 4);
+        let graph = ring(2, 3);
+        let session = pool.checkout(&graph).unwrap();
+        pool.quarantine(session);
+        assert_eq!(pool.idle_sessions(), 0);
+        assert_eq!(pool.stats().quarantined, 1);
+        assert_eq!(pool.stats().returned, 0);
+        // The next checkout of the same structure builds cold.
+        let session = pool.checkout(&graph).unwrap();
+        pool.give_back(session);
+        let stats = *pool.stats();
+        assert_eq!(stats.cold, 2);
+        assert_eq!(stats.returned, 1);
+        assert_eq!(stats.checkouts, stats.returned + stats.quarantined);
     }
 
     #[test]

@@ -177,6 +177,16 @@ impl AnalysisSession {
         self.solves
     }
 
+    /// Installs a cancellation token on the session's pipeline (see
+    /// [`EvaluationPipeline::set_cancel_token`]): subsequent evaluations bail
+    /// out with
+    /// [`AnalysisError::DeadlineExceeded`](crate::AnalysisError::DeadlineExceeded)
+    /// once the token cancels or its deadline passes. The session stays
+    /// usable afterwards; pass [`mcr::CancelToken::default`] to detach.
+    pub fn set_cancel_token(&mut self, token: mcr::CancelToken) {
+        self.pipeline.set_cancel_token(token);
+    }
+
     /// Replaces the initial marking of one buffer in place, returning the
     /// previous value. The next evaluation re-derives only this buffer's
     /// constraint arcs.

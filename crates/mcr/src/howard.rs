@@ -98,6 +98,11 @@ pub(crate) fn howard_component(scratch: &mut Scratch, n: usize) -> HowardOutcome
     let budget = 2 * n + 64;
     let mut converged = false;
     for _ in 0..budget {
+        if scratch.cancel.is_cancelled() {
+            // Bail hands over to the parametric method, whose first round
+            // check turns the cancellation into `McrError::Cancelled`.
+            return HowardOutcome::Bail;
+        }
         match evaluate(scratch, n) {
             Evaluation::Done => {}
             Evaluation::Infinite(positions) => return HowardOutcome::Infinite { positions },

@@ -73,6 +73,11 @@ pub(crate) fn howard_component_int(scratch: &mut Scratch, n: usize) -> Option<Ho
     let budget = 2 * n + 64;
     let mut converged = false;
     for _ in 0..budget {
+        if scratch.cancel.is_cancelled() {
+            // Bail hands over to the parametric method, whose first round
+            // check turns the cancellation into `McrError::Cancelled`.
+            return Some(HowardOutcome::Bail);
+        }
         match evaluate_int(scratch, n)? {
             Evaluation::Done => {}
             Evaluation::Infinite(positions) => return Some(HowardOutcome::Infinite { positions }),

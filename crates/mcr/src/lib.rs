@@ -50,6 +50,7 @@
 #![warn(missing_docs)]
 
 mod brute;
+mod cancel;
 mod graph;
 mod howard;
 mod karp;
@@ -58,6 +59,7 @@ mod scc;
 mod solve;
 
 pub use brute::{enumerate_elementary_cycles, maximum_cycle_ratio_brute_force};
+pub use cancel::CancelToken;
 pub use graph::{Arc, ArcId, NodeId, RatioGraph};
 pub use karp::maximum_cycle_mean;
 pub use scc::SccDecomposition;
@@ -80,5 +82,6 @@ mod tests {
         assert_send_sync::<SccDecomposition>();
         assert_send_sync::<Solver>();
         assert_send_sync::<SolverChoice>();
+        assert_send_sync::<CancelToken>();
     }
 }

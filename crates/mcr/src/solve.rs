@@ -27,6 +27,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use csdf::{Rational, RationalError};
 
+use crate::cancel::CancelToken;
 use crate::graph::{build_csr, ArcId, NodeId, RatioGraph};
 use crate::howard::{self, HowardOutcome};
 use crate::kernel;
@@ -41,6 +42,9 @@ pub enum McrError {
     /// increase `λ`). This cannot happen for well-formed inputs; the variant
     /// is kept so that the defensive check fails loudly instead of looping.
     IterationLimit,
+    /// The solve observed a cancelled [`CancelToken`] (explicit cancellation
+    /// or an elapsed deadline) and bailed out cooperatively.
+    Cancelled,
 }
 
 impl fmt::Display for McrError {
@@ -48,6 +52,9 @@ impl fmt::Display for McrError {
         match self {
             McrError::Rational(err) => write!(f, "{err}"),
             McrError::IterationLimit => write!(f, "cycle ratio solver failed to make progress"),
+            McrError::Cancelled => {
+                write!(f, "cycle ratio solve was cancelled before completion")
+            }
         }
     }
 }
@@ -56,7 +63,7 @@ impl std::error::Error for McrError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             McrError::Rational(err) => Some(err),
-            McrError::IterationLimit => None,
+            McrError::IterationLimit | McrError::Cancelled => None,
         }
     }
 }
@@ -210,6 +217,7 @@ pub struct Solver {
     choice: SolverChoice,
     threads: usize,
     integer_kernel: bool,
+    cancel: CancelToken,
     scratch: Scratch,
     /// One extra scratch per additional worker thread (lazily grown, kept
     /// warm across solves).
@@ -231,6 +239,7 @@ impl Solver {
             choice,
             threads: 1,
             integer_kernel: true,
+            cancel: CancelToken::default(),
             scratch: Scratch::default(),
             worker_scratches: Vec::new(),
             scc: SccBuffers::default(),
@@ -274,6 +283,14 @@ impl Solver {
         self.choice
     }
 
+    /// Installs a cancellation token polled once per policy-iteration /
+    /// Bellman–Ford round of subsequent solves. A cancelled solve returns
+    /// [`McrError::Cancelled`]; the solver and all its scratch buffers stay
+    /// reusable afterwards. Pass [`CancelToken::default`] to detach.
+    pub fn set_cancel_token(&mut self, token: CancelToken) {
+        self.cancel = token;
+    }
+
     /// Computes the maximum cost-to-time ratio of `graph` and a critical
     /// circuit. Identical results for every [`SolverChoice`] and thread
     /// count.
@@ -288,6 +305,10 @@ impl Solver {
     /// Panics only if a parallel component worker itself panicked or the
     /// per-component bookkeeping invariant breaks.
     pub fn solve(&mut self, graph: &RatioGraph) -> Result<CycleRatioOutcome, McrError> {
+        if self.cancel.is_cancelled() {
+            return Err(McrError::Cancelled);
+        }
+        self.scratch.cancel = self.cancel.clone();
         let arcs = graph.raw_arcs();
         // Adjacency: borrow the graph's CSR index when current (the arena
         // rebuilds it after every patch), otherwise build one into the
@@ -341,6 +362,9 @@ impl Solver {
         if self.worker_scratches.len() < worker_count - 1 {
             self.worker_scratches
                 .resize_with(worker_count - 1, Scratch::default);
+        }
+        for scratch in &mut self.worker_scratches {
+            scratch.cancel = self.cancel.clone();
         }
         let scc = &self.scc;
         let cyclic = &self.cyclic;
@@ -639,6 +663,9 @@ pub(crate) struct Scratch {
     pub(crate) resolved: Vec<u64>,
     pub(crate) walk: Vec<usize>,
     pub(crate) epoch: u64,
+    /// Cancellation token polled once per solver round (see
+    /// [`Solver::set_cancel_token`]); the default token never cancels.
+    pub(crate) cancel: CancelToken,
 }
 
 impl Scratch {
@@ -816,6 +843,9 @@ fn find_violating_cycle(
     // the full predecessor scan then extracts.
     let mut round = 0usize;
     loop {
+        if scratch.cancel.is_cancelled() {
+            return Err(McrError::Cancelled);
+        }
         for active_index in 0..scratch.active.len() {
             let node = scratch.active[active_index];
             for position in scratch.first[node]..scratch.first[node + 1] {

@@ -4,12 +4,13 @@
 //! fans them over the worker pool, and writes the responses to stdout in
 //! request order. With `--socket PATH` it serves streaming connections on a
 //! Unix socket instead (one response per request line, flushed
-//! immediately). Either way, pool and cache statistics go to stderr as one
-//! JSON line on exit.
+//! immediately). Either way, pool, cache and fault-containment statistics
+//! go to stderr as one JSON line on exit.
 //!
 //! ```text
 //! csdf_service [--socket PATH] [--workers N] [--pool N] [--cache N]
-//!              [--max-connections N]
+//!              [--max-connections N] [--deadline-ms N] [--max-line-bytes N]
+//!              [--max-tasks N] [--max-buffers N] [--max-inflight N]
 //! ```
 
 use std::io::Write;
@@ -32,33 +33,39 @@ fn parse_args() -> Result<Args, String> {
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
         let mut value = |flag: &str| argv.next().ok_or_else(|| format!("{flag} expects a value"));
+        fn parse<T: std::str::FromStr>(flag: &str, raw: &str) -> Result<T, String> {
+            raw.parse()
+                .map_err(|_| format!("{flag} expects an integer"))
+        }
         match flag.as_str() {
             "--socket" => args.socket = Some(value("--socket")?.into()),
             "--max-connections" => {
-                args.max_connections = Some(
-                    value("--max-connections")?
-                        .parse()
-                        .map_err(|_| "--max-connections expects an integer".to_string())?,
-                );
+                args.max_connections =
+                    Some(parse("--max-connections", &value("--max-connections")?)?);
             }
-            "--workers" => {
-                args.config.workers = value("--workers")?
-                    .parse()
-                    .map_err(|_| "--workers expects an integer".to_string())?;
+            "--workers" => args.config.workers = parse("--workers", &value("--workers")?)?,
+            "--pool" => args.config.pool_capacity = parse("--pool", &value("--pool")?)?,
+            "--cache" => args.config.cache_capacity = parse("--cache", &value("--cache")?)?,
+            "--deadline-ms" => {
+                args.config.default_deadline_ms =
+                    Some(parse("--deadline-ms", &value("--deadline-ms")?)?);
             }
-            "--pool" => {
-                args.config.pool_capacity = value("--pool")?
-                    .parse()
-                    .map_err(|_| "--pool expects an integer".to_string())?;
+            "--max-line-bytes" => {
+                args.config.max_line_bytes =
+                    parse("--max-line-bytes", &value("--max-line-bytes")?)?;
             }
-            "--cache" => {
-                args.config.cache_capacity = value("--cache")?
-                    .parse()
-                    .map_err(|_| "--cache expects an integer".to_string())?;
+            "--max-tasks" => args.config.max_tasks = parse("--max-tasks", &value("--max-tasks")?)?,
+            "--max-buffers" => {
+                args.config.max_buffers = parse("--max-buffers", &value("--max-buffers")?)?;
+            }
+            "--max-inflight" => {
+                args.config.max_inflight = parse("--max-inflight", &value("--max-inflight")?)?;
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: csdf_service [--socket PATH] [--workers N] [--pool N] [--cache N] [--max-connections N]"
+                    "usage: csdf_service [--socket PATH] [--workers N] [--pool N] [--cache N] \
+                     [--max-connections N] [--deadline-ms N] [--max-line-bytes N] \
+                     [--max-tasks N] [--max-buffers N] [--max-inflight N]"
                 );
                 std::process::exit(0);
             }
@@ -83,14 +90,22 @@ fn main() -> ExitCode {
     };
     let pool = daemon.pool_stats();
     let cache = daemon.cache_stats();
+    let service = daemon.service_stats();
     eprintln!(
-        "{{\"checkouts\":{},\"warm\":{},\"cold\":{},\"warm_hit_rate\":{:.4},\"cache_hits\":{},\"cache_misses\":{}}}",
+        "{{\"checkouts\":{},\"warm\":{},\"cold\":{},\"warm_hit_rate\":{:.4},\"returned\":{},\"quarantined\":{},\"cache_hits\":{},\"cache_misses\":{},\"panics_caught\":{},\"deadline_exceeded\":{},\"rejected\":{},\"pool_poison_recoveries\":{},\"cache_poison_recoveries\":{}}}",
         pool.checkouts,
         pool.warm,
         pool.cold,
         pool.warm_hit_rate(),
+        pool.returned,
+        pool.quarantined,
         cache.hits,
-        cache.misses
+        cache.misses,
+        service.panics_caught,
+        service.deadline_exceeded,
+        service.rejected,
+        service.pool_poison_recoveries,
+        service.cache_poison_recoveries
     );
     match served {
         Ok(()) => ExitCode::SUCCESS,

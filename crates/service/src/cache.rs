@@ -56,6 +56,9 @@ pub struct CacheStats {
     pub misses: usize,
     /// Entries evicted over capacity.
     pub evicted: usize,
+    /// Inserts refused because the key exceeded the entry-size limit
+    /// ([`ResultCache::with_entry_limit`]).
+    pub rejected: usize,
 }
 
 #[derive(Debug)]
@@ -74,20 +77,35 @@ struct Entry {
 #[derive(Debug)]
 pub struct ResultCache {
     capacity: usize,
+    /// Largest marking vector an inserted key may carry; larger keys are
+    /// refused and counted in [`CacheStats::rejected`].
+    max_markings: usize,
     entries: Vec<Entry>,
     next_stamp: u64,
     stats: CacheStats,
 }
 
 impl ResultCache {
-    /// Creates a cache keeping at most `capacity` results (`0` is `1`).
+    /// Creates a cache keeping at most `capacity` results (`0` is `1`),
+    /// with no entry-size limit.
     pub fn new(capacity: usize) -> ResultCache {
         ResultCache {
             capacity: capacity.max(1),
+            max_markings: usize::MAX,
             entries: Vec::new(),
             next_stamp: 0,
             stats: CacheStats::default(),
         }
+    }
+
+    /// Caps the size of an insertable key at `max_markings` marking entries
+    /// (one per buffer of the evaluated graph); oversized inserts are
+    /// refused and counted in [`CacheStats::rejected`] instead of letting a
+    /// handful of giant graphs dominate the cache's memory.
+    #[must_use]
+    pub fn with_entry_limit(mut self, max_markings: usize) -> ResultCache {
+        self.max_markings = max_markings;
+        self
     }
 
     /// Looks a key up, refreshing its recency on a hit.
@@ -115,6 +133,10 @@ impl ResultCache {
     /// Panics only if the eviction invariant breaks (an over-capacity cache
     /// with no entry to evict).
     pub fn insert(&mut self, key: CacheKey, result: KIterResult) {
+        if key.markings.len() > self.max_markings {
+            self.stats.rejected += 1;
+            return;
+        }
         if let Some(entry) = self.entries.iter_mut().find(|entry| entry.key == key) {
             entry.result = result;
             entry.stamp = self.next_stamp;
@@ -153,6 +175,14 @@ impl ResultCache {
     /// Hit/miss counters.
     pub fn stats(&self) -> &CacheStats {
         &self.stats
+    }
+
+    /// Drops every cached result, keeping the counters. Used by the daemon's
+    /// poison recovery: a cache whose lock was poisoned mid-insert may hold a
+    /// half-updated recency order, so it restarts empty rather than serve a
+    /// result written by a panicking worker.
+    pub fn clear(&mut self) {
+        self.entries.clear();
     }
 }
 
@@ -193,6 +223,26 @@ mod tests {
         assert_eq!(cache.get(&CacheKey::new(&graph, &record)), None);
         assert_eq!(cache.stats().hits, 1);
         assert_eq!(cache.stats().misses, 3);
+    }
+
+    #[test]
+    fn entry_limit_rejects_oversized_keys_and_clear_keeps_counters() {
+        let options = KIterOptions::default();
+        // The ring has two buffers; a one-marking limit refuses its key.
+        let mut cache = ResultCache::new(8).with_entry_limit(1);
+        let graph = ring(2, 3);
+        let result = optimal_throughput(&graph).unwrap();
+        cache.insert(CacheKey::new(&graph, &options), result.clone());
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().rejected, 1);
+
+        let mut cache = ResultCache::new(8).with_entry_limit(2);
+        cache.insert(CacheKey::new(&graph, &options), result);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get(&CacheKey::new(&graph, &options)).is_some());
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().hits, 1, "counters survive a clear");
     }
 
     #[test]

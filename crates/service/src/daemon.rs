@@ -1,8 +1,28 @@
 //! The daemon: session pool + result cache + request scheduler.
+//!
+//! # Fault containment
+//!
+//! The daemon survives any single request. Per-request handling runs under
+//! [`std::panic::catch_unwind`], so a panicking handler becomes a structured
+//! `internal_panic` error response instead of tearing down the transport; a
+//! pool or cache mutex poisoned by such a panic is recovered on the next
+//! access (the pool drops its idle sessions, the cache restarts empty, and
+//! the recovery is counted in [`ServiceStats`]). Sessions whose work errored
+//! or panicked mid-mutation are quarantined
+//! ([`SessionPool::quarantine`]), never refiled. Deadlines
+//! ([`crate::protocol::Request::deadline_ms`] or
+//! [`ServiceConfig::default_deadline_ms`]) cancel evaluations cooperatively
+//! through a [`CancelToken`], and admission caps
+//! ([`ServiceConfig::max_line_bytes`] / [`ServiceConfig::max_tasks`] /
+//! [`ServiceConfig::max_buffers`] / [`ServiceConfig::max_inflight`]) shed
+//! oversized or excess work with typed `rejected` responses before it can
+//! occupy a worker.
 
 use std::io::{BufRead, BufReader, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
+use std::time::Duration;
 
 use csdf::transform::bound_all_buffers_tracked;
 use csdf::{CsdfGraph, TaskId, Throughput};
@@ -12,10 +32,11 @@ use csdf_explore::{
 };
 use csdf_lint::{LintOptions, LintReport};
 use kperiodic::{
-    AnalysisError, AnalysisSession, KIterOptions, KIterResult, PoolStats, SessionPool,
+    AnalysisError, AnalysisSession, CancelToken, KIterOptions, KIterResult, PoolStats, SessionPool,
 };
 
 use crate::cache::{CacheKey, CacheStats, ResultCache};
+use crate::fault::{FaultPlan, FaultSite};
 use crate::json::Json;
 use crate::protocol::{parse_request, throughput_to_string, GraphFormat, GraphSpec, RequestBody};
 
@@ -32,6 +53,25 @@ pub struct ServiceConfig {
     /// `0` is treated as `1`). Streaming transports answer in-line and
     /// ignore this.
     pub workers: usize,
+    /// Deadline applied to requests that carry no `deadline_ms` of their
+    /// own; `None` means no default deadline.
+    pub default_deadline_ms: Option<u64>,
+    /// Wall-clock budget of each `verify` cross-check when the request has
+    /// no deadline of its own (also the expansion baseline's time budget).
+    pub verify_check_budget_ms: u64,
+    /// Longest accepted request line in bytes; longer lines are answered
+    /// with a `rejected` error (and, on streaming transports, never buffered
+    /// beyond this size).
+    pub max_line_bytes: usize,
+    /// Largest admitted task count of a request's graph.
+    pub max_tasks: usize,
+    /// Largest admitted buffer count of a request's graph. Also caps the
+    /// result cache's entry size (a cache key stores one marking per
+    /// buffer).
+    pub max_buffers: usize,
+    /// Requests allowed past parsing concurrently; excess load is shed with
+    /// a `rejected` error instead of queueing without bound.
+    pub max_inflight: usize,
 }
 
 impl Default for ServiceConfig {
@@ -41,8 +81,103 @@ impl Default for ServiceConfig {
             pool_capacity: 16,
             cache_capacity: 256,
             workers: 4,
+            default_deadline_ms: None,
+            verify_check_budget_ms: 30_000,
+            max_line_bytes: 1 << 20,
+            max_tasks: 1 << 20,
+            max_buffers: 1 << 20,
+            max_inflight: 256,
         }
     }
+}
+
+/// The stable error taxonomy of the wire protocol: every error response
+/// carries `{"error":{"kind":"<kind>","message":"..."}}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The request line was not a well-formed request.
+    Parse,
+    /// Admission control refused the request (line length, graph size, or
+    /// in-flight load).
+    Rejected,
+    /// The graph failed to load or was structurally invalid.
+    InvalidGraph,
+    /// The request's deadline elapsed before the evaluation finished.
+    DeadlineExceeded,
+    /// The handler panicked; the panic was contained and the daemon is
+    /// still live.
+    InternalPanic,
+    /// The evaluation itself failed (solver error, iteration or size
+    /// budget, injected fault).
+    Evaluation,
+}
+
+impl ErrorKind {
+    /// The wire string of this kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorKind::Parse => "parse",
+            ErrorKind::Rejected => "rejected",
+            ErrorKind::InvalidGraph => "invalid_graph",
+            ErrorKind::DeadlineExceeded => "deadline_exceeded",
+            ErrorKind::InternalPanic => "internal_panic",
+            ErrorKind::Evaluation => "evaluation",
+        }
+    }
+}
+
+/// A typed request failure, rendered as the response's `error` object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceError {
+    /// Which class of failure this is.
+    pub kind: ErrorKind,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ServiceError {
+    /// Creates an error of the given kind.
+    pub fn new(kind: ErrorKind, message: impl Into<String>) -> ServiceError {
+        ServiceError {
+            kind,
+            message: message.into(),
+        }
+    }
+}
+
+impl From<AnalysisError> for ServiceError {
+    fn from(error: AnalysisError) -> ServiceError {
+        let kind = match &error {
+            AnalysisError::DeadlineExceeded => ErrorKind::DeadlineExceeded,
+            AnalysisError::Model(_)
+            | AnalysisError::RejectedByLint { .. }
+            | AnalysisError::ArenaGraphMismatch => ErrorKind::InvalidGraph,
+            AnalysisError::Solver(_)
+            | AnalysisError::IterationLimitReached { .. }
+            | AnalysisError::EventGraphTooLarge { .. } => ErrorKind::Evaluation,
+        };
+        ServiceError::new(kind, error.to_string())
+    }
+}
+
+/// Fault-containment counters of a [`Daemon`]
+/// ([`Daemon::service_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServiceStats {
+    /// Request handlers that panicked; each became an `internal_panic`
+    /// response while the daemon stayed live.
+    pub panics_caught: usize,
+    /// Requests answered with `deadline_exceeded`.
+    pub deadline_exceeded: usize,
+    /// Requests shed by admission control (`rejected` responses).
+    pub rejected: usize,
+    /// Times the pool mutex was found poisoned and rebuilt (idle sessions
+    /// dropped, counters kept).
+    pub pool_poison_recoveries: usize,
+    /// Times the cache mutex was found poisoned and cleared.
+    pub cache_poison_recoveries: usize,
+    /// Requests currently past admission and not yet answered.
+    pub inflight: usize,
 }
 
 /// A throughput-analysis daemon.
@@ -60,7 +195,7 @@ impl Default for ServiceConfig {
 /// worker pool, responses in request order), [`Daemon::serve_lines`]
 /// (streaming line/response over any reader/writer pair, e.g. stdin/stdout)
 /// and [`Daemon::serve_unix`] (a Unix socket, one streaming connection per
-/// thread).
+/// thread). All of them contain faults per request — see the module docs.
 ///
 /// # Examples
 ///
@@ -78,6 +213,42 @@ pub struct Daemon {
     config: ServiceConfig,
     pool: Mutex<SessionPool>,
     cache: Mutex<ResultCache>,
+    fault_plan: Option<FaultPlan>,
+    panics_caught: AtomicUsize,
+    deadlines_exceeded: AtomicUsize,
+    rejected: AtomicUsize,
+    pool_poison_recoveries: AtomicUsize,
+    cache_poison_recoveries: AtomicUsize,
+    inflight: AtomicUsize,
+}
+
+/// Decrements the in-flight gauge when a request finishes — also by
+/// unwinding, so a panicking handler cannot leak an in-flight slot.
+struct InflightGuard<'a> {
+    daemon: &'a Daemon,
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.daemon.inflight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// A checked-out session on its way through one request. Dropping the lease
+/// with the session still inside — the error and panic paths — quarantines
+/// it ([`SessionPool::quarantine`]); the success path takes the session out
+/// and refiles it explicitly.
+struct SessionLease<'a> {
+    daemon: &'a Daemon,
+    session: Option<AnalysisSession>,
+}
+
+impl Drop for SessionLease<'_> {
+    fn drop(&mut self) {
+        if let Some(session) = self.session.take() {
+            self.daemon.pool_guard().quarantine(session);
+        }
+    }
 }
 
 impl Daemon {
@@ -85,9 +256,28 @@ impl Daemon {
     pub fn new(config: ServiceConfig) -> Daemon {
         Daemon {
             pool: Mutex::new(SessionPool::new(config.options, config.pool_capacity)),
-            cache: Mutex::new(ResultCache::new(config.cache_capacity)),
+            cache: Mutex::new(
+                ResultCache::new(config.cache_capacity).with_entry_limit(config.max_buffers),
+            ),
             config,
+            fault_plan: None,
+            panics_caught: AtomicUsize::new(0),
+            deadlines_exceeded: AtomicUsize::new(0),
+            rejected: AtomicUsize::new(0),
+            pool_poison_recoveries: AtomicUsize::new(0),
+            cache_poison_recoveries: AtomicUsize::new(0),
+            inflight: AtomicUsize::new(0),
         }
+    }
+
+    /// Installs a [`FaultPlan`] polled at the named request-handling sites
+    /// (builder form). Only available with the `fault-injection` cargo
+    /// feature, so production builds cannot inject faults.
+    #[cfg(feature = "fault-injection")]
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Daemon {
+        self.fault_plan = Some(plan);
+        self
     }
 
     /// The daemon's configuration.
@@ -95,59 +285,194 @@ impl Daemon {
         &self.config
     }
 
-    /// Session-pool counters so far (checkouts, warm hit rate, evictions).
-    ///
-    /// # Panics
-    ///
-    /// Panics if a worker thread poisoned the pool lock by panicking.
+    /// Session-pool counters so far (checkouts, warm hit rate, evictions,
+    /// quarantines). Recovers the pool first if a panicking worker poisoned
+    /// its lock.
     pub fn pool_stats(&self) -> PoolStats {
-        *self.pool.lock().expect("pool poisoned").stats()
+        *self.pool_guard().stats()
     }
 
-    /// Result-cache counters so far.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a worker thread poisoned the cache lock by panicking.
+    /// Result-cache counters so far. Recovers the cache first if a panicking
+    /// worker poisoned its lock.
     pub fn cache_stats(&self) -> CacheStats {
-        *self.cache.lock().expect("cache poisoned").stats()
+        *self.cache_guard().stats()
+    }
+
+    /// Fault-containment counters so far.
+    pub fn service_stats(&self) -> ServiceStats {
+        ServiceStats {
+            panics_caught: self.panics_caught.load(Ordering::SeqCst),
+            deadline_exceeded: self.deadlines_exceeded.load(Ordering::SeqCst),
+            rejected: self.rejected.load(Ordering::SeqCst),
+            pool_poison_recoveries: self.pool_poison_recoveries.load(Ordering::SeqCst),
+            cache_poison_recoveries: self.cache_poison_recoveries.load(Ordering::SeqCst),
+            inflight: self.inflight.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Locks the pool, recovering from poison: a pool whose lock was
+    /// poisoned mid-checkout may hold sessions in unknown states, so its
+    /// idle set is dropped (counters survive) and the recovery is counted.
+    fn pool_guard(&self) -> MutexGuard<'_, SessionPool> {
+        match self.pool.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                self.pool.clear_poison();
+                let mut guard = poisoned.into_inner();
+                guard.clear();
+                self.pool_poison_recoveries.fetch_add(1, Ordering::SeqCst);
+                guard
+            }
+        }
+    }
+
+    /// Locks the cache, recovering from poison: a half-written cache entry
+    /// must never be served, so the cache restarts empty (counters survive)
+    /// and the recovery is counted.
+    fn cache_guard(&self) -> MutexGuard<'_, ResultCache> {
+        match self.cache.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                self.cache.clear_poison();
+                let mut guard = poisoned.into_inner();
+                guard.clear();
+                self.cache_poison_recoveries.fetch_add(1, Ordering::SeqCst);
+                guard
+            }
+        }
+    }
+
+    /// Polls the installed fault plan at `site` (no-op without a plan).
+    fn fault(&self, site: FaultSite) -> Result<(), ServiceError> {
+        match &self.fault_plan {
+            Some(plan) => plan
+                .fire(site)
+                .map_err(|message| ServiceError::new(ErrorKind::Evaluation, message)),
+            None => Ok(()),
+        }
     }
 
     /// Handles one request line and renders the one response line (without
-    /// trailing newline). Never panics on malformed input: every failure
-    /// becomes an `{"status":"error"}` response echoing the request id when
-    /// one could be read.
+    /// trailing newline). Never panics and never propagates a handler panic:
+    /// every failure — malformed input, admission rejection, deadline,
+    /// evaluation error, or a panic inside the handler — becomes a
+    /// `{"status":"error"}` response with a typed `error` object, echoing
+    /// the request id when one could be read.
     pub fn handle_line(&self, line: &str) -> String {
-        let (id, outcome) = match parse_request(line) {
-            Err((id, message)) => (id, Err((None, message))),
-            Ok(request) => (
-                request.id,
-                match self.dispatch(&request.body) {
-                    Ok(fields) => Ok((request.body.kind(), fields)),
-                    Err(message) => Err((Some(request.body.kind()), message)),
-                },
-            ),
-        };
-        let id_value = match id {
-            Some(id) => Json::Int(id),
-            None => Json::Null,
-        };
-        let mut entries = vec![("id".to_string(), id_value)];
-        match outcome {
-            Ok((kind, fields)) => {
-                entries.push(("type".to_string(), Json::Str(kind.to_string())));
-                entries.push(("status".to_string(), Json::Str("ok".to_string())));
-                entries.extend(fields);
-            }
-            Err((kind, message)) => {
-                if let Some(kind) = kind {
-                    entries.push(("type".to_string(), Json::Str(kind.to_string())));
-                }
-                entries.push(("status".to_string(), Json::Str("error".to_string())));
-                entries.push(("error".to_string(), Json::Str(message)));
+        if line.len() > self.config.max_line_bytes {
+            return self.reject_oversized(line);
+        }
+        match catch_unwind(AssertUnwindSafe(|| self.handle_admitted(line))) {
+            Ok(response) => response,
+            Err(payload) => {
+                self.panics_caught.fetch_add(1, Ordering::SeqCst);
+                let error = ServiceError::new(
+                    ErrorKind::InternalPanic,
+                    format!("request handler panicked: {}", panic_message(&payload)),
+                );
+                render_response(scan_id(line), None, Err(error))
             }
         }
-        Json::Object(entries).to_string()
+    }
+
+    /// The panic-unsafe interior of [`Daemon::handle_line`]: parse,
+    /// admission, deadline, dispatch.
+    fn handle_admitted(&self, line: &str) -> String {
+        let request = match parse_request(line) {
+            Err((id, message)) => {
+                return render_response(
+                    id,
+                    None,
+                    Err(ServiceError::new(ErrorKind::Parse, message)),
+                );
+            }
+            Ok(request) => request,
+        };
+        let kind = request.body.kind();
+        let respond = |outcome: Result<Vec<(String, Json)>, ServiceError>| {
+            if let Err(error) = &outcome {
+                match error.kind {
+                    ErrorKind::DeadlineExceeded => {
+                        self.deadlines_exceeded.fetch_add(1, Ordering::SeqCst);
+                    }
+                    ErrorKind::Rejected => {
+                        self.rejected.fetch_add(1, Ordering::SeqCst);
+                    }
+                    _ => {}
+                }
+            }
+            render_response(request.id, Some(kind), outcome)
+        };
+        let Some(_inflight) = self.try_admit() else {
+            return respond(Err(ServiceError::new(
+                ErrorKind::Rejected,
+                "daemon is at its in-flight request limit",
+            )));
+        };
+        if let Err(error) = self.fault(FaultSite::Parse) {
+            return respond(Err(error));
+        }
+        let deadline = match request.deadline_ms.or(self.config.default_deadline_ms) {
+            Some(ms) => CancelToken::with_deadline(Duration::from_millis(ms)),
+            None => CancelToken::default(),
+        };
+        respond(self.dispatch(&request.body, &deadline))
+    }
+
+    /// Renders the `rejected` response for an over-long request line. The
+    /// message deliberately names no byte counts and the id scan is capped
+    /// to the first [`ServiceConfig::max_line_bytes`] bytes, so a streaming
+    /// transport that never buffered the whole line produces the identical
+    /// response.
+    fn reject_oversized(&self, line: &str) -> String {
+        self.rejected.fetch_add(1, Ordering::SeqCst);
+        let window = prefix_window(line, self.config.max_line_bytes);
+        render_response(
+            scan_id(window),
+            None,
+            Err(ServiceError::new(
+                ErrorKind::Rejected,
+                "request line exceeds the maximum line length",
+            )),
+        )
+    }
+
+    /// Reserves an in-flight slot, or sheds the request when the daemon is
+    /// already at [`ServiceConfig::max_inflight`].
+    fn try_admit(&self) -> Option<InflightGuard<'_>> {
+        let previous = self.inflight.fetch_add(1, Ordering::SeqCst);
+        let guard = InflightGuard { daemon: self };
+        if previous >= self.config.max_inflight.max(1) {
+            drop(guard);
+            None
+        } else {
+            Some(guard)
+        }
+    }
+
+    /// Rejects graphs over the admission caps before any expensive work.
+    fn admit(&self, graph: &CsdfGraph) -> Result<(), ServiceError> {
+        if graph.task_count() > self.config.max_tasks {
+            return Err(ServiceError::new(
+                ErrorKind::Rejected,
+                format!(
+                    "graph has {} tasks, admission cap is {}",
+                    graph.task_count(),
+                    self.config.max_tasks
+                ),
+            ));
+        }
+        if graph.buffer_count() > self.config.max_buffers {
+            return Err(ServiceError::new(
+                ErrorKind::Rejected,
+                format!(
+                    "graph has {} buffers, admission cap is {}",
+                    graph.buffer_count(),
+                    self.config.max_buffers
+                ),
+            ));
+        }
+        Ok(())
     }
 
     /// Runs a batch of request lines (blank lines skipped) over the
@@ -156,10 +481,10 @@ impl Daemon {
     /// responses with the request index and the batch is re-assembled
     /// deterministically before returning.
     ///
-    /// # Panics
-    ///
-    /// Panics if a worker thread panicked mid-batch (responses would
-    /// otherwise be lost silently).
+    /// Degrades gracefully: should a worker die anyway (handler panics are
+    /// already contained inside [`Daemon::handle_line`]), its unfinished
+    /// request indices are answered with `internal_panic` error responses
+    /// instead of panicking the caller.
     pub fn run_batch(&self, input: &str) -> Vec<String> {
         let lines: Vec<&str> = input
             .lines()
@@ -186,20 +511,42 @@ impl Daemon {
                 })
                 .collect();
             for handle in handles {
-                for (index, response) in handle.join().expect("batch worker panicked") {
-                    responses[index] = Some(response);
+                // A dead worker loses its handled list; the fill-in below
+                // answers for whatever indices stayed unclaimed.
+                if let Ok(handled) = handle.join() {
+                    for (index, response) in handled {
+                        responses[index] = Some(response);
+                    }
                 }
             }
         });
         responses
             .into_iter()
-            .map(|response| response.expect("every request index is handled"))
+            .enumerate()
+            .map(|(index, response)| {
+                response.unwrap_or_else(|| {
+                    self.panics_caught.fetch_add(1, Ordering::SeqCst);
+                    render_response(
+                        scan_id(lines[index]),
+                        None,
+                        Err(ServiceError::new(
+                            ErrorKind::InternalPanic,
+                            "batch worker terminated before answering",
+                        )),
+                    )
+                })
+            })
             .collect()
     }
 
     /// Streams requests from `reader` to `writer`: one response line per
     /// request line, flushed immediately, blank lines skipped. Returns when
     /// the reader reaches end of input.
+    ///
+    /// Reads are bounded: at most [`ServiceConfig::max_line_bytes`] (+1)
+    /// bytes of a line are ever buffered. A longer line is answered with the
+    /// same id-echoing `rejected` response the batch transport produces and
+    /// the rest of the line is drained without buffering it.
     ///
     /// # Errors
     ///
@@ -209,23 +556,49 @@ impl Daemon {
         reader: R,
         mut writer: W,
     ) -> std::io::Result<()> {
-        for line in reader.lines() {
-            let line = line?;
+        let limit = self.config.max_line_bytes;
+        // One limit-resettable wrapper instead of a fresh `take` per line:
+        // at most limit + 1 bytes of any line are ever buffered.
+        let mut reader = std::io::Read::take(reader, 0);
+        let mut buffer: Vec<u8> = Vec::new();
+        loop {
+            reader.set_limit(limit as u64 + 1);
+            buffer.clear();
+            let read = reader.read_until(b'\n', &mut buffer)?;
+            if read == 0 {
+                return Ok(());
+            }
+            let complete = buffer.last() == Some(&b'\n');
+            if complete {
+                buffer.pop();
+                if buffer.last() == Some(&b'\r') {
+                    buffer.pop();
+                }
+            }
+            if !complete && buffer.len() > limit {
+                let prefix = String::from_utf8_lossy(&buffer);
+                writeln!(writer, "{}", self.reject_oversized(&prefix))?;
+                writer.flush()?;
+                drain_line(reader.get_mut())?;
+                continue;
+            }
+            let line = String::from_utf8_lossy(&buffer);
             if line.trim().is_empty() {
                 continue;
             }
             writeln!(writer, "{}", self.handle_line(&line))?;
             writer.flush()?;
         }
-        Ok(())
     }
 
     /// Serves streaming connections on a Unix socket at `path` (an existing
     /// socket file is replaced). Each connection gets its own thread running
-    /// [`Daemon::serve_lines`]; all connections share this daemon's pool and
-    /// cache. With `max_connections`, returns after that many connections
-    /// have been **accepted** (their threads are joined before returning) —
-    /// pass `None` to serve forever.
+    /// [`Daemon::serve_lines`] — with its bounded reads, so no connection
+    /// can grow a buffer beyond [`ServiceConfig::max_line_bytes`]; all
+    /// connections share this daemon's pool and cache. With
+    /// `max_connections`, returns after that many connections have been
+    /// **accepted** (their threads are joined before returning) — pass
+    /// `None` to serve forever.
     ///
     /// # Errors
     ///
@@ -254,42 +627,73 @@ impl Daemon {
         })
     }
 
-    /// Checks a session out of the pool for `graph`, runs `work` on it
-    /// outside any lock, and returns the session to the pool — also on
-    /// failure: a failed evaluation leaves a session usable (its next
-    /// evaluation rebuilds from scratch), and keeping it pooled preserves
-    /// the warm arena for the next request of this structure.
+    /// Checks a session out of the pool for `graph`, installs the request's
+    /// cancellation token, runs `work` on it outside any lock, and refiles
+    /// the session. Only a session whose work *succeeded* returns to the
+    /// pool (with its token detached); a session whose work errored or
+    /// panicked is quarantined — it may be mid-mutation, and a dropped
+    /// session can never leak its state into a later request.
     fn with_session<T>(
         &self,
         graph: &CsdfGraph,
-        work: impl FnOnce(&mut AnalysisSession) -> Result<T, AnalysisError>,
-    ) -> Result<T, String> {
-        let mut session = self
-            .pool
-            .lock()
-            .expect("pool poisoned")
-            .checkout(graph)
-            .map_err(|error| error.to_string())?;
-        let outcome = work(&mut session);
-        self.pool.lock().expect("pool poisoned").give_back(session);
-        outcome.map_err(|error| error.to_string())
+        deadline: &CancelToken,
+        work: impl FnOnce(&mut AnalysisSession) -> Result<T, ServiceError>,
+    ) -> Result<T, ServiceError> {
+        self.admit(graph)?;
+        let session = {
+            let mut pool = self.pool_guard();
+            // Fired while the lock is held: a Checkout panic genuinely
+            // poisons the pool mutex, like a real mid-checkout panic would.
+            self.fault(FaultSite::Checkout)?;
+            pool.checkout(graph).map_err(ServiceError::from)?
+        };
+        let mut lease = SessionLease {
+            daemon: self,
+            session: Some(session),
+        };
+        self.fault(FaultSite::Patch)?;
+        let session = lease
+            .session
+            .as_mut()
+            .expect("lease still holds its session");
+        session.set_cancel_token(deadline.clone());
+        let outcome = work(session);
+        match outcome {
+            Ok(value) => {
+                let mut session = lease.session.take().expect("lease still holds its session");
+                session.set_cancel_token(CancelToken::default());
+                self.pool_guard().give_back(session);
+                Ok(value)
+            }
+            // Dropping the lease quarantines the session.
+            Err(error) => Err(error),
+        }
     }
 
     /// Dispatches one request body to the matching handler, returning the
     /// response's payload fields.
-    fn dispatch(&self, body: &RequestBody) -> Result<Vec<(String, Json)>, String> {
+    fn dispatch(
+        &self,
+        body: &RequestBody,
+        deadline: &CancelToken,
+    ) -> Result<Vec<(String, Json)>, ServiceError> {
+        let load = |spec: &GraphSpec| {
+            spec.load()
+                .map_err(|message| ServiceError::new(ErrorKind::InvalidGraph, message))
+        };
         match body {
             RequestBody::Evaluate { graph } => {
-                let graph = graph.load()?;
-                let (result, cache) = self.evaluate_cached(&graph)?;
+                let graph = load(graph)?;
+                let (result, cache) = self.evaluate_cached(&graph, deadline)?;
                 Ok(evaluate_fields(&result, cache))
             }
             RequestBody::Sweep { graph, slacks } => {
-                let graph = graph.load()?;
-                let sweep = ParetoSweep::uniform_slack(&graph, slacks)
-                    .map_err(|error| error.to_string())?;
-                let outcome = self.with_session(sweep.bounded().graph(), |session| {
-                    sweep.run_on_session(session)
+                let graph = load(graph)?;
+                let sweep = ParetoSweep::uniform_slack(&graph, slacks).map_err(|error| {
+                    ServiceError::new(ErrorKind::InvalidGraph, error.to_string())
+                })?;
+                let outcome = self.with_session(sweep.bounded().graph(), deadline, |session| {
+                    sweep.run_on_session(session).map_err(ServiceError::from)
                 })?;
                 let points: Vec<Json> = outcome
                     .points
@@ -327,14 +731,15 @@ impl Daemon {
                 target,
                 max_slack,
             } => {
-                let graph = graph.load()?;
+                let graph = load(graph)?;
                 let max_slack = (*max_slack).max(1);
                 let bounded = bound_all_buffers_tracked(&graph, |_, buffer| {
                     uniform_slack_capacity(buffer, max_slack)
                 })
-                .map_err(|error| error.to_string())?;
-                let outcome = self.with_session(bounded.graph(), |session| {
+                .map_err(|error| ServiceError::new(ErrorKind::InvalidGraph, error.to_string()))?;
+                let outcome = self.with_session(bounded.graph(), deadline, |session| {
                     min_storage_for_throughput_on(session, &bounded, *target, max_slack)
+                        .map_err(ServiceError::from)
                 })?;
                 match outcome {
                     None => Ok(vec![("feasible".to_string(), Json::Bool(false))]),
@@ -357,13 +762,14 @@ impl Daemon {
                 }
             }
             RequestBody::ScenarioSet { graph, scenarios } => {
-                let graph = graph.load()?;
+                let graph = load(graph)?;
                 let mut set = ScenarioSet::new(graph);
                 for scenario in scenarios {
                     set.add(scenario.name.clone(), scenario.markings.clone());
                 }
-                let outcomes =
-                    self.with_session(set.base(), |session| set.run_on_session(session))?;
+                let outcomes = self.with_session(set.base(), deadline, |session| {
+                    set.run_on_session(session).map_err(ServiceError::from)
+                })?;
                 let rendered: Vec<Json> = outcomes
                     .iter()
                     .map(|outcome| {
@@ -386,23 +792,34 @@ impl Daemon {
             RequestBody::Verify {
                 graph: spec,
                 max_expansion,
-            } => Ok(self.verify(spec, *max_expansion)),
+            } => self.verify(spec, *max_expansion, deadline),
         }
     }
 
     /// The shared evaluate path: exact-keyed cache lookup, else a pooled
     /// session run whose result is cached. Returns the result and whether it
     /// was a cache `"hit"` or `"miss"`.
-    fn evaluate_cached(&self, graph: &CsdfGraph) -> Result<(KIterResult, &'static str), String> {
+    fn evaluate_cached(
+        &self,
+        graph: &CsdfGraph,
+        deadline: &CancelToken,
+    ) -> Result<(KIterResult, &'static str), ServiceError> {
+        self.admit(graph)?;
         let key = CacheKey::new(graph, &self.config.options);
-        if let Some(result) = self.cache.lock().expect("cache poisoned").get(&key) {
-            return Ok((result, "hit"));
+        {
+            let mut cache = self.cache_guard();
+            // Fired while the lock is held: a Cache panic genuinely poisons
+            // the cache mutex.
+            self.fault(FaultSite::Cache)?;
+            if let Some(result) = cache.get(&key) {
+                return Ok((result, "hit"));
+            }
         }
-        let result = self.with_session(graph, AnalysisSession::evaluate)?;
-        self.cache
-            .lock()
-            .expect("cache poisoned")
-            .insert(key, result.clone());
+        let result = self.with_session(graph, deadline, |session| {
+            self.fault(FaultSite::Solve)?;
+            session.evaluate().map_err(ServiceError::from)
+        })?;
+        self.cache_guard().insert(key, result.clone());
         Ok((result, "miss"))
     }
 
@@ -416,10 +833,27 @@ impl Daemon {
     /// verdict is `"agree"` when every executed check passed, `"disagree"`
     /// when any failed, and `"inconclusive"` when none could run (e.g. the
     /// solver exhausted a budget on a graph lint found clean).
-    fn verify(&self, spec: &GraphSpec, max_expansion: u64) -> Vec<(String, Json)> {
+    ///
+    /// Each check runs under a budget: the request's own deadline when one
+    /// is set, otherwise [`ServiceConfig::verify_check_budget_ms`] per
+    /// check (the expansion baseline's wall-time budget is capped the same
+    /// way), so one slow check cannot hang a verify forever.
+    ///
+    /// # Errors
+    ///
+    /// Only admission rejections ([`ServiceConfig::max_tasks`] /
+    /// [`ServiceConfig::max_buffers`]); everything else — including solver
+    /// failures — is reported inside the response fields.
+    fn verify(
+        &self,
+        spec: &GraphSpec,
+        max_expansion: u64,
+        deadline: &CancelToken,
+    ) -> Result<Vec<(String, Json)>, ServiceError> {
         let report = lint_spec(spec);
         let mut fields = lint_fields(&report);
         let mut checks: Vec<(&'static str, bool)> = Vec::new();
+        let check_budget = Duration::from_millis(self.config.verify_check_budget_ms);
         match spec.load() {
             Err(error) => {
                 // The importer rejected the graph: lint must have an error
@@ -427,34 +861,48 @@ impl Daemon {
                 fields.push(("solver_error".to_string(), Json::Str(error)));
                 checks.push(("lint_flags_unloadable", report.has_errors()));
             }
-            Ok(graph) => match self.evaluate_cached(&graph) {
-                Err(error) => {
-                    fields.push(("solver_error".to_string(), Json::Str(error)));
-                    // A solver rejection is predicted by lint only when lint
-                    // found an error; budget-type failures are unpredictable,
-                    // so no check is recorded for them and the verdict stays
-                    // inconclusive.
-                    if report.has_errors() {
-                        checks.push(("solver_rejection_predicted", true));
+            Ok(graph) => {
+                self.admit(&graph)?;
+                let check_token = if deadline.is_detached() {
+                    CancelToken::with_deadline(check_budget)
+                } else {
+                    deadline.clone()
+                };
+                match self.evaluate_cached(&graph, &check_token) {
+                    Err(error) => {
+                        fields.push(("solver_error".to_string(), Json::Str(error.message)));
+                        // A solver rejection is predicted by lint only when
+                        // lint found an error; budget-type failures are
+                        // unpredictable, so no check is recorded for them and
+                        // the verdict stays inconclusive.
+                        if report.has_errors() {
+                            checks.push(("solver_rejection_predicted", true));
+                        }
                     }
-                }
-                Ok((result, _)) => {
-                    fields.push((
-                        "throughput".to_string(),
-                        Json::Str(throughput_to_string(result.throughput)),
-                    ));
-                    if let Some(bounds) = &report.bounds {
-                        checks.push(("bounds_bracket", bounds.brackets(&result.throughput)));
-                    }
-                    if report.certain_deadlock() {
-                        checks.push((
-                            "deadlock_agreement",
-                            result.throughput == Throughput::Deadlocked,
+                    Ok((result, _)) => {
+                        fields.push((
+                            "throughput".to_string(),
+                            Json::Str(throughput_to_string(result.throughput)),
+                        ));
+                        if let Some(bounds) = &report.bounds {
+                            checks.push(("bounds_bracket", bounds.brackets(&result.throughput)));
+                        }
+                        if report.certain_deadlock() {
+                            checks.push((
+                                "deadlock_agreement",
+                                result.throughput == Throughput::Deadlocked,
+                            ));
+                        }
+                        fields.push(baseline_check(
+                            &graph,
+                            &result,
+                            max_expansion,
+                            check_budget,
+                            &mut checks,
                         ));
                     }
-                    fields.push(baseline_check(&graph, &result, max_expansion, &mut checks));
                 }
-            },
+            }
         }
         let verdict = if checks.iter().any(|&(_, passed)| !passed) {
             "disagree"
@@ -474,7 +922,111 @@ impl Daemon {
             .collect();
         fields.push(("checks".to_string(), Json::Array(rendered)));
         fields.push(("verdict".to_string(), Json::Str(verdict.to_string())));
-        fields
+        Ok(fields)
+    }
+}
+
+/// Renders one response line from the request id, the request kind (when it
+/// parsed far enough to know one) and the handler outcome.
+fn render_response(
+    id: Option<i128>,
+    kind: Option<&str>,
+    outcome: Result<Vec<(String, Json)>, ServiceError>,
+) -> String {
+    let id_value = match id {
+        Some(id) => Json::Int(id),
+        None => Json::Null,
+    };
+    let mut entries = vec![("id".to_string(), id_value)];
+    if let Some(kind) = kind {
+        entries.push(("type".to_string(), Json::Str(kind.to_string())));
+    }
+    match outcome {
+        Ok(fields) => {
+            entries.push(("status".to_string(), Json::Str("ok".to_string())));
+            entries.extend(fields);
+        }
+        Err(error) => {
+            entries.push(("status".to_string(), Json::Str("error".to_string())));
+            entries.push((
+                "error".to_string(),
+                Json::Object(vec![
+                    (
+                        "kind".to_string(),
+                        Json::Str(error.kind.as_str().to_string()),
+                    ),
+                    ("message".to_string(), Json::Str(error.message)),
+                ]),
+            ));
+        }
+    }
+    Json::Object(entries).to_string()
+}
+
+/// Best-effort id recovery from a line that failed before (or without) a
+/// full parse: finds the first `"id"` key followed by an integer. Works on
+/// truncated documents, so oversized-line rejections can still correlate.
+fn scan_id(line: &str) -> Option<i128> {
+    let mut rest = line;
+    while let Some(position) = rest.find("\"id\"") {
+        let after = rest[position + 4..].trim_start();
+        if let Some(after) = after.strip_prefix(':') {
+            let after = after.trim_start();
+            let end = after
+                .char_indices()
+                .find(|&(index, c)| !(c.is_ascii_digit() || (index == 0 && c == '-')))
+                .map_or(after.len(), |(index, _)| index);
+            if let Ok(id) = after[..end].parse::<i128>() {
+                return Some(id);
+            }
+        }
+        rest = &rest[position + 4..];
+    }
+    None
+}
+
+/// The longest prefix of `line` within `limit` bytes that ends on a char
+/// boundary.
+fn prefix_window(line: &str, limit: usize) -> &str {
+    if line.len() <= limit {
+        return line;
+    }
+    let mut end = limit;
+    while end > 0 && !line.is_char_boundary(end) {
+        end -= 1;
+    }
+    &line[..end]
+}
+
+/// Consumes the remainder of the current line (up to and including the next
+/// `\n`) without buffering it.
+fn drain_line<R: BufRead>(reader: &mut R) -> std::io::Result<()> {
+    loop {
+        let chunk = reader.fill_buf()?;
+        if chunk.is_empty() {
+            return Ok(());
+        }
+        match chunk.iter().position(|&byte| byte == b'\n') {
+            Some(position) => {
+                reader.consume(position + 1);
+                return Ok(());
+            }
+            None => {
+                let length = chunk.len();
+                reader.consume(length);
+            }
+        }
+    }
+}
+
+/// Renders a panic payload for the `internal_panic` response message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(message) = payload.downcast_ref::<&str>() {
+        (*message).to_string()
+    } else if let Some(message) = payload.downcast_ref::<String>() {
+        message.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -486,6 +1038,7 @@ fn baseline_check(
     graph: &CsdfGraph,
     result: &KIterResult,
     max_expansion: u64,
+    max_wall_time: Duration,
     checks: &mut Vec<(&'static str, bool)>,
 ) -> (String, Json) {
     let field = |value: String| ("baseline".to_string(), Json::Str(value));
@@ -499,7 +1052,7 @@ fn baseline_check(
         Some(size) if size <= max_expansion as u128 => {
             let budget = Budget {
                 max_events: max_expansion,
-                max_wall_time: std::time::Duration::from_secs(30),
+                max_wall_time,
             };
             match expansion_throughput(graph, &budget) {
                 Ok(baseline) if baseline.status == EvaluationStatus::Exact => {
@@ -630,4 +1183,51 @@ fn evaluate_fields(result: &KIterResult, cache: &str) -> Vec<(String, Json)> {
         ("periodicity".to_string(), Json::Array(periodicity)),
         ("critical_tasks".to_string(), Json::Array(critical)),
     ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_id_recovers_ids_from_partial_lines() {
+        assert_eq!(scan_id(r#"{"id":42,"type":"evaluate""#), Some(42));
+        assert_eq!(scan_id(r#"{"id" : -7 ,"#), Some(-7));
+        assert_eq!(scan_id(r#"{"type":"evaluate"}"#), None);
+        assert_eq!(scan_id(r#"{"id":"string"}"#), None);
+        assert_eq!(scan_id(r#"{"id":null,"other":{"id":5}}"#), Some(5));
+        assert_eq!(scan_id("not json at all"), None);
+    }
+
+    #[test]
+    fn prefix_window_respects_char_boundaries() {
+        assert_eq!(prefix_window("hello", 10), "hello");
+        assert_eq!(prefix_window("hello", 3), "hel");
+        // 'é' is two bytes; a limit inside it backs off to the boundary.
+        assert_eq!(prefix_window("aé", 2), "a");
+    }
+
+    #[test]
+    fn error_kinds_have_stable_wire_strings() {
+        for (kind, wire) in [
+            (ErrorKind::Parse, "parse"),
+            (ErrorKind::Rejected, "rejected"),
+            (ErrorKind::InvalidGraph, "invalid_graph"),
+            (ErrorKind::DeadlineExceeded, "deadline_exceeded"),
+            (ErrorKind::InternalPanic, "internal_panic"),
+            (ErrorKind::Evaluation, "evaluation"),
+        ] {
+            assert_eq!(kind.as_str(), wire);
+        }
+    }
+
+    #[test]
+    fn analysis_errors_classify_into_the_taxonomy() {
+        let deadline: ServiceError = AnalysisError::DeadlineExceeded.into();
+        assert_eq!(deadline.kind, ErrorKind::DeadlineExceeded);
+        let model: ServiceError = AnalysisError::Model(csdf::CsdfError::EmptyGraph).into();
+        assert_eq!(model.kind, ErrorKind::InvalidGraph);
+        let budget: ServiceError = AnalysisError::IterationLimitReached { iterations: 3 }.into();
+        assert_eq!(budget.kind, ErrorKind::Evaluation);
+    }
 }

@@ -1,0 +1,183 @@
+//! Deterministic fault injection for the chaos test-suite.
+//!
+//! A [`FaultPlan`] names request-handling *sites* ([`FaultSite`]) at which a
+//! fault fires: a panic, a delay, or an injected error. The daemon carries an
+//! optional plan (installed through `Daemon::with_fault_plan`, available only
+//! with the `fault-injection` cargo feature so production builds cannot
+//! inject faults) and polls it at each site; without a plan every poll is a
+//! no-op on a `None`.
+//!
+//! Rules are **count-windowed**: a rule fires for the occurrences numbered
+//! `skip .. skip + count` of its site (counted per rule, atomically), so a
+//! test can panic exactly the third checkout and nothing else. With a
+//! single-threaded daemon the firing sequence is deterministic, which is what
+//! lets the chaos harness compare transports bit-for-bit while faults fire.
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// A request-handling site at which a [`FaultPlan`] rule can fire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSite {
+    /// After the request line parsed, before dispatch.
+    Parse,
+    /// Inside the pool lock, during session checkout (a panic here genuinely
+    /// poisons the pool mutex).
+    Checkout,
+    /// After checkout, before the session runs its work (mid-mutation from
+    /// the pool's point of view: the session is checked out and unreturned).
+    Patch,
+    /// Inside the evaluation closure, in place of the solve.
+    Solve,
+    /// Inside the cache lock, during lookup/insert (a panic here genuinely
+    /// poisons the cache mutex).
+    Cache,
+}
+
+impl fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            FaultSite::Parse => "parse",
+            FaultSite::Checkout => "checkout",
+            FaultSite::Patch => "patch",
+            FaultSite::Solve => "solve",
+            FaultSite::Cache => "cache",
+        };
+        f.write_str(name)
+    }
+}
+
+/// What an armed rule does when it fires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultAction {
+    /// `panic!` with a recognisable payload (exercises `catch_unwind` and
+    /// lock-poison recovery).
+    Panic,
+    /// Sleep for the given duration (exercises deadlines and in-flight
+    /// shedding), then continue normally.
+    Delay(Duration),
+    /// Fail the site with the given message (exercises error paths without
+    /// unwinding).
+    Error(String),
+}
+
+#[derive(Debug)]
+struct Rule {
+    site: FaultSite,
+    /// Occurrences of `site` (per this rule) that pass through unharmed
+    /// before the rule starts firing.
+    skip: usize,
+    /// Number of occurrences the rule fires for once started.
+    count: usize,
+    action: FaultAction,
+    seen: AtomicUsize,
+}
+
+/// An ordered set of count-windowed fault rules polled by the daemon.
+///
+/// # Examples
+///
+/// ```
+/// use csdf_service::{FaultAction, FaultPlan, FaultSite};
+///
+/// // Panic on the second checkout only.
+/// let plan = FaultPlan::new().inject_window(FaultSite::Checkout, 1, 1, FaultAction::Panic);
+/// assert!(plan.fire(FaultSite::Checkout).is_ok());
+/// assert!(std::panic::catch_unwind(|| plan.fire(FaultSite::Checkout)).is_err());
+/// assert!(plan.fire(FaultSite::Checkout).is_ok());
+/// ```
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    rules: Vec<Rule>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no rule ever fires).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Arms `action` for every occurrence of `site` (builder form).
+    #[must_use]
+    pub fn inject(self, site: FaultSite, action: FaultAction) -> FaultPlan {
+        self.inject_window(site, 0, usize::MAX, action)
+    }
+
+    /// Arms `action` for the occurrences of `site` numbered
+    /// `skip .. skip + count` (builder form). Occurrences are counted per
+    /// rule, atomically.
+    #[must_use]
+    pub fn inject_window(
+        mut self,
+        site: FaultSite,
+        skip: usize,
+        count: usize,
+        action: FaultAction,
+    ) -> FaultPlan {
+        self.rules.push(Rule {
+            site,
+            skip,
+            count,
+            action,
+            seen: AtomicUsize::new(0),
+        });
+        self
+    }
+
+    /// Polls the plan at `site`: every matching rule counts the occurrence
+    /// and, inside its window, performs its action.
+    ///
+    /// # Errors
+    ///
+    /// The message of a fired [`FaultAction::Error`] rule.
+    ///
+    /// # Panics
+    ///
+    /// A fired [`FaultAction::Panic`] rule panics with the payload
+    /// `"injected panic at <site>"`.
+    pub fn fire(&self, site: FaultSite) -> Result<(), String> {
+        for rule in &self.rules {
+            if rule.site != site {
+                continue;
+            }
+            let seen = rule.seen.fetch_add(1, Ordering::SeqCst);
+            if seen < rule.skip || seen - rule.skip >= rule.count {
+                continue;
+            }
+            match &rule.action {
+                FaultAction::Panic => panic!("injected panic at {site}"),
+                FaultAction::Delay(duration) => std::thread::sleep(*duration),
+                FaultAction::Error(message) => return Err(message.clone()),
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_fire_per_rule() {
+        let plan = FaultPlan::new()
+            .inject_window(FaultSite::Solve, 1, 2, FaultAction::Error("boom".into()))
+            .inject(FaultSite::Cache, FaultAction::Delay(Duration::ZERO));
+        assert_eq!(plan.fire(FaultSite::Solve), Ok(()));
+        assert_eq!(plan.fire(FaultSite::Solve), Err("boom".to_string()));
+        assert_eq!(plan.fire(FaultSite::Solve), Err("boom".to_string()));
+        assert_eq!(plan.fire(FaultSite::Solve), Ok(()));
+        // Unrelated sites are untouched by the solve rule.
+        assert_eq!(plan.fire(FaultSite::Cache), Ok(()));
+        assert_eq!(plan.fire(FaultSite::Parse), Ok(()));
+    }
+
+    #[test]
+    fn panic_payload_names_the_site() {
+        let plan = FaultPlan::new().inject(FaultSite::Checkout, FaultAction::Panic);
+        let payload = std::panic::catch_unwind(|| plan.fire(FaultSite::Checkout)).unwrap_err();
+        let message = payload.downcast_ref::<String>().unwrap();
+        assert_eq!(message, "injected panic at checkout");
+    }
+}

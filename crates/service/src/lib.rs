@@ -18,17 +18,24 @@
 //!   (`csdf_service` binary), both answering through the same
 //!   [`Daemon::handle_line`] so responses are bit-identical across
 //!   transports and to direct library calls.
+//! - Fault containment: handler panics are caught per request, poisoned
+//!   locks recover, errored sessions are quarantined, deadlines cancel
+//!   solves cooperatively and admission caps shed oversized work — see
+//!   [`daemon`]'s module docs. The [`fault`] module injects faults
+//!   deterministically for the chaos test-suite.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;
 pub mod daemon;
+pub mod fault;
 pub mod json;
 pub mod protocol;
 
 pub use cache::{CacheKey, CacheStats, ResultCache};
-pub use daemon::{Daemon, ServiceConfig};
+pub use daemon::{Daemon, ErrorKind, ServiceConfig, ServiceError, ServiceStats};
+pub use fault::{FaultAction, FaultPlan, FaultSite};
 pub use json::Json;
 pub use protocol::{
     parse_request, parse_throughput, throughput_to_string, GraphFormat, GraphSpec, Request,

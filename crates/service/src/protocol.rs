@@ -175,6 +175,11 @@ impl RequestBody {
 pub struct Request {
     /// The client's correlation id, echoed verbatim in the response.
     pub id: Option<i128>,
+    /// Per-request deadline in milliseconds: the daemon cancels the
+    /// evaluation cooperatively once this budget elapses and answers with a
+    /// `deadline_exceeded` error. `None` falls back to the daemon's default
+    /// deadline; `0` cancels immediately (useful as an admission probe).
+    pub deadline_ms: Option<u64>,
     /// What to do.
     pub body: RequestBody,
 }
@@ -190,6 +195,14 @@ pub fn parse_request(line: &str) -> Result<Request, (Option<i128>, String)> {
     let value = Json::parse(line).map_err(|error| (None, error))?;
     let id = value.get("id").and_then(Json::as_i128);
     let fail = |message: String| (id, message);
+    let deadline_ms = match value.get("deadline_ms") {
+        None | Some(Json::Null) => None,
+        Some(entry) => Some(
+            entry
+                .as_u64()
+                .ok_or_else(|| fail("`deadline_ms` must be a non-negative integer".to_string()))?,
+        ),
+    };
     let graph = || -> Result<GraphSpec, (Option<i128>, String)> {
         let spec = value
             .get("graph")
@@ -265,7 +278,11 @@ pub fn parse_request(line: &str) -> Result<Request, (Option<i128>, String)> {
         Some(other) => return Err(fail(format!("unknown request type `{other}`"))),
         None => return Err(fail("missing `type`".to_string())),
     };
-    Ok(Request { id, body })
+    Ok(Request {
+        id,
+        deadline_ms,
+        body,
+    })
 }
 
 fn parse_scenario(value: &Json) -> Result<ScenarioSpec, String> {
@@ -363,6 +380,18 @@ mod tests {
             parse_request(&format!(r#"{{"id":1,"type":"evaluate","graph":{graph}}}"#)).unwrap();
         assert_eq!(evaluate.id, Some(1));
         assert_eq!(evaluate.body.kind(), "evaluate");
+        assert_eq!(evaluate.deadline_ms, None);
+
+        let bounded = parse_request(&format!(
+            r#"{{"id":1,"type":"evaluate","graph":{graph},"deadline_ms":250}}"#
+        ))
+        .unwrap();
+        assert_eq!(bounded.deadline_ms, Some(250));
+        let (_, message) = parse_request(&format!(
+            r#"{{"id":1,"type":"evaluate","graph":{graph},"deadline_ms":"soon"}}"#
+        ))
+        .unwrap_err();
+        assert!(message.contains("deadline_ms"));
 
         let sweep = parse_request(&format!(
             r#"{{"id":2,"type":"sweep","graph":{graph},"slacks":[1,2,4]}}"#
