@@ -10,10 +10,18 @@
 //! event-graph construction path or the MCR solver at scale fails the build
 //! instead of silently slowing it down.
 //!
+//! Sweeping more than one thread count additionally enforces the intra-SCC
+//! determinism contract: every run must report byte-identical throughput,
+//! iteration count and event-graph size, or the binary exits non-zero. The
+//! parallel solver is contractually bit-identical to the serial one (see the
+//! `mcr::chunked` module), so any divergence here is a correctness bug, not
+//! noise.
+//!
 //! Run with `cargo run -p kiter-bench --bin scale_smoke --release -- [--json]
 //! [--threads 1,2,4] [--check BENCH_TABLE1.json]`.
-//! `KITER_SMOKE_TASKS` overrides the task count (default 10000);
-//! `KITER_SMOKE_THREADS` is the default thread sweep (default `1`).
+//! `KITER_SMOKE_TASKS` overrides the task count (default 10000, 100k+ is
+//! supported and CI-exercised); `KITER_SMOKE_THREADS` is the default thread
+//! sweep (default `1`).
 
 use std::time::Instant;
 
@@ -71,6 +79,7 @@ fn main() {
         .expect("large random graph generates");
 
     let mut runs = Vec::new();
+    let mut first_outcome: Option<(usize, (String, usize, usize, usize))> = None;
     for &thread_count in &threads {
         let options = AnalysisOptions {
             threads: thread_count,
@@ -121,6 +130,26 @@ fn main() {
                 if !matches!(result.throughput, Throughput::Finite(_)) {
                     eprintln!("smoke failed: expected a finite throughput");
                     std::process::exit(1);
+                }
+                // Determinism gate: the parallel solver must be bit-identical
+                // to the serial one, so every sweep entry has to agree on the
+                // outcome and the K-Iter trajectory length.
+                let outcome = (
+                    result.throughput.to_string(),
+                    result.iterations,
+                    nodes,
+                    arcs,
+                );
+                if let Some((first_threads, first)) = &first_outcome {
+                    if *first != outcome {
+                        eprintln!(
+                            "determinism gate failed: threads={thread_count} produced \
+                             {outcome:?} but threads={first_threads} produced {first:?}"
+                        );
+                        std::process::exit(1);
+                    }
+                } else {
+                    first_outcome = Some((thread_count, outcome));
                 }
                 runs.push(run);
             }

@@ -163,15 +163,24 @@ pub fn parse_with_sources(input: &str) -> Result<(CsdfGraph, SourceMap), CsdfErr
 
     let mut builder = builder.ok_or(CsdfError::EmptyGraph)?;
     // Buffers can only be resolved once all tasks are known: build a
-    // task-only skeleton graph to resolve names, then add the buffers.
+    // task-only skeleton graph to resolve names, then add the buffers. The
+    // name index is built once — resolving each buffer through
+    // `CsdfGraph::find_task`'s linear scan is quadratic overall and took
+    // minutes on 100k-task graphs. Like `find_task`, the first declaration
+    // of a duplicated name wins.
     let skeleton = builder.clone().build()?;
+    let mut task_index: std::collections::HashMap<&str, crate::TaskId> =
+        std::collections::HashMap::new();
+    for (id, task) in skeleton.tasks() {
+        task_index.entry(task.name()).or_insert(id);
+    }
     let mut buffer_lines: Vec<Option<usize>> = Vec::with_capacity(pending_buffers.len());
     for (line_number, source, target, production, consumption, tokens) in pending_buffers {
-        let source_id = skeleton
-            .find_task(&source)
+        let source_id = *task_index
+            .get(source.as_str())
             .ok_or_else(|| parse_error(line_number, &format!("unknown task `{source}`")))?;
-        let target_id = skeleton
-            .find_task(&target)
+        let target_id = *task_index
+            .get(target.as_str())
             .ok_or_else(|| parse_error(line_number, &format!("unknown task `{target}`")))?;
         builder.add_buffer(source_id, target_id, production, consumption, tokens);
         buffer_lines.push(Some(line_number));

@@ -82,8 +82,9 @@ impl RandomGraphConfig {
         }
     }
 
-    /// A configuration for very large (10k+-task) CSDF graphs: bounded edge
-    /// locality, mostly small repetition counts and a sparse feedback
+    /// A configuration for very large (10k–100k+-task, the scale CI's
+    /// `scale_smoke` sweeps exercise) CSDF graphs: bounded edge locality,
+    /// mostly small repetition counts and a sparse feedback
     /// structure keep both the generator and the event graph linear in the
     /// task count.
     pub fn large(tasks: usize) -> Self {

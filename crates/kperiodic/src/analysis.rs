@@ -36,10 +36,15 @@ pub struct AnalysisOptions {
     /// ([`SolverChoice::Auto`] picks Howard's policy iteration for large
     /// components, which is what makes buffer-sized instances tractable).
     pub solver: SolverChoice,
-    /// Number of worker threads the MCR solver may use to solve independent
-    /// cyclic strongly connected components in parallel (`std::thread::scope`
-    /// workers; `0` is treated as `1`). Results are byte-identical for every
-    /// value — the per-component outcomes are merged deterministically.
+    /// Number of worker threads the MCR solver may use (`std::thread::scope`
+    /// workers; `0` is treated as `1`), at two levels: independent cyclic
+    /// strongly connected components are solved in parallel, and at `>= 2`
+    /// the Howard/certifier sweeps *inside* each component run on the
+    /// chunked kernels (`mcr::chunked`) — which is what helps on the
+    /// one-giant-SCC event graphs large strongly connected apps produce.
+    /// Results are byte-identical for every value: per-component outcomes
+    /// merge deterministically and the chunked kernels reproduce the serial
+    /// sweep order exactly. `1` is byte-for-byte the serial solver.
     pub threads: usize,
     /// Run the `csdf-lint` static analyzer before building an event graph
     /// and fail fast with [`AnalysisError::RejectedByLint`] on any

@@ -15,6 +15,26 @@
 //! * the assembled [`RatioGraph`], re-emitted from the caches through the
 //!   [`RatioGraph::reset`] grow/patch API so no per-node allocation happens.
 //!
+//! # Node layout: per-block slack
+//!
+//! Task blocks are laid out with power-of-two slack: block `t` occupies node
+//! ids `[offset_t, offset_t + next_pow2(len_t))`, with only the first `len_t`
+//! slots live. The layout is a pure function of the *current* block lengths,
+//! so a patched arena and a from-scratch build at the same periodicity vector
+//! produce bit-identical [`RatioGraph`]s (same numbering, same arc order,
+//! same values) — the `PartialEq` contract below. The padding buys stability:
+//! as long as no block crosses its power-of-two capacity, every offset is
+//! unchanged and [`EventGraphArena::assemble`] can skip the `O(nodes)`
+//! renumbering and, when the dirty buffers' arc counts are unchanged too,
+//! patch the dirty arcs in place ([`RatioGraph::patch_arc_weights`] /
+//! [`RatioGraph::patch_arc`]) instead of re-emitting all `O(arcs)` of them.
+//! Marking-only re-evaluations — the in-place capacity mutations an analysis
+//! session applies between solves — hit the cheapest path: weights-only
+//! patches that keep the CSR adjacency current without a rebuild. Padding
+//! slots are isolated nodes (no arcs), so they form acyclic singleton SCCs
+//! the MCR solver skips; [`EventGraphArena::node_count`] keeps reporting the
+//! *live* node count.
+//!
 //! # Time scaling
 //!
 //! The paper bi-values arcs with `H(e) = −β̃ / (ĩ_a · q̃_t)` where
@@ -33,13 +53,30 @@
 use std::collections::BTreeSet;
 
 use csdf::{CsdfGraph, RepetitionVector, TaskId};
-use mcr::{CancelToken, CriticalCycle, NodeId, RatioGraph};
+use mcr::{ArcId, CancelToken, CriticalCycle, NodeId, RatioGraph};
 
 use crate::block::TaskBlock;
 use crate::constraints::{emit_buffer_arcs_tiled, BufferArc};
 use crate::error::AnalysisError;
 use crate::event_graph::{EventGraphLimits, EventNode};
 use crate::periodicity::PeriodicityVector;
+
+/// How [`EventGraphArena::assemble`] refreshed the ratio graph during one
+/// update (cheapest applicable path wins).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AssembleMode {
+    /// The node layout changed (a block crossed its power-of-two capacity):
+    /// offsets, the node list and every arc were re-derived.
+    #[default]
+    Renumbered,
+    /// The node layout was kept but a dirty buffer's arc count changed: all
+    /// arcs were re-emitted into the existing slots (no node work).
+    Reemitted,
+    /// Node layout and arc slots both kept: only the dirty buffers' arcs
+    /// were patched in place — and when no endpoint moved, the CSR adjacency
+    /// stayed current without a rebuild.
+    Patched,
+}
 
 /// Statistics of one [`EventGraphArena::apply_update`] call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -54,6 +91,11 @@ pub struct ArenaUpdate {
     /// marking changed since the previous update — the in-place capacity
     /// mutations an analysis session applies between evaluations.
     pub marking_dirty_buffers: usize,
+    /// Which assembly path refreshed the ratio graph.
+    pub assemble: AssembleMode,
+    /// Arcs patched in place (non-zero only on the
+    /// [`AssembleMode::Patched`] path).
+    pub patched_arcs: usize,
 }
 
 /// A bi-valued event graph that lives across periodicity updates.
@@ -85,6 +127,15 @@ pub struct EventGraphArena {
     blocks: Vec<TaskBlock>,
     nodes: Vec<EventNode>,
     ratio: RatioGraph,
+    /// Per-task padded block sizes (`next_pow2(len)`) of the current node
+    /// layout; empty until the first assembly. The layout is current while
+    /// every block still satisfies `capacity == next_pow2(len)`.
+    capacities: Vec<usize>,
+    /// Live (non-padding) node count of the current layout.
+    live_nodes: usize,
+    /// Start of each buffer's arc segment in the flat arc vector (one extra
+    /// trailing entry holds the total), valid for the current emission.
+    arc_seg_start: Vec<u32>,
     /// Cached constraint arcs, indexed by buffer id.
     buffer_arcs: Vec<Vec<BufferArc>>,
     /// K-invariant time denominators `i_b · q_t`, indexed by buffer id.
@@ -161,6 +212,9 @@ impl EventGraphArena {
             blocks,
             nodes: Vec::new(),
             ratio: RatioGraph::default(),
+            capacities: Vec::new(),
+            live_nodes: 0,
+            arc_seg_start: Vec::new(),
             buffer_arcs: vec![Vec::new(); graph.buffer_count()],
             buffer_denominator,
             initial_tokens: graph.buffers().map(|(_, b)| b.initial_tokens()).collect(),
@@ -175,7 +229,7 @@ impl EventGraphArena {
             total_arcs += arena.buffer_arcs[buffer_id.index()].len();
             check_arc_total(total_arcs, limits)?;
         }
-        arena.assemble(graph)?;
+        arena.assemble(graph, None)?;
         Ok(arena)
     }
 
@@ -294,13 +348,15 @@ impl EventGraphArena {
         }
         let total_arcs: usize = self.buffer_arcs.iter().map(Vec::len).sum();
         check_arc_total(total_arcs, &self.limits)?;
-        self.assemble(graph)?;
+        let (assemble, patched_arcs) = self.assemble(graph, Some(&dirty_buffers))?;
 
         Ok(ArenaUpdate {
             dirty_tasks: dirty_tasks.len(),
             rebuilt_buffers: dirty_buffers.len(),
             reused_buffers: self.buffer_arcs.len() - dirty_buffers.len(),
             marking_dirty_buffers,
+            assemble,
+            patched_arcs,
         })
     }
 
@@ -331,35 +387,125 @@ impl EventGraphArena {
         .map_err(AnalysisError::Model)
     }
 
-    /// Recomputes block offsets, the node list and the ratio graph from the
-    /// per-task and per-buffer caches. The ratio graph is reset in place
-    /// (allocations kept) and arcs are re-emitted in buffer order, which is
-    /// exactly the order of a from-scratch build.
-    fn assemble(&mut self, graph: &CsdfGraph) -> Result<(), AnalysisError> {
-        let mut total_nodes = 0usize;
-        for block in &mut self.blocks {
-            block.offset = total_nodes;
-            total_nodes += block.len();
-            if total_nodes > self.limits.max_nodes {
+    /// Recomputes the ratio graph from the per-task and per-buffer caches,
+    /// taking the cheapest applicable path (see [`AssembleMode`]): a full
+    /// renumber when a block crossed its power-of-two capacity, a
+    /// layout-preserving arc re-emission when a dirty buffer's arc count
+    /// changed, and an in-place patch of just the dirty buffers' arcs
+    /// otherwise. `dirty` is the set of buffers whose cached arcs were
+    /// re-derived since the last assembly (`None` forces the full path).
+    /// Every path produces the same graph bit for bit — the layout is a pure
+    /// function of the current block lengths.
+    fn assemble(
+        &mut self,
+        graph: &CsdfGraph,
+        dirty: Option<&BTreeSet<usize>>,
+    ) -> Result<(AssembleMode, usize), AnalysisError> {
+        // The node limit applies to *live* nodes, matching the incremental
+        // checks of `build`/`apply_update`; padding slots are free.
+        let mut live_nodes = 0usize;
+        for block in &self.blocks {
+            live_nodes += block.len();
+            if live_nodes > self.limits.max_nodes {
                 return Err(AnalysisError::EventGraphTooLarge {
-                    nodes: total_nodes,
+                    nodes: live_nodes,
                     limit: self.limits.max_nodes,
                 });
             }
         }
+        self.live_nodes = live_nodes;
+
+        let layout_current = self.capacities.len() == self.blocks.len()
+            && self
+                .blocks
+                .iter()
+                .zip(&self.capacities)
+                .all(|(block, &capacity)| block.len().next_power_of_two() == capacity);
+        let Some(dirty) = dirty.filter(|_| layout_current) else {
+            self.renumber();
+            self.emit_arcs(graph);
+            return Ok((AssembleMode::Renumbered, 0));
+        };
+
+        // The in-place patch needs every dirty buffer to keep its arc-slot
+        // count; otherwise later segments would shift.
+        let slots_stable = dirty.iter().all(|&buffer| {
+            let start = self.arc_seg_start[buffer] as usize;
+            let end = self.arc_seg_start[buffer + 1] as usize;
+            end - start == self.buffer_arcs[buffer].len()
+        });
+        if !slots_stable {
+            self.emit_arcs(graph);
+            return Ok((AssembleMode::Reemitted, 0));
+        }
+
+        let mut patched = 0usize;
+        for &buffer_index in dirty {
+            let buffer = graph.buffer(csdf::BufferId::new(buffer_index));
+            let from_base = self.blocks[buffer.source().index()].offset;
+            let to_base = self.blocks[buffer.target().index()].offset;
+            let segment = self.arc_seg_start[buffer_index] as usize;
+            for (slot, arc) in self.buffer_arcs[buffer_index].iter().enumerate() {
+                let id = ArcId::new(segment + slot);
+                let from = NodeId::new(from_base + arc.producer_phase as usize);
+                let to = NodeId::new(to_base + arc.consumer_phase as usize);
+                let current = self.ratio.arc(id);
+                if current.from == from && current.to == to {
+                    if current.cost != arc.cost || current.time != arc.time {
+                        self.ratio.patch_arc_weights(id, arc.cost, arc.time);
+                        patched += 1;
+                    }
+                } else {
+                    self.ratio.patch_arc(id, from, to, arc.cost, arc.time);
+                    patched += 1;
+                }
+            }
+        }
+        // Weights-only patches keep a current CSR current (no-op rebuild);
+        // an endpoint move costs exactly one counting sort.
+        self.ratio.rebuild_adjacency();
+        Ok((AssembleMode::Patched, patched))
+    }
+
+    /// Recomputes the padded node layout — per-block capacities
+    /// (`next_pow2(len)`), offsets and the node list — from the current
+    /// block lengths. Padding slots carry their in-block slot index as a
+    /// phase; they never gain arcs.
+    fn renumber(&mut self) {
+        self.capacities.clear();
+        self.capacities.extend(
+            self.blocks
+                .iter()
+                .map(|block| block.len().next_power_of_two()),
+        );
+        let mut total = 0usize;
+        for (block, &capacity) in self.blocks.iter_mut().zip(&self.capacities) {
+            block.offset = total;
+            total += capacity;
+        }
         self.nodes.clear();
-        self.nodes.reserve(total_nodes);
-        for (index, block) in self.blocks.iter().enumerate() {
+        self.nodes.reserve(total);
+        for (index, &capacity) in self.capacities.iter().enumerate() {
             let task = TaskId::new(index);
-            for phase in 0..block.len() {
+            for phase in 0..capacity {
                 self.nodes.push(EventNode { task, phase });
             }
         }
+    }
 
+    /// Re-emits every cached arc into the ratio graph (reset in place,
+    /// allocations kept) in buffer order — exactly the order of a
+    /// from-scratch build — and refreshes the per-buffer segment index.
+    fn emit_arcs(&mut self, graph: &CsdfGraph) {
+        let total_nodes: usize = self.capacities.iter().sum();
         let total_arcs: usize = self.buffer_arcs.iter().map(Vec::len).sum();
         self.ratio.reset(total_nodes);
         self.ratio.reserve_arcs(total_arcs);
+        self.arc_seg_start.clear();
+        self.arc_seg_start.reserve(self.buffer_arcs.len() + 1);
+        let mut emitted = 0u32;
         for (buffer_id, buffer) in graph.buffers() {
+            self.arc_seg_start.push(emitted);
             let from_base = self.blocks[buffer.source().index()].offset;
             let to_base = self.blocks[buffer.target().index()].offset;
             for arc in &self.buffer_arcs[buffer_id.index()] {
@@ -369,13 +515,14 @@ impl EventGraphArena {
                     arc.cost,
                     arc.time,
                 );
+                emitted += 1;
             }
         }
+        self.arc_seg_start.push(emitted);
         // One counting-sort pass refreshes the CSR adjacency in place (both
         // index arrays keep their allocation across resets), so the MCR
         // solver can borrow it instead of building its own.
         self.ratio.rebuild_adjacency();
-        Ok(())
     }
 
     /// The underlying bi-valued ratio graph (lcm-free time scaling: its
@@ -384,9 +531,11 @@ impl EventGraphArena {
         &self.ratio
     }
 
-    /// Number of execution nodes.
+    /// Number of live execution nodes. The backing ratio graph is larger —
+    /// `ratio_graph().node_count()` includes the isolated padding slots of
+    /// the power-of-two block layout (see the module docs).
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.live_nodes
     }
 
     /// Number of tasks of the CSDF graph this arena was built from.
@@ -690,6 +839,98 @@ mod tests {
         assert_eq!(update.marking_dirty_buffers, 1);
         let fresh = EventGraphArena::build(&mutated, &q, &k2, &limits).unwrap();
         assert_eq!(arena.ratio_graph(), fresh.ratio_graph());
+    }
+
+    #[test]
+    fn marking_only_update_patches_arcs_in_place() {
+        let g = multirate();
+        let q = g.repetition_vector().unwrap();
+        let limits = EventGraphLimits::default();
+        let k = PeriodicityVector::unitary(&g);
+        let mut arena = EventGraphArena::build(&g, &q, &k, &limits).unwrap();
+
+        // A pure marking mutation keeps the layout and (here) every arc
+        // count, so the assembly must take the in-place patch path — no
+        // renumbering, no full arc re-emission — and still match a fresh
+        // build bit for bit.
+        let mut mutated = g.clone();
+        mutated
+            .set_initial_tokens(csdf::BufferId::new(1), 7)
+            .unwrap();
+        let update = arena.apply_update(&mutated, &k, None).unwrap();
+        assert_eq!(update.assemble, AssembleMode::Patched);
+        assert!(update.patched_arcs > 0);
+        assert!(arena.ratio_graph().adjacency_current());
+
+        let fresh = EventGraphArena::build(&mutated, &q, &k, &limits).unwrap();
+        assert_eq!(arena.ratio_graph(), fresh.ratio_graph());
+    }
+
+    #[test]
+    fn padded_layout_keeps_live_counts_and_lookups() {
+        let g = multirate();
+        let q = g.repetition_vector().unwrap();
+        let limits = EventGraphLimits::default();
+        let mut k = PeriodicityVector::unitary(&g);
+        k.set(TaskId::new(1), 3).unwrap();
+        let arena = EventGraphArena::build(&g, &q, &k, &limits).unwrap();
+
+        // Task 0: 2 phases at K=1 → block of 2, capacity 2. Task 1: 1 phase
+        // at K=3 → block of 3, capacity 4. Live = 5, padded = 6.
+        assert_eq!(arena.node_count(), 5);
+        assert_eq!(arena.ratio_graph().node_count(), 6);
+        for task in [TaskId::new(0), TaskId::new(1)] {
+            for phase in 0..arena.phase_count_of(task) {
+                let node = arena.node_of(task, phase);
+                assert_eq!(arena.event(node), EventNode { task, phase });
+            }
+        }
+    }
+
+    #[test]
+    fn random_update_sequences_stay_bit_identical_to_fresh_builds() {
+        // Drive one arena through a random mix of periodicity raises and
+        // marking mutations; after every patch the ratio graph must equal a
+        // from-scratch build at the same state, whatever assembly path ran.
+        let mut state = 0x4bcd_17a3_u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let base = multirate();
+        let q = base.repetition_vector().unwrap();
+        let limits = EventGraphLimits::default();
+        let mut graph = base.clone();
+        let mut k = PeriodicityVector::unitary(&graph);
+        let mut arena = EventGraphArena::build(&graph, &q, &k, &limits).unwrap();
+        let mut saw = [false; 3];
+        for _ in 0..60 {
+            if next() % 2 == 0 {
+                let task = TaskId::new((next() % 2) as usize);
+                let raised = k.get(task) + 1 + next() % 2;
+                k.set(task, raised).unwrap();
+            } else {
+                let buffer = csdf::BufferId::new((next() % 2) as usize);
+                graph.set_initial_tokens(buffer, next() % 12).unwrap();
+            }
+            let update = arena.apply_update(&graph, &k, None).unwrap();
+            saw[match update.assemble {
+                AssembleMode::Renumbered => 0,
+                AssembleMode::Reemitted => 1,
+                AssembleMode::Patched => 2,
+            }] = true;
+            let fresh = EventGraphArena::build(&graph, &q, &k, &limits).unwrap();
+            assert_eq!(arena.ratio_graph(), fresh.ratio_graph());
+            assert_eq!(arena.node_count(), fresh.node_count());
+            assert_eq!(arena.lcm_k(), fresh.lcm_k());
+            assert!(arena.ratio_graph().adjacency_current());
+        }
+        assert!(
+            saw[0] && saw[2],
+            "sequence exercised renumber and patch paths: {saw:?}"
+        );
     }
 
     #[test]

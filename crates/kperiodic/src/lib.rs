@@ -87,7 +87,7 @@ pub use analysis::{
     AnalysisOptions, EvaluationOutcome, EvaluationPipeline, KPeriodicEvaluation,
     PipelineEvaluation, PipelineStats,
 };
-pub use arena::{ArenaUpdate, EventGraphArena};
+pub use arena::{ArenaUpdate, AssembleMode, EventGraphArena};
 pub use constraints::{
     ceil_to_multiple, duplicate_rates, floor_to_multiple, phase_constraints, PhaseConstraint,
 };

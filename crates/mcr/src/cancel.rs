@@ -4,9 +4,12 @@
 //! solver (and, higher up, to an evaluation pipeline) so the hot loops can
 //! bail out of a solve that the caller no longer wants: an explicit
 //! [`CancelToken::cancel`] call or an elapsed deadline. The checks are
-//! *cooperative* — the solver polls [`CancelToken::is_cancelled`] once per
-//! policy-iteration / Bellman–Ford round, so cancellation latency is one
-//! round, never a partial write: every data structure stays reusable after a
+//! *cooperative* — the serial solver polls [`CancelToken::is_cancelled`]
+//! once per policy-iteration / Bellman–Ford round, and the chunked
+//! intra-component kernels poll per chunk and every few hundred nodes
+//! within a chunk (so on a 100k-task single-SCC graph, whose rounds take
+//! hundreds of milliseconds, a deadline still lands promptly). Cancellation
+//! is never a partial write: every data structure stays reusable after a
 //! cancelled solve.
 //!
 //! The default token ([`CancelToken::default`]) holds no shared state and

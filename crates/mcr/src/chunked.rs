@@ -1,0 +1,1688 @@
+//! Intra-component chunked Howard kernels and the partitioned certifier.
+//!
+//! Per-SCC `thread::scope` parallelism (the [`crate::Solver`] worker pool) is
+//! provably useless on event graphs that are one giant strongly connected
+//! component — exactly the shape `scale_smoke` produces. This module
+//! parallelizes *inside* a component while keeping **bit-identical output**
+//! as the contract: every sweep is chunked over contiguous CSR row blocks,
+//! and every place where the serial loop's visit order is observable is
+//! either replayed serially (cheap, `O(n)`) or proven order-independent.
+//!
+//! Three pieces:
+//!
+//! * **Chunked policy evaluation** — the serial walk that discovers policy
+//!   circuits, classifies them and assigns gains stays serial (it is `O(n)`
+//!   pointer chasing), but records the exact order in which node values
+//!   would be assigned. The per-node reduced weights (the `O(m)`
+//!   multiply-heavy part) are then computed chunk-parallel, and a serial
+//!   replay folds them into values in the recorded order, reproducing the
+//!   serial kernel's overflow/`Bail` points exactly.
+//! * **Chunked policy improvement** — the gain round is Gauss–Seidel (later
+//!   nodes observe earlier commits), so a naive parallel round would diverge.
+//!   Instead, a chunk-parallel *snapshot* pass computes every node's
+//!   candidate, and a serial commit pass applies them in node order, marking
+//!   the in-neighbours of every committed node dirty through a reverse CSR;
+//!   dirty nodes rescan with live gains (the exact serial inner loop). Clean
+//!   nodes provably see the same state the serial loop would, so the result
+//!   is the serial result at any chunk width. The bias round reads only
+//!   round-start gains/values and writes only the policy, so it is a pure
+//!   snapshot pass: chunk-parallel candidates, serial order-preserving
+//!   apply.
+//! * **Partitioned Bellman–Ford** — the parametric certifier's relaxation
+//!   runs level-synchronous (Jacobi) chunked over *target* nodes through the
+//!   reverse CSR, which is deterministic at any width. When no violating
+//!   circuit exists the fixpoint is unique, so converged distances equal the
+//!   serial ones; on any sign of a violating circuit (or arithmetic
+//!   overflow) the partial state is discarded and the serial pass re-runs
+//!   from scratch, so the extracted circuit — and therefore the whole
+//!   λ-trajectory — is exactly the serial one.
+//!
+//! The integer kernel additionally gets a **fast lane**: after scaling, if
+//! every `|L̂|, |Ĥ| ≤ 2^62 / n`, then every downstream product and
+//! telescoped sum provably fits `i128` (circuit sums ≤ `n·B`, gains ≤ `n·B`,
+//! reduced weights ≤ `2n·B²`, values ≤ `2n²·B²`, comparisons ≤ `4n²·B²`
+//! `< 2^127`), so the sweeps run unchecked arithmetic — same values, no
+//! overflow branches — and the gain round can skip whole row scans for
+//! nodes already at the round-start maximum gain (a strictly greater gain
+//! cannot exist within the round, since gain rounds only copy existing
+//! gains).
+//!
+//! Cancellation is polled per chunk and every [`CANCEL_STRIDE`] nodes within
+//! a chunk; a latched token makes early detection output-equivalent to the
+//! serial per-round poll (the solve ends in `McrError::Cancelled` either
+//! way).
+
+use csdf::{gcd_i128, Rational};
+
+use crate::cancel::CancelToken;
+use crate::graph::RatioGraph;
+use crate::howard::{policy_cycle_from, HowardOutcome};
+use crate::solve::{find_violating_cycle, lex_greater, McrError, Scratch};
+
+/// Poll the cancellation token at least every this many nodes inside a chunk
+/// (in addition to once per chunk), so one huge sweep cannot blow past a
+/// deadline.
+pub(crate) const CANCEL_STRIDE: usize = 4096;
+
+/// High bit of an `order` entry: the node is a circuit anchor (value zero).
+const ANCHOR_BIT: u32 = 1 << 31;
+
+/// Intra-component parallelism decided per component by the solver layer.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct IntraOpts {
+    /// Number of contiguous chunks each sweep is split into (`>= 2` selects
+    /// the chunked code path; `1` is the serial pre-existing path).
+    pub(crate) workers: usize,
+    /// Whether chunks actually run on `thread::scope` workers. With `false`
+    /// the chunks run inline on the calling thread — same code, same
+    /// results, no spawn overhead (used when the host has fewer cores than
+    /// requested workers).
+    pub(crate) spawn: bool,
+}
+
+impl IntraOpts {
+    pub(crate) const SERIAL: IntraOpts = IntraOpts {
+        workers: 1,
+        spawn: false,
+    };
+}
+
+/// Runs `f` over contiguous chunks of `data`, either on scoped worker
+/// threads (`spawn`) or inline. `f` receives the chunk's base index and the
+/// chunk slice. The chunk decomposition depends only on `workers` and
+/// `data.len()`, never on scheduling.
+fn for_chunks<T, F>(workers: usize, spawn: bool, data: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let len = data.len();
+    if len == 0 {
+        return;
+    }
+    let workers = workers.clamp(1, len);
+    let chunk = len.div_ceil(workers);
+    if !spawn || workers <= 1 {
+        let mut rest = data;
+        let mut base = 0;
+        while !rest.is_empty() {
+            let take = chunk.min(rest.len());
+            let (head, tail) = std::mem::take(&mut rest).split_at_mut(take);
+            f(base, head);
+            base += take;
+            rest = tail;
+        }
+        return;
+    }
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut rest = data;
+        let mut base = 0;
+        while !rest.is_empty() {
+            let take = chunk.min(rest.len());
+            let (head, tail) = std::mem::take(&mut rest).split_at_mut(take);
+            if tail.is_empty() {
+                // Last chunk on the calling thread.
+                f(base, head);
+            } else {
+                scope.spawn(move || f(base, head));
+            }
+            base += take;
+            rest = tail;
+        }
+    });
+}
+
+/// Like [`for_chunks`] but over two equal-length output slices split at the
+/// same boundaries (`f(base, a_chunk, b_chunk)`).
+fn for_chunks2<A, B, F>(workers: usize, spawn: bool, a: &mut [A], b: &mut [B], f: F)
+where
+    A: Send,
+    B: Send,
+    F: Fn(usize, &mut [A], &mut [B]) + Sync,
+{
+    let len = a.len();
+    debug_assert_eq!(len, b.len());
+    if len == 0 {
+        return;
+    }
+    let workers = workers.clamp(1, len);
+    let chunk = len.div_ceil(workers);
+    if !spawn || workers <= 1 {
+        let (mut rest_a, mut rest_b) = (a, b);
+        let mut base = 0;
+        while !rest_a.is_empty() {
+            let take = chunk.min(rest_a.len());
+            let (head_a, tail_a) = std::mem::take(&mut rest_a).split_at_mut(take);
+            let (head_b, tail_b) = std::mem::take(&mut rest_b).split_at_mut(take);
+            f(base, head_a, head_b);
+            base += take;
+            rest_a = tail_a;
+            rest_b = tail_b;
+        }
+        return;
+    }
+    std::thread::scope(|scope| {
+        let f = &f;
+        let (mut rest_a, mut rest_b) = (a, b);
+        let mut base = 0;
+        while !rest_a.is_empty() {
+            let take = chunk.min(rest_a.len());
+            let (head_a, tail_a) = std::mem::take(&mut rest_a).split_at_mut(take);
+            let (head_b, tail_b) = std::mem::take(&mut rest_b).split_at_mut(take);
+            if tail_a.is_empty() {
+                f(base, head_a, head_b);
+            } else {
+                scope.spawn(move || f(base, head_a, head_b));
+            }
+            base += take;
+            rest_a = tail_a;
+            rest_b = tail_b;
+        }
+    });
+}
+
+/// Per-node reduced weight computed by the chunked evaluation pass.
+#[derive(Debug, Clone, Copy)]
+struct IntSlot {
+    w: i128,
+    err: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RatSlot {
+    w: Rational,
+    err: bool,
+}
+
+/// Per-node candidate of a chunked improvement pass.
+#[derive(Debug, Clone, Copy)]
+struct IntCand {
+    pos: usize,
+    node: u32,
+    skip: bool,
+    err: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RatCand {
+    pos: usize,
+    gain: Rational,
+    err: bool,
+}
+
+/// Reusable buffers for the chunked kernels, owned by [`Scratch`].
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ChunkScratch {
+    /// Value-assignment order recorded by evaluation pass 0 (node index, with
+    /// [`ANCHOR_BIT`] set on circuit anchors).
+    order: Vec<u32>,
+    wslot_int: Vec<IntSlot>,
+    wslot_rat: Vec<RatSlot>,
+    cand_int: Vec<IntCand>,
+    cand_rat: Vec<RatCand>,
+    /// Gauss–Seidel dirty marks for the commit pass (stamped).
+    dirty: Vec<u64>,
+    dirty_epoch: u64,
+    /// Reverse CSR of the component: `rev_pos[rev_first[t]..rev_first[t+1]]`
+    /// are the arc positions *into* node `t`, ascending.
+    rev_first: Vec<u32>,
+    rev_pos: Vec<u32>,
+    rev_cursor: Vec<u32>,
+    /// Component epoch the reverse CSR was built for.
+    rev_epoch: u64,
+    // Partitioned Bellman–Ford double buffer.
+    bf_next: Vec<(Rational, Rational)>,
+    /// Per target and round: 0 unchanged, 1 improved, 2 overflow.
+    bf_status: Vec<u8>,
+    bf_active: Vec<bool>,
+}
+
+/// Builds (or reuses) the reverse CSR of the current component view.
+fn ensure_rev_csr(scratch: &mut Scratch, n: usize, m: usize) {
+    if scratch.chunk.rev_epoch == scratch.component_epoch {
+        return;
+    }
+    let arc_to = &scratch.arc_to;
+    let chunk = &mut scratch.chunk;
+    chunk.rev_first.clear();
+    chunk.rev_first.resize(n + 1, 0);
+    for &to in &arc_to[..m] {
+        chunk.rev_first[to as usize + 1] += 1;
+    }
+    for t in 0..n {
+        chunk.rev_first[t + 1] += chunk.rev_first[t];
+    }
+    chunk.rev_cursor.clear();
+    chunk.rev_cursor.extend_from_slice(&chunk.rev_first[..n]);
+    chunk.rev_pos.clear();
+    chunk.rev_pos.resize(m, 0);
+    for (pos, &to) in arc_to[..m].iter().enumerate() {
+        let t = to as usize;
+        chunk.rev_pos[chunk.rev_cursor[t] as usize] = u32::try_from(pos).expect("m fits u32");
+        chunk.rev_cursor[t] += 1;
+    }
+    chunk.rev_epoch = scratch.component_epoch;
+}
+
+enum Evaluation {
+    Done,
+    Infinite(Vec<usize>),
+    Bail,
+}
+
+enum ImproveResult {
+    Changed,
+    Stable,
+    Cancelled,
+}
+
+// ---------------------------------------------------------------------------
+// Integer kernel, chunked.
+// ---------------------------------------------------------------------------
+
+/// Chunked integer Howard kernel. Bit-identical to
+/// [`crate::kernel::howard_component_int`] (including every `None` fallback
+/// point); `None` means the caller loads the scalar component view and runs
+/// the scalar kernel. Reads arc costs/times straight from `graph` through
+/// the component's `arc_id` map, so the component view may be loaded *lean*
+/// (without the per-arc `Rational` copies).
+pub(crate) fn howard_component_int_chunked(
+    graph: &RatioGraph,
+    scratch: &mut Scratch,
+    n: usize,
+    intra: IntraOpts,
+) -> Option<HowardOutcome> {
+    let m = scratch.arc_len();
+    if m == 0 {
+        return Some(HowardOutcome::Bail);
+    }
+    let scaled = scale_component_int(graph, scratch)?;
+    let (den_cost, den_time) = (scaled.den_cost, scaled.den_time);
+
+    if scratch.int_gain_num.len() < n {
+        scratch.int_gain_num.resize(n, 0);
+        scratch.int_gain_den.resize(n, 1);
+        scratch.int_value.resize(n, 0);
+    }
+    if scratch.policy.len() < n {
+        scratch.policy.resize(n, 0);
+    }
+    for node in 0..n {
+        if scratch.first[node] == scratch.first[node + 1] {
+            return Some(HowardOutcome::Bail);
+        }
+        scratch.policy[node] = scratch.first[node];
+    }
+    let costs_nonneg = scaled.costs_nonneg;
+
+    // Fast lane: with every scaled magnitude below 2^62 / n, all downstream
+    // sums/products provably fit i128 (see module docs), so the sweeps run
+    // unchecked arithmetic and compute the same values the checked serial
+    // kernel would.
+    let fast = scaled.max_abs <= (1i128 << 62) / (n as i128);
+    ensure_rev_csr(scratch, n, m);
+
+    let budget = 2 * n + 64;
+    let mut converged = false;
+    for _ in 0..budget {
+        if scratch.cancel.is_cancelled() {
+            return Some(HowardOutcome::Bail);
+        }
+        match evaluate_int_chunked(scratch, n, fast, intra)? {
+            Evaluation::Done => {}
+            Evaluation::Infinite(positions) => return Some(HowardOutcome::Infinite { positions }),
+            Evaluation::Bail => return Some(HowardOutcome::Bail),
+        }
+        match improve_int_chunked(scratch, n, fast, intra)? {
+            ImproveResult::Changed => {}
+            ImproveResult::Stable => {
+                converged = true;
+                break;
+            }
+            ImproveResult::Cancelled => return Some(HowardOutcome::Bail),
+        }
+    }
+    if !converged {
+        return Some(HowardOutcome::Bail);
+    }
+
+    // Final extraction: identical (serial, checked) to the serial kernel.
+    let mut best_node = 0usize;
+    for node in 1..n {
+        if cmp_gain(scratch, node, best_node)? != std::cmp::Ordering::Less {
+            best_node = node;
+        }
+    }
+    if scratch.int_gain_num[best_node] <= 0 {
+        return Some(HowardOutcome::Bail);
+    }
+    let gain = Rational::new(
+        scratch.int_gain_num[best_node],
+        scratch.int_gain_den[best_node],
+    )
+    .expect("gain denominator is positive");
+    let scaling = Rational::new(den_time, den_cost).expect("common denominators are positive");
+    let lambda = gain.checked_mul(&scaling).ok()?;
+    let positions = policy_cycle_from(scratch, best_node);
+    if costs_nonneg && (0..n).all(|node| scratch.int_gain_num[node] > 0) {
+        Some(HowardOutcome::Certified { lambda, positions })
+    } else {
+        Some(HowardOutcome::Estimate { lambda, positions })
+    }
+}
+
+/// The component scaled onto `i128` numerators, plus the facts the kernel
+/// entry needs that would otherwise cost extra full passes over the arrays.
+struct ScaledComponent {
+    den_cost: i128,
+    den_time: i128,
+    /// Every scaled cost is non-negative (certification precondition).
+    costs_nonneg: bool,
+    /// Maximum absolute scaled magnitude, for the fast-lane bound.
+    max_abs: i128,
+}
+
+/// Common denominators + scaling of the component onto `i128` numerators,
+/// reading the arc values from `graph` (the component view may be lean).
+/// Same values as `kernel::common_denominators` + `scale_arcs`, computed in
+/// a single pass: arcs are scaled under the *running* lcm, and whenever a
+/// later arc grows it, the already-written prefix is rescaled by the growth
+/// factor (lcm is monotone, so prefix magnitudes only go up and an overflow
+/// in either step implies the final value overflows too). Event-graph arcs
+/// share a handful of denominators in long runs, so a one-entry scale memo
+/// skips almost every `i128` division, and `mul_scale` keeps the multiplies
+/// in native `i64` where they fit.
+fn scale_component_int(graph: &RatioGraph, scratch: &mut Scratch) -> Option<ScaledComponent> {
+    let m = scratch.arc_id.len();
+    scratch.int_cost.clear();
+    scratch.int_time.clear();
+    scratch.int_cost.reserve(m);
+    scratch.int_time.reserve(m);
+    let mut den_cost: i128 = 1;
+    let mut den_time: i128 = 1;
+    // (index where the previous lcm stopped applying, lcm used before that).
+    let mut cost_upgrades: Vec<(usize, i128)> = Vec::new();
+    let mut time_upgrades: Vec<(usize, i128)> = Vec::new();
+    // One-entry scale memos, reset on every lcm upgrade: arcs arrive in
+    // buffer/block order, so runs of consecutive arcs share a denominator.
+    let mut memo_cost = (1i128, 1i128);
+    let mut memo_time = (1i128, 1i128);
+    let mut costs_nonneg = true;
+    let mut max_abs: i128 = 0;
+    for (index, &arc_id) in scratch.arc_id.iter().enumerate() {
+        let arc = graph.arc(arc_id);
+        let cost_den = arc.cost.denom();
+        if cost_den != memo_cost.0 {
+            if den_cost % cost_den != 0 {
+                let grown = lcm_i128(den_cost, cost_den)?;
+                cost_upgrades.push((index, den_cost));
+                den_cost = grown;
+            }
+            memo_cost = (cost_den, den_cost / cost_den);
+        }
+        let cost = mul_scale(arc.cost.numer(), memo_cost.1)?;
+        costs_nonneg &= cost >= 0;
+        max_abs = max_abs.max(abs_i128(cost));
+        scratch.int_cost.push(cost);
+        let time_den = arc.time.denom();
+        if time_den != memo_time.0 {
+            if den_time % time_den != 0 {
+                let grown = lcm_i128(den_time, time_den)?;
+                time_upgrades.push((index, den_time));
+                den_time = grown;
+            }
+            memo_time = (time_den, den_time / time_den);
+        }
+        let time = mul_scale(arc.time.numer(), memo_time.1)?;
+        max_abs = max_abs.max(abs_i128(time));
+        scratch.int_time.push(time);
+    }
+    // Rescale the prefixes written under a smaller lcm, walking the upgrades
+    // forward: entry `j` brings `values[..end_j]` from its recorded lcm up to
+    // the next entry's (or the final) lcm, so before entry `j + 1` runs, the
+    // whole prefix below `end_{j+1}` is uniformly under that entry's lcm.
+    for (upgrades, values, den) in [
+        (&cost_upgrades, &mut scratch.int_cost, den_cost),
+        (&time_upgrades, &mut scratch.int_time, den_time),
+    ] {
+        for (j, &(end, used)) in upgrades.iter().enumerate() {
+            let target = upgrades.get(j + 1).map_or(den, |&(_, next)| next);
+            let factor = target / used;
+            if factor == 1 {
+                continue;
+            }
+            for value in &mut values[..end] {
+                *value = mul_scale(*value, factor)?;
+                max_abs = max_abs.max(abs_i128(*value));
+            }
+        }
+    }
+    Some(ScaledComponent {
+        den_cost,
+        den_time,
+        costs_nonneg,
+        max_abs,
+    })
+}
+
+/// `value.unsigned_abs()` clamped back into `i128` (saturating on the
+/// `i128::MIN` edge, which only makes the fast-lane bound more conservative).
+#[inline]
+fn abs_i128(value: i128) -> i128 {
+    i128::try_from(value.unsigned_abs()).unwrap_or(i128::MAX)
+}
+
+/// `numer * scale` with overflow reported as `None`. Exactly
+/// `numer.checked_mul(scale)`, but the common all-small case runs a native
+/// `i64` multiply instead of the much slower `i128` overflow-checked one; an
+/// `i64` overflow falls back to the `i128` check, so results are identical.
+#[inline]
+fn mul_scale(numer: i128, scale: i128) -> Option<i128> {
+    if scale == 1 {
+        return Some(numer);
+    }
+    if let (Ok(a), Ok(b)) = (i64::try_from(numer), i64::try_from(scale)) {
+        if let Some(product) = a.checked_mul(b) {
+            return Some(i128::from(product));
+        }
+    }
+    numer.checked_mul(scale)
+}
+
+fn lcm_i128(a: i128, b: i128) -> Option<i128> {
+    debug_assert!(a > 0 && b > 0);
+    let g = gcd_i128(a, b);
+    (a / g).checked_mul(b)
+}
+
+fn cmp_gain(scratch: &Scratch, a: usize, b: usize) -> Option<std::cmp::Ordering> {
+    let lhs = scratch.int_gain_num[a].checked_mul(scratch.int_gain_den[b])?;
+    let rhs = scratch.int_gain_num[b].checked_mul(scratch.int_gain_den[a])?;
+    Some(lhs.cmp(&rhs))
+}
+
+/// Chunked integer policy evaluation. Pass 0 (serial) walks the policy graph
+/// exactly like `kernel::evaluate_int` — circuit discovery, classification,
+/// gain assignment — but defers node values, recording the assignment order.
+/// Pass 1 computes the per-node reduced weights chunk-parallel; pass 2
+/// replays the values serially in the recorded order, reproducing the serial
+/// kernel's exact overflow points (`None` ⇒ scalar fallback).
+fn evaluate_int_chunked(
+    scratch: &mut Scratch,
+    n: usize,
+    fast: bool,
+    intra: IntraOpts,
+) -> Option<Evaluation> {
+    scratch.epoch += 2;
+    let on_walk = scratch.epoch - 1;
+    let resolved = scratch.epoch;
+    let Scratch {
+        arc_to,
+        policy,
+        int_cost,
+        int_time,
+        int_gain_num,
+        int_gain_den,
+        int_value,
+        mark,
+        mark_pos,
+        resolved: resolved_stamp,
+        walk,
+        chunk,
+        cancel,
+        ..
+    } = scratch;
+
+    // Pass 0: serial discovery/classification, values deferred.
+    chunk.order.clear();
+    let mut pending: Option<Evaluation> = None;
+    'starts: for start in 0..n {
+        if resolved_stamp[start] == resolved {
+            continue;
+        }
+        walk.clear();
+        let mut current = start;
+        while resolved_stamp[current] != resolved && mark[current] != on_walk {
+            mark[current] = on_walk;
+            mark_pos[current] = walk.len();
+            walk.push(current);
+            current = arc_to[policy[current]] as usize;
+        }
+        let tree_top = if resolved_stamp[current] == resolved {
+            walk.len()
+        } else {
+            let p = mark_pos[current];
+            let mut cost: i128 = 0;
+            let mut time: i128 = 0;
+            if fast {
+                for &node in &walk[p..] {
+                    let position = policy[node];
+                    cost += int_cost[position];
+                    time += int_time[position];
+                }
+            } else {
+                for &node in &walk[p..] {
+                    let position = policy[node];
+                    cost = cost.checked_add(int_cost[position])?;
+                    time = time.checked_add(int_time[position])?;
+                }
+            }
+            if time <= 0 {
+                pending = Some(if cost > 0 || (cost == 0 && time < 0) {
+                    Evaluation::Infinite(walk[p..].iter().map(|&node| policy[node]).collect())
+                } else {
+                    Evaluation::Bail
+                });
+                break 'starts;
+            }
+            let g = gcd_i128(cost, time);
+            let (num, den) = if g > 1 {
+                (cost / g, time / g)
+            } else {
+                (cost, time)
+            };
+            let anchor = walk[p];
+            int_gain_num[anchor] = num;
+            int_gain_den[anchor] = den;
+            resolved_stamp[anchor] = resolved;
+            chunk.order.push(anchor as u32 | ANCHOR_BIT);
+            for walk_index in (p + 1..walk.len()).rev() {
+                let node = walk[walk_index];
+                int_gain_num[node] = num;
+                int_gain_den[node] = den;
+                resolved_stamp[node] = resolved;
+                chunk.order.push(node as u32);
+            }
+            p
+        };
+        for walk_index in (0..tree_top).rev() {
+            let node = walk[walk_index];
+            let successor = arc_to[policy[node]] as usize;
+            debug_assert_eq!(resolved_stamp[successor], resolved);
+            int_gain_num[node] = int_gain_num[successor];
+            int_gain_den[node] = int_gain_den[successor];
+            resolved_stamp[node] = resolved;
+            chunk.order.push(node as u32);
+        }
+    }
+
+    // In the fast lane no value arithmetic can fail, so with a pending
+    // classification the values are dead — skip them. The checked lane must
+    // compute them to reproduce the serial kernel's overflow-fallback points
+    // (an earlier walk's value overflow takes precedence over a later walk's
+    // classification, because the serial kernel evaluates walks completely
+    // in order).
+    if fast {
+        if let Some(pending) = pending {
+            return Some(pending);
+        }
+    }
+
+    // Pass 1: chunk-parallel reduced weights, aligned with `order`.
+    let order: &[u32] = &chunk.order;
+    let len = order.len();
+    chunk.wslot_int.clear();
+    chunk.wslot_int.resize(len, IntSlot { w: 0, err: false });
+    {
+        let policy: &[usize] = policy;
+        let int_cost: &[i128] = int_cost;
+        let int_time: &[i128] = int_time;
+        let int_gain_num: &[i128] = int_gain_num;
+        let int_gain_den: &[i128] = int_gain_den;
+        let cancel: &CancelToken = cancel;
+        for_chunks(
+            intra.workers,
+            intra.spawn,
+            &mut chunk.wslot_int,
+            |base, out| {
+                for (i, slot) in out.iter_mut().enumerate() {
+                    if i % CANCEL_STRIDE == 0 && cancel.is_cancelled() {
+                        return;
+                    }
+                    let entry = order[base + i];
+                    if entry & ANCHOR_BIT != 0 {
+                        continue;
+                    }
+                    let node = entry as usize;
+                    let position = policy[node];
+                    let (num, den) = (int_gain_num[node], int_gain_den[node]);
+                    if fast {
+                        slot.w = int_cost[position] * den - num * int_time[position];
+                    } else {
+                        match int_cost[position].checked_mul(den).and_then(|cd| {
+                            num.checked_mul(int_time[position])
+                                .and_then(|nt| cd.checked_sub(nt))
+                        }) {
+                            Some(w) => slot.w = w,
+                            None => slot.err = true,
+                        }
+                    }
+                }
+            },
+        );
+    }
+    if cancel.is_cancelled() {
+        // Output-equivalent to the serial kernel noticing the (latched)
+        // token at the next round boundary.
+        return Some(Evaluation::Bail);
+    }
+
+    // Pass 2: serial replay in recorded order.
+    for (i, &entry) in order.iter().enumerate() {
+        let node = (entry & !ANCHOR_BIT) as usize;
+        if entry & ANCHOR_BIT != 0 {
+            int_value[node] = 0;
+            continue;
+        }
+        let slot = chunk.wslot_int[i];
+        if slot.err {
+            return None;
+        }
+        let successor = arc_to[policy[node]] as usize;
+        int_value[node] = if fast {
+            slot.w + int_value[successor]
+        } else {
+            slot.w.checked_add(int_value[successor])?
+        };
+    }
+    Some(pending.unwrap_or(Evaluation::Done))
+}
+
+/// Chunked integer policy improvement: snapshot pass (parallel) + serial
+/// Gauss–Seidel commit pass with reverse-CSR dirty marking for the gain
+/// round; pure snapshot pass for the bias round. `None` has the serial
+/// meaning (overflow ⇒ scalar fallback).
+fn improve_int_chunked(
+    scratch: &mut Scratch,
+    n: usize,
+    fast: bool,
+    intra: IntraOpts,
+) -> Option<ImproveResult> {
+    let Scratch {
+        arc_from,
+        arc_to,
+        first,
+        policy,
+        int_cost,
+        int_time,
+        int_gain_num,
+        int_gain_den,
+        int_value,
+        chunk,
+        cancel,
+        ..
+    } = scratch;
+
+    // Round-start maximum gain (fast lane): gain rounds only copy existing
+    // gains, so a node already at the maximum cannot strictly improve — its
+    // whole row scan is skipped. Canonical pairs make the equality test two
+    // integer compares.
+    let mut max_num = int_gain_num[0];
+    let mut max_den = int_gain_den[0];
+    if fast {
+        for node in 1..n {
+            if int_gain_num[node] * max_den > max_num * int_gain_den[node] {
+                max_num = int_gain_num[node];
+                max_den = int_gain_den[node];
+            }
+        }
+    }
+
+    // Gain round, phase A: chunk-parallel snapshot candidates.
+    chunk.cand_int.clear();
+    chunk.cand_int.resize(
+        n,
+        IntCand {
+            pos: 0,
+            node: 0,
+            skip: false,
+            err: false,
+        },
+    );
+    {
+        let policy: &[usize] = policy;
+        let arc_to: &[u32] = arc_to;
+        let first: &[usize] = first;
+        let int_gain_num: &[i128] = int_gain_num;
+        let int_gain_den: &[i128] = int_gain_den;
+        let cancel: &CancelToken = cancel;
+        for_chunks(
+            intra.workers,
+            intra.spawn,
+            &mut chunk.cand_int,
+            |base, out| {
+                for (i, cand) in out.iter_mut().enumerate() {
+                    if i % CANCEL_STRIDE == 0 && cancel.is_cancelled() {
+                        return;
+                    }
+                    let node = base + i;
+                    if fast && int_gain_num[node] == max_num && int_gain_den[node] == max_den {
+                        cand.skip = true;
+                        continue;
+                    }
+                    let mut best = node;
+                    let mut best_pos = policy[node];
+                    let (lo, hi) = (first[node], first[node + 1]);
+                    for (position, &to) in (lo..hi).zip(&arc_to[lo..hi]) {
+                        let target = to as usize;
+                        if fast {
+                            if int_gain_num[target] * int_gain_den[best]
+                                > int_gain_num[best] * int_gain_den[target]
+                            {
+                                best = target;
+                                best_pos = position;
+                            }
+                        } else {
+                            let lhs = int_gain_num[target].checked_mul(int_gain_den[best]);
+                            let rhs = int_gain_num[best].checked_mul(int_gain_den[target]);
+                            match (lhs, rhs) {
+                                (Some(lhs), Some(rhs)) => {
+                                    if lhs > rhs {
+                                        best = target;
+                                        best_pos = position;
+                                    }
+                                }
+                                _ => {
+                                    cand.err = true;
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    cand.node = u32::try_from(best).expect("n fits u32");
+                    cand.pos = best_pos;
+                }
+            },
+        );
+    }
+    if cancel.is_cancelled() {
+        return Some(ImproveResult::Cancelled);
+    }
+
+    // Gain round, phase B: serial commit in node order. A committed gain
+    // change invalidates the snapshot of every in-neighbour; those rescan
+    // with live gains (the exact serial inner loop), so the pass reproduces
+    // the serial Gauss–Seidel trajectory bit for bit.
+    chunk.dirty_epoch += 1;
+    let depoch = chunk.dirty_epoch;
+    if chunk.dirty.len() < n {
+        chunk.dirty.resize(n, 0);
+    }
+    let mut changed = false;
+    for node in 0..n {
+        if node % CANCEL_STRIDE == 0 && node > 0 && cancel.is_cancelled() {
+            return Some(ImproveResult::Cancelled);
+        }
+        let cand = chunk.cand_int[node];
+        if cand.skip {
+            continue;
+        }
+        let (best, best_pos) = if chunk.dirty[node] == depoch {
+            // Rescan with current gains — identical to the serial loop body.
+            let mut best = node;
+            let mut best_pos = policy[node];
+            let (lo, hi) = (first[node], first[node + 1]);
+            for (position, &to) in (lo..hi).zip(&arc_to[lo..hi]) {
+                let target = to as usize;
+                if fast {
+                    if int_gain_num[target] * int_gain_den[best]
+                        > int_gain_num[best] * int_gain_den[target]
+                    {
+                        best = target;
+                        best_pos = position;
+                    }
+                } else {
+                    let lhs = int_gain_num[target].checked_mul(int_gain_den[best])?;
+                    let rhs = int_gain_num[best].checked_mul(int_gain_den[target])?;
+                    if lhs > rhs {
+                        best = target;
+                        best_pos = position;
+                    }
+                }
+            }
+            (best, best_pos)
+        } else {
+            if cand.err {
+                // The serial loop would compute the same products at this
+                // node (its targets' gains are unchanged) and overflow too.
+                return None;
+            }
+            (cand.node as usize, cand.pos)
+        };
+        let commit = if fast {
+            int_gain_num[best] * int_gain_den[node] > int_gain_num[node] * int_gain_den[best]
+        } else {
+            let lhs = int_gain_num[best].checked_mul(int_gain_den[node])?;
+            let rhs = int_gain_num[node].checked_mul(int_gain_den[best])?;
+            lhs > rhs
+        };
+        if commit {
+            policy[node] = best_pos;
+            int_gain_num[node] = int_gain_num[best];
+            int_gain_den[node] = int_gain_den[best];
+            changed = true;
+            for r in chunk.rev_first[node] as usize..chunk.rev_first[node + 1] as usize {
+                let src = arc_from[chunk.rev_pos[r] as usize] as usize;
+                chunk.dirty[src] = depoch;
+            }
+        }
+    }
+    if changed {
+        return Some(ImproveResult::Changed);
+    }
+
+    // Bias round: reads only round-start gains/values, writes only the
+    // policy — a pure snapshot pass. Chunk-parallel candidates, serial
+    // order-preserving apply (the first overflow in node order aborts, like
+    // the serial loop).
+    {
+        let arc_to: &[u32] = arc_to;
+        let first: &[usize] = first;
+        let int_cost: &[i128] = int_cost;
+        let int_time: &[i128] = int_time;
+        let int_gain_num: &[i128] = int_gain_num;
+        let int_gain_den: &[i128] = int_gain_den;
+        let int_value: &[i128] = int_value;
+        let cancel: &CancelToken = cancel;
+        for_chunks(
+            intra.workers,
+            intra.spawn,
+            &mut chunk.cand_int,
+            |base, out| {
+                for (i, cand) in out.iter_mut().enumerate() {
+                    if i % CANCEL_STRIDE == 0 && cancel.is_cancelled() {
+                        return;
+                    }
+                    let node = base + i;
+                    let num = int_gain_num[node];
+                    let den = int_gain_den[node];
+                    let mut best_pos = usize::MAX;
+                    let mut best_value = int_value[node];
+                    cand.err = false;
+                    for position in first[node]..first[node + 1] {
+                        let target = arc_to[position] as usize;
+                        if int_gain_num[target] != num || int_gain_den[target] != den {
+                            continue;
+                        }
+                        let candidate = if fast {
+                            int_cost[position] * den - num * int_time[position] + int_value[target]
+                        } else {
+                            let weight = int_cost[position].checked_mul(den).and_then(|cd| {
+                                num.checked_mul(int_time[position])
+                                    .and_then(|nt| cd.checked_sub(nt))
+                            });
+                            match weight.and_then(|w| w.checked_add(int_value[target])) {
+                                Some(candidate) => candidate,
+                                None => {
+                                    cand.err = true;
+                                    break;
+                                }
+                            }
+                        };
+                        if candidate > best_value {
+                            best_value = candidate;
+                            best_pos = position;
+                        }
+                    }
+                    cand.pos = best_pos;
+                }
+            },
+        );
+    }
+    if cancel.is_cancelled() {
+        return Some(ImproveResult::Cancelled);
+    }
+    for (node, slot) in policy.iter_mut().enumerate().take(n) {
+        let cand = chunk.cand_int[node];
+        if cand.err {
+            return None;
+        }
+        if cand.pos != usize::MAX {
+            *slot = cand.pos;
+            changed = true;
+        }
+    }
+    Some(if changed {
+        ImproveResult::Changed
+    } else {
+        ImproveResult::Stable
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Scalar kernel, chunked.
+// ---------------------------------------------------------------------------
+
+/// Chunked scalar Howard kernel; bit-identical to
+/// [`crate::howard::howard_component`]. Requires the rational component view
+/// (`Scratch::ensure_component_rationals`).
+pub(crate) fn howard_component_chunked(
+    scratch: &mut Scratch,
+    n: usize,
+    intra: IntraOpts,
+) -> HowardOutcome {
+    if scratch.arc_len() == 0 {
+        return HowardOutcome::Bail;
+    }
+    if scratch.policy.len() < n {
+        scratch.policy.resize(n, 0);
+    }
+    if scratch.gain.len() < n {
+        scratch.gain.resize(n, Rational::ZERO);
+        scratch.value.resize(n, Rational::ZERO);
+    }
+    for node in 0..n {
+        if scratch.first[node] == scratch.first[node + 1] {
+            return HowardOutcome::Bail;
+        }
+        scratch.policy[node] = scratch.first[node];
+    }
+    let costs_nonneg = scratch.arc_cost.iter().all(|cost| !cost.is_negative());
+    ensure_rev_csr(scratch, n, scratch.arc_len());
+
+    let budget = 2 * n + 64;
+    let mut converged = false;
+    for _ in 0..budget {
+        if scratch.cancel.is_cancelled() {
+            return HowardOutcome::Bail;
+        }
+        match evaluate_chunked(scratch, n, intra) {
+            Evaluation::Done => {}
+            Evaluation::Infinite(positions) => return HowardOutcome::Infinite { positions },
+            Evaluation::Bail => return HowardOutcome::Bail,
+        }
+        match improve_chunked(scratch, n, intra) {
+            Some(ImproveResult::Changed) => {}
+            Some(ImproveResult::Stable) => {
+                converged = true;
+                break;
+            }
+            Some(ImproveResult::Cancelled) | None => return HowardOutcome::Bail,
+        }
+    }
+    if !converged {
+        return HowardOutcome::Bail;
+    }
+
+    let best_node = (0..n)
+        .max_by(|&a, &b| scratch.gain[a].cmp(&scratch.gain[b]))
+        .expect("component has at least one node");
+    let lambda = scratch.gain[best_node];
+    if !lambda.is_positive() {
+        return HowardOutcome::Bail;
+    }
+    let positions = policy_cycle_from(scratch, best_node);
+    if costs_nonneg && (0..n).all(|node| scratch.gain[node].is_positive()) {
+        HowardOutcome::Certified { lambda, positions }
+    } else {
+        HowardOutcome::Estimate { lambda, positions }
+    }
+}
+
+fn evaluate_chunked(scratch: &mut Scratch, n: usize, intra: IntraOpts) -> Evaluation {
+    scratch.epoch += 2;
+    let on_walk = scratch.epoch - 1;
+    let resolved = scratch.epoch;
+    let Scratch {
+        arc_to,
+        arc_cost,
+        arc_time,
+        policy,
+        gain,
+        value,
+        mark,
+        mark_pos,
+        resolved: resolved_stamp,
+        walk,
+        chunk,
+        cancel,
+        ..
+    } = scratch;
+
+    // Pass 0: serial discovery/classification, values deferred.
+    chunk.order.clear();
+    let mut pending: Option<Evaluation> = None;
+    'starts: for start in 0..n {
+        if resolved_stamp[start] == resolved {
+            continue;
+        }
+        walk.clear();
+        let mut current = start;
+        while resolved_stamp[current] != resolved && mark[current] != on_walk {
+            mark[current] = on_walk;
+            mark_pos[current] = walk.len();
+            walk.push(current);
+            current = arc_to[policy[current]] as usize;
+        }
+        let tree_top = if resolved_stamp[current] == resolved {
+            walk.len()
+        } else {
+            let p = mark_pos[current];
+            let mut cost_sum = csdf::RationalSum::new();
+            let mut time_sum = csdf::RationalSum::new();
+            for &node in &walk[p..] {
+                let position = policy[node];
+                if cost_sum.add(&arc_cost[position]).is_err()
+                    || time_sum.add(&arc_time[position]).is_err()
+                {
+                    pending = Some(Evaluation::Bail);
+                    break 'starts;
+                }
+            }
+            let cost = cost_sum.finish();
+            let time = time_sum.finish();
+            if !time.is_positive() {
+                pending = Some(
+                    if cost.is_positive() || (cost.is_zero() && time.is_negative()) {
+                        Evaluation::Infinite(walk[p..].iter().map(|&node| policy[node]).collect())
+                    } else {
+                        Evaluation::Bail
+                    },
+                );
+                break 'starts;
+            }
+            let Ok(circuit_gain) = cost.checked_div(&time) else {
+                pending = Some(Evaluation::Bail);
+                break 'starts;
+            };
+            let anchor = walk[p];
+            gain[anchor] = circuit_gain;
+            resolved_stamp[anchor] = resolved;
+            chunk.order.push(anchor as u32 | ANCHOR_BIT);
+            for walk_index in (p + 1..walk.len()).rev() {
+                let node = walk[walk_index];
+                gain[node] = circuit_gain;
+                resolved_stamp[node] = resolved;
+                chunk.order.push(node as u32);
+            }
+            p
+        };
+        for walk_index in (0..tree_top).rev() {
+            let node = walk[walk_index];
+            let successor = arc_to[policy[node]] as usize;
+            debug_assert_eq!(resolved_stamp[successor], resolved);
+            gain[node] = gain[successor];
+            resolved_stamp[node] = resolved;
+            chunk.order.push(node as u32);
+        }
+    }
+
+    // Pass 1: chunk-parallel reduced weights. Every failure mode of the
+    // scalar kernel maps to Bail, so the replay's first poisoned node in
+    // assignment order reproduces the serial Bail point exactly.
+    let order: &[u32] = &chunk.order;
+    let len = order.len();
+    chunk.wslot_rat.clear();
+    chunk.wslot_rat.resize(
+        len,
+        RatSlot {
+            w: Rational::ZERO,
+            err: false,
+        },
+    );
+    {
+        let policy: &[usize] = policy;
+        let arc_cost: &[Rational] = arc_cost;
+        let arc_time: &[Rational] = arc_time;
+        let gain: &[Rational] = gain;
+        let cancel: &CancelToken = cancel;
+        for_chunks(
+            intra.workers,
+            intra.spawn,
+            &mut chunk.wslot_rat,
+            |base, out| {
+                for (i, slot) in out.iter_mut().enumerate() {
+                    if i % CANCEL_STRIDE == 0 && cancel.is_cancelled() {
+                        return;
+                    }
+                    let entry = order[base + i];
+                    if entry & ANCHOR_BIT != 0 {
+                        continue;
+                    }
+                    let node = entry as usize;
+                    let position = policy[node];
+                    match gain[node]
+                        .checked_mul(&arc_time[position])
+                        .and_then(|scaled| arc_cost[position].checked_sub(&scaled))
+                    {
+                        Ok(w) => slot.w = w,
+                        Err(_) => slot.err = true,
+                    }
+                }
+            },
+        );
+    }
+    if cancel.is_cancelled() {
+        return Evaluation::Bail;
+    }
+
+    // Pass 2: serial replay.
+    for (i, &entry) in order.iter().enumerate() {
+        let node = (entry & !ANCHOR_BIT) as usize;
+        if entry & ANCHOR_BIT != 0 {
+            value[node] = Rational::ZERO;
+            continue;
+        }
+        let slot = chunk.wslot_rat[i];
+        if slot.err {
+            return Evaluation::Bail;
+        }
+        let successor = arc_to[policy[node]] as usize;
+        let Ok(v) = slot.w.checked_add(&value[successor]) else {
+            return Evaluation::Bail;
+        };
+        value[node] = v;
+    }
+    pending.unwrap_or(Evaluation::Done)
+}
+
+fn improve_chunked(scratch: &mut Scratch, n: usize, intra: IntraOpts) -> Option<ImproveResult> {
+    let Scratch {
+        arc_from,
+        arc_to,
+        arc_cost,
+        arc_time,
+        first,
+        policy,
+        gain,
+        value,
+        chunk,
+        cancel,
+        ..
+    } = scratch;
+
+    // Gain round, phase A: snapshot candidates (total order, no failures).
+    chunk.cand_rat.clear();
+    chunk.cand_rat.resize(
+        n,
+        RatCand {
+            pos: 0,
+            gain: Rational::ZERO,
+            err: false,
+        },
+    );
+    {
+        let policy: &[usize] = policy;
+        let arc_to: &[u32] = arc_to;
+        let first: &[usize] = first;
+        let gain: &[Rational] = gain;
+        let cancel: &CancelToken = cancel;
+        for_chunks(
+            intra.workers,
+            intra.spawn,
+            &mut chunk.cand_rat,
+            |base, out| {
+                for (i, cand) in out.iter_mut().enumerate() {
+                    if i % CANCEL_STRIDE == 0 && cancel.is_cancelled() {
+                        return;
+                    }
+                    let node = base + i;
+                    let mut best_pos = policy[node];
+                    let mut best_gain = gain[node];
+                    let (lo, hi) = (first[node], first[node + 1]);
+                    for (position, &to) in (lo..hi).zip(&arc_to[lo..hi]) {
+                        let target = to as usize;
+                        if gain[target] > best_gain {
+                            best_gain = gain[target];
+                            best_pos = position;
+                        }
+                    }
+                    cand.pos = best_pos;
+                    cand.gain = best_gain;
+                }
+            },
+        );
+    }
+    if cancel.is_cancelled() {
+        return Some(ImproveResult::Cancelled);
+    }
+
+    // Gain round, phase B: serial Gauss–Seidel commit with dirty rescans.
+    chunk.dirty_epoch += 1;
+    let depoch = chunk.dirty_epoch;
+    if chunk.dirty.len() < n {
+        chunk.dirty.resize(n, 0);
+    }
+    let mut changed = false;
+    for node in 0..n {
+        if node % CANCEL_STRIDE == 0 && node > 0 && cancel.is_cancelled() {
+            return Some(ImproveResult::Cancelled);
+        }
+        let (best_pos, best_gain) = if chunk.dirty[node] == depoch {
+            let mut best_pos = policy[node];
+            let mut best_gain = gain[node];
+            let (lo, hi) = (first[node], first[node + 1]);
+            for (position, &to) in (lo..hi).zip(&arc_to[lo..hi]) {
+                let target = to as usize;
+                if gain[target] > best_gain {
+                    best_gain = gain[target];
+                    best_pos = position;
+                }
+            }
+            (best_pos, best_gain)
+        } else {
+            let cand = chunk.cand_rat[node];
+            (cand.pos, cand.gain)
+        };
+        if best_gain > gain[node] {
+            policy[node] = best_pos;
+            gain[node] = best_gain;
+            changed = true;
+            for r in chunk.rev_first[node] as usize..chunk.rev_first[node + 1] as usize {
+                let src = arc_from[chunk.rev_pos[r] as usize] as usize;
+                chunk.dirty[src] = depoch;
+            }
+        }
+    }
+    if changed {
+        return Some(ImproveResult::Changed);
+    }
+
+    // Bias round: pure snapshot pass, serial apply.
+    {
+        let arc_to: &[u32] = arc_to;
+        let first: &[usize] = first;
+        let arc_cost: &[Rational] = arc_cost;
+        let arc_time: &[Rational] = arc_time;
+        let gain: &[Rational] = gain;
+        let value: &[Rational] = value;
+        let cancel: &CancelToken = cancel;
+        for_chunks(
+            intra.workers,
+            intra.spawn,
+            &mut chunk.cand_rat,
+            |base, out| {
+                for (i, cand) in out.iter_mut().enumerate() {
+                    if i % CANCEL_STRIDE == 0 && cancel.is_cancelled() {
+                        return;
+                    }
+                    let node = base + i;
+                    let node_gain = gain[node];
+                    let mut best_pos = usize::MAX;
+                    let mut best_value = value[node];
+                    cand.err = false;
+                    for position in first[node]..first[node + 1] {
+                        let target = arc_to[position] as usize;
+                        if gain[target] != node_gain {
+                            continue;
+                        }
+                        let candidate = node_gain
+                            .checked_mul(&arc_time[position])
+                            .and_then(|scaled| arc_cost[position].checked_sub(&scaled))
+                            .and_then(|w| w.checked_add(&value[target]));
+                        match candidate {
+                            Ok(candidate) => {
+                                if candidate > best_value {
+                                    best_value = candidate;
+                                    best_pos = position;
+                                }
+                            }
+                            Err(_) => {
+                                cand.err = true;
+                                break;
+                            }
+                        }
+                    }
+                    cand.pos = best_pos;
+                }
+            },
+        );
+    }
+    if cancel.is_cancelled() {
+        return Some(ImproveResult::Cancelled);
+    }
+    for (node, slot) in policy.iter_mut().enumerate().take(n) {
+        let cand = chunk.cand_rat[node];
+        if cand.err {
+            return None;
+        }
+        if cand.pos != usize::MAX {
+            *slot = cand.pos;
+            changed = true;
+        }
+    }
+    Some(if changed {
+        ImproveResult::Changed
+    } else {
+        ImproveResult::Stable
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Partitioned Bellman–Ford for the parametric certifier.
+// ---------------------------------------------------------------------------
+
+/// Partitioned (level-synchronous, chunked-over-targets) violating-circuit
+/// search. Returns exactly what [`find_violating_cycle`] returns:
+///
+/// * Converged with no improvement ⇒ `Ok(None)`, with `scratch.distance`
+///   holding the same (unique) fixpoint distances as the serial pass.
+/// * Any evidence of a violating circuit (still improving after `n` rounds)
+///   or any arithmetic overflow ⇒ the partial state is discarded and the
+///   serial pass re-runs from scratch, so the returned circuit, error value
+///   and every tie-break are the serial ones.
+pub(crate) fn find_violating_cycle_chunked(
+    scratch: &mut Scratch,
+    n: usize,
+    lambda: Rational,
+    intra: IntraOpts,
+) -> Result<Option<Vec<usize>>, McrError> {
+    let m = scratch.arc_len();
+    ensure_rev_csr(scratch, n, m);
+
+    // Reduced weights, chunk-parallel; any overflow defers to the serial
+    // pass (which reproduces the exact error in arc order).
+    scratch.reduced.clear();
+    scratch.reduced.resize(m, (Rational::ZERO, Rational::ZERO));
+    let reduced_err = std::sync::atomic::AtomicBool::new(false);
+    {
+        let arc_cost: &[Rational] = &scratch.arc_cost;
+        let arc_time: &[Rational] = &scratch.arc_time;
+        let cancel: &CancelToken = &scratch.cancel;
+        let reduced_err = &reduced_err;
+        for_chunks(
+            intra.workers,
+            intra.spawn,
+            &mut scratch.reduced,
+            |base, out| {
+                for (i, slot) in out.iter_mut().enumerate() {
+                    if i % CANCEL_STRIDE == 0
+                        && (cancel.is_cancelled()
+                            || reduced_err.load(std::sync::atomic::Ordering::Relaxed))
+                    {
+                        return;
+                    }
+                    let position = base + i;
+                    let weight = lambda
+                        .checked_mul(&arc_time[position])
+                        .and_then(|scaled| arc_cost[position].checked_sub(&scaled));
+                    let negated = arc_time[position].checked_neg();
+                    match (weight, negated) {
+                        (Ok(weight), Ok(negated)) => *slot = (weight, negated),
+                        _ => {
+                            reduced_err.store(true, std::sync::atomic::Ordering::Relaxed);
+                            return;
+                        }
+                    }
+                }
+            },
+        );
+    }
+    if reduced_err.into_inner() {
+        return find_violating_cycle(scratch, n, lambda);
+    }
+    if scratch.cancel.is_cancelled() {
+        return Err(McrError::Cancelled);
+    }
+
+    scratch.distance.clear();
+    scratch.distance.resize(n, (Rational::ZERO, Rational::ZERO));
+    let chunk = &mut scratch.chunk;
+    chunk.bf_active.clear();
+    chunk.bf_active.resize(n, true);
+    chunk.bf_next.clear();
+    chunk.bf_next.resize(n, (Rational::ZERO, Rational::ZERO));
+    chunk.bf_status.clear();
+    chunk.bf_status.resize(n, 0);
+
+    let mut round = 0usize;
+    loop {
+        if scratch.cancel.is_cancelled() {
+            return Err(McrError::Cancelled);
+        }
+        round += 1;
+        if round > n {
+            // Still improving after n rounds: a violating circuit exists.
+            // Discard the Jacobi state and let the serial pass find it, so
+            // the extracted circuit (and its tie-breaks) is the serial one.
+            return find_violating_cycle(scratch, n, lambda);
+        }
+        {
+            let chunk = &mut scratch.chunk;
+            let distance: &[(Rational, Rational)] = &scratch.distance;
+            let reduced: &[(Rational, Rational)] = &scratch.reduced;
+            let arc_from: &[u32] = &scratch.arc_from;
+            let rev_first: &[u32] = &chunk.rev_first;
+            let rev_pos: &[u32] = &chunk.rev_pos;
+            let bf_active: &[bool] = &chunk.bf_active;
+            let cancel: &CancelToken = &scratch.cancel;
+            for_chunks2(
+                intra.workers,
+                intra.spawn,
+                &mut chunk.bf_next,
+                &mut chunk.bf_status,
+                |base, dists, statuses| {
+                    for i in 0..dists.len() {
+                        if i % CANCEL_STRIDE == 0 && cancel.is_cancelled() {
+                            return;
+                        }
+                        let t = base + i;
+                        let mut best = distance[t];
+                        let mut status = 0u8;
+                        let (lo, hi) = (rev_first[t] as usize, rev_first[t + 1] as usize);
+                        for &rev_entry in &rev_pos[lo..hi] {
+                            let position = rev_entry as usize;
+                            let src = arc_from[position] as usize;
+                            if !bf_active[src] {
+                                continue;
+                            }
+                            let c0 = distance[src].0.checked_add(&reduced[position].0);
+                            let c1 = distance[src].1.checked_add(&reduced[position].1);
+                            match (c0, c1) {
+                                (Ok(c0), Ok(c1)) => {
+                                    let candidate = (c0, c1);
+                                    if lex_greater(&candidate, &best) {
+                                        best = candidate;
+                                        status = 1;
+                                    }
+                                }
+                                _ => {
+                                    status = 2;
+                                    break;
+                                }
+                            }
+                        }
+                        dists[i] = best;
+                        statuses[i] = status;
+                        if status == 2 {
+                            return;
+                        }
+                    }
+                },
+            );
+        }
+        if scratch.cancel.is_cancelled() {
+            return Err(McrError::Cancelled);
+        }
+        if scratch.chunk.bf_status.contains(&2) {
+            // Overflow on some Jacobi path: the serial pass decides (its
+            // Gauss–Seidel walks may not overflow at all, or overflow with
+            // the exact serial error value).
+            return find_violating_cycle(scratch, n, lambda);
+        }
+        std::mem::swap(&mut scratch.distance, &mut scratch.chunk.bf_next);
+        let chunk = &mut scratch.chunk;
+        let mut any = false;
+        for t in 0..n {
+            let improved = chunk.bf_status[t] == 1;
+            chunk.bf_active[t] = improved;
+            any |= improved;
+        }
+        if !any {
+            return Ok(None);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{CancelToken, McrError, RatioGraph, Solver, SolverChoice};
+    use csdf::Rational;
+
+    fn xorshift(seed: u64) -> impl FnMut() -> u64 {
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        }
+    }
+
+    fn arc_weights(next: &mut impl FnMut() -> u64, huge: bool) -> (Rational, Rational) {
+        let cost = if huge {
+            // Large enough that the fast-lane bound `B ≤ 2^62 / n` fails and
+            // checked products overflow, driving the checked lane and the
+            // scalar-kernel fallback.
+            Rational::from_integer(((next() % 5) as i128 - 2) * (1i128 << 64))
+        } else {
+            Rational::new(-3 + (next() % 12) as i128, 1 + (next() % 4) as i128).unwrap()
+        };
+        // Times include negative and zero values, so Infinite classification
+        // and the lexicographic edge cases stay on the menu.
+        let time = Rational::new(-2 + (next() % 8) as i128, 1 + (next() % 3) as i128).unwrap();
+        (cost, time)
+    }
+
+    /// One strongly connected ring with random chords — the single-SCC shape
+    /// the chunked kernels exist for.
+    fn ring_graph(seed: u64, huge_costs: bool) -> RatioGraph {
+        let mut next = xorshift(seed);
+        let n = 3 + (next() % 40) as usize;
+        let mut g = RatioGraph::new(n);
+        for i in 0..n {
+            let (cost, time) = arc_weights(&mut next, huge_costs);
+            g.add_arc(g.node(i), g.node((i + 1) % n), cost, time);
+        }
+        for _ in 0..(n as u64 / 2 + next() % 8) {
+            let a = (next() % n as u64) as usize;
+            let b = (next() % n as u64) as usize;
+            let (cost, time) = arc_weights(&mut next, huge_costs);
+            g.add_arc(g.node(a), g.node(b), cost, time);
+        }
+        g
+    }
+
+    /// A solver forced onto the chunked intra-component path: threshold one,
+    /// spawn even on single-core hosts.
+    fn chunked_solver(choice: SolverChoice, threads: usize, integer: bool) -> Solver {
+        let mut solver = Solver::new(choice)
+            .with_threads(threads)
+            .with_integer_kernel(integer);
+        solver.set_intra_min_nodes(1);
+        solver.set_intra_spawn_force(true);
+        solver
+    }
+
+    #[test]
+    fn chunk_runner_covers_every_slot_exactly_once() {
+        for len in [0usize, 1, 2, 3, 7, 64, 1000] {
+            for workers in [1usize, 2, 3, 8, 64] {
+                for spawn in [false, true] {
+                    let mut data = vec![0u32; len];
+                    super::for_chunks(workers, spawn, &mut data, |base, out| {
+                        for (i, v) in out.iter_mut().enumerate() {
+                            *v += u32::try_from(base + i).unwrap() + 1;
+                        }
+                    });
+                    for (i, v) in data.iter().enumerate() {
+                        assert_eq!(
+                            *v,
+                            u32::try_from(i).unwrap() + 1,
+                            "len {len} workers {workers} spawn {spawn}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_howard_is_bit_identical_to_serial() {
+        for seed in 0..60u64 {
+            let g = ring_graph(seed, false);
+            for integer in [true, false] {
+                let serial = Solver::new(SolverChoice::Howard)
+                    .with_integer_kernel(integer)
+                    .solve(&g)
+                    .unwrap();
+                for threads in [2usize, 4, 8] {
+                    let chunked = chunked_solver(SolverChoice::Howard, threads, integer)
+                        .solve(&g)
+                        .unwrap();
+                    assert_eq!(serial, chunked, "seed {seed} x{threads} integer={integer}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_parametric_certifier_is_bit_identical_to_serial() {
+        for seed in 0..40u64 {
+            let g = ring_graph(seed, false);
+            let serial = Solver::new(SolverChoice::Parametric).solve(&g).unwrap();
+            for threads in [2usize, 4, 8] {
+                let chunked = chunked_solver(SolverChoice::Parametric, threads, true)
+                    .solve(&g)
+                    .unwrap();
+                assert_eq!(serial, chunked, "seed {seed} x{threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_checked_lane_and_fallbacks_match_serial() {
+        // Huge scaled magnitudes: the fast lane declines, the checked lane
+        // overflows on some graphs (falling back to the chunked scalar kernel
+        // or the parametric certifier), and some solves end in a rational
+        // overflow error — all of which must be identical to the serial path.
+        for seed in 0..40u64 {
+            let g = ring_graph(seed, true);
+            for choice in [SolverChoice::Howard, SolverChoice::Auto] {
+                let serial = Solver::new(choice).solve(&g);
+                for threads in [2usize, 4, 8] {
+                    let chunked = chunked_solver(choice, threads, true).solve(&g);
+                    assert_eq!(serial, chunked, "seed {seed} x{threads} {choice:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn solver_is_reusable_after_chunked_solves() {
+        // One solver alternating small (serial path) and forced-chunked
+        // graphs: per-component caches must invalidate correctly.
+        let mut solver = chunked_solver(SolverChoice::Auto, 4, true);
+        for seed in 0..12u64 {
+            let g = ring_graph(seed, false);
+            let expected = Solver::new(SolverChoice::Auto).solve(&g).unwrap();
+            assert_eq!(solver.solve(&g).unwrap(), expected, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn pre_cancelled_solves_fail_identically_at_any_width() {
+        for seed in 0..8u64 {
+            let g = ring_graph(seed, false);
+            for threads in [1usize, 2, 4, 8] {
+                let token = CancelToken::new();
+                token.cancel();
+                let mut solver = chunked_solver(SolverChoice::Auto, threads, true);
+                solver.set_cancel_token(token);
+                assert_eq!(
+                    solver.solve(&g),
+                    Err(McrError::Cancelled),
+                    "seed {seed} x{threads}"
+                );
+                // The solver must stay fully reusable after a cancelled solve.
+                solver.set_cancel_token(CancelToken::default());
+                assert_eq!(
+                    solver.solve(&g).unwrap(),
+                    Solver::new(SolverChoice::Auto).solve(&g).unwrap(),
+                    "seed {seed} x{threads} post-cancel"
+                );
+            }
+        }
+    }
+}

@@ -196,6 +196,51 @@ impl RatioGraph {
         id
     }
 
+    /// Overwrites the cost and time of an existing arc in place, keeping its
+    /// endpoints. Because the CSR adjacency indexes arcs by source node only,
+    /// a weights-only patch keeps a current index current — this is what lets
+    /// the event-graph arena re-evaluate marking-only updates without paying
+    /// the `O(nodes + arcs)` re-emission and counting sort.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn patch_arc_weights(&mut self, id: ArcId, cost: Rational, time: Rational) {
+        let adjacency_was_current = self.adjacency_current();
+        let arc = &mut self.arcs[id.0];
+        arc.cost = cost;
+        arc.time = time;
+        self.version += 1;
+        if adjacency_was_current {
+            self.adjacency_version = self.version;
+        }
+    }
+
+    /// Replaces an existing arc in place — endpoints and weights. The CSR
+    /// adjacency goes stale (the arc may move to another source node's row);
+    /// call [`RatioGraph::rebuild_adjacency`] after the last patch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id or either endpoint is out of range.
+    pub fn patch_arc(
+        &mut self,
+        id: ArcId,
+        from: NodeId,
+        to: NodeId,
+        cost: Rational,
+        time: Rational,
+    ) {
+        assert!(from.0 < self.node_count && to.0 < self.node_count);
+        self.arcs[id.0] = Arc {
+            from,
+            to,
+            cost,
+            time,
+        };
+        self.version += 1;
+    }
+
     /// Rebuilds the CSR adjacency index (`arc_offsets`/`arc_index`) with a
     /// stable counting sort over the flat arc vector: arcs leaving the same
     /// node keep their insertion order, matching the `Vec<Vec<ArcId>>`
@@ -414,6 +459,56 @@ mod tests {
         g.add_arc(g.node(0), g.node(1), Rational::ONE, Rational::ONE);
         g.add_arc(g.node(1), g.node(0), Rational::ONE, Rational::ONE);
         assert_eq!(g, reference);
+    }
+
+    #[test]
+    fn weight_patch_keeps_a_current_adjacency() {
+        let mut g = RatioGraph::new(2);
+        let e1 = g.add_arc(g.node(0), g.node(1), Rational::ONE, Rational::ONE);
+        let e2 = g.add_arc(g.node(1), g.node(0), Rational::ONE, Rational::ONE);
+        g.rebuild_adjacency();
+
+        g.patch_arc_weights(e1, Rational::from_integer(7), Rational::ZERO);
+        assert!(g.adjacency_current());
+        assert_eq!(g.outgoing(g.node(0)), &[e1]);
+        assert_eq!(g.arc(e1).cost, Rational::from_integer(7));
+        assert_eq!(g.arc(e1).time, Rational::ZERO);
+
+        // A weights patch on a *stale* index must not resurrect it.
+        g.add_arc(g.node(0), g.node(0), Rational::ONE, Rational::ONE);
+        assert!(!g.adjacency_current());
+        g.patch_arc_weights(e2, Rational::from_integer(3), Rational::ONE);
+        assert!(!g.adjacency_current());
+    }
+
+    #[test]
+    fn endpoint_patch_goes_stale_and_matches_a_fresh_build() {
+        let mut g = RatioGraph::new(3);
+        g.add_arc(g.node(0), g.node(1), Rational::ONE, Rational::ONE);
+        let e2 = g.add_arc(g.node(1), g.node(2), Rational::ONE, Rational::ONE);
+        g.rebuild_adjacency();
+
+        g.patch_arc(
+            e2,
+            g.node(2),
+            g.node(0),
+            Rational::from_integer(5),
+            Rational::from_integer(2),
+        );
+        assert!(!g.adjacency_current());
+        g.rebuild_adjacency();
+        assert_eq!(g.outgoing(g.node(2)), &[e2]);
+        assert!(g.outgoing(g.node(1)).is_empty());
+
+        let mut fresh = RatioGraph::new(3);
+        fresh.add_arc(fresh.node(0), fresh.node(1), Rational::ONE, Rational::ONE);
+        fresh.add_arc(
+            fresh.node(2),
+            fresh.node(0),
+            Rational::from_integer(5),
+            Rational::from_integer(2),
+        );
+        assert_eq!(g, fresh);
     }
 
     #[test]

@@ -8,6 +8,11 @@
 //! event graphs it converges after a handful of rounds, each of which costs a
 //! single sweep over the arcs.
 //!
+//! The `chunked` module carries intra-component parallel twins of this
+//! module's evaluate/improve sweeps (chunked over CSR row blocks,
+//! bit-identical by construction); an order-sensitive change here must be
+//! mirrored there.
+//!
 //! # Exactness
 //!
 //! The solver works on the same component view and exact [`Rational`]

@@ -21,6 +21,10 @@
 //! the critical circuit is re-materialised through the exact rational
 //! [`crate::solve::materialize_cycle`] path.
 //!
+//! The `chunked` module carries an intra-component parallel twin of this
+//! kernel (same scaling, chunked sweeps, identical overflow points); an
+//! order- or overflow-sensitive change here must be mirrored there.
+//!
 //! # Exactness and fallback
 //!
 //! Every decision the kernel takes (gain/bias comparisons, the circuit

@@ -16,7 +16,10 @@
 //!   `SolverChoice::Auto` picks per strongly connected component and is what
 //!   K-Iter uses; [`Solver::with_threads`] solves independent cyclic
 //!   components on a `std::thread::scope` worker pool with a deterministic
-//!   component-order merge, so results are byte-identical at any width;
+//!   component-order merge, and at two or more threads the sweeps *inside*
+//!   each large component (at least [`INTRA_MIN_NODES`] nodes) run on the
+//!   chunked Howard/certifier kernels of the `chunked` module — so results
+//!   are byte-identical at any width, including on one-giant-SCC graphs;
 //! * [`maximum_cycle_ratio`] — one-shot parametric solve returning the
 //!   maximum ratio and a critical circuit ([`CycleRatioOutcome`]);
 //! * [`maximum_cycle_ratio_with`] — one-shot solve with an explicit
@@ -51,6 +54,7 @@
 
 mod brute;
 mod cancel;
+mod chunked;
 mod graph;
 mod howard;
 mod karp;
@@ -65,7 +69,7 @@ pub use karp::maximum_cycle_mean;
 pub use scc::SccDecomposition;
 pub use solve::{
     maximum_cycle_ratio, maximum_cycle_ratio_with, CriticalCycle, CycleRatioOutcome, McrError,
-    Solver, SolverChoice, AUTO_HOWARD_MIN_NODES,
+    Solver, SolverChoice, AUTO_HOWARD_MIN_NODES, INTRA_MIN_NODES,
 };
 
 #[cfg(test)]

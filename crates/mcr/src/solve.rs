@@ -28,6 +28,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use csdf::{Rational, RationalError};
 
 use crate::cancel::CancelToken;
+use crate::chunked::{self, ChunkScratch, IntraOpts};
 use crate::graph::{build_csr, ArcId, NodeId, RatioGraph};
 use crate::howard::{self, HowardOutcome};
 use crate::kernel;
@@ -183,6 +184,59 @@ pub enum SolverChoice {
 /// policy improvements — so only trivial components stay parametric.
 pub const AUTO_HOWARD_MIN_NODES: usize = 4;
 
+/// Component size at which a multi-threaded [`Solver`] switches from the
+/// per-SCC worker pool to *intra-component* chunked kernels (see
+/// [`crate::chunked`]): when the largest cyclic strongly connected component
+/// has at least this many nodes, the solve runs sequentially over components
+/// and chunks each big component's sweeps instead — one giant SCC is exactly
+/// the shape the per-SCC pool cannot help with. Outputs are bit-identical
+/// either way; the threshold only moves work between the two strategies.
+pub const INTRA_MIN_NODES: usize = 2048;
+
+/// Cached `std::thread::available_parallelism()` (it can cost a syscall per
+/// query on Linux; the answer does not change within a process).
+fn host_parallelism() -> usize {
+    static CACHE: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CACHE
+        .get_or_init(|| std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get))
+}
+
+/// Per-solve intra-component parallelism plan, derived once from the solver
+/// knobs and the component size distribution.
+#[derive(Debug, Clone, Copy)]
+struct IntraSolveConfig {
+    /// Chunks per sweep for components that cross `min_nodes` (`1` disables).
+    threads: usize,
+    /// Minimum component size for chunked kernels.
+    min_nodes: usize,
+    /// Whether chunks run on scoped worker threads (disabled on single-core
+    /// hosts — the chunked code path still runs, inline, with identical
+    /// results, so determinism never depends on this).
+    spawn: bool,
+}
+
+impl IntraSolveConfig {
+    const SERIAL: IntraSolveConfig = IntraSolveConfig {
+        threads: 1,
+        min_nodes: usize::MAX,
+        spawn: false,
+    };
+}
+
+/// Resolves [`SolverChoice::Auto`] for a component of `n` nodes.
+fn effective_choice(choice: SolverChoice, n: usize) -> SolverChoice {
+    match choice {
+        SolverChoice::Auto => {
+            if n >= AUTO_HOWARD_MIN_NODES {
+                SolverChoice::Howard
+            } else {
+                SolverChoice::Parametric
+            }
+        }
+        other => other,
+    }
+}
+
 /// A reusable maximum cycle ratio solver.
 ///
 /// The solver owns scratch buffers (CSR adjacency, SCC decomposition,
@@ -217,6 +271,14 @@ pub struct Solver {
     choice: SolverChoice,
     threads: usize,
     integer_kernel: bool,
+    /// Component size threshold for intra-component chunked kernels
+    /// ([`INTRA_MIN_NODES`] by default; the test hook
+    /// [`Solver::set_intra_min_nodes`] lowers it to exercise the chunked
+    /// path on small graphs).
+    intra_min_nodes: usize,
+    /// Forces chunk execution onto scoped worker threads even on single-core
+    /// hosts (test hook; results are identical either way).
+    intra_spawn_force: bool,
     cancel: CancelToken,
     scratch: Scratch,
     /// One extra scratch per additional worker thread (lazily grown, kept
@@ -239,6 +301,8 @@ impl Solver {
             choice,
             threads: 1,
             integer_kernel: true,
+            intra_min_nodes: INTRA_MIN_NODES,
+            intra_spawn_force: false,
             cancel: CancelToken::default(),
             scratch: Scratch::default(),
             worker_scratches: Vec::new(),
@@ -291,6 +355,23 @@ impl Solver {
         self.cancel = token;
     }
 
+    /// Lowers the component-size threshold for the intra-component chunked
+    /// kernels (default [`INTRA_MIN_NODES`]). Outputs are bit-identical at
+    /// every value; this hook exists so tests and benchmarks can force the
+    /// chunked path on small graphs.
+    #[doc(hidden)]
+    pub fn set_intra_min_nodes(&mut self, nodes: usize) {
+        self.intra_min_nodes = nodes.max(1);
+    }
+
+    /// Forces chunk execution onto scoped worker threads even when the host
+    /// reports a single core. Results are identical either way; this hook
+    /// exists so tests can exercise the real spawn path deterministically.
+    #[doc(hidden)]
+    pub fn set_intra_spawn_force(&mut self, force: bool) {
+        self.intra_spawn_force = force;
+    }
+
     /// Computes the maximum cost-to-time ratio of `graph` and a critical
     /// circuit. Identical results for every [`SolverChoice`] and thread
     /// count.
@@ -339,7 +420,31 @@ impl Solver {
             return Ok(CycleRatioOutcome::Acyclic);
         }
 
-        let worker_count = self.threads.min(self.cyclic.len());
+        // Intra-component parallelism takes priority over the per-SCC worker
+        // pool: when the largest cyclic component crosses the threshold, the
+        // solve runs sequentially over components and chunks each big
+        // component's sweeps instead (one giant SCC is exactly the shape the
+        // per-SCC pool cannot help with). Outputs are identical either way.
+        let largest = self
+            .cyclic
+            .iter()
+            .map(|&component| self.scc.component(component as usize).len())
+            .max()
+            .unwrap_or(0);
+        let intra = if self.threads >= 2 && largest >= self.intra_min_nodes {
+            IntraSolveConfig {
+                threads: self.threads,
+                min_nodes: self.intra_min_nodes,
+                spawn: self.intra_spawn_force || host_parallelism() >= 2,
+            }
+        } else {
+            IntraSolveConfig::SERIAL
+        };
+        let worker_count = if intra.threads >= 2 {
+            1
+        } else {
+            self.threads.min(self.cyclic.len())
+        };
         if worker_count <= 1 {
             return solve_sequential(
                 graph,
@@ -350,6 +455,7 @@ impl Solver {
                 &mut self.scratch,
                 self.choice,
                 self.integer_kernel,
+                intra,
             );
         }
 
@@ -452,13 +558,30 @@ fn solve_sequential(
     scratch: &mut Scratch,
     choice: SolverChoice,
     integer_kernel: bool,
+    intra: IntraSolveConfig,
 ) -> Result<CycleRatioOutcome, McrError> {
     scratch.prepare(graph.node_count());
     let mut best: Option<(Rational, CriticalCycle)> = None;
     for &component in cyclic {
         let members = scc.component(component as usize);
-        scratch.begin_component(graph, members, offsets, index);
-        let outcome = solve_component(graph, scratch, choice, integer_kernel, members.len());
+        let n = members.len();
+        let opts = IntraOpts {
+            workers: if intra.threads >= 2 && n >= intra.min_nodes {
+                intra.threads
+            } else {
+                1
+            },
+            spawn: intra.spawn,
+        };
+        // Lean loading: the chunked integer kernel reads arc weights straight
+        // from the graph through the component's arc-id map, so the per-arc
+        // Rational copies of the component view are skipped until a fallback
+        // path actually needs them (see `ensure_component_rationals`).
+        let lean = opts.workers >= 2
+            && integer_kernel
+            && effective_choice(choice, n) == SolverChoice::Howard;
+        scratch.begin_component(graph, members, offsets, index, !lean);
+        let outcome = solve_component(graph, scratch, choice, integer_kernel, n, opts);
         scratch.end_component(members);
         match outcome? {
             ComponentOutcome::NonPositive => {}
@@ -502,8 +625,15 @@ fn worker_loop(
             break;
         }
         let members = scc.component(cyclic[slot] as usize);
-        scratch.begin_component(graph, members, offsets, index);
-        let outcome = solve_component(graph, scratch, choice, integer_kernel, members.len());
+        scratch.begin_component(graph, members, offsets, index, true);
+        let outcome = solve_component(
+            graph,
+            scratch,
+            choice,
+            integer_kernel,
+            members.len(),
+            IntraOpts::SERIAL,
+        );
         scratch.end_component(members);
         outcomes.push((slot, outcome));
     }
@@ -518,27 +648,34 @@ fn solve_component(
     choice: SolverChoice,
     integer_kernel: bool,
     n: usize,
+    intra: IntraOpts,
 ) -> Result<ComponentOutcome, McrError> {
-    let choice = match choice {
-        SolverChoice::Auto => {
-            if n >= AUTO_HOWARD_MIN_NODES {
-                SolverChoice::Howard
-            } else {
-                SolverChoice::Parametric
-            }
-        }
-        other => other,
-    };
+    let choice = effective_choice(choice, n);
     match choice {
         SolverChoice::Parametric | SolverChoice::Auto => {
-            parametric_component(graph, scratch, n, Rational::ZERO, None)
+            parametric_component(graph, scratch, n, Rational::ZERO, None, intra)
         }
         SolverChoice::Howard => {
             // The integer kernel handles the common case (component-wide
             // common denominators that keep every product inside i128) and
             // declines otherwise; the scalar path is the universal fallback.
-            // Outcomes are bit-identical — see `kernel` module docs.
-            let outcome = if integer_kernel {
+            // Outcomes are bit-identical — see `kernel` module docs. With
+            // `intra.workers >= 2` the chunked twins run instead, which are
+            // bit-identical to the serial kernels by construction (see
+            // `crate::chunked`).
+            let outcome = if intra.workers >= 2 {
+                if integer_kernel {
+                    match chunked::howard_component_int_chunked(graph, scratch, n, intra) {
+                        Some(outcome) => outcome,
+                        None => {
+                            scratch.ensure_component_rationals(graph);
+                            chunked::howard_component_chunked(scratch, n, intra)
+                        }
+                    }
+                } else {
+                    chunked::howard_component_chunked(scratch, n, intra)
+                }
+            } else if integer_kernel {
                 kernel::howard_component_int(scratch, n)
                     .unwrap_or_else(|| howard::howard_component(scratch, n))
             } else {
@@ -557,14 +694,16 @@ fn solve_component(
                     })
                 }
                 HowardOutcome::Estimate { lambda, positions } => {
-                    parametric_component(graph, scratch, n, lambda, Some(positions))
+                    scratch.ensure_component_rationals(graph);
+                    parametric_component(graph, scratch, n, lambda, Some(positions), intra)
                 }
                 HowardOutcome::Bail => {
-                    parametric_component(graph, scratch, n, Rational::ZERO, None)
+                    scratch.ensure_component_rationals(graph);
+                    parametric_component(graph, scratch, n, Rational::ZERO, None, intra)
                 }
             }
         }
-        SolverChoice::Karp => karp_component(graph, scratch, n),
+        SolverChoice::Karp => karp_component(graph, scratch, n, intra),
     }
 }
 
@@ -636,9 +775,15 @@ pub(crate) struct Scratch {
     pub(crate) arc_time: Vec<Rational>,
     pub(crate) arc_id: Vec<ArcId>,
     pub(crate) first: Vec<usize>,
+    /// Whether `arc_cost`/`arc_time` hold the current component's weights
+    /// (lean loads skip them; see [`Scratch::ensure_component_rationals`]).
+    rationals_loaded: bool,
+    /// Bumped on every `begin_component`, so derived per-component caches
+    /// (the chunked kernels' reverse CSR) know when to rebuild.
+    pub(crate) component_epoch: u64,
     // Parametric Bellman–Ford state.
-    reduced: Vec<(Rational, Rational)>,
-    distance: Vec<(Rational, Rational)>,
+    pub(crate) reduced: Vec<(Rational, Rational)>,
+    pub(crate) distance: Vec<(Rational, Rational)>,
     predecessor: Vec<usize>,
     active: Vec<usize>,
     next_active: Vec<usize>,
@@ -663,8 +808,11 @@ pub(crate) struct Scratch {
     pub(crate) resolved: Vec<u64>,
     pub(crate) walk: Vec<usize>,
     pub(crate) epoch: u64,
-    /// Cancellation token polled once per solver round (see
-    /// [`Solver::set_cancel_token`]); the default token never cancels.
+    /// Reusable buffers of the intra-component chunked kernels.
+    pub(crate) chunk: ChunkScratch,
+    /// Cancellation token polled once per solver round — and, in the chunked
+    /// kernels, once per chunk and every few thousand items within a chunk
+    /// (see [`Solver::set_cancel_token`]); the default token never cancels.
     pub(crate) cancel: CancelToken,
 }
 
@@ -678,14 +826,19 @@ impl Scratch {
 
     /// Loads one component into the dense view, reading adjacency from the
     /// CSR slices (`offsets`/`index`). Arcs are grouped by source node simply
-    /// by scanning members in order.
+    /// by scanning members in order. With `load_rationals` false the per-arc
+    /// `Rational` weight copies are skipped (the chunked integer kernel reads
+    /// weights straight from the graph through `arc_id`); any path that needs
+    /// them calls [`Scratch::ensure_component_rationals`] first.
     fn begin_component(
         &mut self,
         graph: &RatioGraph,
         members: &[u32],
         offsets: &[u32],
         index: &[ArcId],
+        load_rationals: bool,
     ) {
+        self.component_epoch = self.component_epoch.wrapping_add(1);
         let n = members.len();
         for (local, &node) in members.iter().enumerate() {
             self.local_of[node as usize] = local;
@@ -708,18 +861,40 @@ impl Scratch {
                 }
                 self.arc_from.push(local as u32);
                 self.arc_to.push(to as u32);
-                self.arc_cost.push(arc.cost);
-                self.arc_time.push(arc.time);
+                if load_rationals {
+                    self.arc_cost.push(arc.cost);
+                    self.arc_time.push(arc.time);
+                }
                 self.arc_id.push(arc_id);
             }
         }
         self.first.push(self.arc_to.len());
+        self.rationals_loaded = load_rationals;
         // Node-sized state used by both algorithms.
         grow_stamped(&mut self.mark, n);
         grow_stamped(&mut self.resolved, n);
         if self.mark_pos.len() < n {
             self.mark_pos.resize(n, 0);
         }
+    }
+
+    /// Fills `arc_cost`/`arc_time` for the current component after a lean
+    /// `begin_component`. The arcs were discovered in `arc_id` order, so the
+    /// filled view is byte-identical to a non-lean load.
+    pub(crate) fn ensure_component_rationals(&mut self, graph: &RatioGraph) {
+        if self.rationals_loaded {
+            return;
+        }
+        self.arc_cost.clear();
+        self.arc_time.clear();
+        self.arc_cost.reserve(self.arc_id.len());
+        self.arc_time.reserve(self.arc_id.len());
+        for &arc_id in &self.arc_id {
+            let arc = graph.arc(arc_id);
+            self.arc_cost.push(arc.cost);
+            self.arc_time.push(arc.time);
+        }
+        self.rationals_loaded = true;
     }
 
     /// Restores the renumbering table after a component is done.
@@ -773,11 +948,17 @@ pub(crate) fn parametric_component(
     n: usize,
     start: Rational,
     start_cycle: Option<Vec<usize>>,
+    intra: IntraOpts,
 ) -> Result<ComponentOutcome, McrError> {
     let mut lambda = start;
     let mut best = start_cycle;
     loop {
-        let Some(positions) = find_violating_cycle(scratch, n, lambda)? else {
+        let found = if intra.workers >= 2 {
+            chunked::find_violating_cycle_chunked(scratch, n, lambda, intra)?
+        } else {
+            find_violating_cycle(scratch, n, lambda)?
+        };
+        let Some(positions) = found else {
             return Ok(match best {
                 Some(positions) => ComponentOutcome::Finite {
                     ratio: lambda,
@@ -807,7 +988,7 @@ pub(crate) fn parametric_component(
 /// component view. Returns `None` when no such circuit exists (λ is an upper
 /// bound of all finite circuit ratios); the Bellman–Ford distances are left
 /// converged in `scratch.distance` in that case.
-fn find_violating_cycle(
+pub(crate) fn find_violating_cycle(
     scratch: &mut Scratch,
     n: usize,
     lambda: Rational,
@@ -886,7 +1067,7 @@ fn find_violating_cycle(
     }
 }
 
-fn lex_greater(a: &(Rational, Rational), b: &(Rational, Rational)) -> bool {
+pub(crate) fn lex_greater(a: &(Rational, Rational), b: &(Rational, Rational)) -> bool {
     match a.0.cmp(&b.0) {
         std::cmp::Ordering::Greater => true,
         std::cmp::Ordering::Less => false,
@@ -952,13 +1133,14 @@ fn karp_component(
     graph: &RatioGraph,
     scratch: &mut Scratch,
     n: usize,
+    intra: IntraOpts,
 ) -> Result<ComponentOutcome, McrError> {
     if !scratch.arc_time.iter().all(|time| *time == Rational::ONE) {
-        return parametric_component(graph, scratch, n, Rational::ZERO, None);
+        return parametric_component(graph, scratch, n, Rational::ZERO, None, intra);
     }
     let lambda = karp_component_mean(scratch, n)?;
     let Some(lambda) = lambda else {
-        return parametric_component(graph, scratch, n, Rational::ZERO, None);
+        return parametric_component(graph, scratch, n, Rational::ZERO, None, intra);
     };
     if !lambda.is_positive() {
         // All circuit times are positive here, so there is no infinite
@@ -971,14 +1153,14 @@ fn karp_component(
         // Defensive: the Karp value should already be the maximum. Restart
         // the parametric iteration from scratch rather than trusting it.
         let _ = positions;
-        return parametric_component(graph, scratch, n, Rational::ZERO, None);
+        return parametric_component(graph, scratch, n, Rational::ZERO, None, intra);
     }
     match tight_cycle(scratch, n, lambda)? {
         Some(positions) => Ok(ComponentOutcome::Finite {
             ratio: lambda,
             cycle: materialize_cycle(graph, scratch, &positions)?,
         }),
-        None => parametric_component(graph, scratch, n, Rational::ZERO, None),
+        None => parametric_component(graph, scratch, n, Rational::ZERO, None, intra),
     }
 }
 

@@ -145,6 +145,57 @@ fn zero_deadline_cancels_before_the_solve() {
     assert_no_session_leak(&daemon);
 }
 
+/// A 100k-task single-SCC graph takes ~15 s of MCR solving when healthy —
+/// far beyond the request's deadline. The evaluation must die *by deadline*
+/// (the intra-SCC kernels poll the [`kperiodic::CancelToken`] between chunk
+/// rounds, so even one huge component cannot outrun cancellation), never by
+/// hanging until the solve completes, and the daemon must stay live. Debug
+/// builds skip it (the `ignore` is gated on `debug_assertions`; the graph
+/// alone is tens of MB of request text); in release builds it runs
+/// normally, and CI has a dedicated `cargo test --release -p csdf-service
+/// --test chaos` step for exactly that.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "100k-task graph; meaningful in release only"
+)]
+fn hundred_k_task_request_dies_by_deadline_not_by_hang() {
+    let graph =
+        csdf_generators::random_graph(&csdf_generators::RandomGraphConfig::large(100_000), 0xD0C5)
+            .expect("100k-task random graph generates");
+    // The graph's text form is far beyond the default 1 MiB line cap, so the
+    // request is only admissible with a raised cap.
+    let daemon = Daemon::new(ServiceConfig {
+        max_line_bytes: 64 << 20,
+        ..ServiceConfig::default()
+    });
+    let line = format!(
+        r#"{{"id":1,"deadline_ms":500,"type":"evaluate","graph":{{"format":"text","source":{}}}}}"#,
+        Json::Str(csdf::text::to_text(&graph))
+    );
+    let started = std::time::Instant::now();
+    let hit = Json::parse(&daemon.handle_line(&line)).unwrap();
+    let elapsed = started.elapsed();
+    assert_eq!(
+        error_kind(&hit).as_deref(),
+        Some("deadline_exceeded"),
+        "{hit}"
+    );
+    assert_eq!(field(&hit, "id").as_i128(), Some(1));
+    // Generous bound (parsing tens of MB of request text is itself seconds
+    // of work), but far below the ~20 s an uncancelled evaluation costs.
+    assert!(
+        elapsed < std::time::Duration::from_secs(10),
+        "deadline-exceeded answer took {elapsed:?}"
+    );
+    assert_eq!(daemon.service_stats().deadline_exceeded, 1);
+
+    // The daemon is still live and answers a small request exactly.
+    let next = Json::parse(&daemon.handle_line(&evaluate_request(2, &ring(3)))).unwrap();
+    assert_eq!(field(&next, "status").as_str(), Some("ok"), "{next}");
+    assert_no_session_leak(&daemon);
+}
+
 #[test]
 fn daemon_default_deadline_applies_when_the_request_has_none() {
     let daemon = Daemon::new(ServiceConfig {

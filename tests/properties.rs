@@ -194,7 +194,7 @@ proptest! {
                     "integer kernel diverges for {:?} on seed {}: {:?} vs {:?}",
                     choice, seed, scalar, integer
                 );
-                for threads in [2usize, 4] {
+                for threads in [2usize, 4, 8] {
                     let parallel = Solver::new(choice)
                         .with_threads(threads)
                         .solve(&graph)
@@ -332,7 +332,7 @@ proptest! {
                 .with_integer_kernel(false)
                 .solve(&graph)
                 .expect("scalar solve");
-            for threads in [1usize, 2, 4] {
+            for threads in [1usize, 2, 4, 8] {
                 let solved = Solver::new(choice)
                     .with_threads(threads)
                     .solve(&graph)
